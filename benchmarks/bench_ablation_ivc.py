@@ -1,0 +1,48 @@
+"""Ablation A4: random IVC fill budget sweep (refs [14]/[15]).
+
+The paper fills the don't-care controlled inputs by random search and
+cites [14]: "the number of the required simulations is far less than the
+total possible vectors".  This bench sweeps the trial budget and records
+the achieved leakage — the curve flattens after a few dozen trials, which
+is exactly that claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.benchgen.loader import load_circuit
+from repro.core.addmux import add_mux
+from repro.core.find_pattern import find_controlled_input_pattern
+from repro.leakage.ivc import random_fill_search
+from repro.techmap.mapper import technology_map
+
+_BUDGETS = (1, 8, 64, 256)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """Mapped s344 with the blocking pattern already computed."""
+    circuit = technology_map(load_circuit("s344", seed=1))
+    addmux = add_mux(circuit)
+    controlled = set(circuit.inputs) | set(addmux.muxable)
+    sources = set(circuit.dff_outputs) - set(addmux.muxable)
+    pattern = find_controlled_input_pattern(circuit, controlled, sources)
+    free = sorted(controlled - set(pattern.assignment))
+    return circuit, pattern.assignment, free, sorted(sources)
+
+
+@pytest.mark.parametrize("budget", _BUDGETS,
+                         ids=[f"trials{b}" for b in _BUDGETS])
+def test_ablation_ivc_budget(benchmark, prepared, budget):
+    circuit, fixed, free, sources = prepared
+
+    result = run_once(
+        benchmark, random_fill_search, circuit, fixed, free,
+        budget, 1, None, sources, 8)
+
+    benchmark.extra_info["budget"] = budget
+    benchmark.extra_info["free_lines"] = len(free)
+    benchmark.extra_info["leakage_na"] = result.leakage_na
+    assert result.leakage_na > 0

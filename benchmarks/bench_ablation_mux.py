@@ -1,0 +1,42 @@
+"""Ablation A2: MUX acceptance margin sweep.
+
+The paper accepts a MUX whenever the critical path delay is unchanged
+(margin 0).  Sweeping an extra required margin trades MUX coverage (and
+with it, blocking power) against timing guard-band — the knee of that
+curve is the design point the paper argues for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.benchgen.loader import load_circuit
+from repro.core.config import FlowConfig
+from repro.core.flow import ProposedFlow
+
+_MARGINS_PS = (0.0, 25.0, 75.0, 1e6)
+
+
+@pytest.mark.parametrize("margin", _MARGINS_PS,
+                         ids=[f"margin{m:g}" for m in _MARGINS_PS])
+def test_ablation_mux_margin(benchmark, margin):
+    config = FlowConfig(seed=1, mux_delay_margin_ps=margin)
+    circuit = load_circuit("s344", seed=1)
+    flow = ProposedFlow(config)
+
+    result = run_once(benchmark, flow.run, circuit)
+
+    report = result.reports["proposed"]
+    benchmark.extra_info["margin_ps"] = margin
+    benchmark.extra_info["mux_coverage"] = result.addmux.coverage
+    benchmark.extra_info["n_muxed"] = len(result.addmux.muxable)
+    benchmark.extra_info["dynamic_uw_per_hz"] = report.dynamic_uw_per_hz
+    benchmark.extra_info["static_uw"] = report.static_uw
+    benchmark.extra_info["area_overhead_um2"] = \
+        result.mux_plan.area_overhead_um2()
+
+    if margin == 0.0:
+        assert result.addmux.coverage > 0
+    if margin >= 1e6:
+        assert result.addmux.coverage == 0

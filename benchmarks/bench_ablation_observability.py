@@ -1,0 +1,38 @@
+"""Ablation A1: the leakage-observability directive on vs off.
+
+The paper's claim: directing the transition-blocking decisions by leakage
+observability "allows us to select a low leakage vector out of all
+possible vectors which can block the scan chain transitions".  This bench
+runs the full flow both ways and records the static-power delta.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.benchgen.loader import load_circuit
+from repro.core.config import FlowConfig
+from repro.core.flow import ProposedFlow
+
+_CIRCUITS = ("s344", "s382")
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+@pytest.mark.parametrize("directed", [True, False],
+                         ids=["directed", "undirected"])
+def test_ablation_observability(benchmark, name, directed):
+    config = FlowConfig(seed=1, use_observability_directive=directed)
+    circuit = load_circuit(name, seed=1)
+    flow = ProposedFlow(config)
+
+    result = run_once(benchmark, flow.run, circuit)
+
+    report = result.reports["proposed"]
+    benchmark.extra_info["circuit"] = name
+    benchmark.extra_info["directive"] = directed
+    benchmark.extra_info["static_uw"] = report.static_uw
+    benchmark.extra_info["dynamic_uw_per_hz"] = report.dynamic_uw_per_hz
+    benchmark.extra_info["blocked_gates"] = len(
+        result.pattern.blocked_gates)
+    assert report.static_uw > 0

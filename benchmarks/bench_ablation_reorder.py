@@ -1,0 +1,41 @@
+"""Ablation A3: contribution of commutative-gate input reordering.
+
+The paper's final step swaps gate inputs so the quiescent scan-mode
+pattern hits low-leakage table rows (NAND2 "01" at 73 nA instead of "10"
+at 264 nA).  This bench isolates that step's static-power contribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.benchgen.loader import load_circuit
+from repro.core.config import FlowConfig
+from repro.core.flow import ProposedFlow
+
+_CIRCUITS = ("s344", "s444")
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+@pytest.mark.parametrize("reorder", [True, False],
+                         ids=["reorder", "no-reorder"])
+def test_ablation_reorder(benchmark, name, reorder):
+    config = FlowConfig(seed=1, reorder_inputs=reorder)
+    circuit = load_circuit(name, seed=1)
+    flow = ProposedFlow(config)
+
+    result = run_once(benchmark, flow.run, circuit)
+
+    report = result.reports["proposed"]
+    benchmark.extra_info["circuit"] = name
+    benchmark.extra_info["reorder"] = reorder
+    benchmark.extra_info["static_uw"] = report.static_uw
+    if reorder:
+        assert result.reorder is not None
+        benchmark.extra_info["swapped_gates"] = len(
+            result.reorder.swapped_gates)
+        benchmark.extra_info["predicted_saving_na"] = \
+            result.reorder.saved_na
+    # Reordering must never hurt dynamic power (same transitions/loads).
+    benchmark.extra_info["dynamic_uw_per_hz"] = report.dynamic_uw_per_hz

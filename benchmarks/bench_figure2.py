@@ -1,0 +1,56 @@
+"""Benchmark E2: regenerate Figure 2 (NAND2 leakage table at 45 nm).
+
+Benchmarks the full from-scratch path: model calibration against the
+paper's four anchor values plus characterisation of the whole cell
+library.  The regenerated table is attached as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.netlist.gates import GateType
+from repro.spice.calibrate import calibrate_to_figure2
+from repro.spice.characterize import cell_leakage_table, characterize_nand
+from repro.spice.constants import PAPER_NAND2_LEAKAGE_NA, TechParams
+
+
+def test_figure2_calibration(benchmark):
+    """Full recalibration from a distant starting point."""
+    start = TechParams(s_n=20000, s_p=9000, g_n=85, g_p=17, eta_dibl=0.09)
+
+    fitted = run_once(benchmark, calibrate_to_figure2, start)
+
+    table = characterize_nand(2, fitted)
+    benchmark.extra_info["nand2_model_na"] = {
+        "".join(map(str, k)): round(v, 2) for k, v in table.items()}
+    benchmark.extra_info["nand2_paper_na"] = {
+        "".join(map(str, k)): v
+        for k, v in PAPER_NAND2_LEAKAGE_NA.items()}
+    for pattern, target in PAPER_NAND2_LEAKAGE_NA.items():
+        assert table[pattern] == pytest.approx(target, rel=0.02)
+
+
+def test_figure2_library_characterisation(benchmark):
+    """Characterise every library cell at a fresh technology point
+    (cache-busting corner) — the cost of building all leakage tables."""
+    cells = [
+        (GateType.NOT, 1), (GateType.NAND, 2), (GateType.NAND, 3),
+        (GateType.NAND, 4), (GateType.NOR, 2), (GateType.NOR, 3),
+        (GateType.NOR, 4), (GateType.BUFF, 1), (GateType.AND, 2),
+        (GateType.OR, 2), (GateType.XOR, 2), (GateType.XNOR, 2),
+        (GateType.MUX2, 3),
+    ]
+
+    def characterise_all():
+        corner = TechParams().replace(vdd=0.9000001)  # defeat the cache
+        return {
+            (gtype.value, arity):
+                cell_leakage_table(gtype, arity, corner)
+            for gtype, arity in cells
+        }
+
+    tables = run_once(benchmark, characterise_all)
+    benchmark.extra_info["n_cells"] = len(tables)
+    assert all(all(v >= 0 for v in t.values()) for t in tables.values())

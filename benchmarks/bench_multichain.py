@@ -1,0 +1,52 @@
+"""Extension bench: chain-count sweep (test time vs shift power).
+
+Splitting the flops over N parallel chains cuts shift cycles per vector
+to ceil(L/N) — the classic test-time lever, orthogonal to the paper's
+power lever.  This bench sweeps N on one circuit and records both the
+test time (total scan clocks) and the power metrics, with and without
+the proposed blocking policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.atpg.generate import AtpgConfig, generate_tests
+from repro.benchgen.loader import load_circuit
+from repro.power.scanpower import ShiftPolicy
+from repro.scan.multichain import (
+    MultiChainDesign,
+    evaluate_multichain_power,
+    total_test_cycles,
+)
+from repro.scan.testview import ScanDesign
+from repro.techmap.mapper import technology_map
+
+_CHAIN_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    circuit = technology_map(load_circuit("s382", seed=1))
+    tests = generate_tests(ScanDesign.full_scan(circuit),
+                           AtpgConfig(seed=1))
+    return circuit, tests.vectors
+
+
+@pytest.mark.parametrize("n_chains", _CHAIN_COUNTS,
+                         ids=[f"chains{n}" for n in _CHAIN_COUNTS])
+def test_multichain_sweep(benchmark, prepared, n_chains):
+    circuit, vectors = prepared
+    design = MultiChainDesign.partition(circuit, n_chains)
+
+    report = run_once(benchmark, evaluate_multichain_power,
+                      design, vectors)
+
+    benchmark.extra_info["n_chains"] = n_chains
+    benchmark.extra_info["test_cycles"] = total_test_cycles(
+        design, len(vectors))
+    benchmark.extra_info["dynamic_uw_per_hz"] = report.dynamic_uw_per_hz
+    benchmark.extra_info["static_uw"] = report.static_uw
+    benchmark.extra_info["total_transitions"] = report.total_transitions
+    assert report.n_cycles == total_test_cycles(design, len(vectors))

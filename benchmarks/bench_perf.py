@@ -1,0 +1,87 @@
+"""P1: component performance benchmarks.
+
+Micro-benchmarks of the substrates the experiments lean on.  These run
+with pytest-benchmark's normal statistics (multiple rounds), unlike the
+one-shot experiment benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg.collapse import collapse_faults
+from repro.atpg.faults import all_faults
+from repro.atpg.faultsim import fault_simulate
+from repro.benchgen.loader import load_circuit
+from repro.leakage.estimator import per_sample_leakage
+from repro.leakage.observability import monte_carlo_observability
+from repro.simulation.bitsim import random_input_words, simulate_packed
+from repro.simulation.cyclesim import simulate_cycles
+from repro.techmap.mapper import technology_map
+from repro.timing.delay import LibraryDelay
+from repro.timing.sta import run_sta
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def s1423_mapped():
+    return technology_map(load_circuit("s1423", seed=1))
+
+
+@pytest.fixture(scope="module")
+def s1423_words(s1423_mapped):
+    return random_input_words(s1423_mapped, 1024, make_rng(0))
+
+
+def test_perf_packed_simulation_1024(benchmark, s1423_mapped,
+                                     s1423_words):
+    """1024-pattern packed simulation of a ~900-gate circuit."""
+    words = benchmark(simulate_packed, s1423_mapped, s1423_words, 1024)
+    assert len(words) > 900
+    benchmark.extra_info["gates"] = len(
+        s1423_mapped.combinational_gates())
+    benchmark.extra_info["patterns"] = 1024
+
+
+def test_perf_cycle_simulation_with_leakage(benchmark, s1423_mapped,
+                                            s1423_words):
+    """Cycle simulation incl. per-gate leakage accumulation."""
+    result = benchmark(simulate_cycles, s1423_mapped, s1423_words, 1024)
+    assert result.mean_leakage_na > 0
+
+
+def test_perf_per_sample_leakage(benchmark, s1423_mapped, s1423_words):
+    samples = benchmark(per_sample_leakage, s1423_mapped, s1423_words,
+                        1024)
+    assert samples.shape == (1024,)
+
+
+def test_perf_sta(benchmark, s1423_mapped):
+    def full_sta():
+        model = LibraryDelay(s1423_mapped)
+        return run_sta(s1423_mapped, model)
+
+    sta = benchmark(full_sta)
+    assert sta.critical_delay > 0
+
+
+def test_perf_observability(benchmark, s1423_mapped):
+    obs = benchmark.pedantic(
+        monte_carlo_observability,
+        args=(s1423_mapped, 256),
+        kwargs={"seed": 0},
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert len(obs) == len(list(s1423_mapped.lines()))
+
+
+def test_perf_fault_simulation(benchmark, s1423_mapped):
+    universe = collapse_faults(s1423_mapped, all_faults(s1423_mapped))
+    words = random_input_words(s1423_mapped, 64, make_rng(1))
+
+    result = benchmark.pedantic(
+        fault_simulate,
+        args=(s1423_mapped, universe, words, 64),
+        rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["n_faults"] = len(universe)
+    benchmark.extra_info["detected_by_64_random"] = result.n_detected
+    assert result.n_detected > 0

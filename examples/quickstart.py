@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's full method on one circuit.
+
+Loads the ISCAS89 s344 benchmark (a synthetic equivalent unless the real
+netlist is available via $REPRO_ISCAS89_DIR), runs the proposed low-power
+scan flow, and prints the per-method power numbers next to the paper's
+Table I row.
+
+Run:  python examples/quickstart.py [circuit] [seed]
+"""
+
+import sys
+
+from repro import FlowConfig, ProposedFlow, load_circuit
+from repro.benchgen import circuit_provenance
+from repro.experiments import paper_row
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s344"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    circuit = load_circuit(name, seed=seed)
+    print(f"Loaded {name} ({circuit_provenance(name)}): "
+          f"{len(circuit.inputs)} PIs, {len(circuit.dff_gates)} flops, "
+          f"{len(circuit.combinational_gates())} gates")
+
+    flow = ProposedFlow(FlowConfig(seed=seed))
+    result = flow.run(circuit)
+    print()
+    print(result.summary())
+
+    reference = paper_row(name)
+    if reference is not None:
+        print()
+        print("Paper Table I reference for this circuit:")
+        print(f"  improvement vs traditional:   "
+              f"dynamic {reference.imp_trad_dynamic:.2f}%, "
+              f"static {reference.imp_trad_static:.2f}%")
+        print(f"  improvement vs input control: "
+              f"dynamic {reference.imp_ic_dynamic:.2f}%, "
+              f"static {reference.imp_ic_static:.2f}%")
+
+    print()
+    print(f"MUX plan: {len(result.mux_plan.tie_values)} of "
+          f"{len(result.design.pseudo_inputs)} pseudo-inputs muxed, "
+          f"area overhead {result.mux_plan.area_overhead_um2():.1f} um^2")
+    blocked = len(result.pattern.blocked_gates)
+    print(f"Transition blocking: {blocked} gates blocked, "
+          f"{len(result.pattern.tns)} lines still transitioning")
+
+
+if __name__ == "__main__":
+    main()

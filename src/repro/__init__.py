@@ -1,0 +1,46 @@
+"""repro — reproduction of "Simultaneous Reduction of Dynamic and Static
+Power in Scan Structures" (Sharifi et al., DATE 2005).
+
+The package implements the paper's proposed low-power scan structure (MUXes
+on non-critical pseudo-inputs plus a leakage-observability-directed
+transition-blocking input pattern) together with every substrate it needs:
+netlists, technology mapping, device-level leakage characterisation, logic
+simulation, static timing, scan insertion, ATPG and power estimation.
+
+Quickstart::
+
+    from repro import load_circuit, ProposedFlow, FlowConfig
+    circuit = load_circuit("s344")
+    result = ProposedFlow(FlowConfig(seed=1)).run(circuit)
+    print(result.summary())
+
+The experiment harnesses that regenerate the paper's Table I and Figure 2
+live in :mod:`repro.experiments` and are exposed through ``python -m repro``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports of the public API (keeps import time low)."""
+    if name.startswith("_"):
+        # Never recurse while the _api submodule itself is being imported.
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    api = importlib.import_module("repro._api")
+    try:
+        return getattr(api, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}") from None
+
+
+def __dir__() -> list[str]:
+    import importlib
+
+    api = importlib.import_module("repro._api")
+    return sorted(set(__all__) | set(api.__all__))

@@ -1,0 +1,27 @@
+"""Stuck-at ATPG: fault model, collapsing, PODEM, fault simulation.
+
+This package substitutes the ATOM test sets the paper uses [18]: it
+produces compact deterministic stuck-at test sets for full-scan circuits.
+"""
+
+from repro.atpg.collapse import collapse_faults, equivalence_classes
+from repro.atpg.faults import Fault, all_faults, observable_lines
+from repro.atpg.faultsim import FaultSimResult, detect_word, fault_simulate
+from repro.atpg.generate import AtpgConfig, TestSet, generate_tests
+from repro.atpg.podem import PodemResult, generate_test
+
+__all__ = [
+    "Fault",
+    "all_faults",
+    "observable_lines",
+    "collapse_faults",
+    "equivalence_classes",
+    "FaultSimResult",
+    "detect_word",
+    "fault_simulate",
+    "PodemResult",
+    "generate_test",
+    "AtpgConfig",
+    "TestSet",
+    "generate_tests",
+]

@@ -1,0 +1,111 @@
+"""Structural equivalence collapsing of stem faults.
+
+Standard rules, restricted to stems whose entire fanout is the gate in
+question (fanout count 1), so the equivalences are exact:
+
+* ``NOT``:  in/sa0 == out/sa1,  in/sa1 == out/sa0
+* ``BUFF``: in/sav == out/sav
+* ``AND``:  in/sa0 == out/sa0      ``NAND``: in/sa0 == out/sa1
+* ``OR``:   in/sa1 == out/sa1      ``NOR``:  in/sa1 == out/sa0
+
+Classes are built with union-find; the representative is the member
+closest to the inputs (lowest logic level, then lexicographic) so the
+collapsed set is deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.atpg.faults import Fault
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType, SEQUENTIAL_TYPES
+
+__all__ = ["collapse_faults", "equivalence_classes"]
+
+_CONTROLLED = {
+    GateType.AND: (0, 0),    # input sa0 == output sa0
+    GateType.NAND: (0, 1),   # input sa0 == output sa1
+    GateType.OR: (1, 1),
+    GateType.NOR: (1, 0),
+}
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[Fault, Fault] = {}
+
+    def find(self, item: Fault) -> Fault:
+        parent = self._parent.setdefault(item, item)
+        if parent is item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def _build_classes(circuit: Circuit,
+                   faults: list[Fault]) -> dict[Fault, list[Fault]]:
+    uf = _UnionFind()
+    fault_set = set(faults)
+    for gate in circuit.gates.values():
+        if gate.gtype in SEQUENTIAL_TYPES:
+            continue
+        out = gate.output
+        if gate.gtype in (GateType.NOT, GateType.BUFF):
+            src = gate.inputs[0]
+            if circuit.fanout_count(src) != 1:
+                continue
+            invert = gate.gtype is GateType.NOT
+            for v in (0, 1):
+                fin = Fault(src, v)
+                fout = Fault(out, (1 - v) if invert else v)
+                if fin in fault_set and fout in fault_set:
+                    uf.union(fin, fout)
+            continue
+        rule = _CONTROLLED.get(gate.gtype)
+        if rule is None:
+            continue
+        in_sa, out_sa = rule
+        fout = Fault(out, out_sa)
+        if fout not in fault_set:
+            continue
+        for src in gate.inputs:
+            if circuit.fanout_count(src) != 1:
+                continue
+            fin = Fault(src, in_sa)
+            if fin in fault_set:
+                uf.union(fin, fout)
+
+    classes: dict[Fault, list[Fault]] = {}
+    for fault in faults:
+        classes.setdefault(uf.find(fault), []).append(fault)
+    return classes
+
+
+def _representative(circuit: Circuit, members: list[Fault]) -> Fault:
+    def key(fault: Fault) -> tuple[int, str, int]:
+        try:
+            level = circuit.level_of(fault.line)
+        except Exception:
+            level = 0
+        return (level, fault.line, fault.stuck_at)
+    return min(members, key=key)
+
+
+def equivalence_classes(circuit: Circuit, faults: list[Fault]
+                        ) -> dict[Fault, list[Fault]]:
+    """Map each class representative to its full membership list."""
+    raw = _build_classes(circuit, faults)
+    return {
+        _representative(circuit, members): sorted(members)
+        for members in raw.values()
+    }
+
+
+def collapse_faults(circuit: Circuit, faults: list[Fault]) -> list[Fault]:
+    """The collapsed fault list (one representative per class), sorted."""
+    return sorted(equivalence_classes(circuit, faults))

@@ -1,0 +1,217 @@
+"""Full deterministic test-set generation (the ATOM [18] substitute).
+
+Pipeline:
+
+1. **Random phase** — batches of packed random vectors are fault-simulated
+   with dropping; each pattern that is the *first* detector of some fault
+   is kept (like ATOM's random phase).
+2. **Deterministic phase** — PODEM per remaining fault, in batches:
+   don't-cares are random-filled and the whole batch of new vectors is
+   fault-simulated at once against the remaining list (collateral
+   detections drop out cheaply).
+3. **Reverse-order compaction** — one packed no-drop fault simulation of
+   the kept set produces a detection matrix; a reverse greedy pass keeps a
+   vector only if it detects some fault no later-kept vector detects.
+
+The output is a :class:`TestSet` of :class:`~repro.scan.TestVector`
+objects in application order, plus coverage statistics.  Seeded and fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.atpg.collapse import collapse_faults
+from repro.atpg.faults import Fault, all_faults
+from repro.atpg.faultsim import fault_simulate
+from repro.atpg.podem import PodemEngine, generate_test
+from repro.scan.testview import ScanDesign, TestVector
+from repro.simulation.bitsim import pack_input_vectors, random_input_words
+from repro.simulation.eval2 import comb_input_lines
+from repro.simulation.values import bit_at
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = ["TestSet", "AtpgConfig", "generate_tests"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AtpgConfig:
+    """Knobs of the test generation pipeline."""
+
+    seed: int = 0
+    random_batch: int = 64
+    max_random_batches: int = 16
+    min_batch_yield: int = 1      # stop random phase below this many detects
+    max_backtracks: int = 100
+    podem_batch: int = 32
+    compaction: bool = True
+
+
+@dataclasses.dataclass
+class TestSet:
+    """A generated scan test set with its bookkeeping."""
+
+    #: keep pytest from collecting this dataclass as a test case
+    __test__ = False
+
+    vectors: list[TestVector]
+    n_faults: int                  # collapsed universe size
+    n_detected: int
+    n_untestable: int
+    n_aborted: int
+
+    @property
+    def fault_coverage(self) -> float:
+        """Detected / total (collapsed) faults."""
+        if self.n_faults == 0:
+            return 1.0
+        return self.n_detected / self.n_faults
+
+    @property
+    def testable_coverage(self) -> float:
+        """Detected / (total - proven untestable)."""
+        denom = self.n_faults - self.n_untestable
+        if denom <= 0:
+            return 1.0
+        return self.n_detected / denom
+
+    def summary(self) -> str:
+        return (f"{len(self.vectors)} vectors, "
+                f"{self.n_detected}/{self.n_faults} faults "
+                f"({self.fault_coverage:.1%} coverage, "
+                f"{self.n_untestable} untestable, "
+                f"{self.n_aborted} aborted)")
+
+
+def _assignment_to_vector(design: ScanDesign,
+                          values: dict[str, int]) -> TestVector:
+    pi_values = {pi: values[pi] for pi in design.circuit.inputs}
+    scan_state = tuple(values[q] for q in design.chain.q_lines)
+    return TestVector(pi_values=pi_values, scan_state=scan_state)
+
+
+def _vector_to_assignment(design: ScanDesign,
+                          vector: TestVector) -> dict[str, int]:
+    values = dict(vector.pi_values)
+    values.update(design.chain.state_as_dict(vector.scan_state))
+    return values
+
+
+def generate_tests(design: ScanDesign,
+                   config: AtpgConfig | None = None) -> TestSet:
+    """Generate a compacted stuck-at test set for a full-scan design."""
+    config = config or AtpgConfig()
+    circuit = design.circuit
+    universe = collapse_faults(circuit, all_faults(circuit))
+    remaining: list[Fault] = list(universe)
+    kept_vectors: list[TestVector] = []
+    n_untestable = 0
+    aborted: list[Fault] = []
+    cones: dict[str, list[str]] = {}  # shared fanout-cone cache
+
+    # ---- phase 1: random patterns ------------------------------------- #
+    rng = make_rng(derive_seed(config.seed, f"atpg:{circuit.name}"))
+    for _batch in range(config.max_random_batches):
+        if not remaining:
+            break
+        n = config.random_batch
+        words = random_input_words(circuit, n, rng)
+        result = fault_simulate(circuit, remaining, words, n,
+                                drop=True, cone_cache=cones)
+        if len(result.detected) < config.min_batch_yield:
+            break
+        first_detectors: set[int] = set()
+        for word in result.detected.values():
+            first_detectors.add((word & -word).bit_length() - 1)
+        for t in sorted(first_detectors):
+            values = {line: bit_at(words[line], t)
+                      for line in comb_input_lines(circuit)}
+            kept_vectors.append(_assignment_to_vector(design, values))
+        remaining = result.remaining
+
+    # ---- phase 2: PODEM in batches ------------------------------------- #
+    engine = PodemEngine(circuit) if remaining else None
+    while remaining:
+        batch = remaining[:config.podem_batch]
+        new_assignments: list[dict[str, int]] = []
+        proven_untestable: set[Fault] = set()
+        for fault in batch:
+            outcome = generate_test(circuit, fault, config.max_backtracks,
+                                    engine=engine)
+            if outcome.status == "untestable":
+                proven_untestable.add(fault)
+                n_untestable += 1
+            elif outcome.status == "aborted":
+                aborted.append(fault)
+            else:
+                values = dict(outcome.assignment)
+                for line in comb_input_lines(circuit):
+                    if line not in values:
+                        values[line] = int(rng.integers(2))
+                new_assignments.append(values)
+        handled = set(batch)
+        remaining = [f for f in remaining if f not in handled]
+        if new_assignments:
+            words, n = pack_input_vectors(circuit, new_assignments)
+            targets = batch + remaining
+            targets = [f for f in targets
+                       if f not in proven_untestable and f not in aborted]
+            result = fault_simulate(circuit, targets, words, n,
+                                    drop=True, cone_cache=cones)
+            still = set(result.remaining)
+            remaining = [f for f in remaining if f in still]
+            kept_vectors.extend(
+                _assignment_to_vector(design, values)
+                for values in new_assignments)
+        # Batch faults neither proven untestable nor detected by the new
+        # vectors were aborted or collaterally missed; they are dropped
+        # from further generation (counted via `aborted` when applicable).
+
+    # ---- phase 3: reverse-order compaction ----------------------------- #
+    if config.compaction and kept_vectors:
+        kept_vectors = _reverse_compact(design, universe, kept_vectors)
+
+    # final coverage accounting on the kept set
+    n_detected = 0
+    if kept_vectors:
+        assignments = [_vector_to_assignment(design, v)
+                       for v in kept_vectors]
+        words, n = pack_input_vectors(circuit, assignments)
+        final = fault_simulate(circuit, universe, words, n,
+                               drop=True, cone_cache=cones)
+        n_detected = final.n_detected
+
+    return TestSet(
+        vectors=kept_vectors,
+        n_faults=len(universe),
+        n_detected=n_detected,
+        n_untestable=n_untestable,
+        n_aborted=len(aborted),
+    )
+
+
+def _reverse_compact(design: ScanDesign, universe: list[Fault],
+                     vectors: list[TestVector]) -> list[TestVector]:
+    """Reverse-order compaction via one no-drop detection matrix.
+
+    One packed fault simulation of all kept vectors yields, per fault, the
+    word of detecting vectors; the reverse greedy pass is then pure bit
+    arithmetic.
+    """
+    circuit = design.circuit
+    assignments = [_vector_to_assignment(design, v) for v in vectors]
+    words, n = pack_input_vectors(circuit, assignments)
+    matrix = fault_simulate(circuit, universe, words, n, drop=False)
+
+    still_uncovered = [word for word in matrix.detected.values() if word]
+    keep: list[bool] = [False] * len(vectors)
+    for t in range(len(vectors) - 1, -1, -1):
+        bit = 1 << t
+        hits = [w for w in still_uncovered if w & bit]
+        if hits:
+            keep[t] = True
+            still_uncovered = [w for w in still_uncovered if not (w & bit)]
+        if not still_uncovered:
+            break
+    return [v for v, k in zip(vectors, keep) if k]

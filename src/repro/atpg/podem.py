@@ -1,0 +1,440 @@
+"""PODEM test generation for single stuck-at faults.
+
+Classic PODEM (Goel 1981): decisions are made only on controllable inputs
+(here: primary inputs *and* pseudo-inputs, since scan makes flops fully
+controllable), mapped from internal objectives by backtrace, with
+three-valued implication after every decision and chronological
+backtracking.
+
+Instead of a 5-valued D-calculus we carry **two** three-valued
+simulations — the good machine and the faulty machine (with the fault
+site forced) — which is equivalent: a line carries ``D`` exactly when the
+two machines disagree on binary values.
+
+Implementation note: the inner machine works on an integer-indexed copy
+of the netlist (opcode dispatch, flat lists, index heaps).  PODEM spends
+its whole life in implication; the index form is ~20x faster than
+evaluating :class:`~repro.netlist.gates.GateType` objects through dicts,
+which is what makes ATPG on the s9234-class circuits tractable in pure
+Python.  All public interfaces speak line names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections.abc import Mapping
+
+from repro.atpg.faults import Fault, observable_lines
+from repro.atpg.scoap import compute_scoap
+from repro.errors import AtpgError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType, X
+from repro.simulation.eval2 import comb_input_lines
+
+__all__ = ["PodemResult", "PodemEngine", "generate_test"]
+
+# integer opcodes for the index machine
+_AND, _NAND, _OR, _NOR, _NOT, _BUF, _XOR, _XNOR, _MUX, _C0, _C1 = range(11)
+
+_OPCODE = {
+    GateType.AND: _AND, GateType.NAND: _NAND,
+    GateType.OR: _OR, GateType.NOR: _NOR,
+    GateType.NOT: _NOT, GateType.BUFF: _BUF,
+    GateType.XOR: _XOR, GateType.XNOR: _XNOR,
+    GateType.MUX2: _MUX,
+    GateType.CONST0: _C0, GateType.CONST1: _C1,
+}
+
+#: controlling value per opcode (None encoded as -1)
+_CV = {_AND: 0, _NAND: 0, _OR: 1, _NOR: 1}
+_RESPONSE = {_AND: 0, _NAND: 1, _OR: 1, _NOR: 0}
+
+
+@dataclasses.dataclass
+class PodemResult:
+    """Outcome of one PODEM run.
+
+    ``status`` is "detected", "untestable" or "aborted"; on detection
+    ``assignment`` holds the (possibly partial) controllable input values.
+    """
+
+    status: str
+    assignment: dict[str, int]
+    backtracks: int
+
+    @property
+    def detected(self) -> bool:
+        return self.status == "detected"
+
+
+def _eval_op(op: int, values: list[int], fanin: tuple[int, ...]) -> int:
+    """Three-valued evaluation over the index machine's value list."""
+    if op == _NAND or op == _AND:
+        saw_x = False
+        for i in fanin:
+            v = values[i]
+            if v == 0:
+                return 1 if op == _NAND else 0
+            if v == X:
+                saw_x = True
+        if saw_x:
+            return X
+        return 0 if op == _NAND else 1
+    if op == _NOR or op == _OR:
+        saw_x = False
+        for i in fanin:
+            v = values[i]
+            if v == 1:
+                return 0 if op == _NOR else 1
+            if v == X:
+                saw_x = True
+        if saw_x:
+            return X
+        return 1 if op == _NOR else 0
+    if op == _NOT:
+        v = values[fanin[0]]
+        return X if v == X else 1 - v
+    if op == _BUF:
+        return values[fanin[0]]
+    if op == _XOR or op == _XNOR:
+        parity = 0
+        for i in fanin:
+            v = values[i]
+            if v == X:
+                return X
+            parity ^= v
+        return parity if op == _XOR else 1 - parity
+    if op == _MUX:
+        sel = values[fanin[0]]
+        d0 = values[fanin[1]]
+        d1 = values[fanin[2]]
+        if sel == 0:
+            return d0
+        if sel == 1:
+            return d1
+        if d0 == d1 and d0 != X:
+            return d0
+        return X
+    if op == _C0:
+        return 0
+    return 1
+
+
+class PodemEngine:
+    """Reusable PODEM engine over an integer-indexed netlist.
+
+    The expensive circuit-wide structures — index maps, opcode/fanin/
+    fanout tables, SCOAP measures — are built **once**; each fault only
+    resets the value arrays and looks up its (cached) fanout cone.  Use
+    one engine per circuit when generating many tests
+    (:func:`repro.atpg.generate.generate_tests` does).
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+
+        names = list(circuit.lines())
+        self.index = {name: i for i, name in enumerate(names)}
+        self.names = names
+        n = len(names)
+
+        # per-line gate description (-1 op for sources / flop outputs)
+        self.op: list[int] = [-1] * n
+        self.fanin: list[tuple[int, ...]] = [()] * n
+        self.level: list[int] = [0] * n
+        self.fanout: list[list[int]] = [[] for _ in range(n)]
+        self.topo_idx: list[int] = []
+
+        for line in circuit.topo_order():
+            li = self.index[line]
+            gate = circuit.gates[line]
+            self.op[li] = _OPCODE[gate.gtype]
+            fin = tuple(self.index[s] for s in gate.inputs)
+            self.fanin[li] = fin
+            self.level[li] = circuit.level_of(line)
+            self.topo_idx.append(li)
+            for si in fin:
+                self.fanout[si].append(li)
+
+        self.input_idx = [self.index[s] for s in comb_input_lines(circuit)]
+        self.input_set = set(self.input_idx)
+        self.obs_idx = [self.index[s] for s in observable_lines(circuit)]
+        self.obs_set = set(self.obs_idx)
+
+        # SCOAP testability guides backtrace (easiest/hardest choices)
+        # and D-frontier selection (most observable propagation path).
+        scoap = compute_scoap(circuit)
+        self.cc0 = [scoap.cc0.get(name, 1) for name in names]
+        self.cc1 = [scoap.cc1.get(name, 1) for name in names]
+        self.co = [scoap.co.get(name, 0) for name in names]
+
+        self.good: list[int] = [X] * n
+        self.bad: list[int] = [X] * n
+        self.assignment: dict[int, int] = {}
+        self._cone_cache: dict[int, list[int]] = {}
+
+        # fault-specific state, set by _retarget
+        self.fault_idx = -1
+        self.stuck = 0
+        self.cone_idx: list[int] = []
+
+    def _retarget(self, fault: Fault) -> None:
+        """Point the engine at a new fault and reset the machines."""
+        try:
+            self.fault_idx = self.index[fault.line]
+        except KeyError:
+            raise AtpgError(
+                f"fault line {fault.line!r} not in circuit") from None
+        self.stuck = fault.stuck_at
+        cone = self._cone_cache.get(self.fault_idx)
+        if cone is None:
+            cone_names = self.circuit.fanout_cone(fault.line)
+            cone = [li for li in self.topo_idx
+                    if self.names[li] in cone_names]
+            self._cone_cache[self.fault_idx] = cone
+        self.cone_idx = cone
+
+        self.assignment = {}
+        good, bad = self.good, self.bad
+        for i in range(len(good)):
+            good[i] = X
+            bad[i] = X
+        if self.op[self.fault_idx] == -1:
+            bad[self.fault_idx] = self.stuck
+        self._full_imply()
+
+    # -- implication ---------------------------------------------------- #
+
+    def _full_imply(self) -> None:
+        good, bad = self.good, self.bad
+        for li in self.topo_idx:
+            good[li] = _eval_op(self.op[li], good, self.fanin[li])
+            if li == self.fault_idx:
+                bad[li] = self.stuck
+            else:
+                bad[li] = _eval_op(self.op[li], bad, self.fanin[li])
+
+    def _propagate(self, seed: int) -> None:
+        good, bad = self.good, self.bad
+        level = self.level
+        pending: list[tuple[int, int]] = []
+        queued: set[int] = set()
+        for si in self.fanout[seed]:
+            queued.add(si)
+            heapq.heappush(pending, (level[si], si))
+        while pending:
+            _lv, li = heapq.heappop(pending)
+            queued.discard(li)
+            g = _eval_op(self.op[li], good, self.fanin[li])
+            if li == self.fault_idx:
+                b = self.stuck
+            else:
+                b = _eval_op(self.op[li], bad, self.fanin[li])
+            if g != good[li] or b != bad[li]:
+                good[li] = g
+                bad[li] = b
+                for si in self.fanout[li]:
+                    if si not in queued:
+                        queued.add(si)
+                        heapq.heappush(pending, (level[si], si))
+
+    def set_input(self, li: int, value: int) -> None:
+        self.good[li] = value
+        self.bad[li] = self.stuck if li == self.fault_idx else value
+        self._propagate(li)
+
+    def assign(self, li: int, value: int) -> None:
+        self.assignment[li] = value
+        self.set_input(li, value)
+
+    def unassign(self, li: int) -> None:
+        del self.assignment[li]
+        self.set_input(li, X)
+
+    # -- state queries ---------------------------------------------------- #
+
+    def is_d(self, li: int) -> bool:
+        g = self.good[li]
+        return g != X and self.bad[li] != X and g != self.bad[li]
+
+    def detected(self) -> bool:
+        return any(self.is_d(o) for o in self.obs_idx)
+
+    def activated(self) -> bool:
+        return self.is_d(self.fault_idx)
+
+    def activation_possible(self) -> bool:
+        return self.good[self.fault_idx] != self.stuck
+
+    def d_frontier(self) -> list[int]:
+        """Gates (inside the fault cone) with a D input and an
+        undetermined output, in topological order."""
+        frontier = []
+        good, bad = self.good, self.bad
+        for li in self.cone_idx:
+            if good[li] != X and bad[li] != X:
+                continue
+            for si in self.fanin[li]:
+                if self.is_d(si):
+                    frontier.append(li)
+                    break
+        return frontier
+
+    def has_x_path(self, li: int) -> bool:
+        obs = self.obs_set
+        seen: set[int] = set()
+        stack = [li]
+        good, bad = self.good, self.bad
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            if cur in obs:
+                return True
+            for si in self.fanout[cur]:
+                if good[si] == X or bad[si] == X:
+                    stack.append(si)
+        return False
+
+
+def _backtrace(machine: PodemEngine, li: int, value: int
+               ) -> tuple[int, int] | None:
+    """Map an internal objective to a controllable-input assignment."""
+    good = machine.good
+    current, target = li, value
+    for _ in range(len(machine.names) + 2):
+        if current in machine.input_set:
+            return current, target
+        op = machine.op[current]
+        if op == -1:
+            return None  # uncontrollable source (should not occur here)
+        fanin = machine.fanin[current]
+        x_inputs = [s for s in fanin if good[s] == X]
+        if not x_inputs:
+            return None
+        if op == _NOT:
+            current, target = fanin[0], 1 - target
+            continue
+        if op == _BUF:
+            current, target = fanin[0], target
+            continue
+        if op == _XOR or op == _XNOR:
+            known = 0
+            for s in fanin:
+                if good[s] != X:
+                    known ^= good[s]
+            parity = target if op == _XOR else 1 - target
+            current, target = x_inputs[0], parity ^ known
+            continue
+        if op == _MUX:
+            current, target = x_inputs[0], 0
+            continue
+        cv = _CV.get(op)
+        if cv is None:
+            return None
+        if target == _RESPONSE[op]:
+            # one controlling input suffices: easiest to set to cv
+            cc = machine.cc1 if cv else machine.cc0
+            current = min(x_inputs, key=cc.__getitem__)
+            target = cv
+        else:
+            # all inputs must be non-controlling: hardest first
+            cc = machine.cc0 if cv else machine.cc1
+            current = max(x_inputs, key=cc.__getitem__)
+            target = 1 - cv
+    raise AtpgError("backtrace did not terminate")  # pragma: no cover
+
+
+def _objective(machine: PodemEngine) -> tuple[int, int] | None:
+    """Next (line index, value) objective, or None when hopeless."""
+    if not machine.activated():
+        if not machine.activation_possible():
+            return None
+        return machine.fault_idx, 1 - machine.stuck
+    good = machine.good
+    frontier = machine.d_frontier()
+    frontier.sort(key=machine.co.__getitem__)
+    for gate_idx in frontier:
+        if not machine.has_x_path(gate_idx):
+            continue
+        op = machine.op[gate_idx]
+        cv = _CV.get(op)
+        for si in machine.fanin[gate_idx]:
+            if good[si] == X:
+                return si, (1 - cv) if cv is not None else 0
+    return None
+
+
+def generate_test(circuit: Circuit, fault: Fault,
+                  max_backtracks: int = 100,
+                  max_decisions: int = 20_000,
+                  engine: PodemEngine | None = None) -> PodemResult:
+    """Run PODEM for one fault on the combinational test view.
+
+    Returns a :class:`PodemResult`; "untestable" means the whole decision
+    tree was exhausted (the fault is provably redundant at this netlist),
+    "aborted" means the backtrack or decision budget ran out first.
+
+    Pass a shared :class:`PodemEngine` when generating tests for many
+    faults of the same circuit — it amortises the netlist indexing and
+    SCOAP computation.
+    """
+    machine = engine if engine is not None else PodemEngine(circuit)
+    if machine.circuit is not circuit:
+        raise AtpgError("engine belongs to a different circuit")
+    machine._retarget(fault)
+    # decision stack entries: (input index, value, both_tried)
+    stack: list[tuple[int, int, bool]] = []
+    backtracks = 0
+    decisions = 0
+
+    def result(status: str) -> PodemResult:
+        assignment = {machine.names[i]: v
+                      for i, v in machine.assignment.items()}
+        return PodemResult(status, assignment if status == "detected"
+                           else {}, backtracks)
+
+    while True:
+        if machine.detected():
+            return result("detected")
+        objective = _objective(machine)
+        decision = None
+        if objective is not None:
+            decision = _backtrace(machine, *objective)
+        if decision is not None:
+            li, value = decision
+            decisions += 1
+            if decisions > max_decisions:
+                return result("aborted")
+            machine.assign(li, value)
+            stack.append((li, value, False))
+            continue
+        # No way forward: chronological backtracking.
+        while stack:
+            li, value, both = stack.pop()
+            machine.unassign(li)
+            if not both:
+                backtracks += 1
+                if backtracks > max_backtracks:
+                    return result("aborted")
+                machine.assign(li, 1 - value)
+                stack.append((li, 1 - value, True))
+                break
+        else:
+            return result("untestable")
+
+
+def fill_dont_cares(circuit: Circuit, assignment: Mapping[str, int],
+                    fill_value_fn) -> dict[str, int]:
+    """Complete a partial PODEM assignment over all controllable inputs.
+
+    ``fill_value_fn(line)`` supplies the value for unassigned lines
+    (random fill, zero fill, or the repeat-last-vector fill ATOM uses).
+    """
+    values = dict(assignment)
+    for line in comb_input_lines(circuit):
+        if line not in values:
+            values[line] = fill_value_fn(line)
+    return values

@@ -1,0 +1,154 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+Classic combinational controllability/observability:
+
+* ``CC0(l)`` / ``CC1(l)`` — a lower bound on how many line assignments it
+  takes to force line ``l`` to 0 / 1 (inputs cost 1);
+* ``CO(l)`` — how many assignments it takes to propagate ``l``'s value to
+  an observation point (primary outputs and flop D lines cost 0).
+
+Used here for two things:
+
+* PODEM's backtrace heuristics ("easiest" = cheapest controllability,
+  "hardest" = most expensive), which materially cuts backtracking on
+  reconvergent circuits;
+* standalone testability reporting (`testability_report`).
+
+Conventions: constants have zero cost for their own value and
+:data:`INFINITE_COST` for the impossible one; unobservable lines get
+:data:`INFINITE_COST` observability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.atpg.faults import observable_lines
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.simulation.eval2 import comb_input_lines
+
+__all__ = ["ScoapMeasures", "compute_scoap", "INFINITE_COST"]
+
+#: Cost assigned to impossible objectives (redundant-by-construction).
+INFINITE_COST = 10 ** 9
+
+
+@dataclasses.dataclass
+class ScoapMeasures:
+    """SCOAP annotation of one circuit."""
+
+    cc0: dict[str, int]
+    cc1: dict[str, int]
+    co: dict[str, int]
+
+    def controllability(self, line: str, value: int) -> int:
+        """CC0 or CC1 of ``line``."""
+        return self.cc1[line] if value else self.cc0[line]
+
+    def hardest_lines(self, n: int = 10) -> list[str]:
+        """Lines with the largest combined testability cost."""
+        def cost(line: str) -> int:
+            return min(self.cc0[line], INFINITE_COST) \
+                + min(self.cc1[line], INFINITE_COST) \
+                + min(self.co.get(line, INFINITE_COST), INFINITE_COST)
+        return sorted(self.cc0, key=cost, reverse=True)[:n]
+
+
+def _cap(value: int) -> int:
+    return min(value, INFINITE_COST)
+
+
+def _gate_controllability(gtype: GateType, in0: list[int],
+                          in1: list[int]) -> tuple[int, int]:
+    """(CC0, CC1) of a gate output from its input controllabilities."""
+    if gtype is GateType.AND:
+        return _cap(min(in0) + 1), _cap(sum(in1) + 1)
+    if gtype is GateType.NAND:
+        return _cap(sum(in1) + 1), _cap(min(in0) + 1)
+    if gtype is GateType.OR:
+        return _cap(sum(in0) + 1), _cap(min(in1) + 1)
+    if gtype is GateType.NOR:
+        return _cap(min(in1) + 1), _cap(sum(in0) + 1)
+    if gtype is GateType.NOT:
+        return _cap(in1[0] + 1), _cap(in0[0] + 1)
+    if gtype in (GateType.BUFF, GateType.DFF):
+        return _cap(in0[0] + 1), _cap(in1[0] + 1)
+    if gtype in (GateType.XOR, GateType.XNOR):
+        # Fold pairwise: cost of parity-0 / parity-1 over the prefix.
+        even, odd = in0[0], in1[0]
+        for c0, c1 in zip(in0[1:], in1[1:]):
+            new_even = min(even + c0, odd + c1)
+            new_odd = min(even + c1, odd + c0)
+            even, odd = new_even, new_odd
+        if gtype is GateType.XNOR:
+            even, odd = odd, even
+        return _cap(even + 1), _cap(odd + 1)
+    if gtype is GateType.MUX2:
+        s0, s1 = in0[0], in1[0]
+        d0_0, d0_1 = in0[1], in1[1]
+        d1_0, d1_1 = in0[2], in1[2]
+        cc0 = min(s0 + d0_0, s1 + d1_0) + 1
+        cc1 = min(s0 + d0_1, s1 + d1_1) + 1
+        return _cap(cc0), _cap(cc1)
+    if gtype is GateType.CONST0:
+        return 0, INFINITE_COST
+    if gtype is GateType.CONST1:
+        return INFINITE_COST, 0
+    raise ValueError(f"no SCOAP rule for {gtype}")
+
+
+def _side_cost(gtype: GateType, side0: list[int],
+               side1: list[int]) -> int:
+    """Cost of setting a gate's *other* inputs to pass one input through."""
+    if gtype in (GateType.AND, GateType.NAND):
+        return sum(side1)
+    if gtype in (GateType.OR, GateType.NOR):
+        return sum(side0)
+    if gtype in (GateType.XOR, GateType.XNOR):
+        return sum(min(a, b) for a, b in zip(side0, side1))
+    if gtype in (GateType.NOT, GateType.BUFF, GateType.DFF):
+        return 0
+    if gtype is GateType.MUX2:
+        # conservatively: fix the select (handled per-pin below)
+        return 0
+    return 0
+
+
+def compute_scoap(circuit: Circuit) -> ScoapMeasures:
+    """Compute CC0/CC1/CO for every line of the combinational test view."""
+    cc0: dict[str, int] = {}
+    cc1: dict[str, int] = {}
+    for line in comb_input_lines(circuit):
+        cc0[line] = 1
+        cc1[line] = 1
+    for line in circuit.topo_order():
+        gate = circuit.gates[line]
+        in0 = [cc0[s] for s in gate.inputs]
+        in1 = [cc1[s] for s in gate.inputs]
+        cc0[line], cc1[line] = _gate_controllability(gate.gtype, in0, in1)
+
+    co: dict[str, int] = {line: INFINITE_COST for line in cc0}
+    for line in observable_lines(circuit):
+        co[line] = 0
+    for line in reversed(circuit.topo_order()):
+        gate = circuit.gates[line]
+        out_co = co[line]
+        if out_co >= INFINITE_COST:
+            continue
+        for pin, src in enumerate(gate.inputs):
+            side0 = [cc0[s] for i, s in enumerate(gate.inputs) if i != pin]
+            side1 = [cc1[s] for i, s in enumerate(gate.inputs) if i != pin]
+            if gate.gtype is GateType.MUX2:
+                if pin == 0:      # select: needs differing data? cheap path
+                    cost = min(side0[0], side0[1], side1[0], side1[1])
+                elif pin == 1:    # d0: select must be 0
+                    cost = cc0[gate.inputs[0]]
+                else:             # d1: select must be 1
+                    cost = cc1[gate.inputs[0]]
+            else:
+                cost = _side_cost(gate.gtype, side0, side1)
+            candidate = _cap(out_co + cost + 1)
+            if candidate < co[src]:
+                co[src] = candidate
+    return ScoapMeasures(cc0=cc0, cc1=cc1, co=co)

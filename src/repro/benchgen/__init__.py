@@ -1,0 +1,30 @@
+"""Benchmark circuits: published ISCAS89 stats, synthetic generator, loader."""
+
+from repro.benchgen.generator import generate_circuit, generate_from_stats
+from repro.benchgen.iscas89 import (
+    ISCAS89_STATS,
+    TABLE1_CIRCUITS,
+    Iscas89Stats,
+    stats_for,
+)
+from repro.benchgen.loader import (
+    ENV_BENCH_DIR,
+    available_circuits,
+    circuit_provenance,
+    load_circuit,
+    table1_circuits,
+)
+
+__all__ = [
+    "Iscas89Stats",
+    "ISCAS89_STATS",
+    "TABLE1_CIRCUITS",
+    "stats_for",
+    "generate_circuit",
+    "generate_from_stats",
+    "load_circuit",
+    "circuit_provenance",
+    "available_circuits",
+    "table1_circuits",
+    "ENV_BENCH_DIR",
+]

@@ -1,0 +1,78 @@
+"""Published interface statistics of the ISCAS89 benchmark circuits.
+
+The paper evaluates on twelve ISCAS89 circuits.  The netlists themselves
+are distributed separately (drop real ``.bench`` files into
+``$REPRO_ISCAS89_DIR`` to use them); when absent, the synthetic generator
+(:mod:`repro.benchgen.generator`) produces circuits that reproduce these
+published statistics — primary inputs, primary outputs, flip-flops and
+combinational gate count — with realistic topology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Iscas89Stats", "ISCAS89_STATS", "TABLE1_CIRCUITS",
+           "stats_for"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Iscas89Stats:
+    """Published interface statistics of one ISCAS89 circuit."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_dffs: int
+    n_gates: int    # combinational gates (inverters included)
+
+
+#: Published ISCAS89 statistics (Brglez, Bryan & Kozminski, ISCAS 1989).
+ISCAS89_STATS: dict[str, Iscas89Stats] = {
+    s.name: s for s in [
+        Iscas89Stats("s27", 4, 1, 3, 10),
+        Iscas89Stats("s344", 9, 11, 15, 160),
+        Iscas89Stats("s349", 9, 11, 15, 161),
+        Iscas89Stats("s382", 3, 6, 21, 158),
+        Iscas89Stats("s386", 7, 7, 6, 159),
+        Iscas89Stats("s400", 3, 6, 21, 164),
+        Iscas89Stats("s420", 18, 1, 16, 218),
+        Iscas89Stats("s444", 3, 6, 21, 181),
+        Iscas89Stats("s510", 19, 7, 6, 211),
+        Iscas89Stats("s526", 3, 6, 21, 193),
+        Iscas89Stats("s641", 35, 24, 19, 379),
+        Iscas89Stats("s713", 35, 23, 19, 393),
+        Iscas89Stats("s820", 18, 19, 5, 289),
+        Iscas89Stats("s832", 18, 19, 5, 287),
+        Iscas89Stats("s838", 34, 1, 32, 446),
+        Iscas89Stats("s953", 16, 23, 29, 395),
+        Iscas89Stats("s1196", 14, 14, 18, 529),
+        Iscas89Stats("s1238", 14, 14, 18, 508),
+        Iscas89Stats("s1423", 17, 5, 74, 657),
+        Iscas89Stats("s1488", 8, 19, 6, 653),
+        Iscas89Stats("s1494", 8, 19, 6, 647),
+        Iscas89Stats("s5378", 35, 49, 179, 2779),
+        Iscas89Stats("s9234", 36, 39, 211, 5597),
+        Iscas89Stats("s13207", 62, 152, 638, 7951),
+        Iscas89Stats("s15850", 77, 150, 534, 9772),
+        Iscas89Stats("s35932", 35, 320, 1728, 16065),
+        Iscas89Stats("s38417", 28, 106, 1636, 22179),
+        Iscas89Stats("s38584", 38, 304, 1426, 19253),
+    ]
+}
+
+#: The twelve circuits of the paper's Table I, in row order.
+TABLE1_CIRCUITS: tuple[str, ...] = (
+    "s344", "s382", "s444", "s510", "s641", "s713",
+    "s1196", "s1238", "s1423", "s1494", "s5378", "s9234",
+)
+
+
+def stats_for(name: str) -> Iscas89Stats:
+    """Statistics record for ``name`` (KeyError with guidance if unknown)."""
+    try:
+        return ISCAS89_STATS[name]
+    except KeyError:
+        known = ", ".join(sorted(ISCAS89_STATS))
+        raise KeyError(
+            f"unknown ISCAS89 circuit {name!r}; known: {known}") from None

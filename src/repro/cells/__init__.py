@@ -1,0 +1,22 @@
+"""Standard-cell library: leakage tables, capacitances, delays, areas."""
+
+from repro.cells.capacitance import line_load_ff, load_map_ff, switched_caps_ff
+from repro.cells.report import describe_library, leakage_summary
+from repro.cells.library import (
+    MAX_CELL_ARITY,
+    CellLibrary,
+    CellSpec,
+    default_library,
+)
+
+__all__ = [
+    "CellLibrary",
+    "CellSpec",
+    "default_library",
+    "MAX_CELL_ARITY",
+    "line_load_ff",
+    "load_map_ff",
+    "switched_caps_ff",
+    "describe_library",
+    "leakage_summary",
+]

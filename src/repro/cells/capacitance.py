@@ -1,0 +1,57 @@
+"""Load capacitance extraction for a circuit under a cell library.
+
+The dynamic-power model (paper eq. 1) weighs every transition by the
+capacitance it charges: the sum of the driven input pin capacitances, a
+per-fanout wire contribution, the driving cell's internal capacitance and
+an external load on primary outputs.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary, default_library
+from repro.netlist.circuit import Circuit
+
+__all__ = ["line_load_ff", "load_map_ff", "switched_caps_ff"]
+
+
+def line_load_ff(circuit: Circuit, line: str,
+                 library: CellLibrary | None = None,
+                 include_internal: bool = True) -> float:
+    """Capacitance (fF) charged when ``line`` transitions.
+
+    Components: fanout pin caps + wire cap per fanout + (optionally) the
+    internal cap of the driving cell + the external output load when the
+    line is a primary output.
+    """
+    library = library or default_library()
+    total = 0.0
+    for sink, _pin in circuit.fanout(line):
+        gate = circuit.gates[sink]
+        total += library.pin_cap_ff(gate.gtype, len(gate.inputs))
+        total += library.wire_cap_per_fanout_ff
+    if circuit.is_output(line):
+        total += library.output_load_ff
+    if include_internal and line in circuit.gates:
+        gate = circuit.gates[line]
+        total += library.spec(gate.gtype, len(gate.inputs)).internal_cap_ff
+    return total
+
+
+def load_map_ff(circuit: Circuit, library: CellLibrary | None = None,
+                include_internal: bool = True) -> dict[str, float]:
+    """``line -> load capacitance (fF)`` for every line in the circuit."""
+    library = library or default_library()
+    return {
+        line: line_load_ff(circuit, line, library, include_internal)
+        for line in circuit.lines()
+    }
+
+
+def switched_caps_ff(circuit: Circuit,
+                     library: CellLibrary | None = None) -> dict[str, float]:
+    """Alias of :func:`load_map_ff` with internal caps included.
+
+    Named for its role in power estimation: multiply by the per-line
+    transition counts and ``0.5 * VDD^2`` to get switching energy.
+    """
+    return load_map_ff(circuit, library, include_internal=True)

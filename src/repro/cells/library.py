@@ -1,0 +1,199 @@
+"""Standard-cell library: electrical and timing parameters per cell.
+
+The paper maps every circuit "to a library which contains only NAND gates,
+NOR gates, and inverters" and characterises leakage per cell and input
+pattern.  :class:`CellLibrary` bundles:
+
+* per-cell **leakage tables** (from :mod:`repro.spice.characterize`,
+  calibrated to Figure 2),
+* **pin capacitances** and **wire/output loads** for the dynamic-power
+  model (paper eq. 1),
+* a linear **delay model** ``delay = intrinsic + slope * C_load`` for STA,
+* cell **areas**, used to report the MUX insertion overhead.
+
+Specs exist for unmapped gate types too (AND/OR/XOR/...), so timing and
+power estimation also work on circuits before technology mapping; their
+parameters are those of their NAND/NOR/INV compositions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from repro.errors import TimingError
+from repro.netlist.gates import GateType
+from repro.spice.characterize import (
+    MAX_CELL_ARITY,
+    cell_leakage_table,
+)
+from repro.spice.constants import TechParams, default_tech
+
+__all__ = ["CellSpec", "CellLibrary", "default_library", "MAX_CELL_ARITY"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """Electrical/timing parameters of one library cell.
+
+    Capacitances in fF, delays in ps, area in um^2 (45 nm flavoured,
+    drive-balanced sizing — absolute values are representative, relative
+    values are what the algorithms consume).
+    """
+
+    name: str
+    gtype: GateType
+    arity: int
+    pin_cap_ff: float
+    internal_cap_ff: float
+    intrinsic_delay_ps: float
+    drive_slope_ps_per_ff: float
+    area_um2: float
+
+
+def _spec(name, gtype, arity, pin, internal, intrinsic, slope, area):
+    return CellSpec(name, gtype, arity, pin, internal, intrinsic, slope,
+                    area)
+
+
+_SPECS: dict[tuple[GateType, int], CellSpec] = {}
+
+
+def _register(spec: CellSpec) -> None:
+    _SPECS[(spec.gtype, spec.arity)] = spec
+
+
+# --- native cells (transistor-level characterised) --------------------- #
+_register(_spec("INV", GateType.NOT, 1, 1.4, 0.3, 7.0, 4.5, 0.6))
+_register(_spec("NAND2", GateType.NAND, 2, 1.8, 0.6, 10.0, 5.5, 1.0))
+_register(_spec("NAND3", GateType.NAND, 3, 2.2, 1.0, 14.0, 7.0, 1.4))
+_register(_spec("NAND4", GateType.NAND, 4, 2.6, 1.5, 18.0, 8.5, 1.9))
+_register(_spec("NOR2", GateType.NOR, 2, 1.9, 0.7, 12.0, 6.5, 1.0))
+_register(_spec("NOR3", GateType.NOR, 3, 2.3, 1.2, 17.0, 8.5, 1.4))
+_register(_spec("NOR4", GateType.NOR, 4, 2.7, 1.8, 22.0, 10.5, 1.9))
+# --- composite cells (NAND/NOR/INV implementations) -------------------- #
+_register(_spec("BUF", GateType.BUFF, 1, 1.4, 0.5, 14.0, 3.5, 1.2))
+_register(_spec("AND2", GateType.AND, 2, 1.8, 1.0, 17.0, 4.5, 1.6))
+_register(_spec("AND3", GateType.AND, 3, 2.2, 1.4, 21.0, 4.5, 2.0))
+_register(_spec("AND4", GateType.AND, 4, 2.6, 1.9, 25.0, 4.5, 2.5))
+_register(_spec("OR2", GateType.OR, 2, 1.9, 1.1, 19.0, 4.5, 1.6))
+_register(_spec("OR3", GateType.OR, 3, 2.3, 1.6, 24.0, 4.5, 2.0))
+_register(_spec("OR4", GateType.OR, 4, 2.7, 2.2, 29.0, 4.5, 2.5))
+_register(_spec("XOR2", GateType.XOR, 2, 3.1, 2.0, 24.0, 6.0, 3.0))
+_register(_spec("XOR3", GateType.XOR, 3, 3.1, 4.0, 48.0, 6.0, 6.0))
+_register(_spec("XOR4", GateType.XOR, 4, 3.1, 6.0, 72.0, 6.0, 9.0))
+_register(_spec("XNOR2", GateType.XNOR, 2, 3.1, 2.2, 31.0, 6.0, 3.4))
+_register(_spec("XNOR3", GateType.XNOR, 3, 3.1, 4.2, 55.0, 6.0, 6.4))
+_register(_spec("XNOR4", GateType.XNOR, 4, 3.1, 6.2, 79.0, 6.0, 9.4))
+# --- special cells ------------------------------------------------------ #
+_register(_spec("MUX2", GateType.MUX2, 3, 2.0, 1.6, 16.0, 6.0, 2.2))
+_register(_spec("SDFF", GateType.DFF, 1, 1.8, 3.0, 45.0, 5.0, 4.5))
+_register(_spec("TIE0", GateType.CONST0, 0, 0.0, 0.0, 0.0, 0.0, 0.3))
+_register(_spec("TIE1", GateType.CONST1, 0, 0.0, 0.0, 0.0, 0.0, 0.3))
+
+
+class CellLibrary:
+    """A technology point plus the full set of cell parameters.
+
+    Parameters
+    ----------
+    tech:
+        Device-model parameters (defaults to the Figure 2 calibration).
+    wire_cap_per_fanout_ff:
+        Wire capacitance charged per driven pin (crude routing model).
+    output_load_ff:
+        Extra load on primary outputs / flop D pins seen from outside.
+    """
+
+    def __init__(self, tech: TechParams | None = None,
+                 wire_cap_per_fanout_ff: float = 0.25,
+                 output_load_ff: float = 3.0):
+        self.tech = tech or default_tech()
+        self.wire_cap_per_fanout_ff = wire_cap_per_fanout_ff
+        self.output_load_ff = output_load_ff
+
+    # -- specs ---------------------------------------------------------- #
+
+    def spec(self, gtype: GateType, arity: int) -> CellSpec:
+        """The :class:`CellSpec` implementing ``gtype`` at ``arity``.
+
+        NOT/BUFF/DFF/MUX2/CONST are arity-normalised; wide AND-family gates
+        beyond :data:`MAX_CELL_ARITY` raise (map them first).
+        """
+        key_arity = arity
+        if gtype in (GateType.NOT, GateType.BUFF, GateType.DFF):
+            key_arity = 1
+        elif gtype is GateType.MUX2:
+            key_arity = 3
+        elif gtype in (GateType.CONST0, GateType.CONST1):
+            key_arity = 0
+        spec = _SPECS.get((gtype, key_arity))
+        if spec is None:
+            raise TimingError(
+                f"no library cell for {gtype} with {arity} inputs "
+                f"(decompose wide gates via repro.techmap first)")
+        return spec
+
+    # -- leakage --------------------------------------------------------- #
+
+    def leakage_table(self, gtype: GateType, arity: int
+                      ) -> dict[tuple[int, ...], float]:
+        """Per-pattern leakage (nA) of the cell implementing ``gtype``."""
+        self.spec(gtype, arity)  # arity check
+        return cell_leakage_table(gtype, arity, self.tech)
+
+    def leakage_na(self, gtype: GateType, pattern: tuple[int, ...]) -> float:
+        """Leakage current (nA) of one cell under input ``pattern``."""
+        return self.leakage_table(gtype, len(pattern)).get(pattern, 0.0)
+
+    # -- capacitance / energy -------------------------------------------- #
+
+    def pin_cap_ff(self, gtype: GateType, arity: int) -> float:
+        """Input pin capacitance (fF) of the cell implementing ``gtype``."""
+        return self.spec(gtype, arity).pin_cap_ff
+
+    @property
+    def vdd(self) -> float:
+        """Supply voltage of the technology point (V)."""
+        return self.tech.vdd
+
+    def switching_energy_fj(self, cap_ff: float) -> float:
+        """Energy (fJ) of one output transition over ``cap_ff``.
+
+        Paper eq. (1): 0.5 * C * VDD^2 per transition (the voltage swing of
+        output nodes is the full supply).
+        """
+        return 0.5 * cap_ff * self.vdd * self.vdd
+
+    # -- timing ----------------------------------------------------------- #
+
+    def delay_ps(self, gtype: GateType, arity: int,
+                 load_ff: float) -> float:
+        """Pin-to-output delay (ps) at ``load_ff`` (linear delay model)."""
+        spec = self.spec(gtype, arity)
+        return spec.intrinsic_delay_ps + spec.drive_slope_ps_per_ff * load_ff
+
+    @property
+    def mux_spec(self) -> CellSpec:
+        """The 2:1 multiplexer the proposed method inserts."""
+        return _SPECS[(GateType.MUX2, 3)]
+
+    # -- identity (for caching alongside frozen TechParams) --------------- #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CellLibrary):
+            return NotImplemented
+        return (self.tech == other.tech
+                and self.wire_cap_per_fanout_ff
+                == other.wire_cap_per_fanout_ff
+                and self.output_load_ff == other.output_load_ff)
+
+    def __hash__(self) -> int:
+        return hash((self.tech, self.wire_cap_per_fanout_ff,
+                     self.output_load_ff))
+
+
+@functools.lru_cache(maxsize=1)
+def default_library() -> CellLibrary:
+    """The shared default library at the calibrated 45 nm point."""
+    return CellLibrary()

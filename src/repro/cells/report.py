@@ -1,0 +1,55 @@
+"""Human-readable cell library report (a liberty-file stand-in).
+
+``describe_library()`` renders every cell's electrical summary — pin
+capacitance, delay parameters, area and the leakage table — the way a
+``.lib`` reader would summarise a real library.  Used by documentation
+and by people sanity-checking a new :class:`TechParams` corner.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary, default_library
+from repro.netlist.gates import GateType
+from repro.utils.tables import format_table
+
+__all__ = ["describe_library", "leakage_summary"]
+
+_REPORT_CELLS: list[tuple[GateType, int]] = [
+    (GateType.NOT, 1),
+    (GateType.NAND, 2), (GateType.NAND, 3), (GateType.NAND, 4),
+    (GateType.NOR, 2), (GateType.NOR, 3), (GateType.NOR, 4),
+    (GateType.MUX2, 3),
+]
+
+
+def leakage_summary(library: CellLibrary, gtype: GateType,
+                    arity: int) -> tuple[float, float, float]:
+    """(min, mean, max) leakage in nA over a cell's input patterns."""
+    table = library.leakage_table(gtype, arity)
+    values = list(table.values())
+    return min(values), sum(values) / len(values), max(values)
+
+
+def describe_library(library: CellLibrary | None = None) -> str:
+    """Multi-line text description of the library's cells."""
+    library = library or default_library()
+    rows = []
+    for gtype, arity in _REPORT_CELLS:
+        spec = library.spec(gtype, arity)
+        lo, mean, hi = leakage_summary(library, gtype, arity)
+        rows.append([
+            spec.name,
+            f"{spec.pin_cap_ff:.1f}",
+            f"{spec.intrinsic_delay_ps:.0f}",
+            f"{spec.drive_slope_ps_per_ff:.1f}",
+            f"{spec.area_um2:.1f}",
+            f"{lo:.0f}/{mean:.0f}/{hi:.0f}",
+        ])
+    header = (f"Cell library @ VDD={library.vdd:g} V, "
+              f"wire {library.wire_cap_per_fanout_ff:g} fF/fanout, "
+              f"PO load {library.output_load_ff:g} fF")
+    table = format_table(
+        ["cell", "pin fF", "t0 ps", "slope ps/fF", "area um2",
+         "leak nA min/mean/max"],
+        rows)
+    return header + "\n" + table

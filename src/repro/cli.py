@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro`` / ``repro-power``.
+
+Subcommands:
+
+* ``table1``  — regenerate the paper's Table I (E1);
+* ``figure2`` — regenerate the paper's Figure 2 (E2);
+* ``run``     — run the full flow on one circuit and print its summary;
+* ``ablation``— run one of the ablation studies (A1-A4);
+* ``list``    — list the available benchmark circuits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.benchgen.loader import (
+    available_circuits,
+    circuit_provenance,
+    load_circuit,
+)
+from repro.core.config import FlowConfig
+from repro.core.flow import ProposedFlow
+from repro.experiments.ablations import (
+    ablation_ivc_budget,
+    ablation_mux_margin,
+    ablation_observability,
+    ablation_reorder,
+    render_rows,
+)
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.table1 import run_table1
+from repro.experiments.textio import table1_to_csv, table1_to_markdown
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-power",
+        description=("Reproduction of 'Simultaneous Reduction of Dynamic "
+                     "and Static Power in Scan Structures' (DATE 2005)"))
+    parser.add_argument("--seed", type=int, default=1,
+                        help="master seed for all stochastic steps")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="regenerate Table I")
+    t1.add_argument("circuits", nargs="*",
+                    help="circuit names (default: the tractable subset)")
+    t1.add_argument("--format", choices=("text", "csv", "markdown"),
+                    default="text")
+    t1.add_argument("--quiet", action="store_true",
+                    help="suppress per-circuit progress output")
+    t1.add_argument("--experiments-md", metavar="PATH", default=None,
+                    help="also write the EXPERIMENTS.md report to PATH")
+
+    sub.add_parser("figure2", help="regenerate Figure 2")
+
+    run_p = sub.add_parser("run", help="run the flow on one circuit")
+    run_p.add_argument("circuit")
+    run_p.add_argument("--no-reorder", action="store_true",
+                       help="skip the input-reordering step")
+    run_p.add_argument("--no-directive", action="store_true",
+                       help="disable the leakage-observability directive")
+
+    ab = sub.add_parser("ablation", help="run an ablation study")
+    ab.add_argument("which",
+                    choices=("observability", "mux", "reorder", "ivc"))
+    ab.add_argument("circuits", nargs="*", default=None)
+
+    sub.add_parser("list", help="list available circuits")
+    sub.add_parser("library", help="describe the cell library")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in available_circuits():
+            print(f"{name:10s} {circuit_provenance(name)}")
+        return 0
+
+    if args.command == "figure2":
+        print(run_figure2().render())
+        return 0
+
+    if args.command == "library":
+        from repro.cells.report import describe_library
+        print(describe_library())
+        return 0
+
+    if args.command == "table1":
+        config = FlowConfig(seed=args.seed)
+        circuits = args.circuits or None
+        run = run_table1(circuits, config, verbose=not args.quiet)
+        if args.experiments_md:
+            from repro.experiments.figure2 import run_figure2 as _fig2
+            from repro.experiments.report_writer import \
+                write_experiments_md
+            write_experiments_md(run, _fig2(), args.experiments_md)
+        if args.format == "csv":
+            print(table1_to_csv(run.rows))
+        elif args.format == "markdown":
+            print(table1_to_markdown(run.rows))
+        else:
+            print(run.render())
+        return 0
+
+    if args.command == "run":
+        config = FlowConfig(
+            seed=args.seed,
+            reorder_inputs=not args.no_reorder,
+            use_observability_directive=not args.no_directive)
+        result = ProposedFlow(config).run(load_circuit(args.circuit,
+                                                       seed=args.seed))
+        print(result.summary())
+        return 0
+
+    if args.command == "ablation":
+        circuits = args.circuits or ["s344", "s382"]
+        if args.which == "observability":
+            rows = ablation_observability(circuits, seed=args.seed)
+            print(render_rows(rows, "A1: observability directive"))
+        elif args.which == "mux":
+            rows = ablation_mux_margin(circuits, seed=args.seed)
+            print(render_rows(rows, "A2: MUX margin sweep"))
+        elif args.which == "reorder":
+            rows = ablation_reorder(circuits, seed=args.seed)
+            print(render_rows(rows, "A3: input reordering"))
+        else:
+            rows = ablation_ivc_budget(circuits[0], seed=args.seed)
+            print(render_rows(rows, "A4: IVC budget sweep"))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The paper's contribution: AddMUX, transition blocking, full flow."""
+
+from repro.core.addmux import AddMuxResult, add_mux
+from repro.core.config import FlowConfig
+from repro.core.find_pattern import (
+    PatternResult,
+    find_controlled_input_pattern,
+)
+from repro.core.flow import METHODS, FlowResult, ProposedFlow
+from repro.core.input_control import (
+    InputControlResult,
+    input_control_pattern,
+)
+from repro.core.justify import Justifier, JustifyResult
+from repro.core.tns import TransitionAnalysis, update_tns_tgs
+
+__all__ = [
+    "FlowConfig",
+    "ProposedFlow",
+    "FlowResult",
+    "METHODS",
+    "AddMuxResult",
+    "add_mux",
+    "PatternResult",
+    "find_controlled_input_pattern",
+    "InputControlResult",
+    "input_control_pattern",
+    "Justifier",
+    "JustifyResult",
+    "TransitionAnalysis",
+    "update_tns_tgs",
+]

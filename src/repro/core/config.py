@@ -1,0 +1,80 @@
+"""Configuration for the proposed flow and its baselines."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.atpg.generate import AtpgConfig
+from repro.cells.library import CellLibrary, default_library
+from repro.errors import ConfigError
+
+__all__ = ["FlowConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowConfig:
+    """All knobs of the proposed method (defaults follow the paper).
+
+    Attributes
+    ----------
+    seed:
+        Master seed; every stochastic sub-step derives its own stream.
+    observability_samples:
+        Monte-Carlo sample count for leakage observability.
+    ivc_trials:
+        Random vectors tried when filling don't-care controlled inputs
+        (ref [14]: "far less than the total possible vectors").
+    ivc_noise_samples:
+        Transition-source samples averaged per IVC trial (the non-muxed
+        pseudo-inputs keep toggling; candidate completions are scored by
+        their mean leakage over this many source states).
+    max_backtracks:
+        Backtrack budget per justification call.
+    reorder_inputs:
+        Apply the commutative-gate input reordering step.
+    use_observability_directive:
+        Direct backtrace/candidate choices by leakage observability
+        (turning this off is ablation A1; decisions fall back to a
+        deterministic structural order).
+    mux_delay_margin_ps:
+        Extra slack demanded before accepting a MUX (0 = paper's "critical
+        path delay unchanged").
+    include_capture_cycles:
+        Include capture cycles in the power episode.
+    atpg:
+        Test generation configuration (seed is derived from ``seed`` when
+        left at the sentinel -1).
+    """
+
+    seed: int = 0
+    observability_samples: int = 512
+    ivc_trials: int = 64
+    ivc_noise_samples: int = 8
+    max_backtracks: int = 50
+    reorder_inputs: bool = True
+    use_observability_directive: bool = True
+    mux_delay_margin_ps: float = 0.0
+    include_capture_cycles: bool = True
+    atpg: AtpgConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.observability_samples < 2:
+            raise ConfigError("observability_samples must be >= 2")
+        if self.ivc_trials < 1:
+            raise ConfigError("ivc_trials must be >= 1")
+        if self.ivc_noise_samples < 1:
+            raise ConfigError("ivc_noise_samples must be >= 1")
+        if self.max_backtracks < 0:
+            raise ConfigError("max_backtracks must be >= 0")
+        if self.mux_delay_margin_ps < 0:
+            raise ConfigError("mux_delay_margin_ps must be >= 0")
+
+    def atpg_config(self) -> AtpgConfig:
+        """The ATPG configuration, seeded from the master seed by default."""
+        if self.atpg is not None:
+            return self.atpg
+        return AtpgConfig(seed=self.seed)
+
+    def library(self) -> CellLibrary:
+        """The cell library used throughout the flow."""
+        return default_library()

@@ -1,0 +1,170 @@
+"""FindControlledInputPattern — the paper's central algorithm (Section 4).
+
+Finds one constant vector for the *controlled inputs* (primary inputs and
+multiplexed pseudo-inputs) that suppresses, as close to their origin as
+possible, the transitions entering the combinational logic from the
+non-multiplexed pseudo-inputs — with every decision directed by leakage
+observability so the surviving degrees of freedom favour low leakage.
+
+Paper pseudo-code, implemented faithfully:
+
+1. initialise the TNS to the non-multiplexed pseudo-inputs;
+2. update TNS/TGS;
+3. repeat until the TGS is empty:
+   a. take the TGS gate with the largest output capacitance (``mc_tg``);
+   b. ``cv`` = its controlling value;
+   c. try its don't-care side inputs in leakage-observability order
+      (min-obs first when cv = 1, max-obs first when cv = 0),
+      justifying ``cv`` on each until one succeeds;
+   d. on success the transition is blocked (the gate output is now a
+      constant); on failure the transition passes — the gate's output
+      joins the TNS and the gate never re-enters the TGS;
+   e. re-run Update TNS/TGS.
+
+Deviation note: the paper's step (f) reads "add all fan-out nodes of
+mc_tg to TNS" unconditionally; applied after a *successful* block this
+would mark a constant line as transitioning, which contradicts the TNS
+definition and the Update procedure's own step (d).  We add the output to
+the TNS only on failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.cells.capacitance import switched_caps_ff
+from repro.cells.library import CellLibrary, default_library
+from repro.core.justify import Justifier
+from repro.core.tns import update_tns_tgs
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import X, controlling_value
+from repro.simulation.eval2 import comb_input_lines
+
+__all__ = ["PatternResult", "find_controlled_input_pattern"]
+
+
+@dataclasses.dataclass
+class PatternResult:
+    """Outcome of the transition-blocking search.
+
+    Attributes
+    ----------
+    assignment:
+        Values committed to controlled inputs (a subset; the rest remain
+        don't-care and go to the IVC fill).
+    values:
+        The settled three-valued state of every line under ``assignment``
+        (transitioning lines are X).
+    blocked_gates / failed_gates:
+        Gates where blocking succeeded / failed.
+    tns:
+        Final transition node set (lines still carrying transitions).
+    justify_backtracks:
+        Total backtracks spent in justification.
+    """
+
+    assignment: dict[str, int]
+    values: dict[str, int]
+    blocked_gates: list[str]
+    failed_gates: list[str]
+    tns: set[str]
+    justify_backtracks: int
+
+    @property
+    def n_transition_lines(self) -> int:
+        return len(self.tns)
+
+
+def find_controlled_input_pattern(
+    circuit: Circuit,
+    controlled: set[str],
+    transition_sources: set[str],
+    observability: Mapping[str, float] | None = None,
+    library: CellLibrary | None = None,
+    max_backtracks: int = 50,
+) -> PatternResult:
+    """Run the paper's transition-blocking search.
+
+    Parameters
+    ----------
+    circuit:
+        The (tech-mapped) netlist.
+    controlled:
+        Assignable lines: primary inputs plus multiplexed pseudo-inputs.
+    transition_sources:
+        Non-multiplexed pseudo-inputs — the origins of scan-shift
+        transitions.
+    observability:
+        Leakage observability per line (the directive); ``None`` disables
+        the directive (structural order instead — ablation A1).
+    """
+    library = library or default_library()
+    inputs = set(comb_input_lines(circuit))
+    stray = (controlled | transition_sources) - inputs
+    if stray:
+        raise ValueError(f"not combinational inputs: {sorted(stray)}")
+    overlap = controlled & transition_sources
+    if overlap:
+        raise ValueError(
+            f"controlled lines cannot be transition sources: "
+            f"{sorted(overlap)}")
+
+    values: dict[str, int] = {line: X for line in circuit.lines()}
+    engine = Justifier(circuit, values, controlled, observability,
+                       max_backtracks)
+    caps = switched_caps_ff(circuit, library)
+
+    failed_gates: set[str] = set()
+    blocked_gates: list[str] = []
+    tried: set[str] = set()
+    total_backtracks = 0
+
+    while True:
+        analysis = update_tns_tgs(circuit, values, set(transition_sources),
+                                  failed_gates)
+        candidates = {out: tns_inputs
+                      for out, tns_inputs in analysis.tgs.items()
+                      if out not in tried}
+        if not candidates:
+            break
+        # Paper step (a): the TGS gate with the largest output capacitance.
+        mc_tg = max(candidates,
+                    key=lambda out: (caps.get(out, 0.0), out))
+        tried.add(mc_tg)
+        gate = circuit.gates[mc_tg]
+        cv = controlling_value(gate.gtype)
+        tn_inputs = set(candidates[mc_tg])
+        side_inputs = [
+            s for s in gate.inputs
+            if s not in tn_inputs
+            and values.get(s, X) == X
+            and engine.has_support(s)
+        ]
+        ordered = engine.order_candidates(side_inputs, cv)
+        blocked = False
+        for candidate in ordered:
+            result = engine.justify(candidate, cv)
+            total_backtracks += result.backtracks
+            if result.success:
+                blocked = True
+                break
+        if blocked:
+            blocked_gates.append(mc_tg)
+        else:
+            failed_gates.add(mc_tg)
+
+    final = update_tns_tgs(circuit, values, set(transition_sources),
+                           failed_gates)
+    assignment = {
+        line: values[line] for line in controlled
+        if values.get(line, X) != X
+    }
+    return PatternResult(
+        assignment=assignment,
+        values=dict(values),
+        blocked_gates=blocked_gates,
+        failed_gates=sorted(failed_gates),
+        tns=final.tns,
+        justify_backtracks=total_backtracks,
+    )

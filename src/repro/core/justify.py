@@ -1,0 +1,273 @@
+"""PODEM-like justification directed by leakage observability.
+
+This is the paper's ``Justify()`` (Section 4): set an internal objective
+line to a target value by assigning only *controlled inputs* (primary
+inputs and multiplexed pseudo-inputs), using
+
+* **Backtrace** — walk from the objective towards the controlled inputs
+  through X lines; at every gate-input choice, pick by leakage
+  observability: "if the value to be set is '1' ('0'), we choose the
+  input with minimum (maximum) leakage observability", which steers the
+  search towards globally low-leakage assignments;
+* **Implication** — three-valued forward propagation after every input
+  decision (incremental, cone-limited);
+* **Chronological backtracking** — bounded by ``max_backtracks``.
+
+Failure (objective unjustifiable within the budget) is a normal outcome,
+reported via :attr:`JustifyResult.success`; the circuit state is restored
+exactly on failure, and retained (decisions + implications) on success.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections.abc import Mapping
+
+from repro.errors import JustificationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import (
+    GateType,
+    SEQUENTIAL_TYPES,
+    X,
+    controlled_response,
+    controlling_value,
+    eval_gate3,
+)
+
+__all__ = ["JustifyResult", "Justifier"]
+
+
+@dataclasses.dataclass
+class JustifyResult:
+    """Outcome of one justification attempt.
+
+    On success, ``decisions`` holds the controlled-input values committed
+    to the shared state; ``implied`` counts lines fixed by implication.
+    """
+
+    success: bool
+    decisions: dict[str, int]
+    implied: int
+    backtracks: int
+
+
+class Justifier:
+    """Shared justification engine over one evolving 3-valued state.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist.
+    values:
+        The global three-valued assignment, **mutated in place** as
+        objectives succeed (the transition-blocking loop accumulates
+        assignments across many calls).
+    controllable:
+        Lines that may be assigned (primary inputs + muxed pseudo-inputs).
+    observability:
+        Per-line leakage observability used as the decision directive;
+        ``None`` disables the directive (ablation A1) and falls back to a
+        deterministic structural order.
+    max_backtracks:
+        Budget per :meth:`justify` call.
+    """
+
+    def __init__(self, circuit: Circuit, values: dict[str, int],
+                 controllable: set[str],
+                 observability: Mapping[str, float] | None = None,
+                 max_backtracks: int = 50):
+        self.circuit = circuit
+        self.values = values
+        self.controllable = set(controllable)
+        self.observability = observability
+        self.max_backtracks = max_backtracks
+        self._support = self._compute_support()
+
+    # ------------------------------------------------------------------ #
+    # static controllable-support map (prunes hopeless backtrace branches)
+    # ------------------------------------------------------------------ #
+
+    def _compute_support(self) -> dict[str, bool]:
+        support = {line: line in self.controllable
+                   for line in self.circuit.lines()}
+        for line in self.circuit.topo_order():
+            gate = self.circuit.gates[line]
+            support[line] = any(support[s] for s in gate.inputs)
+        return support
+
+    def has_support(self, line: str) -> bool:
+        """True if the line's fanin cone reaches a controllable input."""
+        return self._support.get(line, False)
+
+    # ------------------------------------------------------------------ #
+    # implication with trail
+    # ------------------------------------------------------------------ #
+
+    def _imply(self, seed: str, trail: dict[str, int]) -> None:
+        """Propagate from ``seed``; record pre-change values in ``trail``."""
+        pending: list[tuple[int, str]] = []
+        queued: set[str] = set()
+
+        def enqueue_fanout(line: str) -> None:
+            for sink, _pin in self.circuit.fanout(line):
+                gate = self.circuit.gates[sink]
+                if gate.gtype in SEQUENTIAL_TYPES or sink in queued:
+                    continue
+                queued.add(sink)
+                heapq.heappush(pending,
+                               (self.circuit.level_of(sink), sink))
+
+        enqueue_fanout(seed)
+        while pending:
+            _level, line = heapq.heappop(pending)
+            queued.discard(line)
+            gate = self.circuit.gates[line]
+            new_value = eval_gate3(
+                gate.gtype,
+                [self.values.get(s, X) for s in gate.inputs])
+            old_value = self.values.get(line, X)
+            if new_value != old_value:
+                trail.setdefault(line, old_value)
+                self.values[line] = new_value
+                enqueue_fanout(line)
+
+    def _undo(self, trail: dict[str, int]) -> None:
+        for line, old_value in trail.items():
+            self.values[line] = old_value
+
+    # ------------------------------------------------------------------ #
+    # the observability directive
+    # ------------------------------------------------------------------ #
+
+    def order_candidates(self, candidates: list[str],
+                          target_value: int) -> list[str]:
+        """Order gate-input candidates for assignment to ``target_value``.
+
+        With the directive: minimum observability first when justifying a
+        1, maximum first when justifying a 0 (paper Section 4).  Without:
+        deterministic structural order (level, then name).
+        """
+        if self.observability is None:
+            return sorted(
+                candidates,
+                key=lambda s: (self.circuit.level_of(s), s))
+        obs = self.observability
+        if target_value == 1:
+            return sorted(candidates, key=lambda s: (obs.get(s, 0.0), s))
+        return sorted(candidates, key=lambda s: (-obs.get(s, 0.0), s))
+
+    # ------------------------------------------------------------------ #
+    # backtrace
+    # ------------------------------------------------------------------ #
+
+    def backtrace(self, line: str, value: int) -> tuple[str, int] | None:
+        """Map objective ``(line, value)`` to a controlled-input decision.
+
+        Returns ``None`` when every X path from the objective dead-ends
+        (no controllable support left).
+        """
+        current, target = line, value
+        for _ in range(len(self.circuit.gates) + 2):
+            if current in self.controllable:
+                return current, target
+            gate = self.circuit.gates.get(current)
+            if gate is None or gate.gtype in SEQUENTIAL_TYPES:
+                return None  # reached an uncontrollable source
+            candidates = [
+                s for s in gate.inputs
+                if self.values.get(s, X) == X and self.has_support(s)
+            ]
+            if not candidates:
+                return None
+            gtype = gate.gtype
+            if gtype is GateType.NOT:
+                current, target = gate.inputs[0], 1 - target
+                continue
+            if gtype is GateType.BUFF:
+                current, target = gate.inputs[0], target
+                continue
+            if gtype in (GateType.XOR, GateType.XNOR):
+                known = sum(self.values.get(s, 0)
+                            for s in gate.inputs
+                            if self.values.get(s, X) != X)
+                parity = target if gtype is GateType.XOR else 1 - target
+                required = (parity - known) % 2
+                ordered = self.order_candidates(candidates, required)
+                current, target = ordered[0], required
+                continue
+            if gtype is GateType.MUX2:
+                sel = gate.inputs[0]
+                if self.values.get(sel, X) == X and self.has_support(sel):
+                    current, target = sel, 0
+                else:
+                    current, target = candidates[0], target
+                continue
+            cv = controlling_value(gtype)
+            if cv is None:
+                return None
+            response = controlled_response(gtype)
+            if target == response:
+                required = cv
+            else:
+                required = 1 - cv
+            ordered = self.order_candidates(candidates, required)
+            current, target = ordered[0], required
+        raise JustificationError(
+            "backtrace exceeded circuit size")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # the main loop
+    # ------------------------------------------------------------------ #
+
+    def justify(self, line: str, value: int) -> JustifyResult:
+        """Try to set ``line`` to ``value`` via controlled inputs only."""
+        if value not in (0, 1):
+            raise JustificationError(f"target value {value!r} not 0/1")
+        current = self.values.get(line, X)
+        if current == value:
+            return JustifyResult(True, {}, 0, 0)
+        if current != X:
+            return JustifyResult(False, {}, 0, 0)
+
+        # decision stack entries: (input, chosen value, trail, both_tried)
+        stack: list[tuple[str, int, dict[str, int], bool]] = []
+        backtracks = 0
+
+        def state() -> int:
+            return self.values.get(line, X)
+
+        while True:
+            if state() == value:
+                decisions = {entry[0]: entry[1] for entry in stack}
+                implied = sum(len(entry[2]) for entry in stack) \
+                    - len(stack)
+                return JustifyResult(True, decisions, max(implied, 0),
+                                     backtracks)
+            decision = None
+            if state() == X:
+                decision = self.backtrace(line, value)
+            if decision is not None:
+                input_line, input_value = decision
+                trail: dict[str, int] = {
+                    input_line: self.values.get(input_line, X)}
+                self.values[input_line] = input_value
+                self._imply(input_line, trail)
+                stack.append((input_line, input_value, trail, False))
+                continue
+            # Conflict or dead end: chronological backtracking.
+            while stack:
+                input_line, input_value, trail, both = stack.pop()
+                self._undo(trail)
+                if not both:
+                    backtracks += 1
+                    if backtracks > self.max_backtracks:
+                        return JustifyResult(False, {}, 0, backtracks)
+                    flipped = 1 - input_value
+                    trail = {input_line: self.values.get(input_line, X)}
+                    self.values[input_line] = flipped
+                    self._imply(input_line, trail)
+                    stack.append((input_line, flipped, trail, True))
+                    break
+            else:
+                return JustifyResult(False, {}, 0, backtracks)

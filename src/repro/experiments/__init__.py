@@ -1,0 +1,45 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from repro.experiments.ablations import (
+    AblationRow,
+    ablation_ivc_budget,
+    ablation_mux_margin,
+    ablation_observability,
+    ablation_reorder,
+    render_rows,
+)
+from repro.experiments.figure2 import Figure2Run, run_figure2
+from repro.experiments.report_writer import (
+    render_experiments_md,
+    write_experiments_md,
+)
+from repro.experiments.results import PAPER_TABLE1, Table1Row, paper_row
+from repro.experiments.table1 import (
+    DEFAULT_CIRCUITS,
+    Table1Run,
+    default_table1_circuits,
+    run_table1,
+)
+from repro.experiments.textio import table1_to_csv, table1_to_markdown
+
+__all__ = [
+    "Table1Row",
+    "PAPER_TABLE1",
+    "paper_row",
+    "Table1Run",
+    "run_table1",
+    "DEFAULT_CIRCUITS",
+    "default_table1_circuits",
+    "Figure2Run",
+    "run_figure2",
+    "AblationRow",
+    "ablation_observability",
+    "ablation_mux_margin",
+    "ablation_reorder",
+    "ablation_ivc_budget",
+    "render_rows",
+    "table1_to_csv",
+    "table1_to_markdown",
+    "render_experiments_md",
+    "write_experiments_md",
+]

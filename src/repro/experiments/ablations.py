@@ -1,0 +1,154 @@
+"""Ablation experiments A1-A4 over the design choices DESIGN.md calls out.
+
+* **A1** — leakage-observability directive on/off in the blocking search;
+* **A2** — MUX acceptance margin sweep (coverage vs power trade-off);
+* **A3** — contribution of commutative-gate input reordering;
+* **A4** — random IVC fill budget sweep (ref [14]'s "far less than the
+  total possible vectors" claim).
+
+Each function runs the full flow under modified configurations and
+returns simple row dicts; the benches and the CLI render them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.benchgen.loader import load_circuit
+from repro.core.config import FlowConfig
+from repro.core.flow import ProposedFlow
+from repro.leakage.ivc import random_fill_search
+from repro.utils.tables import format_table
+
+__all__ = [
+    "AblationRow",
+    "ablation_observability",
+    "ablation_mux_margin",
+    "ablation_reorder",
+    "ablation_ivc_budget",
+    "render_rows",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationRow:
+    """One configuration point of an ablation."""
+
+    circuit: str
+    variant: str
+    dynamic_uw_per_hz: float
+    static_uw: float
+    detail: str = ""
+
+
+def render_rows(rows: Sequence[AblationRow], title: str) -> str:
+    table = [
+        [r.circuit, r.variant, f"{r.dynamic_uw_per_hz:.3e}",
+         f"{r.static_uw:.2f}", r.detail]
+        for r in rows
+    ]
+    return title + "\n" + format_table(
+        ["circuit", "variant", "dynamic uW/Hz", "static uW", "detail"],
+        table)
+
+
+def _run(name: str, config: FlowConfig) -> tuple:
+    result = ProposedFlow(config).run(load_circuit(name, seed=1))
+    report = result.reports["proposed"]
+    return result, report
+
+
+def ablation_observability(circuits: Sequence[str],
+                           seed: int = 1) -> list[AblationRow]:
+    """A1: directive on vs off (decisions fall back to structural order)."""
+    rows: list[AblationRow] = []
+    for name in circuits:
+        for directive in (True, False):
+            config = FlowConfig(seed=seed,
+                                use_observability_directive=directive)
+            result, report = _run(name, config)
+            rows.append(AblationRow(
+                circuit=name,
+                variant="directed" if directive else "undirected",
+                dynamic_uw_per_hz=report.dynamic_uw_per_hz,
+                static_uw=report.static_uw,
+                detail=f"{len(result.pattern.blocked_gates)} blocked",
+            ))
+    return rows
+
+
+def ablation_mux_margin(circuits: Sequence[str],
+                        margins_ps: Sequence[float] = (0.0, 20.0, 50.0,
+                                                       100.0),
+                        seed: int = 1) -> list[AblationRow]:
+    """A2: demand extra slack before accepting a MUX (coverage sweep)."""
+    rows: list[AblationRow] = []
+    for name in circuits:
+        for margin in margins_ps:
+            config = FlowConfig(seed=seed, mux_delay_margin_ps=margin)
+            result, report = _run(name, config)
+            rows.append(AblationRow(
+                circuit=name,
+                variant=f"margin={margin:g}ps",
+                dynamic_uw_per_hz=report.dynamic_uw_per_hz,
+                static_uw=report.static_uw,
+                detail=f"coverage {result.addmux.coverage:.0%}",
+            ))
+    return rows
+
+
+def ablation_reorder(circuits: Sequence[str],
+                     seed: int = 1) -> list[AblationRow]:
+    """A3: with vs without the input-reordering step."""
+    rows: list[AblationRow] = []
+    for name in circuits:
+        for reorder in (True, False):
+            config = FlowConfig(seed=seed, reorder_inputs=reorder)
+            result, report = _run(name, config)
+            swaps = len(result.reorder.swapped_gates) if result.reorder \
+                else 0
+            rows.append(AblationRow(
+                circuit=name,
+                variant="reorder" if reorder else "no-reorder",
+                dynamic_uw_per_hz=report.dynamic_uw_per_hz,
+                static_uw=report.static_uw,
+                detail=f"{swaps} gates swapped",
+            ))
+    return rows
+
+
+def ablation_ivc_budget(circuit: str,
+                        budgets: Sequence[int] = (1, 4, 16, 64, 256),
+                        seed: int = 1) -> list[AblationRow]:
+    """A4: leakage of the IVC fill vs number of random trials.
+
+    Runs the flow once, then replays the don't-care fill with varying
+    budgets against the same fixed pattern assignment.
+    """
+    base_config = FlowConfig(seed=seed)
+    result, _report = _run(circuit, base_config)
+    mapped = result.circuit
+    fixed = result.pattern.assignment
+    controlled = set(mapped.inputs) | set(result.addmux.muxable)
+    free = sorted(controlled - set(fixed))
+    sources = sorted(set(mapped.dff_outputs) - set(result.addmux.muxable))
+
+    from repro.cells.library import default_library
+    from repro.leakage.estimator import leakage_power_uw
+
+    vdd = default_library().vdd
+    rows: list[AblationRow] = []
+    for budget in budgets:
+        ivc = random_fill_search(
+            mapped, fixed=fixed, free_lines=free, n_trials=budget,
+            seed=seed, noise_lines=sources,
+            n_noise=base_config.ivc_noise_samples)
+        rows.append(AblationRow(
+            circuit=circuit,
+            variant=f"trials={budget}",
+            dynamic_uw_per_hz=0.0,
+            static_uw=leakage_power_uw(ivc.leakage_na, vdd),
+            detail=f"{len(free)} free lines",
+        ))
+    return rows

@@ -1,0 +1,71 @@
+"""Experiment E2: regenerate the paper's Figure 2.
+
+Figure 2 tabulates the leakage current of a NAND2 gate per input pattern
+in 45 nm technology (78 / 73 / 264 / 408 nA).  The harness evaluates the
+calibrated analytical model for NAND2 — plus the neighbouring cells the
+paper's tables would have contained — and prints model-vs-paper values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cells.library import CellLibrary, default_library
+from repro.netlist.gates import GateType
+from repro.spice.constants import PAPER_NAND2_LEAKAGE_NA
+from repro.utils.tables import format_table
+
+__all__ = ["Figure2Run", "run_figure2"]
+
+
+@dataclasses.dataclass
+class Figure2Run:
+    """Model leakage tables with the paper's NAND2 anchor values."""
+
+    nand2: dict[tuple[int, ...], float]
+    paper_nand2: dict[tuple[int, ...], float]
+    extra_cells: dict[str, dict[tuple[int, ...], float]]
+
+    def max_relative_error(self) -> float:
+        """Worst |model - paper| / paper over the four NAND2 patterns."""
+        return max(
+            abs(self.nand2[p] - target) / target
+            for p, target in self.paper_nand2.items())
+
+    def render(self) -> str:
+        rows = []
+        for pattern in sorted(self.paper_nand2):
+            label = "".join(str(b) for b in pattern)
+            model = self.nand2[pattern]
+            target = self.paper_nand2[pattern]
+            rows.append([f"A,B = {label}", f"{model:.1f}",
+                         f"{target:.1f}",
+                         f"{(model - target) / target * 100:+.2f}%"])
+        parts = ["NAND2 leakage per input pattern (nA), 45 nm / 0.9 V:"]
+        parts.append(format_table(
+            ["pattern", "model", "paper Fig.2", "error"], rows))
+        for cell, table in self.extra_cells.items():
+            cell_rows = [
+                ["".join(str(b) for b in pattern), f"{leak:.1f}"]
+                for pattern, leak in sorted(table.items())
+            ]
+            parts.append("")
+            parts.append(f"{cell} leakage table (nA):")
+            parts.append(format_table(["pattern", "model"], cell_rows))
+        return "\n".join(parts)
+
+
+def run_figure2(library: CellLibrary | None = None) -> Figure2Run:
+    """Evaluate the calibrated model against Figure 2."""
+    library = library or default_library()
+    nand2 = dict(library.leakage_table(GateType.NAND, 2))
+    extra = {
+        "INV": dict(library.leakage_table(GateType.NOT, 1)),
+        "NOR2": dict(library.leakage_table(GateType.NOR, 2)),
+        "NAND3": dict(library.leakage_table(GateType.NAND, 3)),
+    }
+    return Figure2Run(
+        nand2=nand2,
+        paper_nand2=dict(PAPER_NAND2_LEAKAGE_NA),
+        extra_cells=extra,
+    )

@@ -1,0 +1,204 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every artefact.
+
+The repository's EXPERIMENTS.md is *generated* from actual runs so the
+recorded numbers always correspond to the shipped code:
+
+    run = run_table1(...)
+    write_experiments_md(run, run_figure2(), path="EXPERIMENTS.md")
+
+or from the CLI: ``python -m repro table1 --experiments-md EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.figure2 import Figure2Run
+from repro.experiments.results import PAPER_TABLE1
+from repro.experiments.table1 import Table1Run
+from repro.utils.tables import format_markdown_table
+
+__all__ = ["render_experiments_md", "write_experiments_md"]
+
+_HEADER = """# EXPERIMENTS — paper vs. measured
+
+Reproduction record for *Simultaneous Reduction of Dynamic and Static
+Power in Scan Structures* (Sharifi et al., DATE 2005).  All numbers below
+were produced by this repository's code (see the command next to each
+artefact); regenerate this file with
+`python -m repro --seed 1 table1 --experiments-md EXPERIMENTS.md`
+(set `REPRO_FULL_TABLE1=1` for all twelve rows).
+
+Reading guide: the reproduction target is **shape** — orderings,
+approximate factors, and outliers — not absolute values.  The paper's
+absolute microwatts come from the authors' HSPICE decks and the original
+ISCAS89 netlists; this repository runs on an analytical device model
+calibrated to the paper's only published cell data (Figure 2) and, unless
+real `.bench` files are supplied via `REPRO_ISCAS89_DIR`, on synthetic
+circuits matching each benchmark's published interface statistics
+(provenance is listed per row).
+"""
+
+_FIGURE2_INTRO = """## Figure 2 — NAND2 leakage per input pattern (45 nm, 0.9 V)
+
+Regenerate: `python -m repro figure2` or
+`pytest benchmarks/bench_figure2.py --benchmark-only`.
+
+The analytical model (paper eqs. 2-4 + series-stack solver) is calibrated
+by least squares on these four values; the table verifies the shipped
+default parameters hit them.
+"""
+
+_TABLE1_INTRO = """## Table I — scan power of the three structures
+
+Regenerate: `python -m repro --seed 1 table1` or
+`pytest benchmarks/bench_table1.py --benchmark-only`.
+
+Columns: dynamic is energy per shift clock in uW/Hz (multiply by the
+shift frequency for watts); static is mean leakage power in uW; both for
+the combinational part only, as in the paper.  Paper rows are quoted
+beneath each measured row.
+"""
+
+
+def _figure2_section(figure2: Figure2Run) -> str:
+    rows = []
+    for pattern in sorted(figure2.paper_nand2):
+        label = "".join(str(b) for b in pattern)
+        model = figure2.nand2[pattern]
+        target = figure2.paper_nand2[pattern]
+        rows.append([f"{label}", f"{model:.1f}", f"{target:.1f}",
+                     f"{(model - target) / target * 100:+.2f}%"])
+    table = format_markdown_table(
+        ["pattern A,B", "model (nA)", "paper (nA)", "error"], rows)
+    verdict = (f"Maximum relative error: "
+               f"{figure2.max_relative_error() * 100:.2f}% — the model "
+               f"reproduces Figure 2 essentially exactly (it is the "
+               f"calibration anchor).")
+    return "\n".join([_FIGURE2_INTRO, table, "", verdict, ""])
+
+
+def _table1_section(run: Table1Run) -> str:
+    headers = ["circuit", "source", "trad dyn", "trad stat",
+               "IC dyn", "IC stat", "prop dyn", "prop stat",
+               "vs trad dyn%", "vs trad stat%", "vs IC dyn%",
+               "vs IC stat%"]
+    body = []
+    for row in run.rows:
+        body.append([
+            row.circuit, run.provenance.get(row.circuit, "?"),
+            f"{row.trad_dynamic:.2e}", f"{row.trad_static:.1f}",
+            f"{row.ic_dynamic:.2e}", f"{row.ic_static:.1f}",
+            f"{row.prop_dynamic:.2e}", f"{row.prop_static:.1f}",
+            f"{row.imp_trad_dynamic:.1f}", f"{row.imp_trad_static:.1f}",
+            f"{row.imp_ic_dynamic:.1f}", f"{row.imp_ic_static:.1f}",
+        ])
+        paper = PAPER_TABLE1.get(row.circuit)
+        if paper is not None:
+            body.append([
+                "&nbsp;&nbsp;(paper)", "testbed",
+                f"{paper.trad_dynamic:.2e}", f"{paper.trad_static:.1f}",
+                f"{paper.ic_dynamic:.2e}", f"{paper.ic_static:.1f}",
+                f"{paper.prop_dynamic:.2e}", f"{paper.prop_static:.1f}",
+                f"{paper.imp_trad_dynamic:.1f}",
+                f"{paper.imp_trad_static:.1f}",
+                f"{paper.imp_ic_dynamic:.1f}",
+                f"{paper.imp_ic_static:.1f}",
+            ])
+    table = format_markdown_table(headers, body)
+
+    shape_notes = _shape_assessment(run)
+    return "\n".join([_TABLE1_INTRO, table, "", shape_notes, ""])
+
+
+def _shape_assessment(run: Table1Run) -> str:
+    wins_dyn = sum(1 for r in run.rows if r.imp_trad_dynamic > 0)
+    wins_stat = sum(1 for r in run.rows if r.imp_trad_static > 0)
+    wins_ic_stat = sum(1 for r in run.rows if r.imp_ic_static > 0)
+    stat_values = [r.imp_trad_static for r in run.rows]
+    lines = [
+        "**Shape assessment**",
+        "",
+        f"- Proposed beats traditional scan on dynamic power in "
+        f"{wins_dyn}/{len(run.rows)} circuits and on static power in "
+        f"{wins_stat}/{len(run.rows)} (paper: 12/12 and 12/12).",
+        f"- Proposed beats the input-control baseline on static power in "
+        f"{wins_ic_stat}/{len(run.rows)} circuits (paper: 12/12).",
+        f"- Static improvement over traditional spans "
+        f"{min(stat_values):.1f}%..{max(stat_values):.1f}% "
+        f"(paper band: 3.8%..21.2%).",
+        "- Dynamic improvements are large where many pseudo-inputs are "
+        "muxable and the chain is long, and small where primary inputs "
+        "dominate — the same mechanism behind the paper's s510/s1494 "
+        "outliers.",
+    ]
+    runtime = sum(run.runtime_s.values())
+    lines.append(f"- Total regeneration time: {runtime:.0f} s "
+                 f"(pure Python).")
+    return "\n".join(lines)
+
+
+def render_experiments_md(table1: Table1Run,
+                          figure2: Figure2Run) -> str:
+    """The full EXPERIMENTS.md text."""
+    parts = [
+        _HEADER,
+        _figure2_section(figure2),
+        _table1_section(table1),
+        _ABLATIONS_AND_EXTENSIONS,
+    ]
+    return "\n".join(parts)
+
+
+def write_experiments_md(table1: Table1Run, figure2: Figure2Run,
+                         path: str | Path = "EXPERIMENTS.md") -> Path:
+    """Render and write EXPERIMENTS.md; returns the path."""
+    path = Path(path)
+    path.write_text(render_experiments_md(table1, figure2),
+                    encoding="utf-8")
+    return path
+
+
+_ABLATIONS_AND_EXTENSIONS = """## Figure 1 — the proposed structure (E3)
+
+Structural, not numeric: `examples/mux_insertion.py` inserts the full MUX
+plan and shows (a) unchanged critical-path delay, (b) normal-mode
+functional identity, (c) the Shift-Enable-selected MUX cells in `.bench`
+form.  `tests/core/test_addmux.py` property-tests the slack-based AddMUX
+against the paper's literal insert-and-retime procedure.
+
+## Ablations (A1-A5)
+
+Regenerate: `pytest benchmarks/bench_ablation_*.py --benchmark-only` or
+`python -m repro ablation <which>`.
+
+| id | design choice | bench | expected shape |
+| --- | --- | --- | --- |
+| A1 | leakage-observability directive | `bench_ablation_observability` | directed runs choose lower-leakage blocking vectors at equal blocking power |
+| A2 | MUX margin (paper: delay unchanged) | `bench_ablation_mux` | coverage and dynamic savings fall as the margin grows; infinite margin = input-control |
+| A3 | commutative input reordering | `bench_ablation_reorder` | static-only improvement, zero dynamic effect |
+| A4 | random IVC budget (ref [14]) | `bench_ablation_ivc` | leakage flattens after tens of trials — "far less than the total possible vectors" |
+| A5 | vector/chain reordering (paper epilogue) | `bench_ablation_ordering` | extra dynamic reduction on top of traditional scan, confirming "further improvements can be achieved" |
+
+## Extensions beyond the paper
+
+* **SCOAP testability** (`repro.atpg.scoap`) guides PODEM backtrace and
+  D-frontier choices.
+* **Multiple scan chains** (`repro.scan.multichain`): parallel shifting
+  with per-vector padding; `N = 1` provably equals the single-chain
+  evaluator.
+* **Peak power** (`repro.power.peak`): per-cycle profiles, crest factors
+  and budget violations (the concern of the paper's ref [6]).
+
+## Known reproduction gaps
+
+* Absolute microwatts differ from the paper (different netlists, device
+  decks, load models); all comparisons are therefore relative.
+* Synthetic circuits carry more redundant (untestable) faults than the
+  real ISCAS89 netlists, so reported ATPG fault coverage is lower than
+  ATOM's published figures; the shift-traffic statistics that drive the
+  power numbers are unaffected.
+* The paper's s1494 dynamic column is internally inconsistent in the
+  source text (see `repro/experiments/results.py`); its printed
+  percentages are used for comparisons.
+"""

@@ -1,0 +1,126 @@
+"""Experiment E1: regenerate the paper's Table I.
+
+For each circuit: run the full proposed flow (which also evaluates the
+traditional-scan and input-control [8] baselines on the same ATPG test
+set) and collect one :class:`~repro.experiments.results.Table1Row`.
+Rendering places our measured values next to the paper's reference
+numbers so shape comparisons (who wins, by roughly what factor) are
+immediate.
+
+The default circuit list covers the small and medium Table I rows; set
+``REPRO_FULL_TABLE1=1`` (or pass ``circuits=...``) to run all twelve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from collections.abc import Sequence
+
+from repro.benchgen.iscas89 import TABLE1_CIRCUITS
+from repro.benchgen.loader import circuit_provenance, load_circuit
+from repro.core.config import FlowConfig
+from repro.core.flow import FlowResult, ProposedFlow
+from repro.experiments.results import PAPER_TABLE1, Table1Row
+from repro.utils.tables import format_table
+
+__all__ = ["Table1Run", "run_table1", "DEFAULT_CIRCUITS",
+           "default_table1_circuits"]
+
+#: Small/medium rows: tractable in seconds each on a laptop.
+DEFAULT_CIRCUITS: tuple[str, ...] = (
+    "s344", "s382", "s444", "s510", "s641", "s713",
+    "s1196", "s1238", "s1423", "s1494",
+)
+
+ENV_FULL = "REPRO_FULL_TABLE1"
+
+
+def default_table1_circuits() -> tuple[str, ...]:
+    """Default circuit list, honouring ``REPRO_FULL_TABLE1``."""
+    if os.environ.get(ENV_FULL, "") not in ("", "0"):
+        return TABLE1_CIRCUITS
+    return DEFAULT_CIRCUITS
+
+
+@dataclasses.dataclass
+class Table1Run:
+    """The regenerated table plus per-circuit flow artefacts."""
+
+    rows: list[Table1Row]
+    flow_results: dict[str, FlowResult]
+    provenance: dict[str, str]
+    runtime_s: dict[str, float]
+
+    def render(self, include_paper: bool = True) -> str:
+        """Fixed-width text rendering (mirrors Table I's columns)."""
+        headers = [
+            "Circuit", "Trad dyn", "Trad stat", "IC dyn", "IC stat",
+            "Prop dyn", "Prop stat", "vsTrad dyn%", "vsTrad stat%",
+            "vsIC dyn%", "vsIC stat%",
+        ]
+        lines = []
+        table_rows = []
+        for row in self.rows:
+            table_rows.append([
+                row.circuit,
+                f"{row.trad_dynamic:.2e}", f"{row.trad_static:.2f}",
+                f"{row.ic_dynamic:.2e}", f"{row.ic_static:.2f}",
+                f"{row.prop_dynamic:.2e}", f"{row.prop_static:.2f}",
+                f"{row.imp_trad_dynamic:.2f}", f"{row.imp_trad_static:.2f}",
+                f"{row.imp_ic_dynamic:.2f}", f"{row.imp_ic_static:.2f}",
+            ])
+            paper = PAPER_TABLE1.get(row.circuit)
+            if include_paper and paper is not None:
+                table_rows.append([
+                    "  (paper)",
+                    f"{paper.trad_dynamic:.2e}",
+                    f"{paper.trad_static:.2f}",
+                    f"{paper.ic_dynamic:.2e}", f"{paper.ic_static:.2f}",
+                    f"{paper.prop_dynamic:.2e}",
+                    f"{paper.prop_static:.2f}",
+                    f"{paper.imp_trad_dynamic:.2f}",
+                    f"{paper.imp_trad_static:.2f}",
+                    f"{paper.imp_ic_dynamic:.2f}",
+                    f"{paper.imp_ic_static:.2f}",
+                ])
+        lines.append(format_table(headers, table_rows))
+        lines.append("")
+        lines.append("Provenance: " + ", ".join(
+            f"{name}={src}" for name, src in self.provenance.items()))
+        return "\n".join(lines)
+
+
+def run_table1(circuits: Sequence[str] | None = None,
+               config: FlowConfig | None = None,
+               verbose: bool = False) -> Table1Run:
+    """Run experiment E1 over ``circuits`` (default: the tractable set)."""
+    circuits = list(circuits) if circuits is not None \
+        else list(default_table1_circuits())
+    config = config or FlowConfig(seed=1)
+    flow = ProposedFlow(config)
+
+    rows: list[Table1Row] = []
+    results: dict[str, FlowResult] = {}
+    provenance: dict[str, str] = {}
+    runtime: dict[str, float] = {}
+    for name in circuits:
+        start = time.perf_counter()
+        circuit = load_circuit(name, seed=config.seed or 1)
+        result = flow.run(circuit)
+        elapsed = time.perf_counter() - start
+        rows.append(Table1Row.from_reports(
+            name,
+            result.reports["traditional"],
+            result.reports["input_control"],
+            result.reports["proposed"],
+        ))
+        results[name] = result
+        provenance[name] = circuit_provenance(name)
+        runtime[name] = elapsed
+        if verbose:
+            print(result.summary())
+            print(f"  [{elapsed:.1f}s]", flush=True)
+    return Table1Run(rows=rows, flow_results=results,
+                     provenance=provenance, runtime_s=runtime)

@@ -1,0 +1,42 @@
+"""Serialisation of experiment outputs (CSV / markdown)."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from collections.abc import Sequence
+
+from repro.experiments.results import Table1Row
+from repro.utils.tables import format_markdown_table
+
+__all__ = ["table1_to_csv", "table1_to_markdown"]
+
+_FIELDS = [f.name for f in dataclasses.fields(Table1Row)]
+
+
+def table1_to_csv(rows: Sequence[Table1Row]) -> str:
+    """CSV text of a regenerated Table I (header + one line per circuit)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_FIELDS)
+    for row in rows:
+        writer.writerow([getattr(row, name) for name in _FIELDS])
+    return buffer.getvalue()
+
+
+def table1_to_markdown(rows: Sequence[Table1Row]) -> str:
+    """GitHub-flavoured markdown rendering of a regenerated Table I."""
+    headers = ["Circuit", "Trad dyn (uW/Hz)", "Trad stat (uW)",
+               "IC dyn", "IC stat", "Prop dyn", "Prop stat",
+               "vs trad dyn %", "vs trad stat %",
+               "vs IC dyn %", "vs IC stat %"]
+    body = [
+        [row.circuit, f"{row.trad_dynamic:.2e}", f"{row.trad_static:.2f}",
+         f"{row.ic_dynamic:.2e}", f"{row.ic_static:.2f}",
+         f"{row.prop_dynamic:.2e}", f"{row.prop_static:.2f}",
+         f"{row.imp_trad_dynamic:.2f}", f"{row.imp_trad_static:.2f}",
+         f"{row.imp_ic_dynamic:.2f}", f"{row.imp_ic_static:.2f}"]
+        for row in rows
+    ]
+    return format_markdown_table(headers, body)

@@ -1,0 +1,68 @@
+"""Gate-level netlist representation and the ISCAS89 ``.bench`` format.
+
+Public surface:
+
+* :class:`~repro.netlist.circuit.Circuit` / :class:`~repro.netlist.circuit.Gate`
+  — the core data structure;
+* :class:`~repro.netlist.gates.GateType` and gate semantics helpers;
+* :func:`~repro.netlist.bench.parse_bench` /
+  :func:`~repro.netlist.bench.write_bench` — the ``.bench`` codec;
+* :func:`~repro.netlist.stats.circuit_stats` — summary statistics;
+* structural transforms and reference circuit builders.
+"""
+
+from repro.netlist.bench import (
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+    write_bench_file,
+)
+from repro.netlist.circuit import Circuit, Gate
+from repro.netlist.gates import (
+    COMBINATIONAL_TYPES,
+    COMMUTATIVE_TYPES,
+    SEQUENTIAL_TYPES,
+    TRANSPARENT_TYPES,
+    GateType,
+    X,
+    check_arity,
+    controlled_response,
+    controlling_value,
+    eval_gate,
+    eval_gate3,
+    is_inverting,
+)
+from repro.netlist.stats import CircuitStats, circuit_stats
+from repro.netlist.transform import (
+    propagate_constants,
+    remove_buffers,
+    sweep_dangling,
+)
+from repro.netlist import builders
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "X",
+    "COMBINATIONAL_TYPES",
+    "COMMUTATIVE_TYPES",
+    "SEQUENTIAL_TYPES",
+    "TRANSPARENT_TYPES",
+    "check_arity",
+    "controlled_response",
+    "controlling_value",
+    "eval_gate",
+    "eval_gate3",
+    "is_inverting",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "write_bench_file",
+    "CircuitStats",
+    "circuit_stats",
+    "remove_buffers",
+    "sweep_dangling",
+    "propagate_constants",
+    "builders",
+]

@@ -1,0 +1,127 @@
+"""ISCAS89 ``.bench`` format reader and writer.
+
+The ``.bench`` grammar as used by the ISCAS85/89 distributions:
+
+.. code-block:: text
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G11 = DFF(G10)
+
+Gate keywords are case-insensitive; ``BUF`` is accepted as an alias of
+``BUFF`` and ``INV`` as an alias of ``NOT``.  Zero-input tie cells are
+written as ``X = CONST0()``.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import BenchParseError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench",
+           "write_bench_file"]
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$",
+                    re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^\s=()]+)\s*=\s*([A-Za-z][A-Za-z0-9_]*)\s*\(\s*(.*?)\s*\)$")
+
+_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUFF": GateType.BUFF,
+    "BUF": GateType.BUFF,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "DFF": GateType.DFF,
+    "MUX2": GateType.MUX2,
+    "MUX": GateType.MUX2,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a validated :class:`Circuit`.
+
+    Raises :class:`BenchParseError` with line information on malformed
+    input, and :class:`NetlistError` (via validation) on structurally
+    broken netlists.
+    """
+    circuit = Circuit(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, signal = io_match.groups()
+            if keyword.upper() == "INPUT":
+                circuit.add_input(signal)
+            else:
+                circuit.add_output(signal)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            output, type_name, arg_text = gate_match.groups()
+            gtype = _TYPE_ALIASES.get(type_name.upper())
+            if gtype is None:
+                raise BenchParseError(
+                    f"unknown gate type {type_name!r}", lineno, line)
+            args = [a.strip() for a in arg_text.split(",")] if arg_text \
+                else []
+            args = [a for a in args if a]
+            try:
+                circuit.add_gate(output, gtype, args)
+            except Exception as exc:
+                raise BenchParseError(str(exc), lineno, line) from exc
+            continue
+        raise BenchParseError("unrecognised statement", lineno, line)
+    circuit.validate()
+    return circuit
+
+
+def parse_bench_file(path: str | Path, name: str | None = None) -> Circuit:
+    """Read and parse a ``.bench`` file; circuit name defaults to the stem."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    return parse_bench(text, name if name is not None else path.stem)
+
+
+def _bench_lines(circuit: Circuit) -> Iterable[str]:
+    yield f"# {circuit.name}"
+    yield (f"# {len(circuit.inputs)} inputs, {len(circuit.outputs)} outputs, "
+           f"{len(circuit.dff_gates)} DFFs, "
+           f"{len(circuit.combinational_gates())} combinational gates")
+    yield ""
+    for pi in circuit.inputs:
+        yield f"INPUT({pi})"
+    yield ""
+    for po in circuit.outputs:
+        yield f"OUTPUT({po})"
+    yield ""
+    for gate in circuit.gates.values():
+        yield f"{gate.output} = {gate.gtype.value}({', '.join(gate.inputs)})"
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialise ``circuit`` to ``.bench`` text (round-trips with parser)."""
+    return "\n".join(_bench_lines(circuit)) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: str | Path) -> Path:
+    """Write ``circuit`` to ``path`` in ``.bench`` format; returns the path."""
+    path = Path(path)
+    path.write_text(write_bench(circuit), encoding="utf-8")
+    return path

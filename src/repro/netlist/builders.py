@@ -1,0 +1,151 @@
+"""Programmatic circuit builders: reference circuits used in tests,
+examples and documentation.
+
+``s27()`` is the real ISCAS89 s27 netlist (the smallest published
+benchmark), embedded verbatim.  The toy circuits exercise specific
+structural shapes (reconvergence, transparent chains, wide gates).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.bench import parse_bench
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+__all__ = ["s27", "c17", "toy_scan_circuit", "chain_of_inverters",
+           "wide_gate_circuit", "reconvergent_circuit"]
+
+_S27_BENCH = """
+# s27 — ISCAS89 benchmark (4 inputs, 1 output, 3 DFFs, 10 gates)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+_C17_BENCH = """
+# c17 — ISCAS85 benchmark (combinational; 5 inputs, 2 outputs, 6 NAND)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+
+OUTPUT(G22)
+OUTPUT(G23)
+
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def s27() -> Circuit:
+    """The real ISCAS89 s27 benchmark circuit."""
+    return parse_bench(_S27_BENCH, "s27")
+
+
+def c17() -> Circuit:
+    """The real ISCAS85 c17 benchmark circuit (pure combinational)."""
+    return parse_bench(_C17_BENCH, "c17")
+
+
+def toy_scan_circuit() -> Circuit:
+    """A 6-flop, 3-PI circuit crafted for scan-power unit tests.
+
+    Structure highlights: two flops feed logic through blockable NAND/NOR
+    gates, one flop feeds an XOR (unblockable — transitions always pass),
+    and one flop output goes straight to a primary output.
+    """
+    c = Circuit("toy_scan")
+    for pi in ("a", "b", "c"):
+        c.add_input(pi)
+    # state elements q0..q5, next-state logic defined below
+    for i in range(6):
+        c.add_gate(f"q{i}", GateType.DFF, (f"d{i}",))
+    c.add_gate("n1", GateType.NAND, ("a", "q0"))
+    c.add_gate("n2", GateType.NOR, ("b", "q1"))
+    c.add_gate("n3", GateType.XOR, ("q2", "c"))
+    c.add_gate("n4", GateType.NAND, ("n1", "n2"))
+    c.add_gate("n5", GateType.AND, ("n3", "q3"))
+    c.add_gate("n6", GateType.OR, ("n4", "n5"))
+    c.add_gate("n7", GateType.NOT, ("q4",))
+    c.add_gate("d0", GateType.NAND, ("n6", "n7"))
+    c.add_gate("d1", GateType.NOR, ("n6", "q5"))
+    c.add_gate("d2", GateType.BUFF, ("n4",))
+    c.add_gate("d3", GateType.NOT, ("n5",))
+    c.add_gate("d4", GateType.AND, ("n1", "n3"))
+    c.add_gate("d5", GateType.OR, ("n2", "n7"))
+    c.add_output("n6")
+    c.add_output("q5")
+    c.validate()
+    return c
+
+
+def chain_of_inverters(length: int, name: str = "inv_chain") -> Circuit:
+    """A single-input inverter chain of ``length`` stages (timing tests)."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    c = Circuit(name)
+    c.add_input("in")
+    prev = "in"
+    for i in range(length):
+        out = f"s{i}"
+        c.add_gate(out, GateType.NOT, (prev,))
+        prev = out
+    c.add_output(prev)
+    c.validate()
+    return c
+
+
+def wide_gate_circuit(width: int, name: str = "wide") -> Circuit:
+    """One ``width``-input NAND and one NOR over shared inputs (mapping
+    tests for wide-gate tree decomposition)."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    c = Circuit(name)
+    pis = [c.add_input(f"i{k}") for k in range(width)]
+    c.add_gate("wnand", GateType.NAND, pis)
+    c.add_gate("wnor", GateType.NOR, pis)
+    c.add_output("wnand")
+    c.add_output("wnor")
+    c.validate()
+    return c
+
+
+def reconvergent_circuit(name: str = "reconv") -> Circuit:
+    """Classic reconvergent-fanout shape (stresses observability and ATPG).
+
+    ``a`` fans out to two paths with different parities that reconverge on
+    an XOR — a static-hazard-style topology.
+    """
+    c = Circuit(name)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("p", GateType.NOT, ("a",))
+    c.add_gate("u", GateType.AND, ("a", "b"))
+    c.add_gate("v", GateType.OR, ("p", "b"))
+    c.add_gate("y", GateType.XOR, ("u", "v"))
+    c.add_output("y")
+    c.validate()
+    return c

@@ -1,0 +1,224 @@
+"""Gate types and their logical semantics.
+
+This module is the single source of truth for:
+
+* which gate types exist (:class:`GateType`),
+* their arity constraints,
+* controlling / non-controlling values (used by the transition-blocking
+  algorithm and by PODEM),
+* inversion parity (used by backtrace),
+* 2-valued and 3-valued (0/1/X) evaluation.
+
+Three-valued logic uses the encoding ``0``, ``1`` and :data:`X` (= 2),
+matching the packed numpy representation used by the simulators.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+from repro.errors import NetlistError
+
+__all__ = [
+    "GateType",
+    "X",
+    "COMBINATIONAL_TYPES",
+    "SEQUENTIAL_TYPES",
+    "COMMUTATIVE_TYPES",
+    "TRANSPARENT_TYPES",
+    "controlling_value",
+    "controlled_response",
+    "is_inverting",
+    "check_arity",
+    "eval_gate",
+    "eval_gate3",
+]
+
+#: Three-valued "unknown" marker.
+X = 2
+
+
+class GateType(enum.Enum):
+    """Every gate type understood by the library.
+
+    ``DFF`` is the only sequential element (a positive-edge D flip-flop in
+    ISCAS89 benchmarks); everything else is combinational.  ``CONST0`` /
+    ``CONST1`` are zero-input tie cells used for MUX data pins tied to
+    Gnd / Vcc.  ``MUX2`` is the 2:1 multiplexer inserted by the proposed
+    method, with pin order ``(select, d0, d1)``.
+    """
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    NOT = "NOT"
+    BUFF = "BUFF"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    MUX2 = "MUX2"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    DFF = "DFF"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gate types evaluated by the combinational simulators.
+COMBINATIONAL_TYPES = frozenset(t for t in GateType if t is not GateType.DFF)
+
+#: Sequential gate types (state elements replaced by scan cells).
+SEQUENTIAL_TYPES = frozenset({GateType.DFF})
+
+#: Types whose inputs may be freely permuted without changing the function.
+COMMUTATIVE_TYPES = frozenset({
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR,
+})
+
+#: Types through which a transition on any input always propagates
+#: (no side input can block it) — the paper's Update TNS/TGS step (c)
+#: lists NOT, XOR, XNOR and fanout branches.
+TRANSPARENT_TYPES = frozenset({
+    GateType.NOT, GateType.BUFF, GateType.XOR, GateType.XNOR,
+})
+
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+_CONTROLLED_RESPONSE = {
+    GateType.AND: 0,
+    GateType.NAND: 1,
+    GateType.OR: 1,
+    GateType.NOR: 0,
+}
+
+_INVERTING = frozenset({
+    GateType.NAND, GateType.NOR, GateType.NOT, GateType.XNOR,
+})
+
+# (min_arity, max_arity); None means unbounded.
+_ARITY = {
+    GateType.AND: (2, None),
+    GateType.NAND: (2, None),
+    GateType.OR: (2, None),
+    GateType.NOR: (2, None),
+    GateType.NOT: (1, 1),
+    GateType.BUFF: (1, 1),
+    GateType.XOR: (2, None),
+    GateType.XNOR: (2, None),
+    GateType.MUX2: (3, 3),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+    GateType.DFF: (1, 1),
+}
+
+
+def controlling_value(gtype: GateType) -> int | None:
+    """Controlling input value of ``gtype`` (``None`` if it has none).
+
+    A controlling value on any input fixes the output regardless of the
+    other inputs: 0 for AND/NAND, 1 for OR/NOR.  NOT/BUFF/XOR/XNOR/MUX2
+    have no controlling value.
+    """
+    return _CONTROLLING.get(gtype)
+
+
+def controlled_response(gtype: GateType) -> int | None:
+    """Output value of ``gtype`` when some input has the controlling value."""
+    return _CONTROLLED_RESPONSE.get(gtype)
+
+
+def is_inverting(gtype: GateType) -> bool:
+    """True if the gate inverts parity from any single input to the output.
+
+    Used by backtrace to track the required value through a chain of gates.
+    For XOR/XNOR the notion applies to the single input being traced with
+    the other inputs held; XOR is parity-preserving, XNOR parity-inverting.
+    """
+    return gtype in _INVERTING
+
+
+def check_arity(gtype: GateType, n_inputs: int) -> None:
+    """Raise :class:`NetlistError` when ``n_inputs`` is illegal for ``gtype``."""
+    lo, hi = _ARITY[gtype]
+    if n_inputs < lo or (hi is not None and n_inputs > hi):
+        bound = f"exactly {lo}" if hi == lo else f">= {lo}"
+        raise NetlistError(
+            f"{gtype} requires {bound} inputs, got {n_inputs}")
+
+
+def eval_gate(gtype: GateType, values: Sequence[int]) -> int:
+    """Two-valued evaluation of one gate. ``values`` are 0/1 ints.
+
+    ``DFF`` is transparent here (returns its D input); sequential behaviour
+    is handled by the scan/simulation layers, which decide *when* to update.
+    """
+    if gtype is GateType.AND:
+        return int(all(values))
+    if gtype is GateType.NAND:
+        return int(not all(values))
+    if gtype is GateType.OR:
+        return int(any(values))
+    if gtype is GateType.NOR:
+        return int(not any(values))
+    if gtype is GateType.NOT:
+        return 1 - values[0]
+    if gtype in (GateType.BUFF, GateType.DFF):
+        return int(values[0])
+    if gtype is GateType.XOR:
+        return int(sum(values) & 1)
+    if gtype is GateType.XNOR:
+        return int(1 - (sum(values) & 1))
+    if gtype is GateType.MUX2:
+        sel, d0, d1 = values
+        return int(d1 if sel else d0)
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    raise NetlistError(f"cannot evaluate gate type {gtype}")
+
+
+def eval_gate3(gtype: GateType, values: Sequence[int]) -> int:
+    """Three-valued (0/1/X) evaluation of one gate.
+
+    Standard pessimistic X-propagation: a controlling value dominates X;
+    an X anywhere else makes the output X.  For MUX2 an X select with equal
+    data values still yields that value.
+    """
+    cv = controlling_value(gtype)
+    if cv is not None:
+        if cv in values:
+            return _CONTROLLED_RESPONSE[gtype]
+        if X in values:
+            return X
+        return 1 - _CONTROLLED_RESPONSE[gtype]
+    if gtype is GateType.NOT:
+        v = values[0]
+        return X if v == X else 1 - v
+    if gtype in (GateType.BUFF, GateType.DFF):
+        return values[0]
+    if gtype in (GateType.XOR, GateType.XNOR):
+        if X in values:
+            return X
+        parity = sum(values) & 1
+        return parity if gtype is GateType.XOR else 1 - parity
+    if gtype is GateType.MUX2:
+        sel, d0, d1 = values
+        if sel == 0:
+            return d0
+        if sel == 1:
+            return d1
+        return d0 if d0 == d1 and d0 != X else X
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    raise NetlistError(f"cannot evaluate gate type {gtype}")

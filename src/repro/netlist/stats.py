@@ -1,0 +1,62 @@
+"""Circuit statistics: gate-type histogram, depth, fanout distribution."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+__all__ = ["CircuitStats", "circuit_stats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics for a :class:`~repro.netlist.Circuit`."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_dffs: int
+    n_gates: int                     # combinational gates only
+    gate_counts: dict[str, int]      # per combinational gate type
+    depth: int                       # max logic level
+    max_fanout: int
+    mean_fanout: float               # over lines with at least one sink
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        type_part = ", ".join(
+            f"{t}:{n}" for t, n in sorted(self.gate_counts.items()))
+        return (
+            f"{self.name}: {self.n_inputs} PI, {self.n_outputs} PO, "
+            f"{self.n_dffs} DFF, {self.n_gates} gates ({type_part}), "
+            f"depth {self.depth}, fanout max {self.max_fanout} "
+            f"mean {self.mean_fanout:.2f}")
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for ``circuit``."""
+    counts: Counter[str] = Counter()
+    for gate in circuit.combinational_gates():
+        counts[gate.gtype.value] += 1
+
+    fanouts = [circuit.fanout_count(line) for line in circuit.lines()]
+    used = [f for f in fanouts if f > 0]
+    return CircuitStats(
+        name=circuit.name,
+        n_inputs=len(circuit.inputs),
+        n_outputs=len(circuit.outputs),
+        n_dffs=len(circuit.dff_gates),
+        n_gates=len(circuit.combinational_gates()),
+        gate_counts=dict(counts),
+        depth=circuit.depth(),
+        max_fanout=max(fanouts, default=0),
+        mean_fanout=(sum(used) / len(used)) if used else 0.0,
+    )
+
+
+def count_type(circuit: Circuit, gtype: GateType) -> int:
+    """Number of gates of ``gtype`` in ``circuit`` (including DFF)."""
+    return sum(1 for g in circuit.gates.values() if g.gtype is gtype)

@@ -1,0 +1,152 @@
+"""Structural netlist transforms.
+
+These are conservative, function-preserving clean-ups used before mapping
+and by the synthetic benchmark generator:
+
+* :func:`remove_buffers` — splice out BUFF gates;
+* :func:`sweep_dangling` — delete combinational gates whose outputs reach
+  neither a primary output nor a flop;
+* :func:`propagate_constants` — fold CONST0/CONST1 drivers into fanout
+  gates where the result stays within the supported gate types.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit, Gate
+from repro.netlist.gates import GateType, SEQUENTIAL_TYPES
+
+__all__ = ["remove_buffers", "sweep_dangling", "propagate_constants"]
+
+
+def remove_buffers(circuit: Circuit) -> int:
+    """Splice out every BUFF gate; returns the number removed.
+
+    A buffer whose output is a primary output is kept (removing it would
+    rename the PO), unless its input is itself a primary output already.
+    """
+    removed = 0
+    for line in list(circuit.gates):
+        gate = circuit.gates.get(line)
+        if gate is None or gate.gtype is not GateType.BUFF:
+            continue
+        if circuit.is_output(gate.output):
+            continue
+        source = gate.inputs[0]
+        circuit.remove_gate(gate.output)
+        for sink, _pin in list(circuit.fanout(gate.output)):
+            sink_gate = circuit.gates[sink]
+            new_inputs = tuple(source if i == gate.output else i
+                               for i in sink_gate.inputs)
+            circuit.replace_gate(sink, sink_gate.gtype, new_inputs)
+        removed += 1
+    circuit.validate()
+    return removed
+
+
+def sweep_dangling(circuit: Circuit) -> int:
+    """Remove combinational gates observing neither a PO nor a flop.
+
+    Iterates to a fixed point; returns the total number of gates removed.
+    DFF gates and primary outputs are roots.
+    """
+    removed = 0
+    while True:
+        roots = set(circuit.outputs)
+        for dff in circuit.dff_gates:
+            roots.add(dff.output)
+            roots.update(dff.inputs)
+        dead = [
+            g.output for g in circuit.combinational_gates()
+            if g.output not in roots and circuit.fanout_count(g.output) == 0
+        ]
+        if not dead:
+            break
+        for line in dead:
+            circuit.remove_gate(line)
+            removed += 1
+    circuit.validate()
+    return removed
+
+
+_CONST_TYPES = (GateType.CONST0, GateType.CONST1)
+
+
+def propagate_constants(circuit: Circuit) -> int:
+    """Fold constant drivers into their fanout gates; returns folds done.
+
+    Handles the cases needed after MUX tie-off insertion:
+
+    * AND/NAND with a constant-0 input becomes CONST0/CONST1;
+    * OR/NOR with a constant-1 input becomes CONST1/CONST0;
+    * non-controlling constant inputs are dropped (gate arity shrinks;
+      a 1-input AND/OR collapses to BUFF, NAND/NOR to NOT);
+    * NOT/BUFF of a constant becomes the complementary/same constant.
+
+    Constants feeding DFFs, XOR/XNOR or MUX2 selects are left alone (the
+    scan analysis handles those natively).  Unused constant gates are *not*
+    deleted here; run :func:`sweep_dangling` afterwards.
+    """
+    folds = 0
+    changed = True
+    while changed:
+        changed = False
+        const_value = {
+            g.output: (0 if g.gtype is GateType.CONST0 else 1)
+            for g in circuit.combinational_gates()
+            if g.gtype in _CONST_TYPES
+        }
+        if not const_value:
+            break
+        for gate in list(circuit.combinational_gates()):
+            if gate.gtype in _CONST_TYPES:
+                continue
+            if not any(i in const_value for i in gate.inputs):
+                continue
+            folded = _fold_gate(gate, const_value)
+            if folded is not None and folded != (gate.gtype, gate.inputs):
+                circuit.replace_gate(gate.output, folded[0], folded[1])
+                folds += 1
+                changed = True
+    circuit.validate()
+    return folds
+
+
+def _fold_gate(gate: Gate, const_value: dict[str, int]
+               ) -> tuple[GateType, tuple[str, ...]] | None:
+    """Folded (gtype, inputs) for ``gate``, or None when not foldable."""
+    gtype = gate.gtype
+    if gtype in SEQUENTIAL_TYPES or gtype in (
+            GateType.XOR, GateType.XNOR, GateType.MUX2):
+        return None
+    if gtype in (GateType.NOT, GateType.BUFF):
+        value = const_value.get(gate.inputs[0])
+        if value is None:
+            return None
+        if gtype is GateType.NOT:
+            value = 1 - value
+        new_type = GateType.CONST1 if value else GateType.CONST0
+        return (new_type, ())
+
+    controlling = 0 if gtype in (GateType.AND, GateType.NAND) else 1
+    inverting = gtype in (GateType.NAND, GateType.NOR)
+    kept: list[str] = []
+    for src in gate.inputs:
+        value = const_value.get(src)
+        if value is None:
+            kept.append(src)
+        elif value == controlling:
+            out = controlling ^ (1 if inverting else 0)
+            new_type = GateType.CONST1 if out else GateType.CONST0
+            return (new_type, ())
+        # non-controlling constant: drop the input
+    if len(kept) == len(gate.inputs):
+        return None
+    if not kept:
+        # all inputs were non-controlling constants
+        out = (1 - controlling) ^ (1 if inverting else 0)
+        new_type = GateType.CONST1 if out else GateType.CONST0
+        return (new_type, ())
+    if len(kept) == 1:
+        new_type = GateType.NOT if inverting else GateType.BUFF
+        return (new_type, tuple(kept))
+    return (gtype, tuple(kept))

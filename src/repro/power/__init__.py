@@ -1,0 +1,28 @@
+"""Dynamic power model and the scan-shift power evaluator (Table I)."""
+
+from repro.power.dynamic import (
+    energy_per_cycle_uw_per_hz,
+    switching_energy_fj,
+    weighted_switching_activity,
+)
+from repro.power.peak import PeakPowerReport, analyze_peak_power
+from repro.power.scanpower import (
+    ScanPowerReport,
+    ShiftPolicy,
+    episode_waveforms,
+    evaluate_scan_power,
+    per_cycle_energy_fj,
+)
+
+__all__ = [
+    "switching_energy_fj",
+    "energy_per_cycle_uw_per_hz",
+    "weighted_switching_activity",
+    "ShiftPolicy",
+    "ScanPowerReport",
+    "evaluate_scan_power",
+    "per_cycle_energy_fj",
+    "episode_waveforms",
+    "PeakPowerReport",
+    "analyze_peak_power",
+]

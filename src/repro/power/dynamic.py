@@ -1,0 +1,71 @@
+"""Dynamic (switching) power accounting — paper equation (1).
+
+Dynamic energy is ``0.5 * C * VDD^2`` per output transition, with ``C``
+the switched capacitance (fanout pins + wire + the cell's internal
+capacitance).  Table I reports the frequency-normalised value ("must be
+multiplied by the working frequency to give the actual dynamic power"),
+i.e. the **average switching energy per clock cycle** expressed in uW/Hz
+(numerically: joules).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.cells.capacitance import switched_caps_ff
+from repro.cells.library import CellLibrary, default_library
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "switching_energy_fj",
+    "energy_per_cycle_uw_per_hz",
+    "weighted_switching_activity",
+]
+
+#: 1 fJ per cycle expressed in uW/Hz (1e-15 J * 1e6 uW/W).
+_FJ_TO_UW_PER_HZ = 1e-9
+
+
+def switching_energy_fj(circuit: Circuit, transitions: Mapping[str, int],
+                        library: CellLibrary | None = None,
+                        lines: Iterable[str] | None = None) -> float:
+    """Total switching energy (fJ) of the given per-line transition counts.
+
+    ``lines`` restricts accounting (default: every counted line). Only
+    capacitance attached to the combinational netlist is considered —
+    matching the paper's "power dissipated in the combinational part".
+    """
+    library = library or default_library()
+    caps = switched_caps_ff(circuit, library)
+    selected = transitions if lines is None else {
+        line: transitions[line] for line in lines if line in transitions}
+    energy = 0.0
+    for line, count in selected.items():
+        if count == 0:
+            continue
+        energy += count * library.switching_energy_fj(caps.get(line, 0.0))
+    return energy
+
+
+def energy_per_cycle_uw_per_hz(total_energy_fj: float,
+                               n_cycles: int) -> float:
+    """Convert total energy over an episode into Table I's uW/Hz metric."""
+    if n_cycles <= 0:
+        return 0.0
+    return total_energy_fj / n_cycles * _FJ_TO_UW_PER_HZ
+
+
+def weighted_switching_activity(circuit: Circuit,
+                                transitions: Mapping[str, int],
+                                library: CellLibrary | None = None
+                                ) -> float:
+    """Capacitance-weighted transition count (fF-transitions).
+
+    The classic WSA metric: like :func:`switching_energy_fj` but without
+    the ``0.5 * VDD^2`` scale, handy for technology-independent
+    comparisons.
+    """
+    library = library or default_library()
+    caps = switched_caps_ff(circuit, library)
+    return sum(count * caps.get(line, 0.0)
+               for line, count in transitions.items())

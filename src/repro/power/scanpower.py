@@ -1,0 +1,235 @@
+"""Scan-shift power evaluation — the measurement behind Table I.
+
+Given a full-scan design, a test set and a *shift policy* (how primary
+inputs and muxed pseudo-inputs are driven while shifting), this module
+replays the entire scan episode cycle by cycle:
+
+* per test vector: ``L`` shift cycles (the response of the previous
+  vector shifts out while the new one shifts in), then one capture cycle
+  in normal mode (multiplexers transparent, PIs at their test values);
+* the settled combinational state of every cycle is simulated in one
+  packed pass; transitions are weighted by switched capacitance (dynamic,
+  eq. 1) and each cycle's gate input patterns are priced with the leakage
+  tables (static, eq. 5).
+
+Reported metrics mirror Table I exactly: dynamic as energy/cycle in uW/Hz
+(multiply by the shift frequency for watts), static as the mean leakage
+power in uW, both for the **combinational part** of the circuit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.cells.capacitance import switched_caps_ff
+from repro.cells.library import CellLibrary, default_library
+from repro.errors import ScanError
+from repro.leakage.estimator import _word_to_bool_array, leakage_power_uw
+from repro.power.dynamic import (
+    energy_per_cycle_uw_per_hz,
+    switching_energy_fj,
+)
+from repro.scan.testview import ScanDesign, TestVector
+from repro.simulation.cyclesim import simulate_cycles
+from repro.simulation.values import pack_bits
+
+__all__ = ["ShiftPolicy", "ScanPowerReport", "evaluate_scan_power",
+           "per_cycle_energy_fj", "episode_waveforms"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShiftPolicy:
+    """How controlled inputs are driven during shift mode.
+
+    Attributes
+    ----------
+    name:
+        Label for reports ("traditional", "input_control", "proposed").
+    pi_values:
+        Constant values applied to primary inputs while shifting; ``None``
+        leaves the PIs at each test vector's own values (traditional
+        scan).  May cover a subset of PIs (the rest hold test values).
+    mux_ties:
+        Constant presented by the inserted MUX on each muxed pseudo-input
+        during shift (empty when no MUXes exist).
+    """
+
+    name: str = "traditional"
+    pi_values: Mapping[str, int] | None = None
+    mux_ties: Mapping[str, int] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class ScanPowerReport:
+    """Power measured over one full scan episode (one Table I row cell)."""
+
+    circuit_name: str
+    policy_name: str
+    n_vectors: int
+    n_cycles: int
+    dynamic_uw_per_hz: float
+    static_uw: float
+    total_transitions: int
+    mean_leakage_na: float
+
+    def improvement_vs(self, baseline: "ScanPowerReport"
+                       ) -> tuple[float, float]:
+        """(dynamic %, static %) improvement relative to ``baseline``."""
+        def pct(base: float, ours: float) -> float:
+            if base == 0:
+                return 0.0
+            return (base - ours) / base * 100.0
+        return (pct(baseline.dynamic_uw_per_hz, self.dynamic_uw_per_hz),
+                pct(baseline.static_uw, self.static_uw))
+
+
+def _policy_pi_bit(policy: ShiftPolicy, pi: str, vector: TestVector) -> int:
+    if policy.pi_values is not None and pi in policy.pi_values:
+        return policy.pi_values[pi]
+    return vector.pi_values[pi]
+
+
+def _episode_waveforms(design: ScanDesign, vectors: Sequence[TestVector],
+                       policy: ShiftPolicy, include_capture: bool,
+                       initial_state: Sequence[int] | None
+                       ) -> tuple[dict[str, int], int]:
+    """Per-line packed waveforms of the whole scan episode.
+
+    Shift cycles present the policy's constants (PIs, MUX ties) and the
+    live chain state on non-muxed pseudo-inputs; capture cycles present
+    the test vector itself (MUXes transparent in normal mode).
+    """
+    circuit = design.circuit
+    chain = design.chain
+    if not vectors:
+        raise ScanError("empty test set")
+    unknown_mux = set(policy.mux_ties) - set(chain.q_lines)
+    if unknown_mux:
+        raise ScanError(f"mux ties on unknown cells: {sorted(unknown_mux)}")
+
+    state = tuple(initial_state) if initial_state is not None \
+        else (0,) * chain.length
+    if len(state) != chain.length:
+        raise ScanError("initial state length mismatch")
+
+    pi_bits: dict[str, list[int]] = {pi: [] for pi in circuit.inputs}
+    q_bits: dict[str, list[int]] = {q: [] for q in chain.q_lines}
+    for vector in vectors:
+        if len(vector.scan_state) != chain.length:
+            raise ScanError("test vector scan state length mismatch")
+        shift_states = chain.load_states(state, vector.scan_state)
+        for cycle_state in shift_states:
+            for pi in circuit.inputs:
+                pi_bits[pi].append(_policy_pi_bit(policy, pi, vector))
+            for cell, bit in zip(chain.cells, cycle_state):
+                tie = policy.mux_ties.get(cell.q)
+                q_bits[cell.q].append(bit if tie is None else tie)
+        if shift_states[-1] != vector.scan_state:
+            raise ScanError("shift protocol failed to load the vector")
+        if include_capture:
+            for pi in circuit.inputs:
+                pi_bits[pi].append(vector.pi_values[pi])
+            for cell, bit in zip(chain.cells, vector.scan_state):
+                q_bits[cell.q].append(bit)
+        state, _po_values = design.capture(vector)
+
+    all_bits = {**pi_bits, **q_bits}
+    n_cycles = len(next(iter(all_bits.values())))
+    waveforms = {line: pack_bits(bits) for line, bits in all_bits.items()}
+    return waveforms, n_cycles
+
+
+def episode_waveforms(design: ScanDesign, vectors: Sequence[TestVector],
+                      policy: ShiftPolicy | None = None,
+                      include_capture: bool = True,
+                      initial_state: Sequence[int] | None = None
+                      ) -> tuple[dict[str, int], int]:
+    """Public wrapper over the episode waveform builder.
+
+    Returns ``(per-line packed waveforms, n_cycles)`` for the whole scan
+    episode — useful for custom analyses (spectra, peak windows, VCD-ish
+    dumps) on top of the same shift semantics the evaluator uses.
+    """
+    return _episode_waveforms(design, vectors, policy or ShiftPolicy(),
+                              include_capture, initial_state)
+
+
+def evaluate_scan_power(design: ScanDesign,
+                        vectors: Sequence[TestVector],
+                        policy: ShiftPolicy | None = None,
+                        library: CellLibrary | None = None,
+                        include_capture: bool = True,
+                        initial_state: Sequence[int] | None = None
+                        ) -> ScanPowerReport:
+    """Replay a scan test set and measure combinational power.
+
+    Parameters
+    ----------
+    design:
+        The full-scan circuit plus chain.
+    vectors:
+        Test set in application order; each supplies PI values and the
+        chain load state.
+    policy:
+        Shift-mode drive policy (default: traditional scan).
+    include_capture:
+        Include each vector's capture cycle in the episode (the mode
+        switch transitions are real and are charged to the method causing
+        them).
+    initial_state:
+        Chain contents before the first shift (default all zeros).
+    """
+    policy = policy or ShiftPolicy()
+    library = library or default_library()
+    circuit = design.circuit
+
+    waveforms, n_cycles = _episode_waveforms(
+        design, vectors, policy, include_capture, initial_state)
+    result = simulate_cycles(circuit, waveforms, n_cycles, library,
+                             collect_leakage=True)
+    energy_fj = switching_energy_fj(circuit, result.transitions, library)
+    mean_leak_na = result.mean_leakage_na
+    return ScanPowerReport(
+        circuit_name=circuit.name,
+        policy_name=policy.name,
+        n_vectors=len(vectors),
+        n_cycles=n_cycles,
+        dynamic_uw_per_hz=energy_per_cycle_uw_per_hz(energy_fj, n_cycles),
+        static_uw=leakage_power_uw(mean_leak_na, library.vdd),
+        total_transitions=result.total_transitions,
+        mean_leakage_na=mean_leak_na,
+    )
+
+
+def per_cycle_energy_fj(design: ScanDesign,
+                        vectors: Sequence[TestVector],
+                        policy: ShiftPolicy | None = None,
+                        library: CellLibrary | None = None,
+                        include_capture: bool = True
+                        ) -> np.ndarray:
+    """Per-cycle-boundary switching energy profile (peak-power studies).
+
+    Memory/time scale with lines x cycles; intended for the smaller
+    circuits (ablation benches use it, Table I does not need it).
+    """
+    policy = policy or ShiftPolicy()
+    library = library or default_library()
+    circuit = design.circuit
+    waveforms, n_cycles = _episode_waveforms(
+        design, vectors, policy, include_capture, None)
+    sim = simulate_cycles(circuit, waveforms, n_cycles, library,
+                          collect_leakage=False, keep_waveforms=True)
+    caps = switched_caps_ff(circuit, library)
+    profile = np.zeros(max(n_cycles - 1, 0), dtype=np.float64)
+    assert sim.waveforms is not None
+    boundary_mask = (1 << max(n_cycles - 1, 0)) - 1
+    for line, word in sim.waveforms.items():
+        toggles = (word ^ (word >> 1)) & boundary_mask
+        if toggles == 0:
+            continue
+        bits = _word_to_bool_array(toggles, n_cycles - 1)
+        profile += bits * library.switching_energy_fj(caps.get(line, 0.0))
+    return profile

@@ -1,0 +1,33 @@
+"""Scan structures: chains, test view, MUX insertion (paper Figure 1)."""
+
+from repro.scan.chain import ScanCell, ScanChain
+from repro.scan.multichain import (
+    MultiChainDesign,
+    evaluate_multichain_power,
+    total_test_cycles,
+)
+from repro.scan.mux import SHIFT_ENABLE, MuxPlan, insert_muxes
+from repro.scan.ordering import (
+    OrderingResult,
+    hamming_path_cost,
+    reorder_chain,
+    reorder_vectors,
+)
+from repro.scan.testview import ScanDesign, TestVector
+
+__all__ = [
+    "ScanCell",
+    "ScanChain",
+    "ScanDesign",
+    "TestVector",
+    "MuxPlan",
+    "insert_muxes",
+    "SHIFT_ENABLE",
+    "OrderingResult",
+    "reorder_vectors",
+    "reorder_chain",
+    "hamming_path_cost",
+    "MultiChainDesign",
+    "evaluate_multichain_power",
+    "total_test_cycles",
+]

@@ -1,0 +1,149 @@
+"""Scan chain model and shift-state generation.
+
+A full-scan design replaces every DFF with a scan cell; the cells form a
+shift register.  Position 0 is nearest the scan-in pin; on every shift
+clock ``state'[0] = scan_in`` and ``state'[p] = state[p-1]``.  Loading a
+test vector ``v`` therefore feeds bits in the order
+``v[L-1], v[L-2], ..., v[0]`` and takes exactly ``L`` shifts, during which
+all the intermediate chain states drive the circuit's pseudo-inputs —
+these intermediate states are precisely the transitions the paper's
+structure blocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator, Sequence
+
+from repro.errors import ScanError
+from repro.netlist.circuit import Circuit
+from repro.utils.rng import make_rng
+
+__all__ = ["ScanCell", "ScanChain"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanCell:
+    """One scan cell: its Q line (pseudo-input) and D line (pseudo-output)."""
+
+    q: str
+    d: str
+
+
+class ScanChain:
+    """An ordered scan chain over a circuit's flops.
+
+    The paper performs **no** scan-cell reordering ("No test vector
+    reordering or scan cell reordering was performed"); the default order
+    is the flop declaration order, with an optional seeded shuffle for
+    sensitivity studies.
+    """
+
+    def __init__(self, cells: Sequence[ScanCell], name: str = "chain0"):
+        if not cells:
+            raise ScanError("scan chain must contain at least one cell")
+        q_names = [c.q for c in cells]
+        if len(set(q_names)) != len(q_names):
+            raise ScanError("duplicate scan cells in chain")
+        self.name = name
+        self._cells = tuple(cells)
+        self._position = {c.q: i for i, c in enumerate(self._cells)}
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit,
+                     order: Sequence[str] | None = None,
+                     seed: int | None = None,
+                     name: str = "chain0") -> "ScanChain":
+        """Build the chain from a circuit's DFFs.
+
+        ``order`` (Q line names) overrides the declaration order; ``seed``
+        applies a reproducible shuffle instead.
+        """
+        by_q = {g.output: ScanCell(q=g.output, d=g.inputs[0])
+                for g in circuit.dff_gates}
+        if not by_q:
+            raise ScanError(f"{circuit.name}: no flops to scan")
+        if order is not None:
+            missing = set(by_q) - set(order)
+            extra = set(order) - set(by_q)
+            if missing or extra:
+                raise ScanError(
+                    f"chain order mismatch: missing={sorted(missing)} "
+                    f"unknown={sorted(extra)}")
+            cells = [by_q[q] for q in order]
+        else:
+            cells = list(by_q.values())
+            if seed is not None:
+                rng = make_rng(seed)
+                rng.shuffle(cells)
+        return cls(cells, name=name)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cells(self) -> tuple[ScanCell, ...]:
+        return self._cells
+
+    @property
+    def length(self) -> int:
+        return len(self._cells)
+
+    @property
+    def q_lines(self) -> list[str]:
+        """Pseudo-input lines in chain order."""
+        return [c.q for c in self._cells]
+
+    @property
+    def d_lines(self) -> list[str]:
+        """Pseudo-output lines in chain order."""
+        return [c.d for c in self._cells]
+
+    def position_of(self, q_line: str) -> int:
+        """Chain position of the cell with output ``q_line``."""
+        try:
+            return self._position[q_line]
+        except KeyError:
+            raise ScanError(f"{q_line!r} is not in chain "
+                            f"{self.name}") from None
+
+    # ------------------------------------------------------------------ #
+    # shift semantics
+    # ------------------------------------------------------------------ #
+
+    def shift_once(self, state: tuple[int, ...],
+                   scan_in: int) -> tuple[int, ...]:
+        """One shift clock: returns the next chain state."""
+        if len(state) != self.length:
+            raise ScanError("state length mismatch")
+        return (scan_in,) + state[:-1]
+
+    def load_bits(self, vector: Sequence[int]) -> list[int]:
+        """Scan-in bit sequence that loads ``vector`` in ``length`` shifts."""
+        if len(vector) != self.length:
+            raise ScanError("vector length mismatch")
+        return [vector[self.length - 1 - t] for t in range(self.length)]
+
+    def shift_states(self, initial: Sequence[int],
+                     scan_in_bits: Sequence[int]
+                     ) -> Iterator[tuple[int, ...]]:
+        """Yield the chain state after each shift of ``scan_in_bits``."""
+        state = tuple(initial)
+        if len(state) != self.length:
+            raise ScanError("initial state length mismatch")
+        for bit in scan_in_bits:
+            state = self.shift_once(state, bit)
+            yield state
+
+    def load_states(self, initial: Sequence[int],
+                    vector: Sequence[int]) -> list[tuple[int, ...]]:
+        """All intermediate states while loading ``vector``.
+
+        The last returned state equals ``vector`` — the property the whole
+        scan protocol rests on (and the chain's unit tests assert).
+        """
+        return list(self.shift_states(initial, self.load_bits(vector)))
+
+    def state_as_dict(self, state: Sequence[int]) -> dict[str, int]:
+        """Map a positional state onto Q line names."""
+        return {cell.q: value
+                for cell, value in zip(self._cells, state)}

@@ -1,0 +1,101 @@
+"""Physical MUX insertion at scan-cell outputs (the paper's Figure 1).
+
+The proposed structure places a 2:1 MUX on selected pseudo-inputs:
+
+* select = the existing **Shift Enable** signal (no new control signal);
+* one data pin = the scan cell's Q;
+* the other data pin tied locally to Vcc or Gnd (no routing overhead).
+
+During shift, the MUX presents the tie value to the combinational logic;
+in normal/capture mode it is transparent to Q, so fault coverage and
+functionality are untouched.
+
+Most analyses in this library model MUXes *virtually* (by substituting
+constant waveforms for the muxed pseudo-inputs), which is exact for power
+purposes.  This module performs the *netlist-level* rewrite, which is what
+the timing re-check in the paper's AddMUX uses, and what area accounting
+measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.cells.library import CellLibrary, default_library
+from repro.errors import ScanError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+__all__ = ["MuxPlan", "insert_muxes", "SHIFT_ENABLE"]
+
+#: Name given to the shift-enable primary input in rewritten netlists.
+SHIFT_ENABLE = "scan_shift_enable"
+
+
+@dataclasses.dataclass(frozen=True)
+class MuxPlan:
+    """Which pseudo-inputs get MUXes and which constant each one ties to.
+
+    ``tie_values[q]`` is the value presented during shift mode.  Pseudo-
+    inputs absent from ``tie_values`` keep their direct connection (their
+    transitions must be suppressed by the controlled-input pattern
+    instead).
+    """
+
+    tie_values: Mapping[str, int]
+
+    @property
+    def muxed_lines(self) -> frozenset[str]:
+        return frozenset(self.tie_values)
+
+    def area_overhead_um2(self, library: CellLibrary | None = None) -> float:
+        """Total added cell area (MUX2 + tie cells)."""
+        library = library or default_library()
+        mux_area = library.spec(GateType.MUX2, 3).area_um2
+        tie_area = library.spec(GateType.CONST0, 0).area_um2
+        return len(self.tie_values) * (mux_area + tie_area)
+
+
+def insert_muxes(circuit: Circuit, plan: MuxPlan,
+                 shift_enable: str = SHIFT_ENABLE) -> Circuit:
+    """Return a new circuit with the plan's MUXes physically inserted.
+
+    For each muxed pseudo-input ``q``: a tie cell, then
+    ``q__mux = MUX2(shift_enable, q, tie)`` (shift-enable high selects the
+    tie value), with every former sink of ``q`` rewired to ``q__mux``.
+    """
+    dff_outputs = set(circuit.dff_outputs)
+    unknown = set(plan.tie_values) - dff_outputs
+    if unknown:
+        raise ScanError(
+            f"not pseudo-inputs (flop Q lines): {sorted(unknown)}")
+
+    rewritten = circuit.copy()
+    if not rewritten.has_line(shift_enable):
+        rewritten.add_input(shift_enable)
+
+    for q_line, tie in plan.tie_values.items():
+        if tie not in (0, 1):
+            raise ScanError(f"tie value for {q_line!r} must be 0/1")
+        tie_line = f"{q_line}__tie"
+        mux_line = f"{q_line}__mux"
+        for name in (tie_line, mux_line):
+            if rewritten.has_line(name):
+                raise ScanError(f"name collision inserting MUX: {name!r}")
+        sinks = list(rewritten.fanout(q_line))
+        tie_type = GateType.CONST1 if tie else GateType.CONST0
+        rewritten.add_gate(tie_line, tie_type, ())
+        rewritten.add_gate(mux_line, GateType.MUX2,
+                           (shift_enable, q_line, tie_line))
+        for sink, _pin in sinks:
+            gate = rewritten.gates[sink]
+            new_inputs = tuple(
+                mux_line if src == q_line else src for src in gate.inputs)
+            rewritten.replace_gate(sink, gate.gtype, new_inputs)
+        if rewritten.is_output(q_line):
+            # A Q line that is also a PO keeps its direct connection; the
+            # MUX only shields the combinational fanout.
+            pass
+    rewritten.validate()
+    return rewritten

@@ -1,0 +1,102 @@
+"""The scan test view: a sequential circuit seen through its scan chain.
+
+In full-scan testing the combinational logic is exercised as a pure
+function from (primary inputs + pseudo-inputs) to (primary outputs +
+pseudo-outputs).  :class:`ScanDesign` bundles a circuit with its chain and
+provides the capture-cycle semantics used by the scan-power simulator and
+the ATPG.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ScanError
+from repro.netlist.circuit import Circuit
+from repro.scan.chain import ScanChain
+from repro.simulation.eval2 import simulate_comb
+
+__all__ = ["ScanDesign", "TestVector"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TestVector:
+    """One scan test: values for every PI and every scan cell.
+
+    ``scan_state`` is positional (chain order); ``pi_values`` is keyed by
+    primary input name.
+    """
+
+    #: keep pytest from collecting this dataclass as a test case
+    __test__ = False
+
+    pi_values: Mapping[str, int]
+    scan_state: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for name, value in self.pi_values.items():
+            if value not in (0, 1):
+                raise ScanError(f"PI {name!r} value {value!r} not 0/1")
+        if any(b not in (0, 1) for b in self.scan_state):
+            raise ScanError("scan state bits must be 0/1")
+
+
+class ScanDesign:
+    """A full-scan circuit: combinational logic plus one scan chain."""
+
+    def __init__(self, circuit: Circuit, chain: ScanChain | None = None):
+        if not circuit.dff_gates:
+            raise ScanError(
+                f"{circuit.name}: cannot scan a circuit without flops")
+        self.circuit = circuit
+        self.chain = chain or ScanChain.from_circuit(circuit)
+        chain_q = set(self.chain.q_lines)
+        circuit_q = set(circuit.dff_outputs)
+        if chain_q != circuit_q:
+            raise ScanError("chain does not cover exactly the circuit flops")
+
+    @classmethod
+    def full_scan(cls, circuit: Circuit,
+                  order: Sequence[str] | None = None,
+                  seed: int | None = None) -> "ScanDesign":
+        """Full-scan design with the given (or declaration) chain order."""
+        return cls(circuit, ScanChain.from_circuit(circuit, order, seed))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pseudo_inputs(self) -> list[str]:
+        """Scan cell Q lines, in chain order."""
+        return self.chain.q_lines
+
+    @property
+    def pseudo_outputs(self) -> list[str]:
+        """Scan cell D lines, in chain order."""
+        return self.chain.d_lines
+
+    @property
+    def controllable_lines(self) -> list[str]:
+        """All combinational input lines: PIs then pseudo-inputs."""
+        return list(self.circuit.inputs) + self.pseudo_inputs
+
+    def comb_assignment(self, scan_state: Sequence[int],
+                        pi_values: Mapping[str, int]) -> dict[str, int]:
+        """Full combinational input assignment for one cycle."""
+        values = dict(pi_values)
+        values.update(self.chain.state_as_dict(scan_state))
+        return values
+
+    def capture(self, vector: TestVector) -> tuple[tuple[int, ...],
+                                                   dict[str, int]]:
+        """Apply ``vector`` in normal mode and capture.
+
+        Returns ``(captured_scan_state, po_values)`` — the response that
+        subsequently shifts out while the next vector shifts in.
+        """
+        assignment = self.comb_assignment(vector.scan_state,
+                                          vector.pi_values)
+        values = simulate_comb(self.circuit, assignment)
+        captured = tuple(values[d] for d in self.chain.d_lines)
+        po_values = {po: values[po] for po in self.circuit.outputs}
+        return captured, po_values

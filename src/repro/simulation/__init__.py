@@ -1,0 +1,45 @@
+"""Logic simulation: 2-valued, 3-valued, bit-parallel and event-driven."""
+
+from repro.simulation.bitsim import (
+    eval_gate_packed,
+    pack_input_vectors,
+    random_input_words,
+    simulate_packed,
+)
+from repro.simulation.cyclesim import CycleSimResult, simulate_cycles
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+from repro.simulation.eval3 import imply_from, simulate_comb3
+from repro.simulation.eventsim import EventSimulator
+from repro.simulation.seqsim import SequentialSimulator
+from repro.simulation.vcd import render_vcd, write_vcd
+from repro.simulation.values import (
+    bit_at,
+    count_transitions,
+    mask,
+    pack_bits,
+    pattern_count,
+    unpack_bits,
+)
+
+__all__ = [
+    "simulate_comb",
+    "comb_input_lines",
+    "simulate_comb3",
+    "imply_from",
+    "simulate_packed",
+    "pack_input_vectors",
+    "random_input_words",
+    "eval_gate_packed",
+    "CycleSimResult",
+    "simulate_cycles",
+    "EventSimulator",
+    "SequentialSimulator",
+    "render_vcd",
+    "write_vcd",
+    "mask",
+    "pack_bits",
+    "unpack_bits",
+    "bit_at",
+    "count_transitions",
+    "pattern_count",
+]

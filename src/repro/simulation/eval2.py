@@ -1,0 +1,59 @@
+"""Plain two-valued combinational simulation.
+
+The reference evaluator: explicit dict in, dict out, no packing.  The
+bit-parallel simulators are property-tested against this one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import eval_gate
+
+__all__ = ["simulate_comb", "comb_input_lines"]
+
+
+def comb_input_lines(circuit: Circuit) -> list[str]:
+    """The lines that act as inputs of the combinational part.
+
+    Primary inputs plus DFF outputs (the *pseudo-inputs* of the paper) —
+    exactly the lines a test-mode stimulus must assign.
+    """
+    return list(circuit.inputs) + circuit.dff_outputs
+
+
+def simulate_comb(circuit: Circuit,
+                  inputs: Mapping[str, int]) -> dict[str, int]:
+    """Evaluate the combinational part under a full input assignment.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit; DFF gates are *not* evaluated (their outputs must be
+        given in ``inputs``).
+    inputs:
+        Value (0/1) for every primary input and every DFF output.
+
+    Returns
+    -------
+    dict
+        Values for **all** lines (inputs included).
+    """
+    values: dict[str, int] = {}
+    for line in comb_input_lines(circuit):
+        try:
+            value = inputs[line]
+        except KeyError:
+            raise SimulationError(
+                f"missing input value for line {line!r}") from None
+        if value not in (0, 1):
+            raise SimulationError(
+                f"line {line!r}: value {value!r} is not 0/1")
+        values[line] = value
+    for line in circuit.topo_order():
+        gate = circuit.gates[line]
+        values[line] = eval_gate(
+            gate.gtype, [values[src] for src in gate.inputs])
+    return values

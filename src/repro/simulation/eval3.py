@@ -1,0 +1,81 @@
+"""Three-valued (0/1/X) combinational simulation and implication.
+
+Used by the transition-blocking search: controlled inputs carry assigned
+constants, everything else is X.  :func:`simulate_comb3` is the full
+forward pass; :func:`imply_from` is the incremental variant used inside
+PODEM-style justification (re-evaluates only the fanout cone of changed
+lines).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import heapq
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import SEQUENTIAL_TYPES, X, eval_gate3
+from repro.simulation.eval2 import comb_input_lines
+
+__all__ = ["simulate_comb3", "imply_from", "X"]
+
+
+def simulate_comb3(circuit: Circuit,
+                   inputs: Mapping[str, int]) -> dict[str, int]:
+    """Evaluate all lines in three-valued logic.
+
+    ``inputs`` may be partial: unmentioned combinational inputs default to
+    X.  Values must be 0, 1 or :data:`X`.
+    """
+    values: dict[str, int] = {}
+    for line in comb_input_lines(circuit):
+        value = inputs.get(line, X)
+        if value not in (0, 1, X):
+            raise SimulationError(
+                f"line {line!r}: value {value!r} is not 0/1/X")
+        values[line] = value
+    for line in circuit.topo_order():
+        gate = circuit.gates[line]
+        values[line] = eval_gate3(
+            gate.gtype, [values[src] for src in gate.inputs])
+    return values
+
+
+def imply_from(circuit: Circuit, values: dict[str, int],
+               changed: Iterable[str]) -> list[str]:
+    """Incrementally re-evaluate the fanout cones of ``changed`` lines.
+
+    ``values`` is updated in place; returns the list of lines whose value
+    actually changed (including the seeds if their stored value is used
+    as-is).  Gates are processed in level order so each is evaluated once.
+    """
+    pending: list[tuple[int, str]] = []
+    queued: set[str] = set()
+
+    def enqueue_fanout(line: str) -> None:
+        for sink, _pin in circuit.fanout(line):
+            if sink in queued:
+                continue
+            gate = circuit.gates[sink]
+            if gate.gtype in SEQUENTIAL_TYPES:
+                continue
+            queued.add(sink)
+            heapq.heappush(pending, (circuit.level_of(sink), sink))
+
+    updated: list[str] = []
+    for line in changed:
+        updated.append(line)
+        enqueue_fanout(line)
+
+    while pending:
+        _level, line = heapq.heappop(pending)
+        queued.discard(line)
+        gate = circuit.gates[line]
+        new_value = eval_gate3(
+            gate.gtype, [values.get(src, X) for src in gate.inputs])
+        if values.get(line, X) != new_value:
+            values[line] = new_value
+            updated.append(line)
+            enqueue_fanout(line)
+    return updated

@@ -1,0 +1,96 @@
+"""Event-driven zero-delay simulator.
+
+A classic selective-trace simulator: apply input changes, propagate only
+through affected cones, count the events each line actually takes.  Under
+zero-delay semantics its per-cycle settled states must agree with
+:mod:`repro.simulation.cyclesim` — a property test enforces that — and its
+event counts equal the transition counts, which makes it both a reference
+implementation and a teaching aid.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import SEQUENTIAL_TYPES, eval_gate
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+
+__all__ = ["EventSimulator"]
+
+
+class EventSimulator:
+    """Stateful event-driven simulator over the combinational part.
+
+    Usage::
+
+        sim = EventSimulator(circuit, initial_inputs)
+        changed = sim.apply({"pi_a": 1})
+        sim.value("some_line")
+        sim.event_counts  # per-line events since construction
+    """
+
+    def __init__(self, circuit: Circuit, inputs: Mapping[str, int]):
+        self._circuit = circuit
+        self._values = simulate_comb(circuit, inputs)
+        self._events: dict[str, int] = {line: 0 for line in circuit.lines()}
+
+    @property
+    def values(self) -> dict[str, int]:
+        """Current settled value of every line (do not mutate)."""
+        return self._values
+
+    @property
+    def event_counts(self) -> dict[str, int]:
+        """Per-line number of value changes since construction."""
+        return self._events
+
+    def value(self, line: str) -> int:
+        """Current value of ``line``."""
+        return self._values[line]
+
+    def apply(self, changes: Mapping[str, int]) -> list[str]:
+        """Apply new input values and propagate; returns changed lines.
+
+        Only combinational inputs (PIs and DFF outputs) may be driven.
+        """
+        inputs = set(comb_input_lines(self._circuit))
+        pending: list[tuple[int, str]] = []
+        queued: set[str] = set()
+        changed: list[str] = []
+
+        def enqueue_fanout(line: str) -> None:
+            for sink, _pin in self._circuit.fanout(line):
+                gate = self._circuit.gates[sink]
+                if gate.gtype in SEQUENTIAL_TYPES or sink in queued:
+                    continue
+                queued.add(sink)
+                heapq.heappush(
+                    pending, (self._circuit.level_of(sink), sink))
+
+        for line, value in changes.items():
+            if line not in inputs:
+                raise SimulationError(
+                    f"{line!r} is not a combinational input")
+            if value not in (0, 1):
+                raise SimulationError(f"value {value!r} is not 0/1")
+            if self._values[line] != value:
+                self._values[line] = value
+                self._events[line] += 1
+                changed.append(line)
+                enqueue_fanout(line)
+
+        while pending:
+            _level, line = heapq.heappop(pending)
+            queued.discard(line)
+            gate = self._circuit.gates[line]
+            new_value = eval_gate(
+                gate.gtype, [self._values[s] for s in gate.inputs])
+            if new_value != self._values[line]:
+                self._values[line] = new_value
+                self._events[line] += 1
+                changed.append(line)
+                enqueue_fanout(line)
+        return changed

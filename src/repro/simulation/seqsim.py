@@ -1,0 +1,91 @@
+"""Clocked sequential simulation (normal-mode operation).
+
+Everything else in the library views the circuit through its scan test
+view; this module runs the *functional* machine: flops update on clock
+edges, inputs change between edges.  Used to validate that scan
+structures leave normal operation untouched (one capture cycle of the
+scan view must equal one clock of this simulator) and as a user-facing
+utility for driving custom designs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.simulation.eval2 import simulate_comb
+
+__all__ = ["SequentialSimulator"]
+
+
+class SequentialSimulator:
+    """Cycle-accurate two-valued simulator of a sequential circuit.
+
+    State is the flop contents (Q values); :meth:`step` applies primary
+    inputs, settles the combinational logic, reports outputs, and clocks
+    the flops.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 initial_state: Mapping[str, int] | None = None):
+        if not circuit.dff_gates:
+            raise SimulationError(
+                f"{circuit.name}: no flops; use simulate_comb directly")
+        self._circuit = circuit
+        self._state: dict[str, int] = {
+            q: 0 for q in circuit.dff_outputs}
+        if initial_state:
+            unknown = set(initial_state) - set(self._state)
+            if unknown:
+                raise SimulationError(
+                    f"not flop outputs: {sorted(unknown)}")
+            for q, value in initial_state.items():
+                if value not in (0, 1):
+                    raise SimulationError(
+                        f"state bit {q!r} must be 0/1")
+                self._state[q] = value
+
+    @property
+    def state(self) -> dict[str, int]:
+        """Current flop contents (copy; chain order not implied)."""
+        return dict(self._state)
+
+    def settle(self, pi_values: Mapping[str, int]) -> dict[str, int]:
+        """Combinational values under ``pi_values`` without clocking."""
+        assignment = dict(pi_values)
+        assignment.update(self._state)
+        return simulate_comb(self._circuit, assignment)
+
+    def _apply_edge(self, values: Mapping[str, int]) -> None:
+        for gate in self._circuit.dff_gates:
+            self._state[gate.output] = values[gate.inputs[0]]
+
+    def step(self, pi_values: Mapping[str, int]) -> dict[str, int]:
+        """One clock: settle, capture outputs, update the flops.
+
+        Returns the primary output values seen *before* the edge (the
+        conventional observation point).
+        """
+        values = self.settle(pi_values)
+        outputs = {po: values[po] for po in self._circuit.outputs}
+        self._apply_edge(values)
+        return outputs
+
+    def run(self, stimulus: Iterable[Mapping[str, int]]
+            ) -> list[dict[str, int]]:
+        """Apply a sequence of input maps; returns per-cycle PO values."""
+        return [self.step(pi_values) for pi_values in stimulus]
+
+    def trace(self, stimulus: Sequence[Mapping[str, int]],
+              lines: Sequence[str]) -> dict[str, list[int]]:
+        """Per-cycle settled values of selected lines over a stimulus."""
+        waves: dict[str, list[int]] = {line: [] for line in lines}
+        for pi_values in stimulus:
+            values = self.settle(pi_values)
+            for line in lines:
+                if line not in values:
+                    raise SimulationError(f"unknown line {line!r}")
+                waves[line].append(values[line])
+            self._apply_edge(values)
+        return waves

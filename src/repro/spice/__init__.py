@@ -1,0 +1,55 @@
+"""Analytical device models and cell leakage characterisation.
+
+This package substitutes the paper's HSPICE BSIM4 runs: paper eq. (2)
+(subthreshold), eq. (4) (gate direct tunnelling), a numerical series-stack
+solver, and per-cell per-pattern leakage tables calibrated to Figure 2.
+"""
+
+from repro.spice.bsim import (
+    gate_leakage_off,
+    gate_leakage_on,
+    subthreshold_current,
+    tunneling_current_density,
+)
+from repro.spice.calibrate import calibrate_to_figure2, nand2_error
+from repro.spice.characterize import (
+    MAX_CELL_ARITY,
+    cell_leakage_table,
+    characterize_inv,
+    characterize_nand,
+    characterize_nor,
+)
+from repro.spice.constants import (
+    PAPER_NAND2_LEAKAGE_NA,
+    TechParams,
+    default_tech,
+    nmos_width,
+    pmos_width,
+)
+from repro.spice.stack import (
+    StackSolution,
+    blocked_stack_current,
+    parallel_off_current,
+)
+
+__all__ = [
+    "TechParams",
+    "default_tech",
+    "nmos_width",
+    "pmos_width",
+    "PAPER_NAND2_LEAKAGE_NA",
+    "subthreshold_current",
+    "tunneling_current_density",
+    "gate_leakage_on",
+    "gate_leakage_off",
+    "StackSolution",
+    "blocked_stack_current",
+    "parallel_off_current",
+    "characterize_inv",
+    "characterize_nand",
+    "characterize_nor",
+    "cell_leakage_table",
+    "MAX_CELL_ARITY",
+    "calibrate_to_figure2",
+    "nand2_error",
+]

@@ -1,0 +1,120 @@
+"""Physical constants and 45 nm technology parameters.
+
+The paper characterises gates with HSPICE BSIM4 at 45 nm / 0.9 V and stores
+the results in per-pattern leakage tables.  We substitute an analytical
+model (paper equations (2)-(4)) whose free scale parameters are calibrated
+so that the NAND2 table reproduces the paper's Figure 2 exactly; see
+:mod:`repro.spice.calibrate`.
+
+All currents in this package are expressed in **nA**, voltages in **V**.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["TechParams", "default_tech", "PAPER_NAND2_LEAKAGE_NA"]
+
+#: Paper Figure 2 — NAND2 leakage per input pattern (A, B) in nA at 45 nm,
+#: VDD = 0.9 V.  Pin convention: A = inputs[0] is the NMOS nearest ground
+#: in the pull-down stack (see repro.spice.stack for the orientation
+#: analysis that makes (0,1) the low-leakage state).
+PAPER_NAND2_LEAKAGE_NA = {
+    (0, 0): 78.0,
+    (0, 1): 73.0,
+    (1, 0): 264.0,
+    (1, 1): 408.0,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TechParams:
+    """Technology / device-model parameters for leakage evaluation.
+
+    The defaults correspond to the calibrated 45 nm point; construct a new
+    instance (dataclass ``replace``) to explore other corners.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage (V).
+    thermal_voltage:
+        kT/q at the evaluation temperature (V).
+    n_sub:
+        Subthreshold swing coefficient ``n`` of paper eq. (2).
+    vt0_n, vt0_p:
+        Zero-bias threshold voltage magnitudes (V).
+    delta_body:
+        Linearised body-effect coefficient (paper's delta).
+    eta_dibl:
+        Drain-induced barrier lowering coefficient (paper's eta).
+    s_n, s_p:
+        Subthreshold current scale per unit transistor width (nA); plays
+        the role of ``A`` in paper eq. (2)/(3) with the exponential factored
+        as exp((VGS - VT0 - delta*VSB + eta*VDS) / (n kT/q)).
+    g_n, g_p:
+        Gate direct-tunnelling scale per unit width (nA) for electron
+        (NMOS) and hole (PMOS) tunnelling; plays the role of ``A`` in
+        paper eq. (4).
+    b_tunnel:
+        The ``B`` exponent factor of eq. (4), pre-multiplied by Tox so the
+        exponent is ``-b_tunnel * (1 - (1 - vox/phi)^1.5) / vox``.
+    phi_ox_n, phi_ox_p:
+        Tunnelling barrier heights (V) for electrons and holes.
+    edt_fraction:
+        Drain-overlap (edge direct tunnelling) area as a fraction of the
+        full gate area, used for OFF-device gate leakage.
+    """
+
+    vdd: float = 0.9
+    thermal_voltage: float = 0.02585
+    n_sub: float = 1.5
+    vt0_n: float = 0.32
+    vt0_p: float = 0.32
+    delta_body: float = 0.15
+    eta_dibl: float = 0.04913784839147685
+    s_n: float = 14219.34444265604
+    s_p: float = 236.44991071316167
+    g_n: float = 101.46904148309913
+    g_p: float = 16.911506913849855
+    b_tunnel: float = 6.0
+    phi_ox_n: float = 3.1
+    phi_ox_p: float = 4.5
+    edt_fraction: float = 0.02
+
+    @property
+    def n_vt(self) -> float:
+        """``n * kT/q`` — the subthreshold exponential slope (V)."""
+        return self.n_sub * self.thermal_voltage
+
+    def replace(self, **changes) -> "TechParams":
+        """Return a copy with ``changes`` applied (dataclass replace)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Transistor widths per cell family (unit widths, drive-balanced sizing).
+#: Series devices are upsized by the stack depth to preserve drive.
+def nmos_width(series_depth: int) -> float:
+    """Width of each NMOS in a pull-down stack of ``series_depth`` devices."""
+    return float(max(1, series_depth))
+
+
+def pmos_width(series_depth: int) -> float:
+    """Width of each PMOS in a pull-up stack of ``series_depth`` devices.
+
+    PMOS mobility is roughly half the NMOS mobility, hence the 2x factor.
+    """
+    return 2.0 * float(max(1, series_depth))
+
+
+_DEFAULT = TechParams()
+
+
+def default_tech() -> TechParams:
+    """The calibrated default 45 nm technology point.
+
+    The shipped defaults already reproduce Figure 2 to within a fraction of
+    a percent; :func:`repro.spice.calibrate.calibrate_to_figure2` re-derives
+    them from scratch.
+    """
+    return _DEFAULT

@@ -1,0 +1,15 @@
+"""Technology mapping to the NAND/NOR/INV library and its verification."""
+
+from repro.techmap.decompose import NameAllocator, decompose_gate, tree_groups
+from repro.techmap.mapper import is_mapped, technology_map
+from repro.techmap.verify import assert_equivalent, equivalence_check
+
+__all__ = [
+    "technology_map",
+    "is_mapped",
+    "decompose_gate",
+    "tree_groups",
+    "NameAllocator",
+    "equivalence_check",
+    "assert_equivalent",
+]

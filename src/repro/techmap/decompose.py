@@ -1,0 +1,184 @@
+"""Gate-level decompositions used by the technology mapper.
+
+Pure structural rewrites, each returning the list of gates (as
+``(output, gtype, inputs)`` triples) that implements one original gate in
+the target NAND/NOR/INV library.  Fresh intermediate names come from a
+:class:`NameAllocator` so mapped netlists never collide with user names.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+__all__ = ["NameAllocator", "decompose_gate", "tree_groups"]
+
+GateTriple = tuple[str, GateType, tuple[str, ...]]
+
+
+class NameAllocator:
+    """Generates fresh line names that do not clash with a circuit."""
+
+    def __init__(self, circuit: Circuit, prefix: str = "tm"):
+        self._taken = set(circuit.lines())
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str = "") -> str:
+        """A new unique name; ``hint`` aids debugging readability."""
+        while True:
+            tag = f"_{hint}" if hint else ""
+            name = f"{self._prefix}{self._counter}{tag}"
+            self._counter += 1
+            if name not in self._taken:
+                self._taken.add(name)
+                return name
+
+    def reserve(self, name: str) -> None:
+        """Mark an externally created name as taken."""
+        self._taken.add(name)
+
+
+def tree_groups(items: list[str], max_arity: int) -> list[list[str]]:
+    """Split ``items`` into chunks of at most ``max_arity`` for one tree
+    level (used to reduce wide gates to a balanced tree)."""
+    if max_arity < 2:
+        raise MappingError("max_arity must be >= 2")
+    return [items[i:i + max_arity] for i in range(0, len(items), max_arity)]
+
+
+def _and_tree(inputs: list[str], out: str, invert_root: bool,
+              alloc: NameAllocator, max_arity: int) -> list[GateTriple]:
+    """AND-reduce ``inputs``; the root is NAND(+INV) per ``invert_root``.
+
+    Intermediate levels are NAND followed by INV (AND in the target
+    library); the final level becomes a NAND when ``invert_root`` is True
+    (implementing NAND/AND of the whole input set with one fewer
+    inverter).
+    """
+    level = list(inputs)
+    gates: list[GateTriple] = []
+    while len(level) > max_arity:
+        next_level: list[str] = []
+        for group in tree_groups(level, max_arity):
+            if len(group) == 1:
+                next_level.append(group[0])
+                continue
+            nand_out = alloc.fresh("nd")
+            inv_out = alloc.fresh("and")
+            gates.append((nand_out, GateType.NAND, tuple(group)))
+            gates.append((inv_out, GateType.NOT, (nand_out,)))
+            next_level.append(inv_out)
+        level = next_level
+    if invert_root:
+        gates.append((out, GateType.NAND, tuple(level)))
+    else:
+        nand_out = alloc.fresh("nd")
+        gates.append((nand_out, GateType.NAND, tuple(level)))
+        gates.append((out, GateType.NOT, (nand_out,)))
+    return gates
+
+
+def _or_tree(inputs: list[str], out: str, invert_root: bool,
+             alloc: NameAllocator, max_arity: int) -> list[GateTriple]:
+    """OR-reduce dual of :func:`_and_tree` (NOR-based)."""
+    level = list(inputs)
+    gates: list[GateTriple] = []
+    while len(level) > max_arity:
+        next_level: list[str] = []
+        for group in tree_groups(level, max_arity):
+            if len(group) == 1:
+                next_level.append(group[0])
+                continue
+            nor_out = alloc.fresh("nr")
+            inv_out = alloc.fresh("or")
+            gates.append((nor_out, GateType.NOR, tuple(group)))
+            gates.append((inv_out, GateType.NOT, (nor_out,)))
+            next_level.append(inv_out)
+        level = next_level
+    if invert_root:
+        gates.append((out, GateType.NOR, tuple(level)))
+    else:
+        nor_out = alloc.fresh("nr")
+        gates.append((nor_out, GateType.NOR, tuple(level)))
+        gates.append((out, GateType.NOT, (nor_out,)))
+    return gates
+
+
+def _xor2(a: str, b: str, out: str, alloc: NameAllocator
+          ) -> list[GateTriple]:
+    """Four-NAND XOR2."""
+    m = alloc.fresh("xm")
+    p = alloc.fresh("xp")
+    q = alloc.fresh("xq")
+    return [
+        (m, GateType.NAND, (a, b)),
+        (p, GateType.NAND, (a, m)),
+        (q, GateType.NAND, (b, m)),
+        (out, GateType.NAND, (p, q)),
+    ]
+
+
+def _xor_ladder(inputs: list[str], out: str, invert: bool,
+                alloc: NameAllocator) -> list[GateTriple]:
+    gates: list[GateTriple] = []
+    acc = inputs[0]
+    for i, nxt in enumerate(inputs[1:]):
+        is_last = i == len(inputs) - 2
+        if is_last and not invert:
+            target = out
+        else:
+            target = alloc.fresh("xr")
+        gates.extend(_xor2(acc, nxt, target, alloc))
+        acc = target
+    if invert:
+        gates.append((out, GateType.NOT, (acc,)))
+    return gates
+
+
+def decompose_gate(output: str, gtype: GateType, inputs: tuple[str, ...],
+                   alloc: NameAllocator,
+                   max_arity: int = 4) -> list[GateTriple]:
+    """Implement one gate in the NAND/NOR/INV library.
+
+    Returns the replacement gate list; the last-produced gate (or the one
+    named ``output``) drives the original output line.  DFF/CONST gates
+    pass through unchanged; already-native gates within the arity bound
+    pass through too.
+    """
+    ins = list(inputs)
+    if gtype in (GateType.DFF, GateType.CONST0, GateType.CONST1,
+                 GateType.NOT):
+        return [(output, gtype, inputs)]
+    if gtype is GateType.BUFF:
+        mid = alloc.fresh("bf")
+        return [(mid, GateType.NOT, inputs), (output, GateType.NOT, (mid,))]
+    if gtype is GateType.NAND:
+        if len(ins) <= max_arity:
+            return [(output, gtype, inputs)]
+        return _and_tree(ins, output, True, alloc, max_arity)
+    if gtype is GateType.NOR:
+        if len(ins) <= max_arity:
+            return [(output, gtype, inputs)]
+        return _or_tree(ins, output, True, alloc, max_arity)
+    if gtype is GateType.AND:
+        return _and_tree(ins, output, False, alloc, max_arity)
+    if gtype is GateType.OR:
+        return _or_tree(ins, output, False, alloc, max_arity)
+    if gtype is GateType.XOR:
+        return _xor_ladder(ins, output, False, alloc)
+    if gtype is GateType.XNOR:
+        return _xor_ladder(ins, output, True, alloc)
+    if gtype is GateType.MUX2:
+        sel, d0, d1 = ins
+        sb = alloc.fresh("sb")
+        u = alloc.fresh("mu")
+        v = alloc.fresh("mv")
+        return [
+            (sb, GateType.NOT, (sel,)),
+            (u, GateType.NAND, (d0, sb)),
+            (v, GateType.NAND, (d1, sel)),
+            (output, GateType.NAND, (u, v)),
+        ]
+    raise MappingError(f"cannot decompose gate type {gtype}")

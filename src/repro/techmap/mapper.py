@@ -1,0 +1,60 @@
+"""Technology mapping to the paper's {NAND, NOR, INV} library.
+
+The paper: "A technology mapping was used to map the circuit to a library,
+which contains only NAND gates, NOR gates, and inverters."  This mapper
+rewrites every combinational gate through
+:func:`repro.techmap.decompose.decompose_gate`, preserving all primary
+input/output and flop boundary names, and bounding gate fan-in by the
+library's maximum arity (NAND4/NOR4 by default).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.spice.characterize import MAX_CELL_ARITY
+from repro.techmap.decompose import NameAllocator, decompose_gate
+
+__all__ = ["technology_map", "is_mapped"]
+
+_NATIVE = {GateType.NAND, GateType.NOR, GateType.NOT,
+           GateType.DFF, GateType.CONST0, GateType.CONST1}
+
+
+def is_mapped(circuit: Circuit, max_arity: int = MAX_CELL_ARITY) -> bool:
+    """True if every gate already fits the NAND/NOR/INV library."""
+    for gate in circuit.gates.values():
+        if gate.gtype not in _NATIVE:
+            return False
+        if gate.gtype in (GateType.NAND, GateType.NOR) and \
+                len(gate.inputs) > max_arity:
+            return False
+    return True
+
+
+def technology_map(circuit: Circuit,
+                   max_arity: int = MAX_CELL_ARITY) -> Circuit:
+    """Map ``circuit`` to NAND/NOR/INV; returns a new circuit.
+
+    Line names of primary inputs, primary outputs and every original gate
+    output are preserved (internal tree nodes get fresh ``tm*`` names), so
+    downstream references — scan chains, fault lists — remain valid.
+    """
+    if max_arity < 2:
+        raise MappingError("max_arity must be >= 2")
+    mapped = Circuit(circuit.name)
+    for pi in circuit.inputs:
+        mapped.add_input(pi)
+    alloc = NameAllocator(circuit)
+    for gate in circuit.gates.values():
+        triples = decompose_gate(
+            gate.output, gate.gtype, gate.inputs, alloc, max_arity)
+        for out, gtype, ins in triples:
+            mapped.add_gate(out, gtype, ins)
+    for po in circuit.outputs:
+        mapped.add_output(po)
+    mapped.validate()
+    if not is_mapped(mapped, max_arity):
+        raise MappingError("mapping left non-native gates behind")
+    return mapped

@@ -1,0 +1,21 @@
+"""Static timing analysis: delay models, arrival/required/slack, paths."""
+
+from repro.timing.delay import DelayModel, LibraryDelay, UnitDelay
+from repro.timing.sta import (
+    StaResult,
+    critical_path,
+    run_sta,
+    timing_endpoints,
+    timing_sources,
+)
+
+__all__ = [
+    "DelayModel",
+    "UnitDelay",
+    "LibraryDelay",
+    "StaResult",
+    "run_sta",
+    "critical_path",
+    "timing_sources",
+    "timing_endpoints",
+]

@@ -1,0 +1,139 @@
+"""Static timing analysis: arrival, required, slack, critical delay.
+
+Timing graph conventions:
+
+* **Sources**: primary inputs (launch 0) and flop Q lines (launch clk-to-Q
+  under the library model).
+* **Endpoints**: primary output lines and flop D lines.
+* ``arrival(line)`` — longest path to the line; ``required(line)`` — latest
+  tolerable arrival against the analysis period (default: the critical
+  delay itself, so the most critical lines have slack 0).
+
+`source_offsets` models *what-if* edits without rebuilding the netlist —
+inserting a MUX behind scan cell Q adds `mux_delay` at that source, which
+is exactly the paper's AddMUX feasibility question.  Under this model,
+``critical delay changes  <=>  slack(source) < offset``; the AddMUX module
+exploits (and property-tests) that equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.errors import TimingError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import SEQUENTIAL_TYPES
+from repro.timing.delay import DelayModel
+
+__all__ = ["StaResult", "run_sta", "timing_sources", "timing_endpoints"]
+
+
+def timing_sources(circuit: Circuit) -> list[str]:
+    """Source lines of the timing graph (PIs, then flop Q lines)."""
+    return list(circuit.inputs) + circuit.dff_outputs
+
+
+def timing_endpoints(circuit: Circuit) -> list[str]:
+    """Endpoint lines (PO lines and flop D lines), deduplicated."""
+    endpoints: list[str] = []
+    seen: set[str] = set()
+    for line in list(circuit.outputs) + [
+            g.inputs[0] for g in circuit.dff_gates]:
+        if line not in seen:
+            seen.add(line)
+            endpoints.append(line)
+    return endpoints
+
+
+@dataclasses.dataclass
+class StaResult:
+    """Full STA annotation of one circuit under one delay model."""
+
+    arrival: dict[str, float]
+    required: dict[str, float]
+    critical_delay: float
+    period: float
+
+    def slack(self, line: str) -> float:
+        """Required minus arrival at ``line``."""
+        try:
+            return self.required[line] - self.arrival[line]
+        except KeyError:
+            raise TimingError(f"line {line!r} not in timing graph") from None
+
+    def slacks(self) -> dict[str, float]:
+        """Slack for every line in the timing graph."""
+        return {line: self.required[line] - self.arrival[line]
+                for line in self.arrival}
+
+
+def run_sta(circuit: Circuit, model: DelayModel,
+            source_offsets: Mapping[str, float] | None = None,
+            period: float | None = None) -> StaResult:
+    """Compute arrival/required/slack for every line.
+
+    Parameters
+    ----------
+    circuit, model:
+        The circuit and its per-line delay annotation.
+    source_offsets:
+        Extra launch delay per source line (what-if MUX insertion).
+    period:
+        Analysis period for required times; defaults to the computed
+        critical delay (so the critical path gets slack exactly 0).
+    """
+    offsets = dict(source_offsets or {})
+    arrival: dict[str, float] = {}
+    for src in timing_sources(circuit):
+        arrival[src] = model.launch_of(src) + offsets.get(src, 0.0)
+    for line in circuit.topo_order():
+        gate = circuit.gates[line]
+        fanin_arrival = max(
+            (arrival[s] for s in gate.inputs), default=0.0)
+        arrival[line] = fanin_arrival + model.delay_of(line)
+
+    endpoints = timing_endpoints(circuit)
+    critical = max((arrival[e] for e in endpoints), default=0.0)
+    analysis_period = critical if period is None else period
+
+    required: dict[str, float] = {line: float("inf") for line in arrival}
+    endpoint_set = set(endpoints)
+    for line in endpoint_set:
+        required[line] = analysis_period
+    for line in reversed(circuit.topo_order()):
+        gate = circuit.gates[line]
+        req_out = required[line] - model.delay_of(line)
+        for src in gate.inputs:
+            if req_out < required[src]:
+                required[src] = req_out
+    # Re-impose endpoint requirements that propagation may have tightened
+    # is not needed: required[] is a min, endpoints start at the period and
+    # can only get tighter via real fanout, which is correct.
+
+    # Sources that reach nothing keep +inf required; clamp to the period so
+    # slack is finite and meaningfully large.
+    for line, req in required.items():
+        if req == float("inf"):
+            required[line] = analysis_period
+
+    return StaResult(arrival=arrival, required=required,
+                     critical_delay=critical, period=analysis_period)
+
+
+def critical_path(circuit: Circuit, model: DelayModel,
+                  sta: StaResult) -> list[str]:
+    """One maximal-delay path (source -> endpoint) as a list of lines."""
+    endpoints = timing_endpoints(circuit)
+    if not endpoints:
+        return []
+    end = max(endpoints, key=lambda e: sta.arrival[e])
+    path = [end]
+    current = end
+    while current in circuit.gates and \
+            circuit.gates[current].gtype not in SEQUENTIAL_TYPES:
+        gate = circuit.gates[current]
+        current = max(gate.inputs, key=lambda s: sta.arrival[s])
+        path.append(current)
+    path.reverse()
+    return path

@@ -1,0 +1,25 @@
+"""Small shared utilities: seeded RNG handling, topological orders, tables.
+
+Nothing in here knows about circuits; the submodules are dependency-free
+helpers used across the library.
+"""
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.tables import format_table, format_markdown_table
+from repro.utils.topo import topological_order
+from repro.utils.validation import (
+    check_name,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "format_table",
+    "format_markdown_table",
+    "topological_order",
+    "check_name",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,68 @@
+"""Plain-text and markdown table rendering for experiment reports.
+
+The experiment harnesses print tables whose rows mirror the paper's
+Table I; these helpers keep the formatting logic in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_cell"]
+
+
+def format_cell(value: object, float_format: str = "{:.4g}") -> str:
+    """Render one table cell: floats via ``float_format``, rest via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def _stringify(headers: Sequence[str], rows: Sequence[Sequence[object]],
+               float_format: str) -> tuple[list[str], list[list[str]]]:
+    header_cells = [str(h) for h in headers]
+    row_cells = [[format_cell(v, float_format) for v in row] for row in rows]
+    for row in row_cells:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header_cells)}")
+    return header_cells, row_cells
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 float_format: str = "{:.4g}") -> str:
+    """Render an aligned fixed-width text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], ["x", 3]]))
+    a  b
+    -  ---
+    1  2.5
+    x  3
+    """
+    header_cells, row_cells = _stringify(headers, rows, float_format)
+    widths = [len(h) for h in header_cells]
+    for row in row_cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = [render_row(header_cells)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in row_cells)
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[object]],
+                          float_format: str = "{:.4g}") -> str:
+    """Render a GitHub-flavoured markdown table."""
+    header_cells, row_cells = _stringify(headers, rows, float_format)
+    lines = ["| " + " | ".join(header_cells) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in header_cells) + "|")
+    for row in row_cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

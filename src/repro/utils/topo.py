@@ -1,0 +1,56 @@
+"""Generic topological ordering with cycle diagnostics.
+
+The netlist package uses this on the gate dependency graph; it is kept
+generic (works on any node/edge description) so the timing and simulation
+packages can reuse it for derived graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Hashable
+
+from repro.errors import CombinationalLoopError
+
+__all__ = ["topological_order"]
+
+
+def topological_order(
+    nodes: Iterable[Hashable],
+    predecessors: Callable[[Hashable], Iterable[Hashable]],
+) -> list:
+    """Return ``nodes`` in an order where predecessors come first.
+
+    Kahn's algorithm.  ``predecessors(n)`` must yield only nodes that are in
+    ``nodes`` (external sources should be filtered by the caller).
+
+    Raises
+    ------
+    CombinationalLoopError
+        If the graph restricted to ``nodes`` contains a cycle; the exception
+        carries the nodes left unsorted (a superset of the cycle).
+    """
+    node_list = list(nodes)
+    node_set = set(node_list)
+    indegree: dict = {n: 0 for n in node_list}
+    successors: dict = {n: [] for n in node_list}
+    for node in node_list:
+        for pred in predecessors(node):
+            if pred in node_set:
+                indegree[node] += 1
+                successors[pred].append(node)
+
+    ready = deque(n for n in node_list if indegree[n] == 0)
+    order: list = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for succ in successors[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+
+    if len(order) != len(node_list):
+        stuck = [str(n) for n in node_list if indegree[n] > 0]
+        raise CombinationalLoopError(stuck)
+    return order

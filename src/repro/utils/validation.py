@@ -1,0 +1,44 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["check_name", "check_positive", "check_probability"]
+
+# ISCAS89 line names in the wild: alphanumerics plus a few punctuation
+# characters ("G17", "II151", "P_0", "n_23<3>", "a.b").  We accept anything
+# printable that contains no whitespace, parentheses, comma or '=' (which
+# would break the .bench grammar).
+_NAME_FORBIDDEN = re.compile(r"[\s(),=#]")
+
+
+def check_name(name: str, what: str = "line name") -> str:
+    """Validate a netlist identifier and return it.
+
+    Raises ``ValueError`` for empty names or names that could not survive a
+    ``.bench`` round trip.
+    """
+    if not isinstance(name, str):
+        raise ValueError(f"{what} must be a string, got {type(name).__name__}")
+    if not name:
+        raise ValueError(f"{what} must be non-empty")
+    match = _NAME_FORBIDDEN.search(name)
+    if match:
+        raise ValueError(
+            f"{what} {name!r} contains forbidden character {match.group()!r}")
+    return name
+
+
+def check_positive(value: float, what: str) -> float:
+    """Require ``value > 0`` and return it."""
+    if not value > 0:
+        raise ValueError(f"{what} must be > 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, what: str) -> float:
+    """Require ``0 <= value <= 1`` and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{what} must be in [0, 1], got {value!r}")
+    return value

@@ -1,0 +1,92 @@
+"""Tests for fault equivalence collapsing."""
+
+import pytest
+
+from repro.atpg.collapse import collapse_faults, equivalence_classes
+from repro.atpg.faults import Fault, all_faults
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+
+def inverter_chain() -> Circuit:
+    c = Circuit("chain")
+    c.add_input("a")
+    c.add_gate("n1", GateType.NOT, ("a",))
+    c.add_gate("n2", GateType.NOT, ("n1",))
+    c.add_output("n2")
+    return c
+
+
+class TestInverterRules:
+    def test_chain_collapses_to_two_classes(self):
+        c = inverter_chain()
+        collapsed = collapse_faults(c, all_faults(c))
+        # a/sa0 == n1/sa1 == n2/sa0 and a/sa1 == n1/sa0 == n2/sa1.
+        assert len(collapsed) == 2
+
+    def test_representative_is_closest_to_inputs(self):
+        c = inverter_chain()
+        collapsed = collapse_faults(c, all_faults(c))
+        assert {f.line for f in collapsed} == {"a"}
+
+    def test_classes_cover_universe(self):
+        c = inverter_chain()
+        universe = all_faults(c)
+        classes = equivalence_classes(c, universe)
+        members = [f for ms in classes.values() for f in ms]
+        assert sorted(members) == sorted(universe)
+
+
+class TestGateRules:
+    def test_nand_sa0_inputs_join_output_sa1(self):
+        c = Circuit("nand")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.NAND, ("a", "b"))
+        c.add_output("y")
+        classes = equivalence_classes(c, all_faults(c))
+        merged = [ms for ms in classes.values() if len(ms) > 1]
+        assert len(merged) == 1
+        assert set(merged[0]) == {Fault("a", 0), Fault("b", 0),
+                                  Fault("y", 1)}
+
+    def test_fanout_stems_not_collapsed(self):
+        c = Circuit("fan")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y1", GateType.NAND, ("a", "b"))
+        c.add_gate("y2", GateType.NOR, ("a", "b"))
+        c.add_output("y1")
+        c.add_output("y2")
+        classes = equivalence_classes(c, all_faults(c))
+        # a and b feed two gates each: no equivalence is exact.
+        assert all(len(ms) == 1 for ms in classes.values())
+
+    def test_or_rule(self):
+        c = Circuit("or")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.OR, ("a", "b"))
+        c.add_output("y")
+        collapsed = collapse_faults(c, all_faults(c))
+        assert Fault("y", 1) not in collapsed  # merged into a/sa1 class
+        assert len(collapsed) == 4  # 6 faults - 2 merged
+
+
+class TestOnRealCircuits:
+    def test_s27_shrinks(self, s27):
+        universe = all_faults(s27)
+        collapsed = collapse_faults(s27, universe)
+        assert len(collapsed) < len(universe)
+        assert set(collapsed) <= set(universe)
+
+    def test_mapped_s27_shrinks_more_relatively(self, s27_mapped):
+        universe = all_faults(s27_mapped)
+        collapsed = collapse_faults(s27_mapped, universe)
+        # NAND/NOR/INV netlists collapse well (many single-fanout stems).
+        assert len(collapsed) <= 0.8 * len(universe)
+
+    def test_deterministic(self, s27_mapped):
+        a = collapse_faults(s27_mapped, all_faults(s27_mapped))
+        b = collapse_faults(s27_mapped, all_faults(s27_mapped))
+        assert a == b

@@ -1,0 +1,119 @@
+"""Tests for SCOAP testability measures."""
+
+import pytest
+
+from repro.atpg.scoap import INFINITE_COST, compute_scoap
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+
+def _single(gtype, arity=2):
+    c = Circuit("g")
+    names = [c.add_input(f"i{k}") for k in range(arity)]
+    c.add_gate("y", gtype, names)
+    c.add_output("y")
+    return c
+
+
+class TestControllability:
+    def test_inputs_cost_one(self, s27):
+        scoap = compute_scoap(s27)
+        for line in list(s27.inputs) + s27.dff_outputs:
+            assert scoap.cc0[line] == 1
+            assert scoap.cc1[line] == 1
+
+    def test_and_rules(self):
+        scoap = compute_scoap(_single(GateType.AND))
+        assert scoap.cc0["y"] == 2       # min(1,1)+1
+        assert scoap.cc1["y"] == 3       # 1+1+1
+
+    def test_nand_rules(self):
+        scoap = compute_scoap(_single(GateType.NAND))
+        assert scoap.cc1["y"] == 2
+        assert scoap.cc0["y"] == 3
+
+    def test_nor_rules(self):
+        scoap = compute_scoap(_single(GateType.NOR, 3))
+        assert scoap.cc0["y"] == 2       # any input to 1
+        assert scoap.cc1["y"] == 4       # all three to 0
+
+    def test_not_swaps(self):
+        c = Circuit("inv")
+        c.add_input("a")
+        c.add_gate("y", GateType.NOT, ("a",))
+        c.add_output("y")
+        scoap = compute_scoap(c)
+        assert scoap.cc0["y"] == scoap.cc1["y"] == 2
+
+    def test_xor_rules(self):
+        scoap = compute_scoap(_single(GateType.XOR))
+        # either both 0 or both 1 for output 0 -> 2+1; mixed for 1 -> 2+1
+        assert scoap.cc0["y"] == 3
+        assert scoap.cc1["y"] == 3
+
+    def test_const_cells(self):
+        c = Circuit("tie")
+        c.add_gate("t", GateType.CONST1, ())
+        c.add_output("t")
+        scoap = compute_scoap(c)
+        assert scoap.cc1["t"] == 0
+        assert scoap.cc0["t"] == INFINITE_COST
+
+    def test_depth_monotonicity(self):
+        """Deeper copies of the same logic must not get cheaper."""
+        from repro.netlist import builders
+        chain = builders.chain_of_inverters(6)
+        scoap = compute_scoap(chain)
+        costs = [scoap.cc0[f"s{i}"] + scoap.cc1[f"s{i}"]
+                 for i in range(6)]
+        assert costs == sorted(costs)
+
+
+class TestObservability:
+    def test_observation_points_cost_zero(self, s27):
+        scoap = compute_scoap(s27)
+        assert scoap.co["G17"] == 0     # PO
+        assert scoap.co["G10"] == 0     # flop D line
+
+    def test_and_side_cost(self):
+        c = _single(GateType.AND)
+        scoap = compute_scoap(c)
+        # observing i0 through the AND: set i1=1 (cost 1) + 1
+        assert scoap.co["i0"] == 2
+
+    def test_unobservable_line(self):
+        c = Circuit("dangling")
+        c.add_input("a")
+        c.add_gate("y", GateType.NOT, ("a",))
+        c.add_gate("dead", GateType.NOT, ("a",))
+        c.add_output("y")
+        scoap = compute_scoap(c)
+        assert scoap.co["dead"] == INFINITE_COST
+        assert scoap.co["a"] == 1  # through the observed inverter
+
+    def test_fanout_takes_cheapest_branch(self):
+        c = Circuit("branch")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_input("c")
+        c.add_gate("deep1", GateType.AND, ("a", "b"))
+        c.add_gate("deep2", GateType.AND, ("deep1", "c"))
+        c.add_gate("short", GateType.NOT, ("a",))
+        c.add_output("deep2")
+        c.add_output("short")
+        scoap = compute_scoap(c)
+        assert scoap.co["a"] == 1  # via the inverter, not the AND tree
+
+
+class TestReporting:
+    def test_hardest_lines(self, s27_mapped):
+        scoap = compute_scoap(s27_mapped)
+        hardest = scoap.hardest_lines(3)
+        assert len(hardest) == 3
+        # inputs are trivially easy: never among the hardest
+        assert not set(hardest) & set(s27_mapped.inputs)
+
+    def test_controllability_accessor(self, s27):
+        scoap = compute_scoap(s27)
+        assert scoap.controllability("G0", 0) == scoap.cc0["G0"]
+        assert scoap.controllability("G0", 1) == scoap.cc1["G0"]

@@ -1,0 +1,88 @@
+"""Tests for the synthetic benchmark generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen.generator import generate_circuit, generate_from_stats
+from repro.benchgen.iscas89 import Iscas89Stats, stats_for
+
+
+class TestStatisticsFidelity:
+    @pytest.mark.parametrize("name", ["s344", "s382", "s510", "s1196"])
+    def test_interface_counts_match_published(self, name):
+        circuit = generate_circuit(name, seed=1)
+        stats = stats_for(name)
+        assert len(circuit.inputs) == stats.n_inputs
+        assert len(circuit.outputs) == stats.n_outputs
+        assert len(circuit.dff_gates) == stats.n_dffs
+        assert len(circuit.combinational_gates()) == stats.n_gates
+
+    def test_validates(self):
+        generate_circuit("s344", seed=1).validate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_netlist(self):
+        a = generate_circuit("s382", seed=7)
+        b = generate_circuit("s382", seed=7)
+        assert list(a.gates) == list(b.gates)
+        for line in a.gates:
+            assert a.gates[line].inputs == b.gates[line].inputs
+            assert a.gates[line].gtype == b.gates[line].gtype
+
+    def test_different_seed_different_netlist(self):
+        a = generate_circuit("s382", seed=1)
+        b = generate_circuit("s382", seed=2)
+        same = all(a.gates[line].inputs == b.gates[line].inputs
+                   for line in a.gates)
+        assert not same
+
+    def test_name_isolated_streams(self):
+        """The same seed must give unrelated circuits per name (derived
+        child seeds)."""
+        a = generate_from_stats(Iscas89Stats("x1", 4, 3, 4, 30), seed=1)
+        b = generate_from_stats(Iscas89Stats("x2", 4, 3, 4, 30), seed=1)
+        assert any(a.gates[f"G{i}"].inputs != b.gates[f"G{i}"].inputs
+                   for i in range(10))
+
+
+class TestStructuralQuality:
+    def test_no_dangling_gates(self):
+        circuit = generate_circuit("s344", seed=1)
+        roots = set(circuit.outputs)
+        for dff in circuit.dff_gates:
+            roots.add(dff.inputs[0])
+        for gate in circuit.combinational_gates():
+            assert circuit.fanout_count(gate.output) > 0 or \
+                gate.output in roots, gate.output
+
+    def test_every_pi_used(self):
+        circuit = generate_circuit("s344", seed=1)
+        for pi in circuit.inputs:
+            assert circuit.fanout_count(pi) > 0 or \
+                circuit.is_output(pi), pi
+
+    def test_every_flop_observed_or_observing(self):
+        circuit = generate_circuit("s344", seed=1)
+        for q in circuit.dff_outputs:
+            assert circuit.fanout_count(q) > 0 or circuit.is_output(q), q
+
+    def test_reasonable_depth(self):
+        circuit = generate_circuit("s1196", seed=1)
+        assert 10 <= circuit.depth() <= 120
+
+    def test_outputs_are_distinct(self):
+        circuit = generate_circuit("s641", seed=1)
+        assert len(circuit.outputs) == len(set(circuit.outputs))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_arbitrary_seeds_produce_valid_circuits(self, seed):
+        stats = Iscas89Stats("fuzz", 6, 5, 7, 50)
+        circuit = generate_from_stats(stats, seed)
+        circuit.validate()
+        assert len(circuit.combinational_gates()) == 50
+
+    def test_gate_budget_below_dffs_rejected(self):
+        with pytest.raises(ValueError):
+            generate_from_stats(Iscas89Stats("bad", 2, 2, 10, 5), seed=1)

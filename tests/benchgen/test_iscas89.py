@@ -1,0 +1,41 @@
+"""Tests for the published ISCAS89 statistics table."""
+
+import pytest
+
+from repro.benchgen.iscas89 import (
+    ISCAS89_STATS,
+    TABLE1_CIRCUITS,
+    stats_for,
+)
+
+
+class TestStatsTable:
+    def test_table1_circuits_present(self):
+        for name in TABLE1_CIRCUITS:
+            assert name in ISCAS89_STATS
+
+    def test_table1_order_matches_paper(self):
+        assert TABLE1_CIRCUITS[0] == "s344"
+        assert TABLE1_CIRCUITS[-1] == "s9234"
+        assert len(TABLE1_CIRCUITS) == 12
+
+    def test_s27_values(self):
+        s = stats_for("s27")
+        assert (s.n_inputs, s.n_outputs, s.n_dffs, s.n_gates) == \
+            (4, 1, 3, 10)
+
+    def test_s344_values(self):
+        s = stats_for("s344")
+        assert (s.n_inputs, s.n_outputs, s.n_dffs, s.n_gates) == \
+            (9, 11, 15, 160)
+
+    def test_unknown_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="known:"):
+            stats_for("s99999")
+
+    def test_all_entries_positive(self):
+        for stats in ISCAS89_STATS.values():
+            assert stats.n_inputs > 0
+            assert stats.n_outputs > 0
+            assert stats.n_dffs > 0
+            assert stats.n_gates > 0

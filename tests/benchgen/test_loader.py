@@ -1,0 +1,66 @@
+"""Tests for the benchmark loader and provenance logic."""
+
+import pytest
+
+from repro.benchgen.loader import (
+    available_circuits,
+    circuit_provenance,
+    load_circuit,
+    table1_circuits,
+)
+from repro.netlist.bench import write_bench_file
+from repro.netlist import builders
+
+
+class TestProvenance:
+    def test_s27_embedded(self):
+        assert circuit_provenance("s27") == "embedded"
+
+    def test_synthetic_default(self):
+        assert circuit_provenance("s344") == "synthetic"
+
+    def test_real_file_override(self, tmp_path):
+        real = builders.toy_scan_circuit()
+        write_bench_file(real, tmp_path / "s344.bench")
+        assert circuit_provenance("s344", search_dir=tmp_path) == \
+            "real-file"
+        loaded = load_circuit("s344", search_dir=tmp_path)
+        assert set(loaded.gates) == set(real.gates)
+        assert loaded.name == "s344"
+
+    def test_env_var_override(self, tmp_path, monkeypatch):
+        real = builders.s27()
+        write_bench_file(real, tmp_path / "s27.bench")
+        monkeypatch.setenv("REPRO_ISCAS89_DIR", str(tmp_path))
+        assert circuit_provenance("s27") == "real-file"
+
+    def test_missing_file_falls_through(self, tmp_path):
+        assert circuit_provenance("s382", search_dir=tmp_path) == \
+            "synthetic"
+
+
+class TestLoadCircuit:
+    def test_embedded_s27(self):
+        circuit = load_circuit("s27")
+        assert circuit.name == "s27"
+        assert len(circuit.dff_gates) == 3
+
+    def test_synthetic_seeded(self):
+        a = load_circuit("s344", seed=5)
+        b = load_circuit("s344", seed=5)
+        assert list(a.gates) == list(b.gates)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_circuit("not_a_circuit")
+
+
+class TestListing:
+    def test_available_includes_table1(self):
+        names = available_circuits()
+        for name in table1_circuits():
+            assert name in names
+
+    def test_sorted_by_size_then_name(self):
+        names = available_circuits()
+        assert names.index("s27") < names.index("s344")

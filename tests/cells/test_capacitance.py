@@ -1,0 +1,74 @@
+"""Tests for load capacitance extraction."""
+
+import pytest
+
+from repro.cells.capacitance import line_load_ff, load_map_ff, switched_caps_ff
+from repro.cells.library import default_library
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+def fan_circuit() -> Circuit:
+    c = Circuit("fan")
+    c.add_input("a")
+    c.add_gate("n1", GateType.NOT, ("a",))
+    c.add_gate("n2", GateType.NAND, ("n1", "a"))
+    c.add_gate("n3", GateType.NOR, ("n1", "a"))
+    c.add_output("n2")
+    return c
+
+
+class TestLineLoad:
+    def test_sums_fanout_pins_and_wire(self, lib):
+        c = fan_circuit()
+        # n1 drives one NAND2 pin and one NOR2 pin
+        expected = (lib.pin_cap_ff(GateType.NAND, 2)
+                    + lib.pin_cap_ff(GateType.NOR, 2)
+                    + 2 * lib.wire_cap_per_fanout_ff
+                    + lib.spec(GateType.NOT, 1).internal_cap_ff)
+        assert line_load_ff(c, "n1", lib) == pytest.approx(expected)
+
+    def test_primary_output_load_added(self, lib):
+        c = fan_circuit()
+        with_po = line_load_ff(c, "n2", lib, include_internal=False)
+        assert with_po == pytest.approx(lib.output_load_ff)
+
+    def test_internal_cap_toggle(self, lib):
+        c = fan_circuit()
+        with_internal = line_load_ff(c, "n1", lib, include_internal=True)
+        without = line_load_ff(c, "n1", lib, include_internal=False)
+        assert with_internal - without == pytest.approx(
+            lib.spec(GateType.NOT, 1).internal_cap_ff)
+
+    def test_input_line_has_no_internal_cap(self, lib):
+        c = fan_circuit()
+        # "a" drives the NOT, the NAND and the NOR; no internal cap since
+        # it is not a gate output.
+        load = line_load_ff(c, "a", lib)
+        expected = (lib.pin_cap_ff(GateType.NOT, 1)
+                    + lib.pin_cap_ff(GateType.NAND, 2)
+                    + lib.pin_cap_ff(GateType.NOR, 2)
+                    + 3 * lib.wire_cap_per_fanout_ff)
+        assert load == pytest.approx(expected)
+
+    def test_dangling_gate_load(self, lib):
+        c = fan_circuit()
+        # n3 drives nothing and is not a PO: internal cap only.
+        assert line_load_ff(c, "n3", lib) == pytest.approx(
+            lib.spec(GateType.NOR, 2).internal_cap_ff)
+
+
+class TestMaps:
+    def test_load_map_covers_all_lines(self, lib, s27):
+        caps = load_map_ff(s27, lib)
+        assert set(caps) == set(s27.lines())
+        assert all(v >= 0 for v in caps.values())
+
+    def test_switched_caps_alias(self, lib, s27):
+        assert switched_caps_ff(s27, lib) == load_map_ff(
+            s27, lib, include_internal=True)

@@ -1,0 +1,82 @@
+"""Tests for the cell library."""
+
+import pytest
+
+from repro.cells.library import CellLibrary, default_library
+from repro.errors import TimingError
+from repro.netlist.gates import GateType
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+class TestSpecs:
+    def test_native_cells_present(self, lib):
+        for gtype, arity in [(GateType.NAND, 2), (GateType.NAND, 4),
+                             (GateType.NOR, 3), (GateType.NOT, 1)]:
+            spec = lib.spec(gtype, arity)
+            assert spec.pin_cap_ff > 0
+            assert spec.intrinsic_delay_ps > 0
+
+    def test_arity_normalisation(self, lib):
+        assert lib.spec(GateType.MUX2, 3).name == "MUX2"
+        assert lib.spec(GateType.DFF, 1).name == "SDFF"
+        assert lib.spec(GateType.CONST0, 0).name == "TIE0"
+
+    def test_wide_gate_rejected(self, lib):
+        with pytest.raises(TimingError, match="techmap"):
+            lib.spec(GateType.NAND, 7)
+
+    def test_wider_cells_cost_more(self, lib):
+        d2 = lib.spec(GateType.NAND, 2)
+        d4 = lib.spec(GateType.NAND, 4)
+        assert d4.intrinsic_delay_ps > d2.intrinsic_delay_ps
+        assert d4.pin_cap_ff > d2.pin_cap_ff
+        assert d4.area_um2 > d2.area_um2
+
+
+class TestLeakageAccess:
+    def test_leakage_matches_figure2(self, lib):
+        assert lib.leakage_na(GateType.NAND, (0, 1)) == pytest.approx(
+            73.0, rel=0.02)
+
+    def test_leakage_table_cached(self, lib):
+        a = lib.leakage_table(GateType.NOR, 2)
+        b = lib.leakage_table(GateType.NOR, 2)
+        assert a is b
+
+    def test_tie_cells_leak_nothing(self, lib):
+        assert lib.leakage_na(GateType.CONST0, ()) == 0.0
+        assert lib.leakage_na(GateType.CONST1, ()) == 0.0
+
+
+class TestEnergyAndDelay:
+    def test_switching_energy_formula(self, lib):
+        # 0.5 * C * V^2: 2 fF at 0.9 V -> 0.81 fJ
+        assert lib.switching_energy_fj(2.0) == pytest.approx(0.81)
+
+    def test_delay_increases_with_load(self, lib):
+        light = lib.delay_ps(GateType.NAND, 2, 1.0)
+        heavy = lib.delay_ps(GateType.NAND, 2, 10.0)
+        assert heavy > light
+
+    def test_mux_spec(self, lib):
+        assert lib.mux_spec.gtype is GateType.MUX2
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        a = CellLibrary()
+        b = CellLibrary()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_wire_cap(self):
+        a = CellLibrary()
+        b = CellLibrary(wire_cap_per_fanout_ff=0.9)
+        assert a != b
+
+    def test_default_library_is_singleton(self):
+        assert default_library() is default_library()

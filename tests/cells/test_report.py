@@ -1,0 +1,29 @@
+"""Tests for the cell library report."""
+
+import pytest
+
+from repro.cells.report import describe_library, leakage_summary
+from repro.netlist.gates import GateType
+
+
+class TestLeakageSummary:
+    def test_min_mean_max_ordering(self, library):
+        lo, mean, hi = leakage_summary(library, GateType.NAND, 2)
+        assert lo <= mean <= hi
+
+    def test_nand2_extremes_match_figure2(self, library):
+        lo, _mean, hi = leakage_summary(library, GateType.NAND, 2)
+        assert lo == pytest.approx(73.0, rel=0.02)
+        assert hi == pytest.approx(408.0, rel=0.02)
+
+
+class TestDescribeLibrary:
+    def test_lists_all_native_cells(self, library):
+        text = describe_library(library)
+        for name in ("INV", "NAND2", "NAND4", "NOR3", "MUX2"):
+            assert name in text
+
+    def test_header_has_conditions(self, library):
+        text = describe_library(library)
+        assert "VDD=0.9" in text
+        assert "fF/fanout" in text

@@ -1,0 +1,130 @@
+"""Tests for the AddMUX procedure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen.generator import generate_from_stats
+from repro.benchgen.iscas89 import Iscas89Stats
+from repro.core.addmux import add_mux
+from repro.errors import ScanError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.scan.mux import MuxPlan, insert_muxes
+from repro.techmap.mapper import technology_map
+from repro.timing.delay import LibraryDelay
+from repro.timing.sta import run_sta
+
+
+class TestAddMux:
+    def test_requires_flops(self, c17, library):
+        with pytest.raises(ScanError):
+            add_mux(c17, library)
+
+    def test_unknown_method(self, s27_mapped, library):
+        with pytest.raises(ValueError):
+            add_mux(s27_mapped, library, method="quantum")
+
+    def test_partitions_pseudo_inputs(self, s27_mapped, library):
+        result = add_mux(s27_mapped, library)
+        all_q = set(s27_mapped.dff_outputs)
+        assert set(result.muxable) | set(result.rejected) == all_q
+        assert not set(result.muxable) & set(result.rejected)
+
+    def test_records_decision_inputs(self, s27_mapped, library):
+        result = add_mux(s27_mapped, library)
+        for q in s27_mapped.dff_outputs:
+            assert q in result.slack_ps
+            assert result.mux_delay_ps[q] > 0
+
+    def test_coverage_metric(self, s27_mapped, library):
+        result = add_mux(s27_mapped, library)
+        assert result.coverage == pytest.approx(
+            len(result.muxable) / 3)
+
+    def test_margin_reduces_coverage(self, toy_mapped, library):
+        loose = add_mux(toy_mapped, library, margin_ps=0.0)
+        tight = add_mux(toy_mapped, library, margin_ps=1e6)
+        assert len(tight.muxable) <= len(loose.muxable)
+        # An absurd margin rejects every pseudo-input with comb fanout.
+        assert not tight.muxable
+
+    def test_plan_filters_to_muxable(self, s27_mapped, library):
+        result = add_mux(s27_mapped, library)
+        ties = {q: 0 for q in s27_mapped.dff_outputs}
+        plan = result.plan(ties)
+        assert set(plan.tie_values) == set(result.muxable)
+
+
+class TestTimingNeutrality:
+    def test_accepted_muxes_leave_critical_delay_unchanged(
+            self, toy_mapped, library):
+        """The paper's core claim: inserting every accepted MUX at once
+        keeps the critical path delay identical."""
+        result = add_mux(toy_mapped, library)
+        assert result.muxable  # the toy circuit must have slack somewhere
+        baseline = run_sta(
+            toy_mapped, LibraryDelay(toy_mapped, library)).critical_delay
+        assert baseline == pytest.approx(result.baseline_delay_ps)
+        plan = MuxPlan(tie_values={q: 0 for q in result.muxable})
+        rewritten = insert_muxes(toy_mapped, plan)
+        after = run_sta(
+            rewritten, LibraryDelay(rewritten, library)).critical_delay
+        assert after == pytest.approx(baseline)
+
+    def test_rejected_critical_input_would_slow_circuit(self, library):
+        """A pseudo-input on the critical path must be rejected, and
+        physically inserting a MUX there must lengthen the clock."""
+        c = Circuit("critical_q")
+        c.add_input("a")
+        c.add_gate("q0", GateType.DFF, ("d0",))
+        c.add_gate("q1", GateType.DFF, ("d1",))
+        # q0 feeds a deep chain (critical); q1 a single gate (slack).
+        prev = "q0"
+        for i in range(6):
+            c.add_gate(f"c{i}", GateType.NOT, (prev,))
+            prev = f"c{i}"
+        c.add_gate("d0", GateType.NAND, (prev, "a"))
+        c.add_gate("d1", GateType.NOR, ("q1", "a"))
+        c.add_output(prev)
+        c.validate()
+
+        result = add_mux(c, library)
+        assert "q0" in result.rejected
+        assert result.rejected["q0"] == "critical"
+        assert "q1" in result.muxable
+
+        slowed = insert_muxes(c, MuxPlan(tie_values={"q0": 0}))
+        after = run_sta(
+            slowed, LibraryDelay(slowed, library)).critical_delay
+        assert after > result.baseline_delay_ps
+
+    def test_no_comb_fanout_excluded(self, library):
+        c = Circuit("qpo")
+        c.add_input("a")
+        c.add_gate("q0", GateType.DFF, ("d0",))
+        c.add_gate("d0", GateType.NOT, ("a",))
+        c.add_output("q0")  # Q drives only a primary output
+        result = add_mux(c, library)
+        assert result.rejected.get("q0") == "no_comb_fanout"
+
+
+class TestSlackReinsertEquivalence:
+    @pytest.mark.parametrize("fixture_name",
+                             ["s27_mapped", "toy_mapped"])
+    def test_methods_agree_on_fixtures(self, fixture_name, request,
+                                       library):
+        circuit = request.getfixturevalue(fixture_name)
+        fast = add_mux(circuit, library, method="slack")
+        literal = add_mux(circuit, library, method="reinsert")
+        assert set(fast.muxable) == set(literal.muxable)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_methods_agree_on_random_circuits(self, seed):
+        from repro.cells.library import default_library
+        library = default_library()
+        stats = Iscas89Stats("rnd", 4, 3, 5, 36)
+        circuit = technology_map(generate_from_stats(stats, seed))
+        fast = add_mux(circuit, library, method="slack")
+        literal = add_mux(circuit, library, method="reinsert")
+        assert set(fast.muxable) == set(literal.muxable)

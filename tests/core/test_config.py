@@ -1,0 +1,43 @@
+"""Tests for FlowConfig validation."""
+
+import pytest
+
+from repro.atpg.generate import AtpgConfig
+from repro.core.config import FlowConfig
+from repro.errors import ConfigError
+
+
+class TestFlowConfig:
+    def test_defaults_valid(self):
+        config = FlowConfig()
+        assert config.seed == 0
+        assert config.use_observability_directive
+
+    @pytest.mark.parametrize("kwargs", [
+        {"observability_samples": 1},
+        {"ivc_trials": 0},
+        {"ivc_noise_samples": 0},
+        {"max_backtracks": -1},
+        {"mux_delay_margin_ps": -5.0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FlowConfig(**kwargs)
+
+    def test_atpg_seed_derived_from_master(self):
+        config = FlowConfig(seed=99)
+        assert config.atpg_config().seed == 99
+
+    def test_explicit_atpg_config_wins(self):
+        atpg = AtpgConfig(seed=7, random_batch=16)
+        config = FlowConfig(seed=99, atpg=atpg)
+        assert config.atpg_config() is atpg
+
+    def test_library_accessor(self):
+        from repro.cells.library import default_library
+        assert FlowConfig().library() is default_library()
+
+    def test_frozen(self):
+        config = FlowConfig()
+        with pytest.raises(Exception):
+            config.seed = 5

@@ -1,0 +1,41 @@
+"""Tests for the input-control baseline (paper ref [8])."""
+
+import pytest
+
+from repro.core.input_control import input_control_pattern
+
+
+class TestInputControlPattern:
+    def test_assigns_every_pi(self, s27_mapped):
+        result = input_control_pattern(s27_mapped)
+        assert set(result.pi_values) == set(s27_mapped.inputs)
+        assert all(v in (0, 1) for v in result.pi_values.values())
+
+    def test_never_touches_pseudo_inputs(self, s27_mapped):
+        result = input_control_pattern(s27_mapped)
+        pseudo = set(s27_mapped.dff_outputs)
+        assert not set(result.pattern.assignment) & pseudo
+
+    def test_policy_shape(self, s27_mapped):
+        policy = input_control_pattern(s27_mapped).policy()
+        assert policy.name == "input_control"
+        assert policy.mux_ties == {}
+        assert policy.pi_values is not None
+
+    def test_dont_care_fill(self, s27_mapped):
+        zero = input_control_pattern(s27_mapped, dont_care_fill=0)
+        one = input_control_pattern(s27_mapped, dont_care_fill=1)
+        decided = set(zero.pattern.assignment)
+        for pi in s27_mapped.inputs:
+            if pi not in decided:
+                assert zero.pi_values[pi] == 0
+                assert one.pi_values[pi] == 1
+
+    def test_deterministic(self, toy_mapped):
+        a = input_control_pattern(toy_mapped)
+        b = input_control_pattern(toy_mapped)
+        assert a.pi_values == b.pi_values
+
+    def test_all_sources_are_pseudo_inputs(self, toy_mapped):
+        result = input_control_pattern(toy_mapped)
+        assert set(toy_mapped.dff_outputs) <= result.pattern.tns

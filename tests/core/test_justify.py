@@ -1,0 +1,186 @@
+"""Tests for the observability-directed justification engine."""
+
+import itertools
+
+import pytest
+
+from repro.core.justify import Justifier
+from repro.errors import JustificationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType, X
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+from repro.simulation.eval3 import simulate_comb3
+
+
+def fresh_state(circuit, controllable=None):
+    values = {line: X for line in circuit.lines()}
+    controllable = controllable if controllable is not None \
+        else set(comb_input_lines(circuit))
+    return values, controllable
+
+
+class TestSupport:
+    def test_support_computation(self, s27_mapped):
+        values, controllable = fresh_state(s27_mapped)
+        engine = Justifier(s27_mapped, values, controllable)
+        for line in s27_mapped.topo_order():
+            assert engine.has_support(line)
+
+    def test_no_support_behind_uncontrollable(self):
+        c = Circuit("iso")
+        c.add_input("a")
+        c.add_gate("q", GateType.DFF, ("d",))
+        c.add_gate("iso", GateType.NOT, ("q",))
+        c.add_gate("d", GateType.NAND, ("a", "iso"))
+        c.add_output("d")
+        c.validate()
+        values, _ = fresh_state(c)
+        engine = Justifier(c, values, {"a"})  # q NOT controllable
+        assert not engine.has_support("iso")
+        assert engine.has_support("d")
+
+
+class TestJustifySimple:
+    def test_direct_input(self, s27_mapped):
+        values, controllable = fresh_state(s27_mapped)
+        engine = Justifier(s27_mapped, values, controllable)
+        result = engine.justify("G0", 1)
+        assert result.success
+        assert values["G0"] == 1
+
+    def test_already_satisfied(self, s27_mapped):
+        values, controllable = fresh_state(s27_mapped)
+        values["G0"] = 1
+        engine = Justifier(s27_mapped, values, controllable)
+        result = engine.justify("G0", 1)
+        assert result.success
+        assert result.decisions == {}
+
+    def test_contradiction_fails_fast(self, s27_mapped):
+        values, controllable = fresh_state(s27_mapped)
+        values["G0"] = 0
+        engine = Justifier(s27_mapped, values, controllable)
+        assert not engine.justify("G0", 1).success
+
+    def test_bad_target_value(self, s27_mapped):
+        values, controllable = fresh_state(s27_mapped)
+        engine = Justifier(s27_mapped, values, controllable)
+        with pytest.raises(JustificationError):
+            engine.justify("G0", X)
+
+
+class TestJustifyInternal:
+    @pytest.mark.parametrize("target", [0, 1])
+    def test_internal_objectives_verified_by_simulation(
+            self, s27_mapped, target):
+        """Whatever justify claims, a full 2-valued simulation with the
+        decided inputs (arbitrary values elsewhere) must agree."""
+        for line in s27_mapped.topo_order():
+            values, controllable = fresh_state(s27_mapped)
+            engine = Justifier(s27_mapped, values, controllable,
+                               max_backtracks=100)
+            result = engine.justify(line, target)
+            if not result.success:
+                continue
+            free = [i for i in comb_input_lines(s27_mapped)
+                    if values[i] == X]
+            for combo in itertools.product((0, 1),
+                                           repeat=min(len(free), 4)):
+                full = {i: values[i] for i in comb_input_lines(s27_mapped)
+                        if values[i] != X}
+                for i, bit in zip(free, combo):
+                    full[i] = bit
+                for i in free[len(combo):]:
+                    full[i] = 0
+                sim = simulate_comb(s27_mapped, full)
+                assert sim[line] == target, line
+
+    def test_failure_restores_state(self):
+        """On failure the three-valued state must be exactly restored."""
+        c = Circuit("conflict")
+        c.add_input("a")
+        c.add_gate("n", GateType.NOT, ("a",))
+        c.add_gate("y", GateType.AND, ("a", "n"))  # y == 0 always
+        c.add_output("y")
+        c.validate()
+        values, controllable = fresh_state(c)
+        engine = Justifier(c, values, controllable)
+        snapshot = dict(values)
+        result = engine.justify("y", 1)
+        assert not result.success
+        assert values == snapshot
+
+    def test_success_state_consistent_with_implication(self, s27_mapped):
+        values, controllable = fresh_state(s27_mapped)
+        engine = Justifier(s27_mapped, values, controllable)
+        target_line = s27_mapped.topo_order()[-1]
+        result = engine.justify(target_line, 0)
+        if result.success:
+            assigned = {line: v for line, v in values.items()
+                        if line in controllable and v != X}
+            expected = simulate_comb3(s27_mapped, assigned)
+            assert values == expected
+
+    def test_respects_controllable_set(self):
+        """Objectives depending only on uncontrollable sources fail."""
+        c = Circuit("unc")
+        c.add_input("a")
+        c.add_gate("q", GateType.DFF, ("d",))
+        c.add_gate("m", GateType.NOT, ("q",))
+        c.add_gate("d", GateType.NAND, ("a", "m"))
+        c.add_output("d")
+        c.validate()
+        values, _ = fresh_state(c)
+        engine = Justifier(c, values, {"a"})
+        assert not engine.justify("m", 1).success
+        # but a NAND-0 objective via the controllable side works:
+        assert engine.justify("d", 1).success
+
+
+class TestObservabilityDirective:
+    def _two_path_circuit(self):
+        """Both inputs can justify y=1 through a NAND-0; the directive
+        must pick the one the observability table prefers."""
+        c = Circuit("choice")
+        c.add_input("cheap")
+        c.add_input("costly")
+        c.add_gate("y", GateType.NAND, ("cheap", "costly"))
+        c.add_output("y")
+        c.validate()
+        return c
+
+    def test_zero_objective_prefers_max_observability(self):
+        c = self._two_path_circuit()
+        obs = {"cheap": +50.0, "costly": -50.0}
+        values, controllable = fresh_state(c)
+        engine = Justifier(c, values, controllable, observability=obs)
+        # Setting y=1 needs one input at 0; directive: max obs first.
+        result = engine.justify("y", 1)
+        assert result.success
+        assert values["cheap"] == 0
+        assert values["costly"] == X
+
+    def test_one_objective_prefers_min_observability(self):
+        c = Circuit("or_choice")
+        c.add_input("p")
+        c.add_input("q")
+        c.add_gate("y", GateType.NOR, ("p", "q"))
+        c.add_output("y")
+        c.validate()
+        obs = {"p": +10.0, "q": -10.0}
+        values, controllable = fresh_state(c)
+        engine = Justifier(c, values, controllable, observability=obs)
+        # y=0 needs one NOR input at 1 (controlling): min obs first -> q.
+        result = engine.justify("y", 0)
+        assert result.success
+        assert values["q"] == 1
+        assert values["p"] == X
+
+    def test_no_directive_uses_structural_order(self):
+        c = self._two_path_circuit()
+        values, controllable = fresh_state(c)
+        engine = Justifier(c, values, controllable, observability=None)
+        result = engine.justify("y", 1)
+        assert result.success
+        # structural order: (level, name): "cheap" < "costly"
+        assert values["cheap"] == 0

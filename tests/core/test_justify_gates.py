@@ -1,0 +1,121 @@
+"""Justification through every gate family (branch coverage of backtrace)."""
+
+import pytest
+
+from repro.core.justify import Justifier
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType, X
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+
+
+def _engine(circuit, observability=None):
+    values = {line: X for line in circuit.lines()}
+    controllable = set(comb_input_lines(circuit))
+    return Justifier(circuit, values, controllable, observability), values
+
+
+def _verify(circuit, values, line, target):
+    full = {i: values[i] if values[i] != X else 0
+            for i in comb_input_lines(circuit)}
+    assert simulate_comb(circuit, full)[line] == target
+
+
+class TestXorJustification:
+    @pytest.mark.parametrize("target", [0, 1])
+    def test_xor2(self, target):
+        c = Circuit("x2")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XOR, ("a", "b"))
+        c.add_output("y")
+        c.validate()
+        engine, values = _engine(c)
+        assert engine.justify("y", target).success
+        _verify(c, values, "y", target)
+
+    @pytest.mark.parametrize("target", [0, 1])
+    def test_xnor3(self, target):
+        c = Circuit("xn3")
+        for name in ("a", "b", "c"):
+            c.add_input(name)
+        c.add_gate("y", GateType.XNOR, ("a", "b", "c"))
+        c.add_output("y")
+        c.validate()
+        engine, values = _engine(c)
+        assert engine.justify("y", target).success
+        _verify(c, values, "y", target)
+
+    def test_xor_with_partially_known_inputs(self):
+        c = Circuit("xpart")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XOR, ("a", "b"))
+        c.add_output("y")
+        c.validate()
+        engine, values = _engine(c)
+        values["a"] = 1
+        assert engine.justify("y", 1).success
+        assert values["b"] == 0
+        _verify(c, values, "y", 1)
+
+
+class TestMuxJustification:
+    @pytest.mark.parametrize("target", [0, 1])
+    def test_mux_output(self, target):
+        c = Circuit("mx")
+        for name in ("s", "d0", "d1"):
+            c.add_input(name)
+        c.add_gate("y", GateType.MUX2, ("s", "d0", "d1"))
+        c.add_output("y")
+        c.validate()
+        engine, values = _engine(c)
+        assert engine.justify("y", target).success
+        _verify(c, values, "y", target)
+
+    def test_mux_with_fixed_select(self):
+        c = Circuit("mx2")
+        for name in ("s", "d0", "d1"):
+            c.add_input(name)
+        c.add_gate("y", GateType.MUX2, ("s", "d0", "d1"))
+        c.add_output("y")
+        c.validate()
+        engine, values = _engine(c)
+        values["s"] = 1
+        assert engine.justify("y", 1).success
+        assert values["d1"] == 1
+        _verify(c, values, "y", 1)
+
+
+class TestBuffChainJustification:
+    def test_through_buffers_and_inverters(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.add_gate("b1", GateType.BUFF, ("a",))
+        c.add_gate("n1", GateType.NOT, ("b1",))
+        c.add_gate("b2", GateType.BUFF, ("n1",))
+        c.add_output("b2")
+        c.validate()
+        engine, values = _engine(c)
+        assert engine.justify("b2", 0).success
+        assert values["a"] == 1
+        _verify(c, values, "b2", 0)
+
+
+class TestWideGateJustification:
+    @pytest.mark.parametrize("gtype,target,expect_all", [
+        (GateType.NAND, 0, 1),   # all inputs 1
+        (GateType.NOR, 1, 0),    # all inputs 0
+        (GateType.AND, 1, 1),
+        (GateType.OR, 0, 0),
+    ])
+    def test_all_inputs_needed(self, gtype, target, expect_all):
+        c = Circuit("wide")
+        pis = [c.add_input(f"i{k}") for k in range(4)]
+        c.add_gate("y", gtype, pis)
+        c.add_output("y")
+        c.validate()
+        engine, values = _engine(c)
+        assert engine.justify("y", target).success
+        for pi in pis:
+            assert values[pi] == expect_all
+        _verify(c, values, "y", target)

@@ -1,0 +1,119 @@
+"""Tests for TNS/TGS transition bookkeeping."""
+
+import pytest
+
+from repro.core.tns import update_tns_tgs
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType, X
+
+
+def blocking_chain() -> Circuit:
+    """q -> NAND(q, a) -> NOT -> NOR(., b) -> PO."""
+    c = Circuit("blocking")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("q", GateType.DFF, ("d",))
+    c.add_gate("g1", GateType.NAND, ("q", "a"))
+    c.add_gate("g2", GateType.NOT, ("g1",))
+    c.add_gate("g3", GateType.NOR, ("g2", "b"))
+    c.add_gate("d", GateType.NOT, ("g3",))
+    c.add_output("g3")
+    c.validate()
+    return c
+
+
+class TestUpdateTnsTgs:
+    def test_unblocked_candidate(self):
+        c = blocking_chain()
+        values = {line: X for line in c.lines()}
+        analysis = update_tns_tgs(c, values, {"q"})
+        assert analysis.tns == {"q"}
+        assert "g1" in analysis.tgs
+        assert analysis.tgs["g1"] == ["q"]
+
+    def test_controlling_side_input_blocks(self):
+        c = blocking_chain()
+        values = {line: X for line in c.lines()}
+        values["a"] = 0  # controlling for NAND
+        analysis = update_tns_tgs(c, values, {"q"})
+        assert analysis.tns == {"q"}
+        assert "g1" in analysis.blocked_at
+        assert "g1" not in analysis.tgs
+
+    def test_non_controlling_side_propagates(self):
+        c = blocking_chain()
+        values = {line: X for line in c.lines()}
+        values["a"] = 1  # non-controlling: transition passes g1
+        analysis = update_tns_tgs(c, values, {"q"})
+        assert {"q", "g1", "g2"} <= analysis.tns
+        # it stops at g3 only if b blocks; b is X -> candidate
+        assert "g3" in analysis.tgs
+
+    def test_transparent_gates_propagate(self):
+        c = Circuit("transparent")
+        c.add_input("a")
+        c.add_gate("q", GateType.DFF, ("d",))
+        c.add_gate("x1", GateType.XOR, ("q", "a"))
+        c.add_gate("n1", GateType.NOT, ("x1",))
+        c.add_gate("d", GateType.BUFF, ("n1",))
+        c.add_output("n1")
+        c.validate()
+        values = {line: X for line in c.lines()}
+        values["a"] = 0  # XOR has no controlling value: still propagates
+        analysis = update_tns_tgs(c, values, {"q"})
+        assert {"q", "x1", "n1"} <= analysis.tns
+        assert not analysis.tgs
+
+    def test_transitions_stop_at_flops(self):
+        c = Circuit("stop")
+        c.add_gate("q0", GateType.DFF, ("d0",))
+        c.add_gate("q1", GateType.DFF, ("q0",))  # direct Q -> next D
+        c.add_gate("d0", GateType.NOT, ("q1",))
+        c.add_output("q1")
+        c.validate()
+        values = {line: X for line in c.lines()}
+        analysis = update_tns_tgs(c, values, {"q0"})
+        # q0 drives only the DFF q1: nothing propagates combinationally.
+        assert analysis.tns == {"q0"}
+
+    def test_failed_gate_forces_propagation(self):
+        c = blocking_chain()
+        values = {line: X for line in c.lines()}
+        analysis = update_tns_tgs(c, values, {"q"}, failed_gates={"g1"})
+        assert "g1" in analysis.tns
+        assert "g1" not in analysis.tgs
+        assert "g3" in analysis.tgs  # next blocking opportunity
+
+    def test_multi_tn_gate(self):
+        c = Circuit("multi")
+        c.add_input("a")
+        c.add_gate("q0", GateType.DFF, ("g",))
+        c.add_gate("q1", GateType.DFF, ("g",))
+        c.add_gate("g", GateType.NAND, ("q0", "q1", "a"))
+        c.add_output("g")
+        c.validate()
+        values = {line: X for line in c.lines()}
+        analysis = update_tns_tgs(c, values, {"q0", "q1"})
+        assert set(analysis.tgs.get("g", [])) == {"q0", "q1"}
+
+    def test_blocked_value_from_simulation(self):
+        """When the 3-valued state already fixes a gate output to a
+        binary value, no transition passes regardless of paths."""
+        c = blocking_chain()
+        from repro.simulation.eval3 import simulate_comb3
+        values = simulate_comb3(c, {"a": 0})
+        analysis = update_tns_tgs(c, values, {"q"})
+        assert analysis.tns == {"q"}
+        assert not analysis.tgs
+
+    def test_mux_gate_is_conservative(self):
+        c = Circuit("mux")
+        c.add_input("s")
+        c.add_gate("q", GateType.DFF, ("m",))
+        c.add_gate("m", GateType.MUX2, ("s", "q", "s"))
+        c.add_output("m")
+        c.validate()
+        values = {line: X for line in c.lines()}
+        analysis = update_tns_tgs(c, values, {"q"})
+        # MUX2 is treated as unblockable: the transition passes.
+        assert "m" in analysis.tns

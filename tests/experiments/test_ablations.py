@@ -1,0 +1,51 @@
+"""Tests for the ablation harnesses (on the smallest circuit)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationRow,
+    ablation_ivc_budget,
+    ablation_mux_margin,
+    ablation_observability,
+    ablation_reorder,
+    render_rows,
+)
+
+
+class TestAblationObservability:
+    def test_two_variants_per_circuit(self):
+        rows = ablation_observability(["s27"], seed=1)
+        assert [r.variant for r in rows] == ["directed", "undirected"]
+        assert all(r.static_uw > 0 for r in rows)
+
+
+class TestAblationMuxMargin:
+    def test_sweep_shape(self):
+        rows = ablation_mux_margin(["s27"], margins_ps=(0.0, 1e6),
+                                   seed=1)
+        assert len(rows) == 2
+        # infinite margin -> zero coverage recorded in detail text
+        assert "coverage 0%" in rows[1].detail
+
+
+class TestAblationReorder:
+    def test_reorder_never_hurts_static(self):
+        rows = ablation_reorder(["s27"], seed=1)
+        with_reorder = next(r for r in rows if r.variant == "reorder")
+        without = next(r for r in rows if r.variant == "no-reorder")
+        assert with_reorder.static_uw <= without.static_uw + 1e-9
+
+
+class TestAblationIvcBudget:
+    def test_monotone_budgets_reported(self):
+        rows = ablation_ivc_budget("s27", budgets=(1, 32), seed=1)
+        assert [r.variant for r in rows] == ["trials=1", "trials=32"]
+        assert all(r.static_uw > 0 for r in rows)
+
+
+class TestRenderRows:
+    def test_render(self):
+        rows = [AblationRow("sX", "v1", 1e-8, 5.0, "note")]
+        text = render_rows(rows, "Title")
+        assert text.startswith("Title")
+        assert "sX" in text and "note" in text

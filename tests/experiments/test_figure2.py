@@ -1,0 +1,25 @@
+"""Tests for the Figure 2 experiment harness."""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+
+class TestFigure2:
+    def test_model_matches_paper(self):
+        run = run_figure2()
+        assert run.max_relative_error() < 0.02
+
+    def test_extra_cells_present(self):
+        run = run_figure2()
+        assert {"INV", "NOR2", "NAND3"} <= set(run.extra_cells)
+
+    def test_render_contains_anchor_values(self):
+        text = run_figure2().render()
+        assert "264" in text
+        assert "73" in text
+        assert "paper Fig.2" in text
+
+    def test_render_lists_extra_tables(self):
+        text = run_figure2().render()
+        assert "NOR2 leakage table" in text

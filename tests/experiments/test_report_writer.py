@@ -1,0 +1,41 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.core.config import FlowConfig
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.report_writer import (
+    render_experiments_md,
+    write_experiments_md,
+)
+from repro.experiments.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    config = FlowConfig(seed=1, observability_samples=64, ivc_trials=8)
+    return run_table1(["s27"], config)
+
+
+class TestRenderExperimentsMd:
+    def test_contains_all_sections(self, tiny_run):
+        text = render_experiments_md(tiny_run, run_figure2())
+        for marker in ("# EXPERIMENTS", "## Figure 2", "## Table I",
+                       "## Ablations", "Shape assessment",
+                       "## Known reproduction gaps"):
+            assert marker in text
+
+    def test_figure2_numbers_present(self, tiny_run):
+        text = render_experiments_md(tiny_run, run_figure2())
+        assert "264.0" in text and "408.0" in text
+
+    def test_measured_rows_present(self, tiny_run):
+        text = render_experiments_md(tiny_run, run_figure2())
+        assert "s27" in text
+        assert "embedded" in text
+
+    def test_write_to_disk(self, tiny_run, tmp_path):
+        path = write_experiments_md(tiny_run, run_figure2(),
+                                    tmp_path / "EXPERIMENTS.md")
+        assert path.exists()
+        assert path.read_text().startswith("# EXPERIMENTS")

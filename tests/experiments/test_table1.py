@@ -1,0 +1,80 @@
+"""Tests for the Table I experiment harness (small circuits only)."""
+
+import pytest
+
+from repro.core.config import FlowConfig
+from repro.experiments.results import PAPER_TABLE1
+from repro.experiments.table1 import (
+    DEFAULT_CIRCUITS,
+    default_table1_circuits,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    """A shared Table-1 run over the two smallest circuits."""
+    config = FlowConfig(seed=1, observability_samples=128, ivc_trials=16)
+    return run_table1(["s27", "s344"], config)
+
+
+class TestRunTable1:
+    def test_row_per_circuit(self, small_run):
+        assert [row.circuit for row in small_run.rows] == ["s27", "s344"]
+
+    def test_provenance_recorded(self, small_run):
+        assert small_run.provenance["s27"] == "embedded"
+        assert small_run.provenance["s344"] == "synthetic"
+
+    def test_runtime_recorded(self, small_run):
+        assert all(t > 0 for t in small_run.runtime_s.values())
+
+    def test_flow_results_kept(self, small_run):
+        assert set(small_run.flow_results) == {"s27", "s344"}
+
+    def test_render_includes_paper_reference(self, small_run):
+        text = small_run.render()
+        assert "s344" in text
+        assert "(paper)" in text      # s344 is a Table I row
+        assert "Provenance" in text
+
+    def test_render_without_paper(self, small_run):
+        text = small_run.render(include_paper=False)
+        assert "(paper)" not in text
+
+
+class TestShapeReproduction:
+    """The reproduction bands: shape, not absolute values."""
+
+    def test_proposed_dominates_traditional(self, small_run):
+        for row in small_run.rows:
+            assert row.prop_dynamic < row.trad_dynamic, row.circuit
+            assert row.prop_static < row.trad_static, row.circuit
+
+    def test_static_improvement_band(self, small_run):
+        """Paper band for static improvement is roughly 4-23%; allow a
+        generous 0-40% on substitute netlists."""
+        for row in small_run.rows:
+            assert 0.0 < row.imp_trad_static < 40.0, row.circuit
+
+    def test_magnitudes_comparable_to_paper(self, small_run):
+        """Absolute values should land within ~10x of the paper's
+        (same units, same technology scale)."""
+        row = next(r for r in small_run.rows if r.circuit == "s344")
+        paper = PAPER_TABLE1["s344"]
+        assert paper.trad_dynamic / 10 < row.trad_dynamic \
+            < paper.trad_dynamic * 10
+        assert paper.trad_static / 10 < row.trad_static \
+            < paper.trad_static * 10
+
+
+class TestDefaults:
+    def test_default_circuit_list(self):
+        assert "s344" in DEFAULT_CIRCUITS
+        assert "s9234" not in DEFAULT_CIRCUITS
+
+    def test_full_env_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_TABLE1", "1")
+        assert "s9234" in default_table1_circuits()
+        monkeypatch.setenv("REPRO_FULL_TABLE1", "0")
+        assert "s9234" not in default_table1_circuits()

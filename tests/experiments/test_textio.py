@@ -1,0 +1,44 @@
+"""Tests for experiment output serialisation."""
+
+import csv
+import io
+
+from repro.experiments.results import Table1Row
+from repro.experiments.textio import table1_to_csv, table1_to_markdown
+
+
+def _rows():
+    return [
+        Table1Row("sX", 1e-8, 10.0, 9e-9, 9.5, 5e-9, 8.0,
+                  50.0, 20.0, 44.4, 15.8),
+        Table1Row("sY", 2e-8, 20.0, 2e-8, 21.0, 1e-8, 18.0,
+                  50.0, 10.0, 50.0, 14.3),
+    ]
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self):
+        text = table1_to_csv(_rows())
+        reader = csv.DictReader(io.StringIO(text))
+        parsed = list(reader)
+        assert len(parsed) == 2
+        assert parsed[0]["circuit"] == "sX"
+        assert float(parsed[0]["prop_static"]) == 8.0
+
+    def test_header_fields_complete(self):
+        header = table1_to_csv(_rows()).splitlines()[0]
+        for field in ("circuit", "trad_dynamic", "imp_ic_static"):
+            assert field in header
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = table1_to_markdown(_rows())
+        lines = text.splitlines()
+        assert lines[0].startswith("| Circuit |")
+        assert len(lines) == 2 + 2  # header + separator + 2 rows
+
+    def test_values_formatted(self):
+        text = table1_to_markdown(_rows())
+        assert "1.00e-08" in text
+        assert "50.00" in text

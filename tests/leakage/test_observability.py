@@ -1,0 +1,90 @@
+"""Tests for leakage observability (the paper's directive attribute)."""
+
+import pytest
+
+from repro.leakage.observability import (
+    forced_observability,
+    monte_carlo_observability,
+)
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+
+def single_nand() -> Circuit:
+    c = Circuit("one_nand")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("y", GateType.NAND, ("a", "b"))
+    c.add_output("y")
+    return c
+
+
+class TestMonteCarlo:
+    def test_covers_every_line(self, s27_mapped):
+        obs = monte_carlo_observability(s27_mapped, 256, seed=0)
+        assert set(obs) == set(s27_mapped.lines())
+
+    def test_deterministic_per_seed(self, s27_mapped):
+        a = monte_carlo_observability(s27_mapped, 128, seed=7)
+        b = monte_carlo_observability(s27_mapped, 128, seed=7)
+        assert a == b
+
+    def test_single_nand_signs(self, library):
+        """For an isolated NAND2: setting B to 1 moves mass from the
+        {00, 10} rows to {01, 11}; the table (78+264)/2 -> (73+408)/2
+        means positive observability for B.  For A: {00,01} -> {10,11},
+        (78+73)/2 -> (264+408)/2 — strongly positive too, and larger."""
+        c = single_nand()
+        obs = monte_carlo_observability(c, 2048, seed=1, library=library)
+        assert obs["a"] > 0
+        assert obs["b"] > 0
+        assert obs["a"] > obs["b"]
+
+    def test_constant_line_is_neutral(self, library):
+        c = Circuit("const")
+        c.add_input("a")
+        c.add_gate("t", GateType.CONST1, ())
+        c.add_gate("y", GateType.NAND, ("a", "t"))
+        c.add_output("y")
+        obs = monte_carlo_observability(c, 64, seed=0, library=library)
+        assert obs["t"] == 0.0
+
+
+class TestForced:
+    def test_matches_analytic_for_single_gate(self, library):
+        """Forcing semantics on an isolated NAND2 is exactly computable:
+        L_obs(a) = mean(264, 408) - mean(78, 73)."""
+        c = single_nand()
+        obs = forced_observability(c, n_samples=512, seed=0,
+                                   library=library)
+        table = library.leakage_table(GateType.NAND, 2)
+        expect_a = (table[(1, 0)] + table[(1, 1)]) / 2 - \
+            (table[(0, 0)] + table[(0, 1)]) / 2
+        expect_b = (table[(0, 1)] + table[(1, 1)]) / 2 - \
+            (table[(0, 0)] + table[(1, 0)]) / 2
+        assert obs["a"] == pytest.approx(expect_a, rel=0.15)
+        assert obs["b"] == pytest.approx(expect_b, rel=0.15)
+
+    def test_rejects_internal_lines(self, s27_mapped):
+        internal = s27_mapped.topo_order()[0]
+        with pytest.raises(ValueError):
+            forced_observability(s27_mapped, lines=[internal])
+
+    def test_subset_of_lines(self, s27_mapped):
+        obs = forced_observability(s27_mapped, lines=["G0"], n_samples=64)
+        assert set(obs) == {"G0"}
+
+
+class TestAgreement:
+    def test_mc_and_forced_agree_on_inputs(self, s27_mapped, library):
+        """On primary inputs conditioning == forcing (independence), so
+        the two estimators must agree in sign for lines with a clear
+        signal."""
+        mc = monte_carlo_observability(s27_mapped, 4096, seed=2,
+                                       library=library)
+        forced = forced_observability(s27_mapped, n_samples=1024, seed=3,
+                                      library=library)
+        for line, forced_value in forced.items():
+            if abs(forced_value) < 15.0:
+                continue  # too weak to compare reliably
+            assert mc[line] * forced_value > 0, line

@@ -1,0 +1,115 @@
+"""Tests for commutative-gate input reordering."""
+
+import pytest
+
+from repro.leakage.estimator import circuit_leakage_na
+from repro.leakage.reorder import (
+    best_pin_order,
+    expected_gate_leakage,
+    reorder_for_leakage,
+)
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType, X
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+from repro.techmap.verify import equivalence_check
+
+
+class TestExpectedGateLeakage:
+    def test_exact_for_binary(self, library):
+        table = library.leakage_table(GateType.NAND, 2)
+        assert expected_gate_leakage(table, (1, 0)) == table[(1, 0)]
+
+    def test_x_averages(self, library):
+        table = library.leakage_table(GateType.NAND, 2)
+        value = expected_gate_leakage(table, (X, 1))
+        assert value == pytest.approx(
+            (table[(0, 1)] + table[(1, 1)]) / 2)
+
+    def test_p_one_extremes(self, library):
+        table = library.leakage_table(GateType.NAND, 2)
+        assert expected_gate_leakage(table, (X, 0), p_one=0.0) == \
+            pytest.approx(table[(0, 0)])
+        assert expected_gate_leakage(table, (X, 0), p_one=1.0) == \
+            pytest.approx(table[(1, 0)])
+
+
+class TestBestPinOrder:
+    def test_nand_10_becomes_01(self, library):
+        """The paper's example: '10' (264 nA) swaps to '01' (73 nA)."""
+        table = library.leakage_table(GateType.NAND, 2)
+        perm, leak = best_pin_order(table, (1, 0))
+        assert perm == (1, 0)
+        assert leak == pytest.approx(table[(0, 1)])
+
+    def test_01_stays(self, library):
+        table = library.leakage_table(GateType.NAND, 2)
+        perm, _leak = best_pin_order(table, (0, 1))
+        assert perm == (0, 1)
+
+    def test_symmetric_pattern_stays(self, library):
+        table = library.leakage_table(GateType.NAND, 2)
+        assert best_pin_order(table, (1, 1))[0] == (0, 1)
+        assert best_pin_order(table, (0, 0))[0] == (0, 1)
+
+    def test_three_input_minimum(self, library):
+        table = library.leakage_table(GateType.NAND, 3)
+        perm, leak = best_pin_order(table, (1, 1, 0))
+        permuted = tuple([(1, 1, 0)[i] for i in perm])
+        assert leak == pytest.approx(table[permuted])
+        assert leak == min(
+            table[(0, 1, 1)], table[(1, 0, 1)], table[(1, 1, 0)])
+
+
+class TestReorderForLeakage:
+    def _one_nand(self):
+        c = Circuit("nand")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.NAND, ("a", "b"))
+        c.add_output("y")
+        return c
+
+    def test_swaps_bad_orientation(self, library):
+        c = self._one_nand()
+        result = reorder_for_leakage(c, {"a": 1, "b": 0}, library)
+        assert result.swapped_gates == {"y": ("b", "a")}
+        table = library.leakage_table(GateType.NAND, 2)
+        assert result.saved_na == pytest.approx(
+            table[(1, 0)] - table[(0, 1)])
+
+    def test_good_orientation_untouched(self, library):
+        c = self._one_nand()
+        result = reorder_for_leakage(c, {"a": 0, "b": 1}, library)
+        assert result.swapped_gates == {}
+        assert result.saved_na == 0.0
+
+    def test_function_preserved(self, s27_mapped, library):
+        lines = comb_input_lines(s27_mapped)
+        quiescent = simulate_comb(
+            s27_mapped, {line: (i % 2) for i, line in enumerate(lines)})
+        result = reorder_for_leakage(s27_mapped, quiescent, library)
+        assert equivalence_check(s27_mapped, result.circuit)
+
+    def test_leakage_actually_drops(self, s27_mapped, library):
+        lines = comb_input_lines(s27_mapped)
+        assignment = {line: (i % 2) for i, line in enumerate(lines)}
+        quiescent = simulate_comb(s27_mapped, assignment)
+        result = reorder_for_leakage(s27_mapped, quiescent, library)
+        before = circuit_leakage_na(s27_mapped, quiescent, library)
+        after_values = simulate_comb(result.circuit, assignment)
+        after = circuit_leakage_na(result.circuit, after_values, library)
+        assert after == pytest.approx(before - result.saved_na)
+        assert after <= before
+
+    def test_original_not_mutated(self, s27_mapped, library):
+        lines = comb_input_lines(s27_mapped)
+        quiescent = simulate_comb(
+            s27_mapped, {line: 1 for line in lines})
+        snapshot = {out: g.inputs for out, g in s27_mapped.gates.items()}
+        reorder_for_leakage(s27_mapped, quiescent, library)
+        assert snapshot == {out: g.inputs
+                            for out, g in s27_mapped.gates.items()}
+
+    def test_x_values_handled(self, s27_mapped, library):
+        result = reorder_for_leakage(s27_mapped, {}, library)
+        assert equivalence_check(s27_mapped, result.circuit)

@@ -1,0 +1,135 @@
+"""Tests for the .bench parser/writer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import BenchParseError
+from repro.netlist.bench import (
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+    write_bench_file,
+)
+from repro.netlist import builders
+from repro.netlist.gates import GateType
+
+
+class TestParse:
+    def test_minimal(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert c.inputs == ("a",)
+        assert c.outputs == ("y",)
+        assert c.gates["y"].gtype is GateType.NOT
+
+    def test_comments_and_blanks(self):
+        text = """
+        # header comment
+        INPUT(a)   # trailing comment
+
+        OUTPUT(y)
+        y = BUFF(a)
+        """
+        c = parse_bench(text)
+        assert c.gates["y"].gtype is GateType.BUFF
+
+    def test_case_insensitive_keywords(self):
+        c = parse_bench("input(a)\noutput(y)\ny = nand(a, a)")
+        assert c.gates["y"].gtype is GateType.NAND
+
+    def test_aliases(self):
+        c = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nm = INV(a)\nn = BUF(m)\n"
+            "y = MUX(a, m, n)")
+        assert c.gates["m"].gtype is GateType.NOT
+        assert c.gates["n"].gtype is GateType.BUFF
+        assert c.gates["y"].gtype is GateType.MUX2
+
+    def test_dff(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(a)")
+        assert c.dff_outputs == ["q"]
+
+    def test_const_cells(self):
+        c = parse_bench("OUTPUT(y)\nt = CONST1()\ny = NOT(t)")
+        assert c.gates["t"].gtype is GateType.CONST1
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchParseError, match="unknown gate type"):
+            parse_bench("INPUT(a)\ny = FROB(a)")
+
+    def test_garbage_line_reports_lineno(self):
+        with pytest.raises(BenchParseError) as exc:
+            parse_bench("INPUT(a)\nthis is not bench\n")
+        assert exc.value.line_number == 2
+
+    def test_bad_arity_reported_with_line(self):
+        with pytest.raises(BenchParseError) as exc:
+            parse_bench("INPUT(a)\ny = NOT(a, a)\n")
+        assert exc.value.line_number == 2
+
+    def test_undriven_reference_fails_validation(self):
+        with pytest.raises(Exception):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)")
+
+    def test_whitespace_tolerance(self):
+        c = parse_bench("INPUT( a )\nOUTPUT(y)\ny   =  NAND( a ,a2 )\n"
+                        "INPUT(a2)")
+        assert c.gates["y"].inputs == ("a", "a2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("build", [
+        builders.s27, builders.c17, builders.toy_scan_circuit,
+        builders.reconvergent_circuit,
+    ])
+    def test_write_parse_identity(self, build):
+        original = build()
+        text = write_bench(original)
+        parsed = parse_bench(text, original.name)
+        assert parsed.inputs == original.inputs
+        assert parsed.outputs == original.outputs
+        assert set(parsed.gates) == set(original.gates)
+        for line, gate in original.gates.items():
+            assert parsed.gates[line].gtype is gate.gtype
+            assert parsed.gates[line].inputs == gate.inputs
+
+    def test_file_round_trip(self, tmp_path, s27):
+        path = write_bench_file(s27, tmp_path / "s27.bench")
+        loaded = parse_bench_file(path)
+        assert loaded.name == "s27"
+        assert set(loaded.gates) == set(s27.gates)
+
+    def test_writer_includes_stats_comment(self, s27):
+        text = write_bench(s27)
+        assert "# s27" in text
+        assert "4 inputs" in text
+
+
+@st.composite
+def random_circuit_text(draw):
+    """Random but well-formed .bench text."""
+    n_inputs = draw(st.integers(2, 5))
+    n_gates = draw(st.integers(1, 12))
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    lines = [f"INPUT({name})" for name in inputs]
+    signals = list(inputs)
+    for g in range(n_gates):
+        gtype = draw(st.sampled_from(["AND", "NAND", "OR", "NOR", "NOT",
+                                      "XOR"]))
+        arity = 1 if gtype == "NOT" else draw(st.integers(2, 3))
+        srcs = [signals[draw(st.integers(0, len(signals) - 1))]
+                for _ in range(arity)]
+        out = f"g{g}"
+        lines.append(f"{out} = {gtype}({', '.join(srcs)})")
+        signals.append(out)
+    lines.append(f"OUTPUT(g{n_gates - 1})")
+    return "\n".join(lines)
+
+
+class TestParserProperties:
+    @given(random_circuit_text())
+    def test_random_wellformed_text_round_trips(self, text):
+        c = parse_bench(text)
+        again = parse_bench(write_bench(c), c.name)
+        assert set(again.gates) == set(c.gates)
+        for line, gate in c.gates.items():
+            assert again.gates[line].inputs == gate.inputs

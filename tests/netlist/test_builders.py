@@ -1,0 +1,93 @@
+"""Tests for the reference circuit builders."""
+
+import pytest
+
+from repro.netlist import builders
+from repro.simulation.eval2 import simulate_comb
+
+
+class TestS27:
+    def test_interface(self, s27):
+        assert s27.inputs == ("G0", "G1", "G2", "G3")
+        assert s27.outputs == ("G17",)
+        assert sorted(s27.dff_outputs) == ["G5", "G6", "G7"]
+
+    def test_known_response(self, s27):
+        # All-zero state and inputs: trace the netlist by hand.
+        values = simulate_comb(s27, {
+            "G0": 0, "G1": 0, "G2": 0, "G3": 0,
+            "G5": 0, "G6": 0, "G7": 0,
+        })
+        # G14 = NOT(G0) = 1; G12 = NOR(G1,G7) = 1; G8 = AND(G14,G6) = 0
+        assert values["G14"] == 1
+        assert values["G12"] == 1
+        assert values["G8"] == 0
+        # G15 = OR(G12,G8)=1, G16 = OR(G3,G8)=0, G9 = NAND(G16,G15)=1
+        assert values["G9"] == 1
+        # G11 = NOR(G5,G9) = 0 -> G17 = NOT(G11) = 1
+        assert values["G17"] == 1
+
+
+class TestC17:
+    def test_structure(self, c17):
+        assert len(c17.inputs) == 5
+        assert len(c17.outputs) == 2
+        assert not c17.dff_gates
+
+    def test_function_sample(self, c17):
+        values = simulate_comb(c17, {
+            "G1": 1, "G2": 0, "G3": 1, "G6": 1, "G7": 0})
+        assert values["G22"] in (0, 1)
+        # G10 = NAND(1,1)=0 -> G22 = NAND(0, G16) = 1
+        assert values["G10"] == 0
+        assert values["G22"] == 1
+
+
+class TestToyScan:
+    def test_structure(self, toy):
+        assert len(toy.dff_gates) == 6
+        assert len(toy.inputs) == 3
+        toy.validate()
+
+    def test_has_xor_fed_flop(self, toy):
+        from repro.netlist.gates import GateType
+        assert toy.gates["n3"].gtype is GateType.XOR
+        assert "q2" in toy.gates["n3"].inputs
+
+
+class TestParametricBuilders:
+    def test_chain_of_inverters_depth(self):
+        c = builders.chain_of_inverters(7)
+        assert c.depth() == 7
+
+    def test_chain_rejects_zero(self):
+        with pytest.raises(ValueError):
+            builders.chain_of_inverters(0)
+
+    def test_chain_parity(self):
+        c = builders.chain_of_inverters(5)
+        values = simulate_comb(c, {"in": 0})
+        assert values[c.outputs[0]] == 1  # odd number of inversions
+
+    @pytest.mark.parametrize("width", [2, 5, 9])
+    def test_wide_gate_widths(self, width):
+        c = builders.wide_gate_circuit(width)
+        assert len(c.gates["wnand"].inputs) == width
+        assert len(c.gates["wnor"].inputs) == width
+
+    def test_wide_gate_rejects_one(self):
+        with pytest.raises(ValueError):
+            builders.wide_gate_circuit(1)
+
+    def test_reconvergent_is_xnor_of_b(self):
+        c = builders.reconvergent_circuit()
+        # y = XOR(a AND b, NOT(a) OR b); truth table check
+        expected = {}
+        for a in (0, 1):
+            for b in (0, 1):
+                u = a & b
+                v = (1 - a) | b
+                expected[(a, b)] = u ^ v
+        for (a, b), want in expected.items():
+            values = simulate_comb(c, {"a": a, "b": b})
+            assert values["y"] == want

@@ -1,0 +1,71 @@
+"""Additional Circuit edge cases discovered during integration work."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+
+class TestRenameEdgeCases:
+    def test_rename_po_that_is_also_pi(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("a")  # feed-through
+        c.rename_line("a", "b")
+        assert c.inputs == ("b",)
+        assert c.outputs == ("b",)
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(NetlistError):
+            Circuit().rename_line("x", "y")
+
+    def test_rename_preserves_self_reference_free(self, s27):
+        clone = s27.copy()
+        clone.rename_line("G8", "middle")
+        clone.validate()
+        assert "middle" in clone.gates
+        # G15 = OR(G12, G8) must now read middle
+        assert "middle" in clone.gates["G15"].inputs
+
+
+class TestConstGates:
+    def test_const_gate_in_circuit(self):
+        c = Circuit()
+        c.add_gate("one", GateType.CONST1, ())
+        c.add_gate("y", GateType.NOT, ("one",))
+        c.add_output("y")
+        c.validate()
+        assert c.level_of("one") == 1  # it is a gate, not a source
+
+    def test_const_has_no_fanin(self):
+        c = Circuit()
+        gate = c.add_gate("zero", GateType.CONST0, ())
+        assert gate.inputs == ()
+
+
+class TestFeedthroughOutputs:
+    def test_pi_as_po(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("a")
+        c.validate()
+        assert c.is_input("a") and c.is_output("a")
+
+    def test_dff_q_as_po(self, s27):
+        clone = s27.copy()
+        clone.add_output("G5")
+        clone.validate()
+        assert clone.is_output("G5")
+
+
+class TestLargeFanin:
+    def test_wide_gate_topology(self):
+        c = Circuit()
+        pis = [c.add_input(f"i{k}") for k in range(30)]
+        c.add_gate("wide", GateType.NAND, pis)
+        c.add_output("wide")
+        c.validate()
+        assert c.level_of("wide") == 1
+        for pi in pis:
+            assert c.fanout(pi) == [("wide", pis.index(pi))]

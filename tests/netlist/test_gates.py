@@ -1,0 +1,175 @@
+"""Tests for repro.netlist.gates (semantics tables)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.gates import (
+    COMBINATIONAL_TYPES,
+    COMMUTATIVE_TYPES,
+    TRANSPARENT_TYPES,
+    GateType,
+    X,
+    check_arity,
+    controlled_response,
+    controlling_value,
+    eval_gate,
+    eval_gate3,
+    is_inverting,
+)
+
+_VARIADIC = [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+             GateType.XOR, GateType.XNOR]
+
+
+class TestControllingValues:
+    def test_and_family(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+
+    def test_or_family(self):
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+
+    @pytest.mark.parametrize("gtype", [GateType.NOT, GateType.BUFF,
+                                       GateType.XOR, GateType.XNOR,
+                                       GateType.MUX2])
+    def test_none_for_uncontrollable(self, gtype):
+        assert controlling_value(gtype) is None
+
+    @pytest.mark.parametrize("gtype", _VARIADIC[:4])
+    def test_controlled_response_matches_eval(self, gtype):
+        cv = controlling_value(gtype)
+        response = controlled_response(gtype)
+        # one controlling input forces the output, other input arbitrary
+        for other in (0, 1):
+            assert eval_gate(gtype, [cv, other]) == response
+
+
+class TestInversionParity:
+    def test_inverting_set(self):
+        for gtype in (GateType.NAND, GateType.NOR, GateType.NOT,
+                      GateType.XNOR):
+            assert is_inverting(gtype)
+
+    def test_non_inverting_set(self):
+        for gtype in (GateType.AND, GateType.OR, GateType.BUFF,
+                      GateType.XOR):
+            assert not is_inverting(gtype)
+
+
+class TestArity:
+    def test_not_requires_one(self):
+        check_arity(GateType.NOT, 1)
+        with pytest.raises(NetlistError):
+            check_arity(GateType.NOT, 2)
+
+    def test_mux_requires_three(self):
+        check_arity(GateType.MUX2, 3)
+        with pytest.raises(NetlistError):
+            check_arity(GateType.MUX2, 2)
+
+    def test_const_requires_zero(self):
+        check_arity(GateType.CONST0, 0)
+        with pytest.raises(NetlistError):
+            check_arity(GateType.CONST1, 1)
+
+    @pytest.mark.parametrize("gtype", _VARIADIC)
+    def test_variadic_min_two(self, gtype):
+        check_arity(gtype, 2)
+        check_arity(gtype, 7)
+        with pytest.raises(NetlistError):
+            check_arity(gtype, 1)
+
+
+class TestEvalGate:
+    def test_truth_tables_two_input(self):
+        cases = {
+            GateType.AND: [0, 0, 0, 1],
+            GateType.NAND: [1, 1, 1, 0],
+            GateType.OR: [0, 1, 1, 1],
+            GateType.NOR: [1, 0, 0, 0],
+            GateType.XOR: [0, 1, 1, 0],
+            GateType.XNOR: [1, 0, 0, 1],
+        }
+        for gtype, outputs in cases.items():
+            got = [eval_gate(gtype, [a, b])
+                   for a, b in itertools.product((0, 1), repeat=2)]
+            assert got == outputs, gtype
+
+    def test_not_and_buff(self):
+        assert eval_gate(GateType.NOT, [0]) == 1
+        assert eval_gate(GateType.NOT, [1]) == 0
+        assert eval_gate(GateType.BUFF, [1]) == 1
+
+    def test_mux(self):
+        # (sel, d0, d1): sel=0 -> d0, sel=1 -> d1
+        assert eval_gate(GateType.MUX2, [0, 0, 1]) == 0
+        assert eval_gate(GateType.MUX2, [1, 0, 1]) == 1
+
+    def test_consts(self):
+        assert eval_gate(GateType.CONST0, []) == 0
+        assert eval_gate(GateType.CONST1, []) == 1
+
+    def test_multi_input_xor_is_parity(self):
+        assert eval_gate(GateType.XOR, [1, 1, 1]) == 1
+        assert eval_gate(GateType.XNOR, [1, 1, 1]) == 0
+
+    def test_dff_transparent(self):
+        assert eval_gate(GateType.DFF, [1]) == 1
+
+
+class TestEvalGate3:
+    @pytest.mark.parametrize("gtype", list(COMBINATIONAL_TYPES
+                                           - {GateType.CONST0,
+                                              GateType.CONST1}))
+    def test_agrees_with_binary_eval(self, gtype):
+        arity = 3 if gtype is GateType.MUX2 else \
+            (1 if gtype in (GateType.NOT, GateType.BUFF) else 2)
+        for pattern in itertools.product((0, 1), repeat=arity):
+            assert eval_gate3(gtype, list(pattern)) == \
+                eval_gate(gtype, list(pattern))
+
+    def test_controlling_dominates_x(self):
+        assert eval_gate3(GateType.NAND, [0, X]) == 1
+        assert eval_gate3(GateType.NOR, [1, X]) == 0
+        assert eval_gate3(GateType.AND, [0, X]) == 0
+        assert eval_gate3(GateType.OR, [1, X]) == 1
+
+    def test_x_propagates_otherwise(self):
+        assert eval_gate3(GateType.NAND, [1, X]) == X
+        assert eval_gate3(GateType.XOR, [1, X]) == X
+        assert eval_gate3(GateType.NOT, [X]) == X
+
+    def test_mux_with_x_select(self):
+        assert eval_gate3(GateType.MUX2, [X, 1, 1]) == 1
+        assert eval_gate3(GateType.MUX2, [X, 0, 1]) == X
+        assert eval_gate3(GateType.MUX2, [X, X, X]) == X
+
+    @given(st.sampled_from([GateType.AND, GateType.NAND, GateType.OR,
+                            GateType.NOR, GateType.XOR, GateType.XNOR]),
+           st.lists(st.sampled_from([0, 1, X]), min_size=2, max_size=5))
+    def test_x_is_sound_abstraction(self, gtype, values):
+        """A binary 3-valued result must match every X completion."""
+        result = eval_gate3(gtype, values)
+        if result == X:
+            return
+        x_positions = [i for i, v in enumerate(values) if v == X]
+        for combo in itertools.product((0, 1), repeat=len(x_positions)):
+            concrete = list(values)
+            for pos, bit in zip(x_positions, combo):
+                concrete[pos] = bit
+            assert eval_gate(gtype, concrete) == result
+
+
+class TestTypeSets:
+    def test_transparent_types(self):
+        assert GateType.NOT in TRANSPARENT_TYPES
+        assert GateType.XOR in TRANSPARENT_TYPES
+        assert GateType.NAND not in TRANSPARENT_TYPES
+
+    def test_commutative_types(self):
+        assert GateType.NAND in COMMUTATIVE_TYPES
+        assert GateType.MUX2 not in COMMUTATIVE_TYPES

@@ -1,0 +1,38 @@
+"""Tests for repro.netlist.stats."""
+
+from repro.netlist.gates import GateType
+from repro.netlist.stats import circuit_stats, count_type
+
+
+class TestCircuitStats:
+    def test_s27_counts(self, s27):
+        stats = circuit_stats(s27)
+        assert stats.n_inputs == 4
+        assert stats.n_outputs == 1
+        assert stats.n_dffs == 3
+        assert stats.n_gates == 10
+        assert stats.gate_counts["NOR"] == 4
+        assert stats.depth == 6
+
+    def test_fanout_stats(self, s27):
+        stats = circuit_stats(s27)
+        assert stats.max_fanout == 3
+        assert 1.0 < stats.mean_fanout < 2.0
+
+    def test_describe_mentions_everything(self, s27):
+        text = circuit_stats(s27).describe()
+        assert "s27" in text
+        assert "4 PI" in text
+        assert "depth 6" in text
+
+    def test_count_type(self, s27):
+        assert count_type(s27, GateType.DFF) == 3
+        assert count_type(s27, GateType.NOR) == 4
+        assert count_type(s27, GateType.MUX2) == 0
+
+    def test_empty_circuit(self):
+        from repro.netlist.circuit import Circuit
+        stats = circuit_stats(Circuit("empty"))
+        assert stats.n_gates == 0
+        assert stats.depth == 0
+        assert stats.mean_fanout == 0.0

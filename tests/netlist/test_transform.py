@@ -1,0 +1,141 @@
+"""Tests for repro.netlist.transform."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.netlist.transform import (
+    propagate_constants,
+    remove_buffers,
+    sweep_dangling,
+)
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+
+
+def _exhaustive_outputs(circuit):
+    """Output values of a small circuit over all input combinations."""
+    lines = comb_input_lines(circuit)
+    results = []
+    for code in range(1 << len(lines)):
+        assignment = {line: (code >> i) & 1
+                      for i, line in enumerate(lines)}
+        values = simulate_comb(circuit, assignment)
+        results.append(tuple(values[po] for po in circuit.outputs))
+    return results
+
+
+class TestRemoveBuffers:
+    def test_splices_out_buffer(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("b1", GateType.BUFF, ("a",))
+        c.add_gate("y", GateType.NOT, ("b1",))
+        c.add_output("y")
+        before = _exhaustive_outputs(c)
+        removed = remove_buffers(c)
+        assert removed == 1
+        assert "b1" not in c.gates
+        assert c.gates["y"].inputs == ("a",)
+        assert _exhaustive_outputs(c) == before
+
+    def test_keeps_buffer_driving_po(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("y", GateType.BUFF, ("a",))
+        c.add_output("y")
+        assert remove_buffers(c) == 0
+        assert "y" in c.gates
+
+    def test_chain_of_buffers(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("b1", GateType.BUFF, ("a",))
+        c.add_gate("b2", GateType.BUFF, ("b1",))
+        c.add_gate("y", GateType.NOT, ("b2",))
+        c.add_output("y")
+        assert remove_buffers(c) == 2
+        assert c.gates["y"].inputs == ("a",)
+
+
+class TestSweepDangling:
+    def test_removes_unobserved_logic(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("y", GateType.NOT, ("a",))
+        c.add_gate("dead", GateType.NOT, ("a",))
+        c.add_gate("dead2", GateType.NOT, ("dead",))
+        c.add_output("y")
+        removed = sweep_dangling(c)
+        assert removed == 2
+        assert set(c.gates) == {"y"}
+
+    def test_keeps_flop_cone(self, s27):
+        # everything in s27 feeds a PO or a flop: nothing to sweep
+        assert sweep_dangling(s27.copy()) == 0
+
+
+class TestPropagateConstants:
+    def _const_circuit(self, tie_type, gate_type):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("t", tie_type, ())
+        c.add_gate("y", gate_type, ("a", "t"))
+        c.add_output("y")
+        return c
+
+    def test_and_with_zero_becomes_const0(self):
+        c = self._const_circuit(GateType.CONST0, GateType.AND)
+        assert propagate_constants(c) >= 1
+        assert c.gates["y"].gtype is GateType.CONST0
+
+    def test_nand_with_zero_becomes_const1(self):
+        c = self._const_circuit(GateType.CONST0, GateType.NAND)
+        propagate_constants(c)
+        assert c.gates["y"].gtype is GateType.CONST1
+
+    def test_or_with_one_becomes_const1(self):
+        c = self._const_circuit(GateType.CONST1, GateType.OR)
+        propagate_constants(c)
+        assert c.gates["y"].gtype is GateType.CONST1
+
+    def test_non_controlling_constant_dropped(self):
+        c = self._const_circuit(GateType.CONST1, GateType.AND)
+        propagate_constants(c)
+        # AND(a, 1) == BUFF(a)
+        assert c.gates["y"].gtype is GateType.BUFF
+        assert c.gates["y"].inputs == ("a",)
+
+    def test_nand_with_one_becomes_not(self):
+        c = self._const_circuit(GateType.CONST1, GateType.NAND)
+        propagate_constants(c)
+        assert c.gates["y"].gtype is GateType.NOT
+
+    def test_not_of_constant(self):
+        c = Circuit()
+        c.add_gate("t", GateType.CONST0, ())
+        c.add_gate("y", GateType.NOT, ("t",))
+        c.add_output("y")
+        propagate_constants(c)
+        assert c.gates["y"].gtype is GateType.CONST1
+
+    def test_function_preserved(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("t1", GateType.CONST1, ())
+        c.add_gate("m", GateType.AND, ("a", "t1", "b"))
+        c.add_gate("y", GateType.NAND, ("m", "t1"))
+        c.add_output("y")
+        before = _exhaustive_outputs(c)
+        propagate_constants(c)
+        sweep_dangling(c)
+        assert _exhaustive_outputs(c) == before
+
+    def test_xor_left_alone(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("t", GateType.CONST1, ())
+        c.add_gate("y", GateType.XOR, ("a", "t"))
+        c.add_output("y")
+        assert propagate_constants(c) == 0
+        assert c.gates["y"].gtype is GateType.XOR

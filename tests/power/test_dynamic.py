@@ -1,0 +1,61 @@
+"""Tests for dynamic power accounting."""
+
+import pytest
+
+from repro.cells.capacitance import switched_caps_ff
+from repro.power.dynamic import (
+    energy_per_cycle_uw_per_hz,
+    switching_energy_fj,
+    weighted_switching_activity,
+)
+
+
+class TestSwitchingEnergy:
+    def test_zero_transitions_zero_energy(self, s27_mapped, library):
+        transitions = {line: 0 for line in s27_mapped.lines()}
+        assert switching_energy_fj(s27_mapped, transitions, library) == 0.0
+
+    def test_manual_sum(self, s27_mapped, library):
+        caps = switched_caps_ff(s27_mapped, library)
+        transitions = {"G0": 3, "G17": 2}
+        expected = (3 * library.switching_energy_fj(caps["G0"])
+                    + 2 * library.switching_energy_fj(caps["G17"]))
+        assert switching_energy_fj(s27_mapped, transitions, library) == \
+            pytest.approx(expected)
+
+    def test_line_restriction(self, s27_mapped, library):
+        transitions = {"G0": 3, "G17": 2}
+        only_g0 = switching_energy_fj(s27_mapped, transitions, library,
+                                      lines=["G0"])
+        caps = switched_caps_ff(s27_mapped, library)
+        assert only_g0 == pytest.approx(
+            3 * library.switching_energy_fj(caps["G0"]))
+
+    def test_scales_linearly_with_counts(self, s27_mapped, library):
+        single = switching_energy_fj(s27_mapped, {"G0": 1}, library)
+        triple = switching_energy_fj(s27_mapped, {"G0": 3}, library)
+        assert triple == pytest.approx(3 * single)
+
+
+class TestEnergyPerCycle:
+    def test_unit_conversion(self):
+        # 58.8 fJ/cycle must read as 5.88e-8 uW/Hz (paper row s344).
+        assert energy_per_cycle_uw_per_hz(58.8, 1) == pytest.approx(
+            5.88e-8)
+
+    def test_averages_over_cycles(self):
+        assert energy_per_cycle_uw_per_hz(100.0, 4) == pytest.approx(
+            energy_per_cycle_uw_per_hz(25.0, 1))
+
+    def test_zero_cycles(self):
+        assert energy_per_cycle_uw_per_hz(5.0, 0) == 0.0
+
+
+class TestWsa:
+    def test_wsa_is_energy_without_voltage_scale(self, s27_mapped,
+                                                 library):
+        transitions = {"G0": 2, "G14": 1}
+        wsa = weighted_switching_activity(s27_mapped, transitions, library)
+        energy = switching_energy_fj(s27_mapped, transitions, library)
+        scale = 0.5 * library.vdd ** 2
+        assert energy == pytest.approx(wsa * scale)

@@ -1,0 +1,46 @@
+"""Tests for peak-power analysis."""
+
+import pytest
+
+from repro.power.peak import analyze_peak_power
+from repro.power.scanpower import ShiftPolicy
+
+
+class TestAnalyzePeakPower:
+    def test_basic_statistics(self, s27_design, make_vectors):
+        vectors = make_vectors(s27_design, 8)
+        report = analyze_peak_power(s27_design, vectors)
+        assert report.peak_fj >= report.p99_fj >= 0
+        assert report.peak_fj >= report.mean_fj
+        assert report.n_boundaries == 8 * 4 - 1
+
+    def test_blocked_policy_raises_quiet_fraction(self, s27_design,
+                                                  make_vectors):
+        vectors = make_vectors(s27_design, 8)
+        base = analyze_peak_power(s27_design, vectors)
+        blocked = analyze_peak_power(
+            s27_design, vectors,
+            ShiftPolicy(name="blocked",
+                        pi_values={pi: 0
+                                   for pi in s27_design.circuit.inputs},
+                        mux_ties={q: 0
+                                  for q in s27_design.chain.q_lines}))
+        assert blocked.quiet_boundaries > base.quiet_boundaries
+
+    def test_budget_violations(self, s27_design, make_vectors):
+        vectors = make_vectors(s27_design, 6)
+        free = analyze_peak_power(s27_design, vectors, budget_fj=1e9)
+        assert free.violations == 0
+        tight = analyze_peak_power(s27_design, vectors, budget_fj=0.0)
+        assert tight.violations > 0
+
+    def test_crest_factor(self, s27_design, make_vectors):
+        vectors = make_vectors(s27_design, 6)
+        report = analyze_peak_power(s27_design, vectors)
+        assert report.peak_to_mean >= 1.0
+
+    def test_describe(self, s27_design, make_vectors):
+        vectors = make_vectors(s27_design, 4)
+        text = analyze_peak_power(s27_design, vectors,
+                                  budget_fj=50.0).describe()
+        assert "peak" in text and "crest" in text and "above" in text

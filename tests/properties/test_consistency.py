@@ -1,0 +1,105 @@
+"""Cross-implementation consistency properties.
+
+Several quantities are computed by two independent code paths (big-int
+popcounts vs numpy LUTs, packed vs scalar, analytical vs composed).
+These tests pin them against each other on random stimuli.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen.generator import generate_from_stats
+from repro.benchgen.iscas89 import Iscas89Stats
+from repro.cells.library import default_library
+from repro.leakage.estimator import per_sample_leakage
+from repro.simulation.bitsim import random_input_words
+from repro.simulation.cyclesim import simulate_cycles
+from repro.spice.constants import default_tech
+from repro.spice.stack import blocked_stack_current
+from repro.techmap.mapper import technology_map
+from repro.utils.rng import make_rng
+
+
+class TestLeakageAccountingAgreement:
+    """cyclesim's popcount accounting vs the numpy per-sample LUT path."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 40))
+    def test_mean_leakage_two_ways(self, seed, n_samples):
+        circuit = technology_map(generate_from_stats(
+            Iscas89Stats("cons", 4, 3, 4, 30), seed))
+        library = default_library()
+        words = random_input_words(circuit, n_samples, make_rng(seed))
+        by_cycles = simulate_cycles(circuit, words, n_samples, library)
+        by_samples = per_sample_leakage(circuit, words, n_samples,
+                                        library)
+        assert by_cycles.mean_leakage_na == pytest.approx(
+            float(by_samples.mean()), rel=1e-9)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_leakage_sum_covers_all_gates(self, seed):
+        circuit = technology_map(generate_from_stats(
+            Iscas89Stats("cons2", 4, 3, 4, 30), seed))
+        words = random_input_words(circuit, 8, make_rng(seed))
+        result = simulate_cycles(circuit, words, 8)
+        assert set(result.leakage_sum_na) == set(circuit.topo_order())
+        assert all(v >= 0 for v in result.leakage_sum_na.values())
+
+
+class TestStackSolverProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=4)
+           .filter(lambda flags: not all(flags)),
+           st.floats(min_value=0.5, max_value=4.0),
+           st.sampled_from(["n", "p"]))
+    def test_solution_well_formed(self, flags, width, device):
+        tech = default_tech()
+        sol = blocked_stack_current(tech, flags, width, device)
+        assert sol.current_na > 0
+        nodes = sol.node_voltages
+        assert len(nodes) == len(flags) + 1
+        assert nodes[0] == 0.0
+        assert nodes[-1] == pytest.approx(tech.vdd)
+        for a, b in zip(nodes, nodes[1:]):
+            assert a <= b + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4))
+    def test_more_off_devices_less_current(self, n_off):
+        tech = default_tech()
+        currents = [
+            blocked_stack_current(tech, [False] * k, 2.0).current_na
+            for k in range(1, n_off + 1)
+        ]
+        for bigger_stack, smaller_stack in zip(currents[1:], currents):
+            assert bigger_stack < smaller_stack
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.25, max_value=8.0),
+           st.floats(min_value=1.1, max_value=4.0))
+    def test_width_linearity(self, width, factor):
+        tech = default_tech()
+        base = blocked_stack_current(tech, [False, True], width).current_na
+        scaled = blocked_stack_current(
+            tech, [False, True], width * factor).current_na
+        assert scaled == pytest.approx(base * factor, rel=1e-6)
+
+
+class TestCharacterisationProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 4))
+    def test_all_ones_nand_grows_with_arity(self, k):
+        from repro.spice.characterize import characterize_nand
+        if k < 3:
+            return
+        smaller = characterize_nand(k - 1)[(1,) * (k - 1)]
+        bigger = characterize_nand(k)[(1,) * k]
+        assert bigger > smaller
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 4))
+    def test_tables_strictly_positive(self, k):
+        from repro.spice.characterize import characterize_nor
+        table = characterize_nor(k)
+        assert all(v > 0 for v in table.values())

@@ -1,0 +1,106 @@
+"""Tests for the scan chain model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ScanError
+from repro.scan.chain import ScanCell, ScanChain
+
+
+def make_chain(n: int) -> ScanChain:
+    return ScanChain([ScanCell(q=f"q{i}", d=f"d{i}") for i in range(n)])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ScanError):
+            ScanChain([])
+
+    def test_duplicates_rejected(self):
+        cells = [ScanCell("q0", "d0"), ScanCell("q0", "d1")]
+        with pytest.raises(ScanError):
+            ScanChain(cells)
+
+    def test_from_circuit_declaration_order(self, s27):
+        chain = ScanChain.from_circuit(s27)
+        assert chain.q_lines == ["G5", "G6", "G7"]
+        assert chain.d_lines == ["G10", "G11", "G13"]
+
+    def test_from_circuit_explicit_order(self, s27):
+        chain = ScanChain.from_circuit(s27, order=["G7", "G5", "G6"])
+        assert chain.q_lines == ["G7", "G5", "G6"]
+
+    def test_from_circuit_bad_order(self, s27):
+        with pytest.raises(ScanError):
+            ScanChain.from_circuit(s27, order=["G5", "G6"])
+        with pytest.raises(ScanError):
+            ScanChain.from_circuit(s27, order=["G5", "G6", "G7", "X"])
+
+    def test_from_circuit_seeded_shuffle_deterministic(self, s27):
+        a = ScanChain.from_circuit(s27, seed=3)
+        b = ScanChain.from_circuit(s27, seed=3)
+        assert a.q_lines == b.q_lines
+
+    def test_no_flops_rejected(self, c17):
+        with pytest.raises(ScanError):
+            ScanChain.from_circuit(c17)
+
+    def test_position_of(self):
+        chain = make_chain(4)
+        assert chain.position_of("q2") == 2
+        with pytest.raises(ScanError):
+            chain.position_of("nope")
+
+
+class TestShiftSemantics:
+    def test_shift_once(self):
+        chain = make_chain(3)
+        assert chain.shift_once((1, 0, 1), 0) == (0, 1, 0)
+
+    def test_shift_once_length_check(self):
+        chain = make_chain(3)
+        with pytest.raises(ScanError):
+            chain.shift_once((1, 0), 0)
+
+    def test_load_bits_reversed(self):
+        chain = make_chain(4)
+        assert chain.load_bits([1, 0, 0, 1]) == [1, 0, 0, 1][::-1]
+
+    def test_load_states_ends_with_vector(self):
+        chain = make_chain(5)
+        vector = (1, 0, 1, 1, 0)
+        states = chain.load_states((0,) * 5, vector)
+        assert len(states) == 5
+        assert states[-1] == vector
+
+    def test_intermediate_states_mix_old_and_new(self):
+        chain = make_chain(3)
+        states = chain.load_states((1, 1, 1), (0, 0, 0))
+        # After one shift the old content has moved one position down.
+        assert states[0] == (0, 1, 1)
+        assert states[1] == (0, 0, 1)
+        assert states[2] == (0, 0, 0)
+
+    def test_state_as_dict(self):
+        chain = make_chain(3)
+        assert chain.state_as_dict((1, 0, 1)) == {
+            "q0": 1, "q1": 0, "q2": 1}
+
+    @given(st.integers(1, 24), st.randoms())
+    def test_load_always_lands_vector(self, n, rnd):
+        chain = make_chain(n)
+        initial = tuple(rnd.randint(0, 1) for _ in range(n))
+        vector = tuple(rnd.randint(0, 1) for _ in range(n))
+        states = chain.load_states(initial, vector)
+        assert states[-1] == vector
+
+    @given(st.integers(1, 16), st.randoms())
+    def test_shift_is_a_delay_line(self, n, rnd):
+        """Bit entering at t appears at position p at time t + p."""
+        chain = make_chain(n)
+        bits = [rnd.randint(0, 1) for _ in range(3 * n)]
+        states = list(chain.shift_states((0,) * n, bits))
+        for t, state in enumerate(states):
+            for p in range(n):
+                if t - p >= 0:
+                    assert state[p] == bits[t - p]

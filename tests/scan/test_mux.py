@@ -1,0 +1,86 @@
+"""Tests for physical MUX insertion."""
+
+import pytest
+
+from repro.errors import ScanError
+from repro.netlist.gates import GateType
+from repro.scan.mux import SHIFT_ENABLE, MuxPlan, insert_muxes
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+
+
+class TestMuxPlan:
+    def test_muxed_lines(self):
+        plan = MuxPlan(tie_values={"q1": 0, "q2": 1})
+        assert plan.muxed_lines == {"q1", "q2"}
+
+    def test_area_overhead(self, library):
+        plan = MuxPlan(tie_values={"q1": 0, "q2": 1})
+        per_mux = (library.spec(GateType.MUX2, 3).area_um2
+                   + library.spec(GateType.CONST0, 0).area_um2)
+        assert plan.area_overhead_um2(library) == pytest.approx(2 * per_mux)
+
+    def test_empty_plan_free(self, library):
+        assert MuxPlan(tie_values={}).area_overhead_um2(library) == 0.0
+
+
+class TestInsertMuxes:
+    def test_structure(self, s27_mapped):
+        plan = MuxPlan(tie_values={"G5": 1})
+        rewritten = insert_muxes(s27_mapped, plan)
+        assert rewritten.has_line(SHIFT_ENABLE)
+        mux = rewritten.gates["G5__mux"]
+        assert mux.gtype is GateType.MUX2
+        assert mux.inputs == (SHIFT_ENABLE, "G5", "G5__tie")
+        assert rewritten.gates["G5__tie"].gtype is GateType.CONST1
+
+    def test_sinks_rewired(self, s27_mapped):
+        plan = MuxPlan(tie_values={"G5": 0})
+        original_sinks = [s for s, _ in s27_mapped.fanout("G5")]
+        rewritten = insert_muxes(s27_mapped, plan)
+        for sink in original_sinks:
+            assert "G5__mux" in rewritten.gates[sink].inputs
+            assert "G5" not in rewritten.gates[sink].inputs
+
+    def test_original_untouched(self, s27_mapped):
+        plan = MuxPlan(tie_values={"G5": 0})
+        insert_muxes(s27_mapped, plan)
+        assert not s27_mapped.has_line("G5__mux")
+
+    def test_non_pseudo_input_rejected(self, s27_mapped):
+        with pytest.raises(ScanError):
+            insert_muxes(s27_mapped, MuxPlan(tie_values={"G0": 0}))
+
+    def test_bad_tie_value_rejected(self, s27_mapped):
+        with pytest.raises(ScanError):
+            insert_muxes(s27_mapped, MuxPlan(tie_values={"G5": 2}))
+
+    def test_normal_mode_function_preserved(self, s27_mapped):
+        """With shift enable low the rewritten circuit must behave
+        identically (the MUX is transparent to Q)."""
+        plan = MuxPlan(tie_values={"G5": 1, "G6": 0})
+        rewritten = insert_muxes(s27_mapped, plan)
+        for code in range(2 ** 7):
+            lines = comb_input_lines(s27_mapped)
+            inputs = {line: (code >> i) & 1
+                      for i, line in enumerate(lines)}
+            base = simulate_comb(s27_mapped, inputs)
+            values = dict(inputs)
+            values[SHIFT_ENABLE] = 0
+            rewired = simulate_comb(rewritten, values)
+            for po in s27_mapped.outputs:
+                assert rewired[po] == base[po]
+            for dff in s27_mapped.dff_gates:
+                assert rewired[dff.inputs[0]] == base[dff.inputs[0]]
+
+    def test_shift_mode_presents_ties(self, s27_mapped):
+        """With shift enable high, the mux output equals the tie value
+        regardless of Q."""
+        plan = MuxPlan(tie_values={"G5": 1})
+        rewritten = insert_muxes(s27_mapped, plan)
+        lines = comb_input_lines(s27_mapped)
+        for q_value in (0, 1):
+            inputs = {line: 0 for line in lines}
+            inputs["G5"] = q_value
+            inputs[SHIFT_ENABLE] = 1
+            values = simulate_comb(rewritten, inputs)
+            assert values["G5__mux"] == 1

@@ -1,0 +1,67 @@
+"""Edge cases of physical MUX insertion."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.scan.mux import SHIFT_ENABLE, MuxPlan, insert_muxes
+from repro.simulation.eval2 import simulate_comb
+
+
+def q_is_po_circuit() -> Circuit:
+    """A flop whose Q is both a primary output and a logic input."""
+    c = Circuit("q_po")
+    c.add_input("a")
+    c.add_gate("q0", GateType.DFF, ("d0",))
+    c.add_gate("g", GateType.NAND, ("q0", "a"))
+    c.add_gate("d0", GateType.NOT, ("g",))
+    c.add_output("q0")
+    c.add_output("g")
+    c.validate()
+    return c
+
+
+class TestQIsPrimaryOutput:
+    def test_po_connection_stays_direct(self):
+        c = q_is_po_circuit()
+        rewritten = insert_muxes(c, MuxPlan(tie_values={"q0": 1}))
+        # The PO is still the raw Q line, not the mux output.
+        assert rewritten.is_output("q0")
+        assert not rewritten.is_output("q0__mux")
+
+    def test_gate_sinks_rewired_po_value_tracks_q(self):
+        c = q_is_po_circuit()
+        rewritten = insert_muxes(c, MuxPlan(tie_values={"q0": 1}))
+        values = simulate_comb(rewritten, {
+            "a": 1, "q0": 0, SHIFT_ENABLE: 1})
+        # Shift mode: logic sees the tie (1), the PO still sees Q (0).
+        assert values["q0__mux"] == 1
+        assert values["q0"] == 0
+        assert values["g"] == 0  # NAND(1, 1)
+
+
+class TestMultipleInsertions:
+    def test_second_insertion_with_existing_shift_enable(self, s27_mapped):
+        first = insert_muxes(s27_mapped, MuxPlan(tie_values={"G5": 0}))
+        second = insert_muxes(first, MuxPlan(tie_values={"G6": 1}))
+        # shift enable was reused, not duplicated
+        assert second.inputs.count(SHIFT_ENABLE) == 1
+        assert second.has_line("G5__mux")
+        assert second.has_line("G6__mux")
+
+    def test_name_collision_detected(self, s27_mapped):
+        clash = s27_mapped.copy()
+        clash.add_gate("G5__mux", GateType.NOT, ("G0",))
+        from repro.errors import ScanError
+        with pytest.raises(ScanError, match="collision"):
+            insert_muxes(clash, MuxPlan(tie_values={"G5": 0}))
+
+
+class TestConstantPropagationInteraction:
+    def test_tie_cells_survive_sweep(self, s27_mapped):
+        """Tie cells feed MUXes, so dangling-logic sweep keeps them."""
+        from repro.netlist.transform import sweep_dangling
+        rewritten = insert_muxes(s27_mapped,
+                                 MuxPlan(tie_values={"G5": 0}))
+        sweep_dangling(rewritten)
+        assert rewritten.has_line("G5__tie")

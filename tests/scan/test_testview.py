@@ -1,0 +1,64 @@
+"""Tests for the scan test view and capture semantics."""
+
+import pytest
+
+from repro.errors import ScanError
+from repro.scan.chain import ScanChain
+from repro.scan.testview import ScanDesign, TestVector
+from repro.simulation.eval2 import simulate_comb
+
+
+class TestTestVector:
+    def test_valid(self):
+        TestVector(pi_values={"a": 1}, scan_state=(0, 1))
+
+    def test_bad_pi_value(self):
+        with pytest.raises(ScanError):
+            TestVector(pi_values={"a": 2}, scan_state=(0,))
+
+    def test_bad_state_bit(self):
+        with pytest.raises(ScanError):
+            TestVector(pi_values={}, scan_state=(0, 3))
+
+
+class TestScanDesign:
+    def test_requires_flops(self, c17):
+        with pytest.raises(ScanError):
+            ScanDesign(c17)
+
+    def test_full_scan_defaults(self, s27_mapped):
+        design = ScanDesign.full_scan(s27_mapped)
+        assert design.pseudo_inputs == ["G5", "G6", "G7"]
+        assert design.pseudo_outputs == ["G10", "G11", "G13"]
+        assert design.controllable_lines[:4] == list(s27_mapped.inputs)
+
+    def test_chain_circuit_mismatch_rejected(self, s27_mapped, toy_mapped):
+        foreign_chain = ScanChain.from_circuit(toy_mapped)
+        with pytest.raises(ScanError):
+            ScanDesign(s27_mapped, foreign_chain)
+
+    def test_comb_assignment(self, s27_design):
+        assignment = s27_design.comb_assignment(
+            (1, 0, 1), {"G0": 0, "G1": 1, "G2": 0, "G3": 1})
+        assert assignment["G5"] == 1
+        assert assignment["G6"] == 0
+        assert assignment["G1"] == 1
+
+    def test_capture_matches_direct_simulation(self, s27_design):
+        vector = TestVector(
+            pi_values={"G0": 1, "G1": 0, "G2": 1, "G3": 0},
+            scan_state=(1, 1, 0))
+        captured, po_values = s27_design.capture(vector)
+        values = simulate_comb(
+            s27_design.circuit,
+            s27_design.comb_assignment(vector.scan_state,
+                                       vector.pi_values))
+        assert captured == tuple(values[d]
+                                 for d in s27_design.pseudo_outputs)
+        assert po_values == {"G17": values["G17"]}
+
+    def test_capture_is_deterministic(self, s27_design):
+        vector = TestVector(
+            pi_values={"G0": 0, "G1": 0, "G2": 0, "G3": 0},
+            scan_state=(0, 0, 0))
+        assert s27_design.capture(vector) == s27_design.capture(vector)

@@ -1,0 +1,102 @@
+"""Tests for packed bit-parallel simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.netlist import builders
+from repro.netlist.gates import GateType
+from repro.simulation.bitsim import (
+    eval_gate_packed,
+    pack_input_vectors,
+    random_input_words,
+    simulate_packed,
+)
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+from repro.simulation.values import bit_at, mask, pack_bits
+from repro.utils.rng import make_rng
+
+
+class TestEvalGatePacked:
+    full = mask(4)
+
+    def test_nand(self):
+        a = pack_bits([0, 0, 1, 1])
+        b = pack_bits([0, 1, 0, 1])
+        assert eval_gate_packed(GateType.NAND, [a, b], self.full) == \
+            pack_bits([1, 1, 1, 0])
+
+    def test_xor_three(self):
+        a = pack_bits([0, 1, 1, 1])
+        b = pack_bits([0, 0, 1, 1])
+        c = pack_bits([0, 0, 0, 1])
+        assert eval_gate_packed(GateType.XOR, [a, b, c], self.full) == \
+            pack_bits([0, 1, 0, 1])
+
+    def test_mux(self):
+        sel = pack_bits([0, 0, 1, 1])
+        d0 = pack_bits([1, 0, 1, 0])
+        d1 = pack_bits([0, 1, 0, 1])
+        assert eval_gate_packed(GateType.MUX2, [sel, d0, d1], self.full) \
+            == pack_bits([1, 0, 0, 1])
+
+    def test_consts(self):
+        assert eval_gate_packed(GateType.CONST0, [], self.full) == 0
+        assert eval_gate_packed(GateType.CONST1, [], self.full) == self.full
+
+    def test_not_stays_in_mask(self):
+        value = eval_gate_packed(GateType.NOT, [pack_bits([1, 0, 1, 0])],
+                                 self.full)
+        assert value <= self.full
+
+
+class TestSimulatePacked:
+    def test_missing_input_raises(self, s27):
+        with pytest.raises(SimulationError, match="missing packed input"):
+            simulate_packed(s27, {"G0": 0}, 4)
+
+    def test_out_of_range_word_raises(self, s27):
+        words = {line: 0 for line in comb_input_lines(s27)}
+        words["G0"] = 1 << 10
+        with pytest.raises(SimulationError, match="out of range"):
+            simulate_packed(s27, words, 4)
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 2 ** 7 - 1), st.integers(0, 2 ** 7 - 1))
+    def test_agrees_with_scalar_sim(self, code_a, code_b):
+        """Each bit plane of the packed result equals a scalar sim."""
+        s27 = builders.s27()
+        lines = comb_input_lines(s27)
+        scalar_a = {line: (code_a >> i) & 1
+                    for i, line in enumerate(lines)}
+        scalar_b = {line: (code_b >> i) & 1
+                    for i, line in enumerate(lines)}
+        words = {line: pack_bits([scalar_a[line], scalar_b[line]])
+                 for line in lines}
+        packed = simulate_packed(s27, words, 2)
+        ref_a = simulate_comb(s27, scalar_a)
+        ref_b = simulate_comb(s27, scalar_b)
+        for line in ref_a:
+            assert bit_at(packed[line], 0) == ref_a[line]
+            assert bit_at(packed[line], 1) == ref_b[line]
+
+
+class TestHelpers:
+    def test_pack_input_vectors(self, s27):
+        lines = comb_input_lines(s27)
+        vec0 = {line: 0 for line in lines}
+        vec1 = {line: 1 for line in lines}
+        words, n = pack_input_vectors(s27, [vec0, vec1])
+        assert n == 2
+        assert all(word == 0b10 for word in words.values())
+
+    def test_random_input_words_in_range(self, s27):
+        rng = make_rng(0)
+        words = random_input_words(s27, 70, rng)
+        assert set(words) == set(comb_input_lines(s27))
+        assert all(0 <= w <= mask(70) for w in words.values())
+
+    def test_random_input_words_deterministic(self, s27):
+        a = random_input_words(s27, 64, make_rng(5))
+        b = random_input_words(s27, 64, make_rng(5))
+        assert a == b

@@ -1,0 +1,96 @@
+"""Tests for multi-cycle simulation with transition/leakage accounting."""
+
+import pytest
+
+from repro.cells.library import default_library
+from repro.leakage.estimator import circuit_leakage_na
+from repro.simulation.cyclesim import simulate_cycles
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+from repro.simulation.values import mask, pack_bits, unpack_bits
+
+
+def _constant_waveforms(circuit, n, value=0):
+    word = mask(n) if value else 0
+    return {line: word for line in comb_input_lines(circuit)}
+
+
+class TestTransitions:
+    def test_constant_inputs_no_transitions(self, s27_mapped):
+        waves = _constant_waveforms(s27_mapped, 16)
+        result = simulate_cycles(s27_mapped, waves, 16)
+        assert result.total_transitions == 0
+
+    def test_toggling_input_counts(self, s27_mapped):
+        waves = _constant_waveforms(s27_mapped, 4)
+        waves["G0"] = pack_bits([0, 1, 0, 1])
+        result = simulate_cycles(s27_mapped, waves, 4)
+        assert result.transitions["G0"] == 3
+        # G0 feeds an inverter whose output must toggle identically.
+        inverter = [line for line, g in s27_mapped.gates.items()
+                    if g.inputs == ("G0",)]
+        for line in inverter:
+            assert result.transitions[line] == 3
+
+    def test_per_cycle_states_match_scalar_sim(self, toy_mapped):
+        n = 6
+        lines = comb_input_lines(toy_mapped)
+        bit_rows = [[(t * 7 + i * 3) % 2 for t in range(n)]
+                    for i, _ in enumerate(lines)]
+        waves = {line: pack_bits(rows)
+                 for line, rows in zip(lines, bit_rows)}
+        result = simulate_cycles(toy_mapped, waves, n,
+                                 keep_waveforms=True)
+        assert result.waveforms is not None
+        for t in range(n):
+            scalar = simulate_comb(toy_mapped, {
+                line: rows[t] for line, rows in zip(lines, bit_rows)})
+            for line, value in scalar.items():
+                assert unpack_bits(result.waveforms[line], n)[t] == value
+
+
+class TestLeakage:
+    def test_single_cycle_matches_estimator(self, s27_mapped, library):
+        lines = comb_input_lines(s27_mapped)
+        assignment = {line: (i % 2) for i, line in enumerate(lines)}
+        waves = {line: pack_bits([v]) for line, v in assignment.items()}
+        result = simulate_cycles(s27_mapped, waves, 1, library)
+        values = simulate_comb(s27_mapped, assignment)
+        expected = circuit_leakage_na(s27_mapped, values, library)
+        assert result.mean_leakage_na == pytest.approx(expected)
+
+    def test_mean_over_two_cycles(self, s27_mapped, library):
+        lines = comb_input_lines(s27_mapped)
+        low = {line: 0 for line in lines}
+        high = {line: 1 for line in lines}
+        waves = {line: pack_bits([low[line], high[line]])
+                 for line in lines}
+        result = simulate_cycles(s27_mapped, waves, 2, library)
+        leak_low = circuit_leakage_na(
+            s27_mapped, simulate_comb(s27_mapped, low), library)
+        leak_high = circuit_leakage_na(
+            s27_mapped, simulate_comb(s27_mapped, high), library)
+        assert result.mean_leakage_na == pytest.approx(
+            (leak_low + leak_high) / 2)
+
+    def test_collect_leakage_off(self, s27_mapped):
+        waves = _constant_waveforms(s27_mapped, 4)
+        result = simulate_cycles(s27_mapped, waves, 4,
+                                 collect_leakage=False)
+        assert result.leakage_sum_na == {}
+        assert result.mean_leakage_na == 0.0
+
+    def test_leakage_covers_all_comb_gates(self, s27_mapped):
+        waves = _constant_waveforms(s27_mapped, 2)
+        result = simulate_cycles(s27_mapped, waves, 2)
+        assert set(result.leakage_sum_na) == set(s27_mapped.topo_order())
+
+
+class TestResultApi:
+    def test_waveforms_dropped_by_default(self, s27_mapped):
+        waves = _constant_waveforms(s27_mapped, 2)
+        assert simulate_cycles(s27_mapped, waves, 2).waveforms is None
+
+    def test_zero_cycles_mean(self, s27_mapped):
+        from repro.simulation.cyclesim import CycleSimResult
+        empty = CycleSimResult(0, {}, {})
+        assert empty.mean_leakage_na == 0.0

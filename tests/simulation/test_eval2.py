@@ -1,0 +1,53 @@
+"""Tests for the reference two-valued simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+
+
+class TestCombInputLines:
+    def test_pis_then_pseudo_inputs(self, s27):
+        lines = comb_input_lines(s27)
+        assert lines[:4] == list(s27.inputs)
+        assert set(lines[4:]) == {"G5", "G6", "G7"}
+
+    def test_pure_combinational(self, c17):
+        assert comb_input_lines(c17) == list(c17.inputs)
+
+
+class TestSimulateComb:
+    def test_all_lines_valued(self, s27):
+        inputs = {line: 0 for line in comb_input_lines(s27)}
+        values = simulate_comb(s27, inputs)
+        comb_lines = set(s27.lines())
+        assert set(values) == comb_lines
+
+    def test_missing_input_raises(self, s27):
+        with pytest.raises(SimulationError, match="missing input"):
+            simulate_comb(s27, {"G0": 0})
+
+    def test_non_binary_rejected(self, s27):
+        inputs = {line: 0 for line in comb_input_lines(s27)}
+        inputs["G0"] = 2
+        with pytest.raises(SimulationError, match="not 0/1"):
+            simulate_comb(s27, inputs)
+
+    def test_c17_exhaustive_consistency(self, c17):
+        """G22/G23 must match manual NAND evaluation on all 32 inputs."""
+        for code in range(32):
+            values = {pi: (code >> i) & 1
+                      for i, pi in enumerate(c17.inputs)}
+            result = simulate_comb(c17, values)
+            g10 = 1 - (values["G1"] & values["G3"])
+            g11 = 1 - (values["G3"] & values["G6"])
+            g16 = 1 - (values["G2"] & g11)
+            g19 = 1 - (g11 & values["G7"])
+            assert result["G22"] == 1 - (g10 & g16)
+            assert result["G23"] == 1 - (g16 & g19)
+
+    def test_extra_inputs_ignored(self, c17):
+        inputs = {pi: 1 for pi in c17.inputs}
+        inputs["unrelated"] = 0
+        values = simulate_comb(c17, inputs)
+        assert "unrelated" not in values

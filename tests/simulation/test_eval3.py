@@ -1,0 +1,82 @@
+"""Tests for the three-valued simulator and incremental implication."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist import builders
+from repro.netlist.gates import X
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+from repro.simulation.eval3 import imply_from, simulate_comb3
+
+
+class TestSimulateComb3:
+    def test_defaults_to_x(self, s27):
+        values = simulate_comb3(s27, {})
+        assert values["G0"] == X
+        assert values["G17"] == X
+
+    def test_binary_inputs_match_two_valued(self, s27):
+        inputs = {line: 1 for line in comb_input_lines(s27)}
+        v3 = simulate_comb3(s27, inputs)
+        v2 = simulate_comb(s27, inputs)
+        assert all(v3[line] == v2[line] for line in v2)
+
+    def test_partial_knowledge_propagates(self, s27):
+        # G14 = NOT(G0): known even when all else is X.
+        values = simulate_comb3(s27, {"G0": 1})
+        assert values["G14"] == 0
+        # G8 = AND(G14=0, G6) = 0 regardless of G6
+        assert values["G8"] == 0
+
+    def test_soundness_against_completions(self, toy):
+        """A binary 3-valued line value must hold for every completion."""
+        partial = {"a": 0, "q0": 1, "q1": 0}
+        v3 = simulate_comb3(toy, partial)
+        free = [line for line in comb_input_lines(toy)
+                if line not in partial]
+        for combo in itertools.product((0, 1), repeat=len(free)):
+            full = dict(partial)
+            full.update(zip(free, combo))
+            v2 = simulate_comb(toy, full)
+            for line, value in v3.items():
+                if value != X:
+                    assert v2[line] == value, line
+
+
+class TestImplyFrom:
+    def test_matches_full_resimulation(self, s27):
+        values = simulate_comb3(s27, {"G0": 0})
+        values["G1"] = 1
+        imply_from(s27, values, ["G1"])
+        expected = simulate_comb3(s27, {"G0": 0, "G1": 1})
+        assert values == expected
+
+    def test_returns_changed_lines(self, s27):
+        values = simulate_comb3(s27, {})
+        values["G0"] = 1
+        changed = imply_from(s27, values, ["G0"])
+        assert "G0" in changed
+        assert "G14" in changed  # NOT(G0) became known
+
+    def test_no_change_no_ripple(self, s27):
+        values = simulate_comb3(s27, {"G0": 1})
+        # Re-imply the same value: nothing downstream should change.
+        changed = imply_from(s27, values, ["G0"])
+        assert changed == ["G0"]
+
+    @given(st.integers(0, 2 ** 9 - 1), st.integers(0, 8))
+    def test_incremental_equals_batch(self, code, flip_index):
+        toy = builders.toy_scan_circuit()
+        lines = comb_input_lines(toy)
+        inputs = {line: (code >> i) & 1 for i, line in enumerate(lines)}
+        flip_line = lines[flip_index % len(lines)]
+
+        values = simulate_comb3(toy, inputs)
+        values[flip_line] = 1 - inputs[flip_line]
+        imply_from(toy, values, [flip_line])
+
+        fresh_inputs = dict(inputs)
+        fresh_inputs[flip_line] = 1 - inputs[flip_line]
+        assert values == simulate_comb3(toy, fresh_inputs)

@@ -1,0 +1,70 @@
+"""Tests for the event-driven simulator (reference cross-check)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.netlist import builders
+from repro.simulation.cyclesim import simulate_cycles
+from repro.simulation.eval2 import comb_input_lines, simulate_comb
+from repro.simulation.eventsim import EventSimulator
+from repro.simulation.values import pack_bits
+
+
+class TestEventSimulator:
+    def test_initial_state_matches_full_sim(self, s27_mapped):
+        inputs = {line: 0 for line in comb_input_lines(s27_mapped)}
+        sim = EventSimulator(s27_mapped, inputs)
+        assert sim.values == simulate_comb(s27_mapped, inputs)
+
+    def test_apply_updates_state(self, s27_mapped):
+        lines = comb_input_lines(s27_mapped)
+        sim = EventSimulator(s27_mapped, {line: 0 for line in lines})
+        sim.apply({"G0": 1})
+        expected = simulate_comb(
+            s27_mapped, {line: (1 if line == "G0" else 0)
+                         for line in lines})
+        assert sim.values == expected
+
+    def test_only_inputs_drivable(self, s27_mapped):
+        lines = comb_input_lines(s27_mapped)
+        sim = EventSimulator(s27_mapped, {line: 0 for line in lines})
+        internal = s27_mapped.topo_order()[0]
+        with pytest.raises(SimulationError):
+            sim.apply({internal: 1})
+
+    def test_value_validation(self, s27_mapped):
+        lines = comb_input_lines(s27_mapped)
+        sim = EventSimulator(s27_mapped, {line: 0 for line in lines})
+        with pytest.raises(SimulationError):
+            sim.apply({"G0": 7})
+
+    def test_no_change_no_events(self, s27_mapped):
+        lines = comb_input_lines(s27_mapped)
+        sim = EventSimulator(s27_mapped, {line: 0 for line in lines})
+        changed = sim.apply({"G0": 0})
+        assert changed == []
+        assert all(count == 0 for count in sim.event_counts.values())
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 9 - 1), min_size=2, max_size=8))
+    def test_event_counts_equal_cyclesim_transitions(self, codes):
+        """Zero-delay event counts == packed transition counts."""
+        toy = builders.toy_scan_circuit()
+        lines = comb_input_lines(toy)
+        states = [
+            {line: (code >> i) & 1 for i, line in enumerate(lines)}
+            for code in codes
+        ]
+        sim = EventSimulator(toy, states[0])
+        for state in states[1:]:
+            sim.apply(state)
+
+        n = len(states)
+        waves = {
+            line: pack_bits([state[line] for state in states])
+            for line in lines
+        }
+        packed = simulate_cycles(toy, waves, n, collect_leakage=False)
+        for line, count in packed.transitions.items():
+            assert sim.event_counts[line] == count, line

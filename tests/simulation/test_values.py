@@ -1,0 +1,96 @@
+"""Tests for the bit-packing helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulation.values import (
+    bit_at,
+    count_transitions,
+    mask,
+    pack_bits,
+    pattern_count,
+    unpack_bits,
+)
+
+
+class TestMask:
+    def test_small(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 255
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestPackUnpack:
+    def test_round_trip_simple(self):
+        bits = [0, 1, 1, 0, 1]
+        assert unpack_bits(pack_bits(bits), len(bits)) == bits
+
+    def test_first_element_is_bit_zero(self):
+        assert pack_bits([1, 0]) == 1
+        assert pack_bits([0, 1]) == 2
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits([0, 2])
+
+    def test_bit_at(self):
+        word = pack_bits([0, 1, 0, 1])
+        assert [bit_at(word, t) for t in range(4)] == [0, 1, 0, 1]
+
+    @given(st.lists(st.integers(0, 1), max_size=300))
+    def test_round_trip_property(self, bits):
+        assert unpack_bits(pack_bits(bits), len(bits)) == bits
+
+
+class TestCountTransitions:
+    def test_empty_and_singleton(self):
+        assert count_transitions(0, 0) == 0
+        assert count_transitions(1, 1) == 0
+
+    def test_alternating(self):
+        word = pack_bits([0, 1, 0, 1, 0])
+        assert count_transitions(word, 5) == 4
+
+    def test_constant(self):
+        assert count_transitions(mask(64), 64) == 0
+        assert count_transitions(0, 64) == 0
+
+    def test_single_edge(self):
+        word = pack_bits([0, 0, 1, 1])
+        assert count_transitions(word, 4) == 1
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=200))
+    def test_matches_reference(self, bits):
+        reference = sum(1 for a, b in zip(bits, bits[1:]) if a != b)
+        assert count_transitions(pack_bits(bits), len(bits)) == reference
+
+
+class TestPatternCount:
+    def test_two_inputs(self):
+        a = pack_bits([0, 0, 1, 1])
+        b = pack_bits([0, 1, 0, 1])
+        assert pattern_count([a, b], (0, 0), 4) == 1
+        assert pattern_count([a, b], (1, 0), 4) == 1
+        assert pattern_count([a, b], (1, 1), 4) == 1
+
+    def test_empty_pattern_counts_all(self):
+        assert pattern_count([], (), 7) == 7
+
+    def test_early_exit_zero(self):
+        a = 0
+        assert pattern_count([a], (1,), 10) == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1),
+                              st.integers(0, 1)), min_size=1, max_size=64))
+    def test_counts_partition_the_cycles(self, rows):
+        n = len(rows)
+        words = [pack_bits([r[i] for r in rows]) for i in range(3)]
+        total = 0
+        for code in range(8):
+            pattern = ((code >> 0) & 1, (code >> 1) & 1, (code >> 2) & 1)
+            total += pattern_count(words, pattern, n)
+        assert total == n

@@ -1,0 +1,113 @@
+"""Tests for VCD export (including a minimal VCD parser as the oracle)."""
+
+import re
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.values import pack_bits
+from repro.simulation.vcd import render_vcd, write_vcd
+
+
+def parse_vcd(text: str) -> dict[str, list[int]]:
+    """Minimal VCD reader: reconstruct per-signal per-cycle values."""
+    id_to_name = {}
+    for match in re.finditer(
+            r"\$var wire 1 (\S+) (\S+) \$end", text):
+        id_to_name[match.group(1)] = match.group(2)
+
+    body = text[text.index("$enddefinitions $end"):]
+    times = []
+    current: dict[str, int] = {}
+    snapshots: list[dict[str, int]] = []
+    for token in body.splitlines():
+        token = token.strip()
+        if token.startswith("#"):
+            if current:
+                snapshots.append(dict(current))
+            times.append(int(token[1:]))
+        elif token and token[0] in "01":
+            current[id_to_name[token[1:]]] = int(token[0])
+    if current:
+        snapshots.append(dict(current))
+
+    # forward-fill between change records
+    names = list(id_to_name.values())
+    waves: dict[str, list[int]] = {n: [] for n in names}
+    state: dict[str, int] = {}
+    for snap in snapshots:
+        state.update(snap)
+        for n in names:
+            waves[n].append(state[n])
+    return waves
+
+
+class TestRenderVcd:
+    def test_round_trip_values(self):
+        waves = {
+            "a": pack_bits([0, 1, 1, 0]),
+            "b": pack_bits([1, 1, 0, 0]),
+        }
+        text = render_vcd(waves, 4)
+        parsed = parse_vcd(text)
+        # forward-filled snapshots contain each change point; first
+        # snapshot is cycle 0, each later snapshot is a change record.
+        assert parsed["a"][0] == 0
+        assert parsed["b"][0] == 1
+        assert 1 in parsed["a"]
+        assert 0 in parsed["b"]
+
+    def test_header_declarations(self):
+        waves = {"x": pack_bits([1, 0])}
+        text = render_vcd(waves, 2, module="scandump",
+                          timescale="10 ps")
+        assert "$timescale 10 ps $end" in text
+        assert "$scope module scandump $end" in text
+        assert re.search(r"\$var wire 1 \S+ x \$end", text)
+
+    def test_constant_signal_emits_once(self):
+        waves = {"const": pack_bits([1, 1, 1, 1])}
+        text = render_vcd(waves, 4)
+        body = text[text.index("$dumpvars"):]
+        assert body.count("1" + _ident_of(text, "const")) == 1
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            render_vcd({}, 4)
+        with pytest.raises(SimulationError):
+            render_vcd({"a": 0}, 0)
+
+    def test_many_signals_unique_ids(self):
+        waves = {f"sig{i}": pack_bits([i & 1]) for i in range(200)}
+        text = render_vcd(waves, 1)
+        ids = re.findall(r"\$var wire 1 (\S+) ", text)
+        assert len(ids) == len(set(ids)) == 200
+
+
+class TestWriteVcd:
+    def test_writes_file(self, tmp_path):
+        waves = {"a": pack_bits([0, 1])}
+        path = write_vcd(waves, 2, tmp_path / "dump.vcd")
+        assert path.read_text().startswith("$timescale")
+
+
+class TestEpisodeDump:
+    def test_scan_episode_dump(self, s27_design, make_vectors, tmp_path):
+        from repro.power.scanpower import episode_waveforms
+        from repro.simulation.bitsim import simulate_packed
+
+        vectors = make_vectors(s27_design, 3)
+        waves, n = episode_waveforms(s27_design, vectors)
+        all_waves = simulate_packed(s27_design.circuit, waves, n)
+        path = write_vcd(all_waves, n, tmp_path / "episode.vcd",
+                         module="s27")
+        text = path.read_text()
+        parsed = parse_vcd(text)
+        assert "G17" in parsed
+        assert len(parsed) == len(all_waves)
+
+
+def _ident_of(text: str, name: str) -> str:
+    match = re.search(rf"\$var wire 1 (\S+) {name} \$end", text)
+    assert match is not None
+    return match.group(1)

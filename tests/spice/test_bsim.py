@@ -1,0 +1,113 @@
+"""Tests for the device-level current equations (paper eqs. 2 and 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.bsim import (
+    gate_leakage_off,
+    gate_leakage_on,
+    subthreshold_current,
+    tunneling_current_density,
+)
+from repro.spice.constants import TechParams, default_tech
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_tech()
+
+
+class TestSubthreshold:
+    def test_zero_vds_no_current(self, tech):
+        assert subthreshold_current(tech, 0.0, 0.0, 0.0, 1.0) == 0.0
+
+    def test_positive(self, tech):
+        current = subthreshold_current(tech, 0.0, tech.vdd, 0.0, 1.0)
+        assert current > 0
+
+    def test_width_scaling_linear(self, tech):
+        one = subthreshold_current(tech, 0.0, tech.vdd, 0.0, 1.0)
+        three = subthreshold_current(tech, 0.0, tech.vdd, 0.0, 3.0)
+        assert three == pytest.approx(3 * one)
+
+    def test_vgs_exponential_slope(self, tech):
+        """One n*kT/q of extra VGS multiplies the current by e."""
+        base = subthreshold_current(tech, 0.0, tech.vdd, 0.0, 1.0)
+        boosted = subthreshold_current(tech, tech.n_vt, tech.vdd, 0.0, 1.0)
+        assert boosted / base == pytest.approx(math.e, rel=1e-9)
+
+    def test_dibl_raises_current(self, tech):
+        low = subthreshold_current(tech, 0.0, 0.5, 0.0, 1.0)
+        high = subthreshold_current(tech, 0.0, tech.vdd, 0.0, 1.0)
+        assert high > low
+
+    def test_body_effect_lowers_current(self, tech):
+        no_body = subthreshold_current(tech, 0.0, 0.5, 0.0, 1.0)
+        body = subthreshold_current(tech, 0.0, 0.5, 0.2, 1.0)
+        assert body < no_body
+
+    def test_pmos_uses_its_own_scale(self, tech):
+        n = subthreshold_current(tech, 0.0, tech.vdd, 0.0, 1.0, "n")
+        p = subthreshold_current(tech, 0.0, tech.vdd, 0.0, 1.0, "p")
+        assert n != p
+
+    @given(st.floats(min_value=0.01, max_value=0.9),
+           st.floats(min_value=0.02, max_value=0.9))
+    def test_monotonic_in_vds(self, vds_low, delta):
+        tech = default_tech()
+        low = subthreshold_current(tech, 0.0, vds_low, 0.0, 1.0)
+        high = subthreshold_current(tech, 0.0, min(vds_low + delta, 1.8),
+                                    0.0, 1.0)
+        assert high >= low
+
+
+class TestTunneling:
+    def test_zero_vox_no_current(self, tech):
+        assert tunneling_current_density(tech, 0.0) == 0.0
+
+    def test_calibration_anchor_at_vdd(self, tech):
+        """At vox = VDD the density equals the calibrated scale."""
+        assert tunneling_current_density(tech, tech.vdd, "n") == \
+            pytest.approx(tech.g_n)
+        assert tunneling_current_density(tech, tech.vdd, "p") == \
+            pytest.approx(tech.g_p)
+
+    def test_monotonic_in_vox(self, tech):
+        values = [tunneling_current_density(tech, v)
+                  for v in (0.2, 0.4, 0.6, 0.8, 0.9)]
+        assert values == sorted(values)
+
+    def test_electron_dominates_holes(self, tech):
+        n = tunneling_current_density(tech, tech.vdd, "n")
+        p = tunneling_current_density(tech, tech.vdd, "p")
+        assert n > p
+
+    def test_small_vox_is_negligible(self, tech):
+        """Gate leakage at threshold-ish Vox is orders below full VDD."""
+        partial = tunneling_current_density(tech, 0.3, "n")
+        full = tunneling_current_density(tech, tech.vdd, "n")
+        assert partial < 0.2 * full
+
+    def test_continuity_beyond_barrier(self, tech):
+        # The real continuation must not blow up past vox = phi.
+        just_below = tunneling_current_density(tech, tech.phi_ox_n - 0.01)
+        just_above = tunneling_current_density(tech, tech.phi_ox_n + 0.01)
+        assert just_above == pytest.approx(just_below, rel=0.2)
+
+
+class TestGateLeakageHelpers:
+    def test_on_scales_with_width(self, tech):
+        one = gate_leakage_on(tech, tech.vdd, 1.0)
+        two = gate_leakage_on(tech, tech.vdd, 2.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_off_uses_edt_fraction(self, tech):
+        on = gate_leakage_on(tech, tech.vdd, 1.0)
+        off = gate_leakage_off(tech, tech.vdd, 1.0)
+        assert off == pytest.approx(tech.edt_fraction * on)
+
+    def test_off_negative_vgd_uses_magnitude(self, tech):
+        assert gate_leakage_off(tech, -tech.vdd, 1.0) == \
+            gate_leakage_off(tech, tech.vdd, 1.0)

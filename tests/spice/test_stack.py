@@ -1,0 +1,114 @@
+"""Tests for the series-stack leakage solver."""
+
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.spice.bsim import subthreshold_current
+from repro.spice.constants import default_tech
+from repro.spice.stack import blocked_stack_current, parallel_off_current
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return default_tech()
+
+
+class TestBlockedStack:
+    def test_conducting_stack_rejected(self, tech):
+        with pytest.raises(CharacterizationError):
+            blocked_stack_current(tech, [True, True], 1.0)
+
+    def test_empty_stack_rejected(self, tech):
+        with pytest.raises(CharacterizationError):
+            blocked_stack_current(tech, [], 1.0)
+
+    def test_single_off_full_vds(self, tech):
+        sol = blocked_stack_current(tech, [False], 1.0)
+        direct = subthreshold_current(tech, 0.0, tech.vdd, 0.0, 1.0)
+        assert sol.current_na == pytest.approx(direct)
+        assert sol.effective_top == tech.vdd
+
+    def test_stack_effect(self, tech):
+        """Two series OFF devices leak substantially less than one.
+
+        At the Figure 2 calibration point the subthreshold suppression
+        factor is ~3.7x (eta is small there); the invariant we rely on is
+        a clear super-halving, not a specific factor.
+        """
+        one = blocked_stack_current(tech, [False], 2.0).current_na
+        two = blocked_stack_current(tech, [False, False], 2.0).current_na
+        assert two < one / 2
+
+    def test_deeper_stacks_leak_less(self, tech):
+        currents = [
+            blocked_stack_current(tech, [False] * k, 2.0).current_na
+            for k in (1, 2, 3, 4)
+        ]
+        assert currents == sorted(currents, reverse=True)
+        assert all(c > 0 for c in currents)
+
+    def test_pass_degradation_orientation(self, tech):
+        """OFF at top (rail-far) sees full VDS; OFF at bottom sees
+        VDD - VT through the ON pass device: the paper's 01 vs 10
+        asymmetry (Figure 2: 73 vs 264 nA)."""
+        top_off = blocked_stack_current(tech, [True, False], 2.0)
+        bottom_off = blocked_stack_current(tech, [False, True], 2.0)
+        assert top_off.effective_top == tech.vdd
+        assert bottom_off.effective_top == pytest.approx(
+            tech.vdd - tech.vt0_n)
+        assert top_off.current_na > bottom_off.current_na
+
+    def test_equal_current_constraint(self, tech):
+        """Internal nodes must equalise the per-device currents."""
+        sol = blocked_stack_current(tech, [False, False], 1.0)
+        nodes = sol.node_voltages
+        v_mid = nodes[1]
+        i_bottom = subthreshold_current(tech, -0.0, v_mid, 0.0, 1.0)
+        # bottom device: source 0, drain v_mid, gate 0
+        i_bottom = subthreshold_current(tech, 0.0, v_mid, 0.0, 1.0)
+        # top device: source v_mid, gate 0 => vgs = -v_mid
+        i_top = subthreshold_current(
+            tech, -v_mid, sol.effective_top - v_mid, v_mid, 1.0)
+        assert i_top == pytest.approx(i_bottom, rel=1e-6)
+        assert i_top == pytest.approx(sol.current_na, rel=1e-6)
+
+    def test_node_voltages_monotone(self, tech):
+        sol = blocked_stack_current(tech, [False, False, False], 3.0)
+        nodes = sol.node_voltages
+        assert all(a <= b + 1e-12 for a, b in zip(nodes, nodes[1:]))
+        assert nodes[0] == 0.0
+        assert nodes[-1] == tech.vdd
+
+    def test_on_run_collapses_nodes(self, tech):
+        # bottom ON, middle OFF, top ON: node below OFF is 0 (through the
+        # ON device), node above is vdd - vt (pass degradation).
+        sol = blocked_stack_current(tech, [True, False, True], 3.0)
+        nodes = sol.node_voltages
+        assert nodes[1] == pytest.approx(0.0)
+        assert nodes[2] == pytest.approx(tech.vdd - tech.vt0_n)
+
+    def test_pmos_mirrors_nmos_shape(self, tech):
+        n_top = blocked_stack_current(tech, [True, False], 1.0, "n")
+        p_top = blocked_stack_current(tech, [True, False], 1.0, "p")
+        # Same structure, different scales: both positive, p uses s_p.
+        assert p_top.current_na > 0
+        assert p_top.current_na != n_top.current_na
+
+    def test_width_scales_current(self, tech):
+        w1 = blocked_stack_current(tech, [False, False], 1.0).current_na
+        w2 = blocked_stack_current(tech, [False, False], 2.0).current_na
+        assert w2 == pytest.approx(2 * w1, rel=1e-6)
+
+
+class TestParallelOff:
+    def test_additivity(self, tech):
+        one = parallel_off_current(tech, 1, 2.0, "p")
+        three = parallel_off_current(tech, 3, 2.0, "p")
+        assert three == pytest.approx(3 * one)
+
+    def test_zero_devices(self, tech):
+        assert parallel_off_current(tech, 0, 1.0) == 0.0
+
+    def test_negative_rejected(self, tech):
+        with pytest.raises(CharacterizationError):
+            parallel_off_current(tech, -1, 1.0)

@@ -1,0 +1,104 @@
+"""Tests for gate decomposition rules."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.techmap.decompose import NameAllocator, decompose_gate, tree_groups
+
+
+@pytest.fixture
+def alloc():
+    c = Circuit()
+    c.add_input("a")
+    c.add_input("b")
+    c.add_input("c")
+    return NameAllocator(c)
+
+
+class TestNameAllocator:
+    def test_fresh_names_unique(self, alloc):
+        names = {alloc.fresh() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_avoids_existing(self):
+        c = Circuit()
+        c.add_input("tm0")
+        alloc = NameAllocator(c)
+        assert alloc.fresh() != "tm0"
+
+    def test_reserve(self, alloc):
+        alloc.reserve("tm1")
+        assert "tm1" not in {alloc.fresh() for _ in range(10)}
+
+    def test_hint_included(self, alloc):
+        assert "nd" in alloc.fresh("nd")
+
+
+class TestTreeGroups:
+    def test_exact_split(self):
+        assert tree_groups(list("abcdefgh"), 4) == [list("abcd"),
+                                                    list("efgh")]
+
+    def test_remainder(self):
+        assert tree_groups(list("abcde"), 2) == [["a", "b"], ["c", "d"],
+                                                 ["e"]]
+
+    def test_bad_arity(self):
+        with pytest.raises(MappingError):
+            tree_groups(["a"], 1)
+
+
+class TestDecomposeGate:
+    def test_native_passthrough(self, alloc):
+        triples = decompose_gate("y", GateType.NAND, ("a", "b"), alloc)
+        assert triples == [("y", GateType.NAND, ("a", "b"))]
+
+    def test_not_passthrough(self, alloc):
+        triples = decompose_gate("y", GateType.NOT, ("a",), alloc)
+        assert triples == [("y", GateType.NOT, ("a",))]
+
+    def test_and_becomes_nand_inv(self, alloc):
+        triples = decompose_gate("y", GateType.AND, ("a", "b"), alloc)
+        assert [t[1] for t in triples] == [GateType.NAND, GateType.NOT]
+        assert triples[-1][0] == "y"
+
+    def test_or_becomes_nor_inv(self, alloc):
+        triples = decompose_gate("y", GateType.OR, ("a", "b"), alloc)
+        assert [t[1] for t in triples] == [GateType.NOR, GateType.NOT]
+
+    def test_buff_becomes_double_inverter(self, alloc):
+        triples = decompose_gate("y", GateType.BUFF, ("a",), alloc)
+        assert [t[1] for t in triples] == [GateType.NOT, GateType.NOT]
+
+    def test_xor2_is_four_nands(self, alloc):
+        triples = decompose_gate("y", GateType.XOR, ("a", "b"), alloc)
+        assert len(triples) == 4
+        assert all(t[1] is GateType.NAND for t in triples)
+
+    def test_xnor2_adds_inverter(self, alloc):
+        triples = decompose_gate("y", GateType.XNOR, ("a", "b"), alloc)
+        assert triples[-1][1] is GateType.NOT
+        assert len(triples) == 5
+
+    def test_mux_structure(self, alloc):
+        triples = decompose_gate("y", GateType.MUX2, ("a", "b", "c"),
+                                 alloc)
+        kinds = [t[1] for t in triples]
+        assert kinds.count(GateType.NAND) == 3
+        assert kinds.count(GateType.NOT) == 1
+
+    def test_wide_nand_tree(self, alloc):
+        inputs = tuple(f"i{k}" for k in range(9))
+        triples = decompose_gate("y", GateType.NAND, inputs, alloc,
+                                 max_arity=4)
+        # every produced gate must respect the arity bound
+        for _out, gtype, ins in triples:
+            if gtype in (GateType.NAND, GateType.NOR):
+                assert 2 <= len(ins) <= 4
+        assert triples[-1][0] == "y"
+
+    def test_dff_untouched(self, alloc):
+        triples = decompose_gate("q", GateType.DFF, ("d",), alloc)
+        assert triples == [("q", GateType.DFF, ("d",))]

@@ -1,0 +1,100 @@
+"""Tests for the technology mapper."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen.generator import generate_from_stats
+from repro.benchgen.iscas89 import Iscas89Stats
+from repro.errors import MappingError
+from repro.netlist import builders
+from repro.netlist.gates import GateType
+from repro.techmap.mapper import is_mapped, technology_map
+from repro.techmap.verify import assert_equivalent, equivalence_check
+
+
+class TestIsMapped:
+    def test_unmapped_circuit(self, s27):
+        assert not is_mapped(s27)   # s27 has AND/OR gates
+
+    def test_mapped_circuit(self, s27_mapped):
+        assert is_mapped(s27_mapped)
+
+    def test_wide_native_gate_not_mapped(self):
+        wide = builders.wide_gate_circuit(6)
+        assert not is_mapped(wide)
+
+
+class TestTechnologyMap:
+    @pytest.mark.parametrize("build", [
+        builders.s27, builders.c17, builders.toy_scan_circuit,
+        builders.reconvergent_circuit,
+        lambda: builders.wide_gate_circuit(11),
+    ])
+    def test_maps_and_preserves_function(self, build):
+        original = build()
+        mapped = technology_map(original)
+        assert is_mapped(mapped)
+        assert_equivalent(original, mapped)
+
+    def test_interface_preserved(self, s27, s27_mapped):
+        assert s27_mapped.inputs == s27.inputs
+        assert s27_mapped.outputs == s27.outputs
+        assert set(s27_mapped.dff_outputs) == set(s27.dff_outputs)
+
+    def test_original_gate_outputs_survive(self, s27, s27_mapped):
+        for line in s27.gates:
+            assert s27_mapped.has_line(line)
+
+    def test_mapping_is_idempotent(self, s27_mapped):
+        again = technology_map(s27_mapped)
+        assert len(again.gates) == len(s27_mapped.gates)
+
+    def test_bad_max_arity(self, s27):
+        with pytest.raises(MappingError):
+            technology_map(s27, max_arity=1)
+
+    def test_max_arity_two(self, s27):
+        mapped = technology_map(s27, max_arity=2)
+        for gate in mapped.combinational_gates():
+            if gate.gtype in (GateType.NAND, GateType.NOR):
+                assert len(gate.inputs) <= 2
+        assert equivalence_check(s27, mapped)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_synthetic_circuits_map_equivalently(self, seed):
+        stats = Iscas89Stats("rand", 5, 4, 4, 40)
+        original = generate_from_stats(stats, seed)
+        mapped = technology_map(original)
+        assert is_mapped(mapped)
+        assert equivalence_check(original, mapped, n_random=64, seed=seed)
+
+
+class TestEquivalenceCheck:
+    def test_detects_inequivalence(self, s27):
+        broken = technology_map(s27)
+        gate = broken.gates["G17"]
+        broken.replace_gate("G17", GateType.BUFF, gate.inputs)
+        assert not equivalence_check(s27, broken)
+
+    def test_detects_interface_mismatch(self, s27, c17):
+        assert not equivalence_check(s27, c17)
+
+    def test_assert_equivalent_raises(self, s27):
+        broken = technology_map(s27)
+        gate = broken.gates["G17"]
+        broken.replace_gate("G17", GateType.BUFF, gate.inputs)
+        with pytest.raises(MappingError):
+            assert_equivalent(s27, broken)
+
+    def test_exhaustive_mode_used_for_small(self, c17):
+        # 5 inputs -> exhaustive; a circuit differing on one minterm
+        # must be caught.
+        twin = c17.copy()
+        twin.remove_gate("G22")
+        twin.add_gate("G22", GateType.NAND, ("G10", "G16"))
+        assert equivalence_check(c17, twin)  # identical rebuild
+        broken = c17.copy()
+        broken.remove_gate("G22")
+        broken.add_gate("G22", GateType.AND, ("G10", "G16"))
+        assert not equivalence_check(c17, broken)

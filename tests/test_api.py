@@ -1,0 +1,36 @@
+"""Tests for the aggregated public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_core_symbols_accessible(self):
+        for name in ("Circuit", "GateType", "ProposedFlow", "FlowConfig",
+                     "load_circuit", "run_table1", "TechParams",
+                     "evaluate_scan_power", "generate_tests"):
+            assert getattr(repro, name) is not None
+
+    def test_dir_includes_api(self):
+        names = dir(repro)
+        assert "ProposedFlow" in names
+        assert "parse_bench" in names
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+    def test_quickstart_surface_works_together(self):
+        """The README quickstart, in miniature."""
+        circuit = repro.load_circuit("s27")
+        result = repro.ProposedFlow(repro.FlowConfig(seed=1)).run(circuit)
+        assert "s27" in result.summary()
+
+    def test_all_listed_symbols_resolve(self):
+        from repro import _api
+        for name in _api.__all__:
+            assert getattr(repro, name) is not None, name

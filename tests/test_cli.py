@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_circuits(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out
+        assert "embedded" in out
+        assert "s9234" in out
+
+
+class TestFigure2:
+    def test_prints_table(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "NAND2 leakage" in out
+        assert "408" in out
+
+
+class TestRun:
+    def test_run_s27(self, capsys):
+        assert main(["--seed", "1", "run", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement vs traditional" in out
+
+    def test_run_flags(self, capsys):
+        code = main(["--seed", "1", "run", "s27", "--no-reorder",
+                     "--no-directive"])
+        assert code == 0
+
+
+class TestTable1:
+    def test_text_format(self, capsys):
+        assert main(["--seed", "1", "table1", "s27", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Circuit" in out
+        assert "s27" in out
+
+    def test_csv_format(self, capsys):
+        assert main(["--seed", "1", "table1", "s27", "--quiet",
+                     "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("circuit,")
+
+    def test_markdown_format(self, capsys):
+        assert main(["--seed", "1", "table1", "s27", "--quiet",
+                     "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| Circuit |")
+
+
+class TestLibrary:
+    def test_prints_cells(self, capsys):
+        assert main(["library"]) == 0
+        out = capsys.readouterr().out
+        assert "NAND2" in out and "leak nA" in out
+
+
+class TestAblation:
+    def test_observability_ablation_on_s27(self, capsys):
+        assert main(["--seed", "1", "ablation", "observability",
+                     "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out
+        assert "directed" in out and "undirected" in out
+
+    def test_ivc_ablation_on_s27(self, capsys):
+        assert main(["--seed", "1", "ablation", "ivc", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "A4" in out
+        assert "trials=" in out
+
+
+class TestExperimentsMd:
+    def test_table1_writes_experiments_md(self, capsys, tmp_path):
+        target = tmp_path / "EXP.md"
+        assert main(["--seed", "1", "table1", "s27", "--quiet",
+                     "--experiments-md", str(target)]) == 0
+        capsys.readouterr()
+        text = target.read_text()
+        assert text.startswith("# EXPERIMENTS")
+        assert "s27" in text
+
+
+class TestArgErrors:
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_bench_parse_error_line_info(self):
+        exc = errors.BenchParseError("bad token", 17, "x = FOO(y)")
+        assert exc.line_number == 17
+        assert exc.line == "x = FOO(y)"
+        assert "line 17" in str(exc)
+
+    def test_bench_parse_error_without_line(self):
+        exc = errors.BenchParseError("general problem")
+        assert exc.line_number is None
+        assert "general problem" in str(exc)
+
+    def test_loop_error_preview_truncates(self):
+        cycle = [f"n{i}" for i in range(20)]
+        exc = errors.CombinationalLoopError(cycle)
+        assert exc.cycle == cycle
+        assert "..." in str(exc)
+
+    def test_loop_error_short_cycle(self):
+        exc = errors.CombinationalLoopError(["a", "b"])
+        assert "..." not in str(exc)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ScanError("nope")

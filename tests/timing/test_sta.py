@@ -1,0 +1,141 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.netlist import builders
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.timing.delay import LibraryDelay, UnitDelay
+from repro.timing.sta import (
+    critical_path,
+    run_sta,
+    timing_endpoints,
+    timing_sources,
+)
+
+
+class TestSourcesEndpoints:
+    def test_sources(self, s27):
+        sources = timing_sources(s27)
+        assert sources[:4] == list(s27.inputs)
+        assert set(sources[4:]) == {"G5", "G6", "G7"}
+
+    def test_endpoints_include_pos_and_d_lines(self, s27):
+        endpoints = timing_endpoints(s27)
+        assert "G17" in endpoints           # PO
+        assert "G10" in endpoints           # D of G5
+        assert len(endpoints) == len(set(endpoints))
+
+
+class TestUnitDelaySta:
+    def test_inverter_chain_critical_delay(self):
+        chain = builders.chain_of_inverters(9)
+        sta = run_sta(chain, UnitDelay(chain))
+        assert sta.critical_delay == 9.0
+
+    def test_arrival_equals_level_for_unit_delay(self, s27):
+        sta = run_sta(s27, UnitDelay(s27))
+        for line in s27.topo_order():
+            assert sta.arrival[line] == s27.level_of(line)
+
+    def test_critical_lines_have_zero_slack(self, s27):
+        sta = run_sta(s27, UnitDelay(s27))
+        endpoints = timing_endpoints(s27)
+        worst = max(endpoints, key=lambda e: sta.arrival[e])
+        assert sta.slack(worst) == pytest.approx(0.0)
+
+    def test_all_slacks_non_negative_at_critical_period(self, s27):
+        sta = run_sta(s27, UnitDelay(s27))
+        for line, slack in sta.slacks().items():
+            assert slack >= -1e-9, line
+
+    def test_explicit_period(self, s27):
+        sta = run_sta(s27, UnitDelay(s27), period=100.0)
+        for slack in sta.slacks().values():
+            assert slack > 0
+
+    def test_unknown_line_slack_raises(self, s27):
+        sta = run_sta(s27, UnitDelay(s27))
+        with pytest.raises(TimingError):
+            sta.slack("nonexistent")
+
+
+class TestSourceOffsets:
+    def test_offset_on_critical_source_moves_delay(self):
+        chain = builders.chain_of_inverters(5)
+        model = UnitDelay(chain)
+        base = run_sta(chain, model)
+        shifted = run_sta(chain, model, source_offsets={"in": 2.5})
+        assert shifted.critical_delay == base.critical_delay + 2.5
+
+    def test_offset_within_slack_harmless(self):
+        c = Circuit("two_paths")
+        c.add_input("fast")
+        c.add_input("slow")
+        c.add_gate("s1", GateType.NOT, ("slow",))
+        c.add_gate("s2", GateType.NOT, ("s1",))
+        c.add_gate("s3", GateType.NOT, ("s2",))
+        c.add_gate("f1", GateType.NOT, ("fast",))
+        c.add_gate("y", GateType.NAND, ("s3", "f1"))
+        c.add_output("y")
+        model = UnitDelay(c)
+        base = run_sta(c, model)
+        slack_fast = base.slack("fast")
+        assert slack_fast == pytest.approx(2.0)
+        bumped = run_sta(c, model, source_offsets={"fast": 2.0})
+        assert bumped.critical_delay == base.critical_delay
+
+    def test_offset_beyond_slack_extends(self):
+        c = Circuit("two_paths")
+        c.add_input("fast")
+        c.add_input("slow")
+        c.add_gate("s1", GateType.NOT, ("slow",))
+        c.add_gate("s2", GateType.NOT, ("s1",))
+        c.add_gate("f1", GateType.NOT, ("fast",))
+        c.add_gate("y", GateType.NAND, ("s2", "f1"))
+        c.add_output("y")
+        model = UnitDelay(c)
+        base = run_sta(c, model)
+        bumped = run_sta(c, model,
+                         source_offsets={"fast": base.slack("fast") + 1})
+        assert bumped.critical_delay == base.critical_delay + 1
+
+
+class TestCriticalPath:
+    def test_path_is_connected_and_maximal(self, s27_mapped, library):
+        model = LibraryDelay(s27_mapped, library)
+        sta = run_sta(s27_mapped, model)
+        path = critical_path(s27_mapped, model, sta)
+        assert sta.arrival[path[-1]] == pytest.approx(sta.critical_delay)
+        for upstream, downstream in zip(path, path[1:]):
+            gate = s27_mapped.gates[downstream]
+            assert upstream in gate.inputs
+
+    def test_path_starts_at_source(self, s27_mapped, library):
+        model = LibraryDelay(s27_mapped, library)
+        sta = run_sta(s27_mapped, model)
+        path = critical_path(s27_mapped, model, sta)
+        start = path[0]
+        assert s27_mapped.is_input(start) or \
+            start in s27_mapped.dff_outputs
+
+    def test_empty_for_no_endpoints(self):
+        c = Circuit("empty-ish")
+        c.add_input("a")
+        model = UnitDelay(c)
+        sta = run_sta(c, model)
+        assert critical_path(c, model, sta) == []
+
+
+class TestLibrarySta:
+    def test_mapped_s27_timing_sane(self, s27_mapped, library):
+        sta = run_sta(s27_mapped, LibraryDelay(s27_mapped, library))
+        # clk-to-q (45) + a handful of gates: between 100 and 500 ps.
+        assert 100 < sta.critical_delay < 500
+
+    def test_arrival_includes_launch(self, s27_mapped, library):
+        model = LibraryDelay(s27_mapped, library)
+        sta = run_sta(s27_mapped, model)
+        for q in s27_mapped.dff_outputs:
+            assert sta.arrival[q] == model.launch_of(q)

@@ -1,0 +1,45 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = make_rng(7).integers(0, 1 << 30, size=8)
+        b = make_rng(7).integers(0, 1 << 30, size=8)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1 << 30, size=8)
+        b = make_rng(2).integers(0, 1 << 30, size=8)
+        assert (a != b).any()
+
+    def test_generator_passthrough(self):
+        gen = make_rng(3)
+        assert make_rng(gen) is gen
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_master_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_non_negative_63_bit(self):
+        for label in ("", "x", "long-label-with-things:123"):
+            seed = derive_seed(0, label)
+            assert 0 <= seed < (1 << 63)
+
+    def test_usable_as_numpy_seed(self):
+        gen = make_rng(derive_seed(5, "component"))
+        assert 0 <= gen.random() < 1

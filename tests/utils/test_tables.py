@@ -1,0 +1,57 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_cell, format_markdown_table, format_table
+
+
+class TestFormatCell:
+    def test_float_uses_format(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_custom_float_format(self):
+        assert format_cell(3.14159, "{:.1f}") == "3.1"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_bool_not_treated_as_int_format(self):
+        assert format_cell(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert lines[1].startswith("---")
+        assert "bbbb" in lines[3]
+
+    def test_no_trailing_whitespace(self):
+        text = format_table(["a", "b"], [["x", "y"]])
+        for line in text.splitlines():
+            assert line == line.rstrip()
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(["h1", "h2"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| h1 | h2 |"
+        assert set(lines[1]) <= set("|- ")
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])

@@ -1,0 +1,74 @@
+"""Tests for repro.utils.topo."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CombinationalLoopError
+from repro.utils.topo import topological_order
+
+
+def _preds_from_edges(edges):
+    def preds(node):
+        return [u for (u, v) in edges if v == node]
+    return preds
+
+
+class TestTopologicalOrder:
+    def test_empty(self):
+        assert topological_order([], lambda n: []) == []
+
+    def test_single_node(self):
+        assert topological_order(["a"], lambda n: []) == ["a"]
+
+    def test_chain(self):
+        edges = [("a", "b"), ("b", "c")]
+        order = topological_order(["c", "a", "b"],
+                                  _preds_from_edges(edges))
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_diamond(self):
+        edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        order = topological_order("abcd", _preds_from_edges(edges))
+        assert order.index("a") < order.index("b")
+        assert order.index("a") < order.index("c")
+        assert order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_external_predecessors_ignored(self):
+        # "ext" is a predecessor but not in the node set: must not count.
+        edges = [("ext", "a"), ("a", "b")]
+        order = topological_order(["a", "b"], _preds_from_edges(edges))
+        assert order == ["a", "b"]
+
+    def test_self_loop_raises(self):
+        with pytest.raises(CombinationalLoopError):
+            topological_order(["a"], _preds_from_edges([("a", "a")]))
+
+    def test_two_cycle_raises_with_members(self):
+        edges = [("a", "b"), ("b", "a")]
+        with pytest.raises(CombinationalLoopError) as exc:
+            topological_order(["a", "b"], _preds_from_edges(edges))
+        assert set(exc.value.cycle) == {"a", "b"}
+
+    def test_cycle_error_message_preview(self):
+        edges = [(f"n{i}", f"n{(i + 1) % 12}") for i in range(12)]
+        nodes = [f"n{i}" for i in range(12)]
+        with pytest.raises(CombinationalLoopError) as exc:
+            topological_order(nodes, _preds_from_edges(edges))
+        assert "..." in str(exc.value)
+
+    @given(st.integers(min_value=1, max_value=40), st.randoms())
+    def test_random_dags_sort_consistently(self, n, rnd):
+        # Build a random DAG on 0..n-1 with edges only from lower to higher.
+        edges = []
+        for v in range(n):
+            for u in range(v):
+                if rnd.random() < 0.2:
+                    edges.append((u, v))
+        nodes = list(range(n))
+        rnd.shuffle(nodes)
+        order = topological_order(nodes, _preds_from_edges(edges))
+        position = {node: i for i, node in enumerate(order)}
+        assert len(order) == n
+        for u, v in edges:
+            assert position[u] < position[v]

@@ -1,0 +1,46 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import check_name, check_positive, check_probability
+
+
+class TestCheckName:
+    @pytest.mark.parametrize("name", ["G17", "II151", "a.b", "n<3>", "x_1"])
+    def test_accepts_bench_style_names(self, name):
+        assert check_name(name) == name
+
+    @pytest.mark.parametrize("name", ["a b", "a,b", "a(b", "a)b", "a=b",
+                                      "a#b", ""])
+    def test_rejects_grammar_breaking_names(self, name):
+        with pytest.raises(ValueError):
+            check_name(name)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            check_name(17)
+
+    def test_message_names_the_role(self):
+        with pytest.raises(ValueError, match="gate output"):
+            check_name("a b", "gate output")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            check_positive(value, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
