@@ -84,7 +84,14 @@ from repro.scan import (
     reorder_vectors,
 )
 from repro.simulation import (
+    Backend,
     SequentialSimulator,
+    SimState,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
     simulate_comb,
     simulate_comb3,
     simulate_cycles,
@@ -113,6 +120,9 @@ __all__ = [
     "LibraryDelay", "UnitDelay", "run_sta", "critical_path",
     "simulate_comb", "simulate_comb3", "simulate_packed",
     "simulate_cycles", "SequentialSimulator",
+    # simulation backends
+    "Backend", "SimState", "available_backends", "get_backend",
+    "register_backend", "resolve_backend", "set_default_backend",
     # scan / power
     "ScanCell", "ScanChain", "ScanDesign", "TestVector",
     "MuxPlan", "insert_muxes",

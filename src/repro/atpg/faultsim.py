@@ -13,7 +13,8 @@ from collections.abc import Mapping, Sequence
 
 from repro.atpg.faults import Fault, observable_lines
 from repro.netlist.circuit import Circuit
-from repro.simulation.bitsim import eval_gate_packed, simulate_packed
+from repro.simulation.backends import Backend, resolve_backend
+from repro.simulation.bitsim import eval_gate_packed
 from repro.simulation.values import mask
 
 __all__ = ["FaultSimResult", "detect_word", "fault_simulate"]
@@ -85,7 +86,8 @@ def detect_word(circuit: Circuit, fault: Fault, good: Mapping[str, int],
 def fault_simulate(circuit: Circuit, faults: Sequence[Fault],
                    input_words: Mapping[str, int], n: int,
                    drop: bool = True,
-                   cone_cache: dict[str, list[str]] | None = None
+                   cone_cache: dict[str, list[str]] | None = None,
+                   backend: str | Backend | None = None
                    ) -> FaultSimResult:
     """Simulate ``faults`` against ``n`` packed patterns.
 
@@ -95,8 +97,13 @@ def fault_simulate(circuit: Circuit, faults: Sequence[Fault],
 
     ``cone_cache`` may be shared across calls on the same (unmodified)
     circuit to amortise fanout-cone extraction.
+
+    ``backend`` selects the engine for the fault-free reference
+    simulation; the per-fault cone replay operates on interchange words
+    and is backend-agnostic, so detection words are bit-identical across
+    backends.
     """
-    good = simulate_packed(circuit, input_words, n)
+    good = resolve_backend(backend).simulate_packed(circuit, input_words, n)
     obs = observable_lines(circuit)
     detected: dict[Fault, int] = {}
     remaining: list[Fault] = []

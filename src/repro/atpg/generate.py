@@ -27,6 +27,7 @@ from repro.atpg.faults import Fault, all_faults
 from repro.atpg.faultsim import fault_simulate
 from repro.atpg.podem import PodemEngine, generate_test
 from repro.scan.testview import ScanDesign, TestVector
+from repro.simulation.backends import Backend
 from repro.simulation.bitsim import pack_input_vectors, random_input_words
 from repro.simulation.eval2 import comb_input_lines
 from repro.simulation.values import bit_at
@@ -99,8 +100,13 @@ def _vector_to_assignment(design: ScanDesign,
 
 
 def generate_tests(design: ScanDesign,
-                   config: AtpgConfig | None = None) -> TestSet:
-    """Generate a compacted stuck-at test set for a full-scan design."""
+                   config: AtpgConfig | None = None,
+                   backend: str | Backend | None = None) -> TestSet:
+    """Generate a compacted stuck-at test set for a full-scan design.
+
+    ``backend`` selects the packed-simulation engine for every fault
+    simulation; results are bit-identical across backends.
+    """
     config = config or AtpgConfig()
     circuit = design.circuit
     universe = collapse_faults(circuit, all_faults(circuit))
@@ -118,7 +124,8 @@ def generate_tests(design: ScanDesign,
         n = config.random_batch
         words = random_input_words(circuit, n, rng)
         result = fault_simulate(circuit, remaining, words, n,
-                                drop=True, cone_cache=cones)
+                                drop=True, cone_cache=cones,
+                                backend=backend)
         if len(result.detected) < config.min_batch_yield:
             break
         first_detectors: set[int] = set()
@@ -158,7 +165,8 @@ def generate_tests(design: ScanDesign,
             targets = [f for f in targets
                        if f not in proven_untestable and f not in aborted]
             result = fault_simulate(circuit, targets, words, n,
-                                    drop=True, cone_cache=cones)
+                                    drop=True, cone_cache=cones,
+                                    backend=backend)
             still = set(result.remaining)
             remaining = [f for f in remaining if f in still]
             kept_vectors.extend(
@@ -170,7 +178,8 @@ def generate_tests(design: ScanDesign,
 
     # ---- phase 3: reverse-order compaction ----------------------------- #
     if config.compaction and kept_vectors:
-        kept_vectors = _reverse_compact(design, universe, kept_vectors)
+        kept_vectors = _reverse_compact(design, universe, kept_vectors,
+                                        backend=backend)
 
     # final coverage accounting on the kept set
     n_detected = 0
@@ -179,7 +188,8 @@ def generate_tests(design: ScanDesign,
                        for v in kept_vectors]
         words, n = pack_input_vectors(circuit, assignments)
         final = fault_simulate(circuit, universe, words, n,
-                               drop=True, cone_cache=cones)
+                               drop=True, cone_cache=cones,
+                               backend=backend)
         n_detected = final.n_detected
 
     return TestSet(
@@ -192,7 +202,9 @@ def generate_tests(design: ScanDesign,
 
 
 def _reverse_compact(design: ScanDesign, universe: list[Fault],
-                     vectors: list[TestVector]) -> list[TestVector]:
+                     vectors: list[TestVector],
+                     backend: str | Backend | None = None
+                     ) -> list[TestVector]:
     """Reverse-order compaction via one no-drop detection matrix.
 
     One packed fault simulation of all kept vectors yields, per fault, the
@@ -202,7 +214,8 @@ def _reverse_compact(design: ScanDesign, universe: list[Fault],
     circuit = design.circuit
     assignments = [_vector_to_assignment(design, v) for v in vectors]
     words, n = pack_input_vectors(circuit, assignments)
-    matrix = fault_simulate(circuit, universe, words, n, drop=False)
+    matrix = fault_simulate(circuit, universe, words, n, drop=False,
+                            backend=backend)
 
     still_uncovered = [word for word in matrix.detected.values() if word]
     keep: list[bool] = [False] * len(vectors)

@@ -37,12 +37,19 @@ __all__ = ["main"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.simulation.backends import available_backends
+
     parser = argparse.ArgumentParser(
         prog="repro-power",
         description=("Reproduction of 'Simultaneous Reduction of Dynamic "
                      "and Static Power in Scan Structures' (DATE 2005)"))
     parser.add_argument("--seed", type=int, default=1,
                         help="master seed for all stochastic steps")
+    parser.add_argument("--backend", choices=available_backends(),
+                        default=None,
+                        help=("simulation backend for all packed "
+                              "simulations (results are bit-identical; "
+                              "default: $REPRO_SIM_BACKEND or bigint)"))
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="regenerate Table I")
@@ -78,6 +85,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
 
+    from repro.errors import SimulationError
+    from repro.simulation.backends import (
+        resolve_backend,
+        set_default_backend,
+    )
+    try:
+        if args.backend is not None:
+            set_default_backend(args.backend)
+        else:
+            resolve_backend(None)  # fail fast on a bad $REPRO_SIM_BACKEND
+    except SimulationError as exc:
+        print(f"repro-power: error: {exc}", file=sys.stderr)
+        return 2
+
     if args.command == "list":
         for name in available_circuits():
             print(f"{name:10s} {circuit_provenance(name)}")
@@ -93,7 +114,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "table1":
-        config = FlowConfig(seed=args.seed)
+        config = FlowConfig(seed=args.seed, backend=args.backend)
         circuits = args.circuits or None
         run = run_table1(circuits, config, verbose=not args.quiet)
         if args.experiments_md:
@@ -112,6 +133,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "run":
         config = FlowConfig(
             seed=args.seed,
+            backend=args.backend,
             reorder_inputs=not args.no_reorder,
             use_observability_directive=not args.no_directive)
         result = ProposedFlow(config).run(load_circuit(args.circuit,

@@ -44,6 +44,10 @@ class FlowConfig:
     atpg:
         Test generation configuration (seed is derived from ``seed`` when
         left at the sentinel -1).
+    backend:
+        Simulation backend name used by the flow's packed simulations
+        (``None`` = session default).  Numerically irrelevant — every
+        backend is bit-identical — so results never depend on it.
     """
 
     seed: int = 0
@@ -56,8 +60,15 @@ class FlowConfig:
     mux_delay_margin_ps: float = 0.0
     include_capture_cycles: bool = True
     atpg: AtpgConfig | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            from repro.simulation.backends import available_backends
+            if self.backend not in available_backends():
+                raise ConfigError(
+                    f"unknown simulation backend {self.backend!r}; "
+                    f"available: {', '.join(available_backends())}")
         if self.observability_samples < 2:
             raise ConfigError("observability_samples must be >= 2")
         if self.ivc_trials < 1:

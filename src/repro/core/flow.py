@@ -122,7 +122,8 @@ class ProposedFlow:
 
         mapped = circuit if is_mapped(circuit) else technology_map(circuit)
         design = ScanDesign.full_scan(mapped)
-        test_set = generate_tests(design, config.atpg_config())
+        test_set = generate_tests(design, config.atpg_config(),
+                                  backend=config.backend)
 
         addmux = add_mux(mapped, library,
                          margin_ps=config.mux_delay_margin_ps)
@@ -132,7 +133,7 @@ class ProposedFlow:
             observability = monte_carlo_observability(
                 mapped, config.observability_samples,
                 seed=derive_seed(config.seed, f"obs:{mapped.name}"),
-                library=library)
+                library=library, backend=config.backend)
 
         controlled = set(mapped.inputs) | set(addmux.muxable)
         sources = set(mapped.dff_outputs) - set(addmux.muxable)
@@ -182,13 +183,16 @@ class ProposedFlow:
         reports = {
             "traditional": evaluate_scan_power(
                 design, test_set.vectors, policies["traditional"],
-                library, config.include_capture_cycles),
+                library, config.include_capture_cycles,
+                backend=config.backend),
             "input_control": evaluate_scan_power(
                 design, test_set.vectors, policies["input_control"],
-                library, config.include_capture_cycles),
+                library, config.include_capture_cycles,
+                backend=config.backend),
             "proposed": evaluate_scan_power(
                 proposed_design, test_set.vectors, policies["proposed"],
-                library, config.include_capture_cycles),
+                library, config.include_capture_cycles,
+                backend=config.backend),
         }
 
         return FlowResult(

@@ -21,12 +21,14 @@ import numpy as np
 from repro.cells.library import CellLibrary, default_library
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import X
-from repro.simulation.bitsim import simulate_packed
+from repro.simulation.backends import Backend, SimState, resolve_backend
+from repro.simulation.values import unpack_bool_array
 
 __all__ = [
     "circuit_leakage_na",
     "expected_leakage_na",
     "per_sample_leakage",
+    "state_sample_leakage",
     "leakage_power_uw",
 ]
 
@@ -80,37 +82,27 @@ def expected_leakage_na(circuit: Circuit, values: Mapping[str, int],
 
 
 def _word_to_bool_array(word: int, n: int) -> np.ndarray:
-    """Low ``n`` bits of ``word`` as a boolean numpy array (bit 0 first)."""
-    raw = word.to_bytes((n + 7) // 8, "little")
-    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
-                         bitorder="little")
-    return bits[:n].astype(bool)
+    """Low ``n`` bits of ``word`` as a boolean numpy array (bit 0 first).
 
-
-def per_sample_leakage(circuit: Circuit, input_words: Mapping[str, int],
-                       n: int, library: CellLibrary | None = None
-                       ) -> np.ndarray:
-    """Per-sample total leakage (nA) for ``n`` packed input samples.
-
-    Returns a float64 array of length ``n``; entry ``t`` is the circuit
-    leakage under sample ``t``.  Also used with *cycles* as samples to get
-    per-cycle leakage profiles.
+    Kept as an alias of :func:`repro.simulation.values.unpack_bool_array`
+    for the modules that import it from here.
     """
-    library = library or default_library()
-    words = simulate_packed(circuit, input_words, n)
+    return unpack_bool_array(word, n)
+
+
+def state_sample_leakage(state: SimState, circuit: Circuit,
+                         library: CellLibrary) -> np.ndarray:
+    """Per-sample total leakage (nA) from an existing simulation state.
+
+    The vectorized LUT pricing behind :func:`per_sample_leakage`, usable
+    on any backend's :class:`~repro.simulation.backends.SimState` without
+    re-simulating.
+    """
+    n = state.n
     totals = np.zeros(n, dtype=np.float64)
-    bool_cache: dict[str, np.ndarray] = {}
-
-    def bits_of(line: str) -> np.ndarray:
-        cached = bool_cache.get(line)
-        if cached is None:
-            cached = _word_to_bool_array(words[line], n)
-            bool_cache[line] = cached
-        return cached
-
     for gate in circuit.combinational_gates():
         table = library.leakage_table(gate.gtype, len(gate.inputs))
-        in_bits = [bits_of(src) for src in gate.inputs]
+        in_bits = [state.bools(src) for src in gate.inputs]
         # Build the per-sample pattern index, then look leakage up once.
         index = np.zeros(n, dtype=np.int64)
         for bit_pos, bits in enumerate(in_bits):
@@ -123,3 +115,18 @@ def per_sample_leakage(circuit: Circuit, input_words: Mapping[str, int],
             lut[code] = leak
         totals += lut[index]
     return totals
+
+
+def per_sample_leakage(circuit: Circuit, input_words: Mapping[str, int],
+                       n: int, library: CellLibrary | None = None,
+                       backend: str | Backend | None = None
+                       ) -> np.ndarray:
+    """Per-sample total leakage (nA) for ``n`` packed input samples.
+
+    Returns a float64 array of length ``n``; entry ``t`` is the circuit
+    leakage under sample ``t``.  Also used with *cycles* as samples to get
+    per-cycle leakage profiles.
+    """
+    library = library or default_library()
+    state = resolve_backend(backend).run(circuit, input_words, n)
+    return state_sample_leakage(state, circuit, library)

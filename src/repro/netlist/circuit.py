@@ -66,9 +66,24 @@ class Circuit:
         self._gates: dict[str, Gate] = {}
         self._input_set: set[str] = set()
         self._dirty = True
+        self._version = 0
         self._fanouts: dict[str, list[tuple[str, int]]] = {}
         self._topo: list[str] = []
         self._levels: dict[str, int] = {}
+
+    def _touch(self) -> None:
+        """Mark derived structure stale and advance the structure version."""
+        self._dirty = True
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic structure version, bumped on every mutation.
+
+        External caches keyed on the circuit object (e.g. the levelized
+        simulation schedules) use this to detect staleness.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -151,7 +166,7 @@ class Circuit:
             raise NetlistError(f"line {name!r} is already driven by a gate")
         self._inputs.append(name)
         self._input_set.add(name)
-        self._dirty = True
+        self._touch()
         return name
 
     def add_output(self, name: str) -> str:
@@ -160,7 +175,7 @@ class Circuit:
         if name in self._outputs:
             raise NetlistError(f"duplicate primary output {name!r}")
         self._outputs.append(name)
-        self._dirty = True
+        self._touch()
         return name
 
     def add_gate(self, output: str, gtype: GateType,
@@ -173,7 +188,7 @@ class Circuit:
         if gate.output in self._gates:
             raise NetlistError(f"line {gate.output!r} already driven")
         self._gates[gate.output] = gate
-        self._dirty = True
+        self._touch()
         return gate
 
     def remove_gate(self, output: str) -> Gate:
@@ -186,7 +201,7 @@ class Circuit:
             gate = self._gates.pop(output)
         except KeyError:
             raise NetlistError(f"no gate drives line {output!r}") from None
-        self._dirty = True
+        self._touch()
         return gate
 
     def replace_gate(self, output: str, gtype: GateType,
@@ -196,7 +211,7 @@ class Circuit:
             raise NetlistError(f"no gate drives line {output!r}")
         gate = Gate(output, gtype, tuple(inputs))
         self._gates[output] = gate
-        self._dirty = True
+        self._touch()
         return gate
 
     def rename_line(self, old: str, new: str) -> None:
@@ -221,7 +236,7 @@ class Circuit:
                 new_inputs = tuple(new if i == old else i
                                    for i in gate.inputs)
                 self._gates[out] = Gate(out, gate.gtype, new_inputs)
-        self._dirty = True
+        self._touch()
 
     # ------------------------------------------------------------------ #
     # derived structure (cached)

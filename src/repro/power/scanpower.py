@@ -33,6 +33,7 @@ from repro.power.dynamic import (
     switching_energy_fj,
 )
 from repro.scan.testview import ScanDesign, TestVector
+from repro.simulation.backends import Backend
 from repro.simulation.cyclesim import simulate_cycles
 from repro.simulation.values import pack_bits
 
@@ -162,7 +163,8 @@ def evaluate_scan_power(design: ScanDesign,
                         policy: ShiftPolicy | None = None,
                         library: CellLibrary | None = None,
                         include_capture: bool = True,
-                        initial_state: Sequence[int] | None = None
+                        initial_state: Sequence[int] | None = None,
+                        backend: str | Backend | None = None
                         ) -> ScanPowerReport:
     """Replay a scan test set and measure combinational power.
 
@@ -181,6 +183,9 @@ def evaluate_scan_power(design: ScanDesign,
         them).
     initial_state:
         Chain contents before the first shift (default all zeros).
+    backend:
+        Simulation backend for the episode replay (name, instance or
+        ``None`` for the session default); affects speed only.
     """
     policy = policy or ShiftPolicy()
     library = library or default_library()
@@ -189,7 +194,7 @@ def evaluate_scan_power(design: ScanDesign,
     waveforms, n_cycles = _episode_waveforms(
         design, vectors, policy, include_capture, initial_state)
     result = simulate_cycles(circuit, waveforms, n_cycles, library,
-                             collect_leakage=True)
+                             collect_leakage=True, backend=backend)
     energy_fj = switching_energy_fj(circuit, result.transitions, library)
     mean_leak_na = result.mean_leakage_na
     return ScanPowerReport(
@@ -208,7 +213,8 @@ def per_cycle_energy_fj(design: ScanDesign,
                         vectors: Sequence[TestVector],
                         policy: ShiftPolicy | None = None,
                         library: CellLibrary | None = None,
-                        include_capture: bool = True
+                        include_capture: bool = True,
+                        backend: str | Backend | None = None
                         ) -> np.ndarray:
     """Per-cycle-boundary switching energy profile (peak-power studies).
 
@@ -221,7 +227,8 @@ def per_cycle_energy_fj(design: ScanDesign,
     waveforms, n_cycles = _episode_waveforms(
         design, vectors, policy, include_capture, None)
     sim = simulate_cycles(circuit, waveforms, n_cycles, library,
-                          collect_leakage=False, keep_waveforms=True)
+                          collect_leakage=False, keep_waveforms=True,
+                          backend=backend)
     caps = switched_caps_ff(circuit, library)
     profile = np.zeros(max(n_cycles - 1, 0), dtype=np.float64)
     assert sim.waveforms is not None

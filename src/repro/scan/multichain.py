@@ -34,6 +34,7 @@ from repro.power.dynamic import (
 from repro.power.scanpower import ScanPowerReport, ShiftPolicy
 from repro.scan.chain import ScanCell, ScanChain
 from repro.scan.testview import ScanDesign, TestVector
+from repro.simulation.backends import Backend
 from repro.simulation.cyclesim import simulate_cycles
 from repro.simulation.eval2 import simulate_comb
 from repro.simulation.values import pack_bits
@@ -174,7 +175,8 @@ def evaluate_multichain_power(design: MultiChainDesign,
                               vectors: Sequence[TestVector],
                               policy: ShiftPolicy | None = None,
                               library: CellLibrary | None = None,
-                              include_capture: bool = True
+                              include_capture: bool = True,
+                              backend: str | Backend | None = None
                               ) -> ScanPowerReport:
     """Replay a scan test set with all chains shifting in parallel.
 
@@ -229,7 +231,7 @@ def evaluate_multichain_power(design: MultiChainDesign,
     n_cycles = len(next(iter(all_bits.values())))
     waveforms = {line: pack_bits(bits) for line, bits in all_bits.items()}
     result = simulate_cycles(circuit, waveforms, n_cycles, library,
-                             collect_leakage=True)
+                             collect_leakage=True, backend=backend)
     energy_fj = switching_energy_fj(circuit, result.transitions, library)
     return ScanPowerReport(
         circuit_name=circuit.name,

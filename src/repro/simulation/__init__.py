@@ -1,5 +1,14 @@
 """Logic simulation: 2-valued, 3-valued, bit-parallel and event-driven."""
 
+from repro.simulation.backends import (
+    Backend,
+    SimState,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.simulation.bitsim import (
     eval_gate_packed,
     pack_input_vectors,
@@ -10,6 +19,12 @@ from repro.simulation.cyclesim import CycleSimResult, simulate_cycles
 from repro.simulation.eval2 import comb_input_lines, simulate_comb
 from repro.simulation.eval3 import imply_from, simulate_comb3
 from repro.simulation.eventsim import EventSimulator
+from repro.simulation.schedule import (
+    GateBatch,
+    LevelizedSchedule,
+    build_schedule,
+    cached_schedule,
+)
 from repro.simulation.seqsim import SequentialSimulator
 from repro.simulation.vcd import render_vcd, write_vcd
 from repro.simulation.values import (
@@ -19,6 +34,7 @@ from repro.simulation.values import (
     pack_bits,
     pattern_count,
     unpack_bits,
+    unpack_bool_array,
 )
 
 __all__ = [
@@ -39,7 +55,20 @@ __all__ = [
     "mask",
     "pack_bits",
     "unpack_bits",
+    "unpack_bool_array",
     "bit_at",
     "count_transitions",
     "pattern_count",
+    # backends / scheduling
+    "Backend",
+    "SimState",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "GateBatch",
+    "LevelizedSchedule",
+    "build_schedule",
+    "cached_schedule",
 ]

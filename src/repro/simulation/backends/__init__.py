@@ -1,0 +1,113 @@
+"""Pluggable packed-simulation backends.
+
+Two engines ship with the library:
+
+* ``bigint`` — the reference engine (Python big-int bitwise ops);
+* ``numpy`` — levelized, type-batched ``uint64`` matrix engine.
+
+All backends produce bit-identical packed words and IEEE-identical
+derived floats; the choice only affects speed.  Selection, in precedence
+order:
+
+1. an explicit ``backend=`` argument (name or instance) on the public
+   entry points (``simulate_packed``, ``simulate_cycles``,
+   ``fault_simulate``, ``evaluate_scan_power``, the observability
+   estimators, ...);
+2. a session default installed via :func:`set_default_backend` (the CLI's
+   ``--backend`` flag does this);
+3. the ``REPRO_SIM_BACKEND`` environment variable;
+4. the built-in default, ``bigint``.
+
+Third-party engines register with :func:`register_backend` and become
+addressable by name everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import SimulationError
+from repro.simulation.backends.base import Backend, SimState
+from repro.simulation.backends.bigint import BigIntBackend, BigIntState
+from repro.simulation.backends.numpy_backend import NumpyBackend, NumpyState
+
+__all__ = [
+    "Backend",
+    "SimState",
+    "BigIntBackend",
+    "BigIntState",
+    "NumpyBackend",
+    "NumpyState",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "default_backend_name",
+    "DEFAULT_BACKEND_ENV",
+]
+
+#: Environment variable consulted for the session default backend.
+DEFAULT_BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+_REGISTRY: dict[str, Backend] = {}
+_default_override: str | None = None
+
+
+def register_backend(backend: Backend, overwrite: bool = False) -> Backend:
+    """Register ``backend`` under its :attr:`~Backend.name`.
+
+    Raises :class:`SimulationError` on a duplicate name unless
+    ``overwrite`` is set.
+    """
+    if not backend.name:
+        raise SimulationError("backend has no name")
+    if backend.name in _REGISTRY and not overwrite:
+        raise SimulationError(
+            f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> Backend:
+    """Look a backend up by name; raises :class:`SimulationError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulation backend {name!r}; "
+            f"available: {', '.join(available_backends())}") from None
+
+
+def set_default_backend(name: str | None) -> None:
+    """Install the session-default backend (``None`` resets to the env/
+    built-in default).  The name is validated immediately."""
+    global _default_override
+    if name is not None:
+        get_backend(name)
+    _default_override = name
+
+
+def default_backend_name() -> str:
+    """The session default: override, else environment, else ``bigint``."""
+    if _default_override is not None:
+        return _default_override
+    return os.environ.get(DEFAULT_BACKEND_ENV, "") or "bigint"
+
+
+def resolve_backend(backend: str | Backend | None) -> Backend:
+    """Turn a backend spec (name, instance or ``None``) into an instance."""
+    if backend is None:
+        return get_backend(default_backend_name())
+    if isinstance(backend, Backend):
+        return backend
+    return get_backend(backend)
+
+
+register_backend(BigIntBackend())
+register_backend(NumpyBackend())

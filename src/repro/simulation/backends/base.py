@@ -1,0 +1,137 @@
+"""Backend protocol for bit-parallel packed simulation.
+
+A *backend* owns the hot loop of two-valued packed simulation.  Its
+``run`` method evaluates a circuit's combinational part over ``n`` packed
+patterns and returns a :class:`SimState` — a handle over the settled
+waveform of every line that can answer the downstream questions the
+power/leakage/ATPG layers ask (packed words, per-line transition counts,
+per-gate leakage sums, per-sample boolean views).
+
+The *interchange format* is backend-agnostic: a packed word is a Python
+big-int whose bit ``t`` is the line's value in pattern ``t``, exactly as
+produced by :func:`repro.simulation.bitsim.simulate_packed`.  Every
+backend must return bit-identical words (and IEEE-identical derived
+floats) for the same stimulus, which the differential property tests in
+``tests/properties`` enforce.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+__all__ = ["Backend", "SimState", "require_input_word"]
+
+
+def require_input_word(input_words: Mapping[str, int], line: str,
+                       full: int, n: int) -> int:
+    """Fetch and range-check one packed input word.
+
+    Shared by all backends so error behaviour (and messages) cannot
+    drift between them.
+    """
+    try:
+        word = input_words[line]
+    except KeyError:
+        raise SimulationError(
+            f"missing packed input for line {line!r}") from None
+    if word < 0 or word > full:
+        raise SimulationError(
+            f"line {line!r}: word out of range for {n} patterns")
+    return word
+
+
+class SimState(abc.ABC):
+    """The settled waveforms of one packed simulation.
+
+    Concrete states keep the waveforms in whatever layout their backend
+    computes fastest (big-int words, a ``uint64`` matrix, ...) and
+    materialize the derived quantities on demand.
+    """
+
+    def __init__(self, circuit: Circuit, n: int):
+        self.circuit = circuit
+        self.n = n
+        self._bool_cache: dict[str, np.ndarray] = {}
+
+    @abc.abstractmethod
+    def lines(self) -> Sequence[str]:
+        """Every simulated line: combinational inputs, then gate outputs."""
+
+    @abc.abstractmethod
+    def word(self, line: str) -> int:
+        """The packed big-int waveform of one line."""
+
+    @abc.abstractmethod
+    def words(self) -> dict[str, int]:
+        """Packed big-int waveforms of all lines (interchange format)."""
+
+    @abc.abstractmethod
+    def transitions(self) -> dict[str, int]:
+        """Per-line count of value changes between consecutive patterns."""
+
+    @abc.abstractmethod
+    def leakage_sum(self, library: CellLibrary) -> dict[str, float]:
+        """Per-gate-output leakage (nA) summed over all patterns.
+
+        Entry order is topological; every backend must accumulate each
+        gate's sum over the library table's pattern order so the floats
+        agree bit-for-bit across backends.
+        """
+
+    def bools(self, line: str) -> np.ndarray:
+        """The line's waveform as a length-``n`` boolean array (cached)."""
+        cached = self._bool_cache.get(line)
+        if cached is None:
+            cached = self._unpack_bools(line)
+            self._bool_cache[line] = cached
+        return cached
+
+    @abc.abstractmethod
+    def _unpack_bools(self, line: str) -> np.ndarray:
+        """Uncached boolean unpacking of one line."""
+
+
+class Backend(abc.ABC):
+    """A packed-simulation engine.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"bigint"``, ``"numpy"``, ...).
+    """
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def run(self, circuit: Circuit, input_words: Mapping[str, int],
+            n: int) -> SimState:
+        """Simulate ``n`` packed patterns; see :class:`SimState`."""
+
+    @abc.abstractmethod
+    def eval_gate_packed(self, gtype: GateType, words: Sequence[int],
+                         n: int) -> int:
+        """Evaluate one gate over ``n``-bit packed input words.
+
+        ``words`` must have their bits above position ``n - 1`` clear;
+        the result is again an ``n``-bit packed word.  Degenerate arities
+        follow the big-int reference: an empty ``words`` yields the
+        reduction identity (all-ones for AND/XNOR/NOR after inversion
+        rules, zero for OR/XOR/NAND).
+        """
+
+    def simulate_packed(self, circuit: Circuit,
+                        input_words: Mapping[str, int],
+                        n: int) -> dict[str, int]:
+        """Convenience: run and return interchange words for all lines."""
+        return self.run(circuit, input_words, n).words()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

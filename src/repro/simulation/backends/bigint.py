@@ -1,0 +1,81 @@
+"""Reference backend: Python big-int bitwise simulation.
+
+Wraps the original engine from :mod:`repro.simulation.bitsim` behind the
+:class:`~repro.simulation.backends.base.Backend` protocol.  This backend
+defines the semantics every other backend must reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.simulation.backends.base import Backend, SimState
+from repro.simulation.bitsim import _simulate_packed_bigint, eval_gate_packed
+from repro.simulation.values import (
+    count_transitions,
+    mask,
+    pattern_count,
+    unpack_bool_array,
+)
+
+__all__ = ["BigIntBackend", "BigIntState"]
+
+
+class BigIntState(SimState):
+    """Waveforms as a dict of packed big-int words."""
+
+    def __init__(self, circuit: Circuit, n: int, words: dict[str, int]):
+        super().__init__(circuit, n)
+        self._words = words
+
+    def lines(self) -> Sequence[str]:
+        return list(self._words)
+
+    def word(self, line: str) -> int:
+        return self._words[line]
+
+    def words(self) -> dict[str, int]:
+        return dict(self._words)
+
+    def transitions(self) -> dict[str, int]:
+        n = self.n
+        return {line: count_transitions(word, n)
+                for line, word in self._words.items()}
+
+    def leakage_sum(self, library: CellLibrary) -> dict[str, float]:
+        words, n = self._words, self.n
+        leakage: dict[str, float] = {}
+        for line in self.circuit.topo_order():
+            gate = self.circuit.gates[line]
+            table = library.leakage_table(gate.gtype, len(gate.inputs))
+            in_words = [words[src] for src in gate.inputs]
+            total = 0.0
+            for pattern, leak_na in table.items():
+                cycles = pattern_count(in_words, pattern, n)
+                if cycles:
+                    total += cycles * leak_na
+            leakage[line] = total
+        return leakage
+
+    def _unpack_bools(self, line: str) -> np.ndarray:
+        return unpack_bool_array(self._words[line], self.n)
+
+
+class BigIntBackend(Backend):
+    """The big-int reference engine."""
+
+    name = "bigint"
+
+    def run(self, circuit: Circuit, input_words: Mapping[str, int],
+            n: int) -> BigIntState:
+        words = _simulate_packed_bigint(circuit, input_words, n)
+        return BigIntState(circuit, n, words)
+
+    def eval_gate_packed(self, gtype: GateType, words: Sequence[int],
+                         n: int) -> int:
+        return eval_gate_packed(gtype, words, mask(n))

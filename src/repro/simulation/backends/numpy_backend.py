@@ -1,0 +1,275 @@
+"""Vectorized NumPy backend: packed ``uint64`` waveform matrix.
+
+Every line's waveform is one row of a ``(n_lines, n_words)`` ``uint64``
+matrix — bit ``t`` of the row (little-endian across words) is the value
+in pattern ``t``, the same packing as the big-int interchange words.  The
+levelized schedule (:mod:`repro.simulation.schedule`) batches all gates
+of one (level, type, arity) bucket into a single fancy-indexed array
+operation, replacing the per-gate Python dispatch of the reference
+engine.
+
+Derived quantities are computed on the matrix without ever unpacking to
+big ints:
+
+* transitions — whole-matrix shift/xor + ``np.bitwise_count``;
+* leakage sums — per (type, arity) group, one masked-AND popcount per
+  leakage-table pattern, accumulated in the table's iteration order so
+  the per-gate floats match the reference backend bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.cells.library import CellLibrary
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.simulation.backends.base import (
+    Backend,
+    SimState,
+    require_input_word,
+)
+from repro.simulation.schedule import (
+    FusedAndBatch,
+    LevelizedSchedule,
+    cached_schedule,
+)
+from repro.simulation.values import mask
+
+__all__ = ["NumpyBackend", "NumpyState"]
+
+_U64 = np.dtype("<u8")
+_ONE = np.uint64(1)
+_SHIFT63 = np.uint64(63)
+
+#: Per-byte popcount table for the NumPy < 2.0 fallback path.
+_BYTE_POPCOUNT = np.array([bin(i).count("1") for i in range(256)],
+                          dtype=np.uint8)
+
+
+def _popcount_sum_fallback(arr: np.ndarray,
+                           buf: np.ndarray | None = None) -> np.ndarray:
+    """Bit count summed over the last axis, via a byte lookup table.
+
+    Works on any NumPy; bit counts are byte-order independent, so the
+    ``uint8`` reinterpretation is safe on either endianness.
+    """
+    as_bytes = np.ascontiguousarray(arr).view(np.uint8)
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+if hasattr(np, "bitwise_count"):
+    def _popcount_sum(arr: np.ndarray,
+                      buf: np.ndarray | None = None) -> np.ndarray:
+        """Bit count summed over the last axis (``np.bitwise_count``,
+        NumPy >= 2.0); ``buf`` is an optional uint8 scratch of
+        ``arr.shape``."""
+        return np.bitwise_count(arr, out=buf).sum(axis=-1)
+else:  # pragma: no cover - exercised only on NumPy 1.x installs
+    _popcount_sum = _popcount_sum_fallback
+
+
+def _int_to_row(word: int, n_words: int) -> np.ndarray:
+    """Pack a big-int word into a little-endian ``uint64`` row."""
+    return np.frombuffer(word.to_bytes(n_words * 8, "little"), dtype=_U64)
+
+
+def _row_to_int(row: np.ndarray) -> int:
+    """Unpack one ``uint64`` row back into a big-int word."""
+    return int.from_bytes(np.ascontiguousarray(row, dtype=_U64).tobytes(),
+                          "little")
+
+
+def _eval_rows(gtype: GateType, rows: np.ndarray, full: np.ndarray,
+               out_shape: tuple[int, ...]) -> np.ndarray:
+    """Evaluate one gate type over stacked waveform rows.
+
+    ``rows`` has shape ``(arity, *out_shape)``; ``full`` broadcasts to
+    ``out_shape`` and has every bit above pattern ``n - 1`` clear, which
+    keeps the zero-padding of the tail word intact through inversions.
+    """
+    k = len(rows)
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        acc = np.bitwise_and.reduce(rows, axis=0) if k else \
+            np.broadcast_to(full, out_shape)
+        return acc ^ full if gtype is GateType.NAND else acc
+    if gtype is GateType.OR or gtype is GateType.NOR:
+        acc = np.bitwise_or.reduce(rows, axis=0) if k else \
+            np.zeros(out_shape, dtype=_U64)
+        return acc ^ full if gtype is GateType.NOR else acc
+    if gtype is GateType.NOT:
+        return rows[0] ^ full
+    if gtype is GateType.BUFF or gtype is GateType.DFF:
+        return rows[0]
+    if gtype is GateType.XOR or gtype is GateType.XNOR:
+        acc = np.bitwise_xor.reduce(rows, axis=0) if k else \
+            np.zeros(out_shape, dtype=_U64)
+        return acc ^ full if gtype is GateType.XNOR else acc
+    if gtype is GateType.MUX2:
+        sel, d0, d1 = rows
+        return ((sel ^ full) & d0) | (sel & d1)
+    if gtype is GateType.CONST0:
+        return np.zeros(out_shape, dtype=_U64)
+    if gtype is GateType.CONST1:
+        return np.broadcast_to(full, out_shape)
+    raise SimulationError(f"cannot evaluate {gtype} in packed mode")
+
+
+class NumpyState(SimState):
+    """Waveforms as rows of a packed ``uint64`` matrix."""
+
+    def __init__(self, circuit: Circuit, n: int,
+                 schedule: LevelizedSchedule, matrix: np.ndarray,
+                 full_row: np.ndarray):
+        super().__init__(circuit, n)
+        self._schedule = schedule
+        self._matrix = matrix
+        self._full_row = full_row
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The raw ``(n_lines, n_words)`` waveform matrix (read-only use)."""
+        return self._matrix
+
+    def lines(self) -> Sequence[str]:
+        return self._schedule.lines
+
+    def word(self, line: str) -> int:
+        return _row_to_int(self._matrix[self._schedule.line_index[line]])
+
+    def words(self) -> dict[str, int]:
+        matrix = self._matrix
+        return {line: int.from_bytes(matrix[i].tobytes(), "little")
+                for i, line in enumerate(self._schedule.lines)}
+
+    def transitions(self) -> dict[str, int]:
+        state = self._matrix[:len(self._schedule.lines)]
+        n = self.n
+        if n < 2 or state.shape[1] == 0:
+            return dict.fromkeys(self._schedule.lines, 0)
+        diff = np.empty_like(state)
+        diff[:, :-1] = (state[:, :-1] >> _ONE) | (state[:, 1:] << _SHIFT63)
+        diff[:, -1] = state[:, -1] >> _ONE
+        diff ^= state
+        # Only the tail word can hold bits at or above position n-1.
+        diff[:, -1] &= np.uint64((mask(n - 1) >> (64 * (state.shape[1] - 1)))
+                                 & 0xFFFFFFFFFFFFFFFF)
+        counts = _popcount_sum(diff)
+        return dict(zip(self._schedule.lines, counts.tolist()))
+
+    def _pattern_counts(self, rows: np.ndarray) -> np.ndarray:
+        """Exact per-gate cycle counts for every input pattern.
+
+        ``rows`` is ``(arity, n_gates, n_words)``; the result is
+        ``(2**arity, n_gates)`` int64, entry ``[p, g]`` the number of
+        patterns on which gate ``g``'s inputs equal bit-pattern ``p``
+        (pin ``j`` = bit ``j`` of ``p``).
+
+        Computed as subset popcounts (AND-products shared along a prefix
+        tree) followed by Möbius inversion over the subset lattice —
+        integer-exact, so downstream float pricing matches the reference
+        backend's per-pattern popcounts bit-for-bit.
+        """
+        arity, n_gates, n_words = rows.shape
+        subsets = 1 << arity
+        ones = np.empty((subsets, n_gates), dtype=np.int64)
+        ones[0] = self.n
+        prods: list[np.ndarray | None] = [None] * subsets
+        pop = np.empty((n_gates, n_words), dtype=np.uint8)
+        for m in range(1, subsets):
+            low = m & -m
+            if m == low:
+                prods[m] = rows[low.bit_length() - 1]
+            else:
+                prods[m] = prods[m ^ low] & prods[low]
+            ones[m] = _popcount_sum(prods[m], pop)
+        # In-place superset Möbius inversion: afterwards ones[p] is the
+        # count of cycles whose pattern is exactly p.
+        lattice = ones.reshape((2,) * arity + (n_gates,))
+        for axis in range(arity):
+            zero = tuple(0 if i == axis else slice(None)
+                         for i in range(arity))
+            one = tuple(1 if i == axis else slice(None)
+                        for i in range(arity))
+            lattice[zero] -= lattice[one]
+        return ones
+
+    def leakage_sum(self, library: CellLibrary) -> dict[str, float]:
+        schedule = self._schedule
+        state = self._matrix
+        n_inputs = len(schedule.input_lines)
+        # Fixed topological insertion order: downstream float reductions
+        # (e.g. mean leakage) must sum in the same order as the reference
+        # backend to stay bit-identical.
+        leakage = {line: 0.0 for line in schedule.lines[n_inputs:]}
+        for group in schedule.type_groups:
+            table = library.leakage_table(group.gtype, group.arity)
+            totals = np.zeros(len(group), dtype=np.float64)
+            if group.arity == 0:
+                # Zero-input tie cells leak their single table entry on
+                # every pattern.
+                for _pattern, leak_na in table.items():
+                    totals += float(self.n) * leak_na
+            else:
+                counts = self._pattern_counts(state[group.inputs])
+                for pattern, leak_na in table.items():
+                    code = 0
+                    for pin, bit in enumerate(pattern):
+                        code |= bit << pin
+                    totals += counts[code].astype(np.float64) * leak_na
+            for out_pos, value in zip(group.outputs, totals):
+                leakage[schedule.lines[out_pos]] = float(value)
+        return leakage
+
+    def _unpack_bools(self, line: str) -> np.ndarray:
+        row = self._matrix[self._schedule.line_index[line]]
+        bits = np.unpackbits(np.frombuffer(row.tobytes(), dtype=np.uint8),
+                             bitorder="little")
+        return bits[:self.n].astype(bool)
+
+
+class NumpyBackend(Backend):
+    """Levelized, type-batched ``uint64`` matrix engine."""
+
+    name = "numpy"
+
+    def run(self, circuit: Circuit, input_words: Mapping[str, int],
+            n: int) -> NumpyState:
+        schedule = cached_schedule(circuit)
+        n_words = (n + 63) // 64
+        full = mask(n)
+        full_row = _int_to_row(full, n_words)
+        # One extra row beyond the named lines: the constant-ones word the
+        # fused AND kernels pad short gates with.
+        state = np.zeros((schedule.n_lines + 1, n_words), dtype=_U64)
+        state[schedule.ones_index] = full_row
+        for i, line in enumerate(schedule.input_lines):
+            word = require_input_word(input_words, line, full, n)
+            state[i] = _int_to_row(word, n_words)
+        for batch in schedule.fused_program:
+            if isinstance(batch, FusedAndBatch):
+                rows = state[batch.inputs]  # (arity, n_gates, n_words)
+                rows ^= batch.invert_in
+                acc = np.bitwise_and.reduce(rows, axis=0)
+                acc ^= batch.invert_out
+                acc &= full_row
+                state[batch.outputs] = acc
+            else:
+                rows = state[batch.inputs]
+                state[batch.outputs] = _eval_rows(
+                    batch.gtype, rows, full_row, rows.shape[1:])
+        return NumpyState(circuit, n, schedule, state, full_row)
+
+    def eval_gate_packed(self, gtype: GateType, words: Sequence[int],
+                         n: int) -> int:
+        n_words = (n + 63) // 64
+        full_row = _int_to_row(mask(n), n_words)
+        if words:
+            rows = np.stack([_int_to_row(w, n_words) for w in words])
+        else:
+            rows = np.zeros((0, n_words), dtype=_U64)
+        return _row_to_int(
+            _eval_rows(gtype, rows, full_row, (n_words,)))

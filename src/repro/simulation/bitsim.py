@@ -4,6 +4,11 @@ Each combinational input gets an N-bit word (bit ``t`` = value in pattern
 ``t``); every line's waveform is computed with big-int bitwise operations.
 This backs fault simulation, Monte-Carlo leakage observability and the
 scan-shift power evaluation.
+
+This module holds the *reference* big-int engine; the public
+:func:`simulate_packed` dispatches to the selected simulation backend
+(see :mod:`repro.simulation.backends`), all of which reproduce the
+reference results bit-for-bit.
 """
 
 from __future__ import annotations
@@ -54,14 +59,10 @@ def eval_gate_packed(gtype: GateType, words: Sequence[int],
     raise SimulationError(f"cannot evaluate {gtype} in packed mode")
 
 
-def simulate_packed(circuit: Circuit, input_words: Mapping[str, int],
-                    n: int) -> dict[str, int]:
-    """Simulate ``n`` packed patterns; returns a word for every line.
-
-    ``input_words`` must assign a word to every combinational input
-    (primary inputs and DFF outputs); bits above position ``n-1`` must be
-    zero (checked cheaply via the mask).
-    """
+def _simulate_packed_bigint(circuit: Circuit,
+                            input_words: Mapping[str, int],
+                            n: int) -> dict[str, int]:
+    """The raw big-int reference engine (no backend dispatch)."""
     full = mask(n)
     words: dict[str, int] = {}
     for line in comb_input_lines(circuit):
@@ -79,6 +80,25 @@ def simulate_packed(circuit: Circuit, input_words: Mapping[str, int],
         words[line] = eval_gate_packed(
             gate.gtype, [words[src] for src in gate.inputs], full)
     return words
+
+
+def simulate_packed(circuit: Circuit, input_words: Mapping[str, int],
+                    n: int, backend: object | None = None
+                    ) -> dict[str, int]:
+    """Simulate ``n`` packed patterns; returns a word for every line.
+
+    ``input_words`` must assign a word to every combinational input
+    (primary inputs and DFF outputs); bits above position ``n-1`` must be
+    zero (checked cheaply via the mask).
+
+    ``backend`` selects the simulation engine — a backend name, a
+    :class:`~repro.simulation.backends.Backend` instance, or ``None`` for
+    the session default (see
+    :func:`repro.simulation.backends.set_default_backend`).  Results are
+    bit-identical across backends.
+    """
+    from repro.simulation.backends import resolve_backend
+    return resolve_backend(backend).simulate_packed(circuit, input_words, n)
 
 
 def pack_input_vectors(circuit: Circuit,

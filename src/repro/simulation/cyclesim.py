@@ -4,8 +4,7 @@ This is the engine behind the paper's Table I measurements: given the
 per-cycle waveforms of the combinational inputs over a whole scan episode
 (every shift clock of every test vector), it computes
 
-* the waveform of every internal line (packed big-ints, one bit per
-  cycle),
+* the waveform of every internal line (packed words, one bit per cycle),
 * per-line transition counts (for dynamic energy, paper eq. 1),
 * per-gate leakage accumulated over all cycles via per-pattern cycle
   counts (for average static power) — O(2^k) popcounts per gate instead
@@ -15,6 +14,10 @@ Zero-delay (cycle-accurate) semantics: within a cycle the combinational
 logic settles instantly; transitions are counted between consecutive
 settled states.  This matches the transition-count power model used by the
 paper and its baseline [8].
+
+The heavy lifting (waveform evaluation, popcounts) is delegated to the
+selected simulation backend (:mod:`repro.simulation.backends`); all
+backends return identical numbers.
 """
 
 from __future__ import annotations
@@ -24,8 +27,7 @@ from collections.abc import Mapping
 
 from repro.cells.library import CellLibrary, default_library
 from repro.netlist.circuit import Circuit
-from repro.simulation.bitsim import simulate_packed
-from repro.simulation.values import count_transitions, pattern_count
+from repro.simulation.backends import Backend, resolve_backend
 
 __all__ = ["CycleSimResult", "simulate_cycles"]
 
@@ -68,7 +70,8 @@ class CycleSimResult:
 def simulate_cycles(circuit: Circuit, input_waveforms: Mapping[str, int],
                     n_cycles: int, library: CellLibrary | None = None,
                     collect_leakage: bool = True,
-                    keep_waveforms: bool = False) -> CycleSimResult:
+                    keep_waveforms: bool = False,
+                    backend: str | Backend | None = None) -> CycleSimResult:
     """Simulate ``n_cycles`` consecutive combinational states.
 
     Parameters
@@ -86,31 +89,21 @@ def simulate_cycles(circuit: Circuit, input_waveforms: Mapping[str, int],
     keep_waveforms:
         Retain all line waveforms on the result (memory proportional to
         lines x cycles / 8 bytes).
+    backend:
+        Simulation backend (name, instance or ``None`` for the session
+        default); numerically irrelevant, only affects speed.
     """
     library = library or default_library()
-    words = simulate_packed(circuit, input_waveforms, n_cycles)
+    state = resolve_backend(backend).run(circuit, input_waveforms, n_cycles)
 
-    transitions = {
-        line: count_transitions(word, n_cycles)
-        for line, word in words.items()
-    }
-
+    transitions = state.transitions()
     leakage_sum: dict[str, float] = {}
     if collect_leakage:
-        for line in circuit.topo_order():
-            gate = circuit.gates[line]
-            table = library.leakage_table(gate.gtype, len(gate.inputs))
-            in_words = [words[src] for src in gate.inputs]
-            total = 0.0
-            for pattern, leak_na in table.items():
-                cycles = pattern_count(in_words, pattern, n_cycles)
-                if cycles:
-                    total += cycles * leak_na
-            leakage_sum[line] = total
+        leakage_sum = state.leakage_sum(library)
 
     return CycleSimResult(
         n_cycles=n_cycles,
         transitions=transitions,
         leakage_sum_na=leakage_sum,
-        waveforms=dict(words) if keep_waveforms else None,
+        waveforms=state.words() if keep_waveforms else None,
     )

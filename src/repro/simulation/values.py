@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 __all__ = [
     "mask",
     "pack_bits",
     "unpack_bits",
+    "unpack_bool_array",
     "bit_at",
     "count_transitions",
     "pattern_count",
@@ -42,6 +45,14 @@ def pack_bits(bits: Iterable[int]) -> int:
 def unpack_bits(word: int, n: int) -> list[int]:
     """Unpack the low ``n`` bits of ``word`` into a list of 0/1 ints."""
     return [(word >> t) & 1 for t in range(n)]
+
+
+def unpack_bool_array(word: int, n: int) -> np.ndarray:
+    """Low ``n`` bits of ``word`` as a boolean numpy array (bit 0 first)."""
+    raw = word.to_bytes((n + 7) // 8, "little")
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
+                         bitorder="little")
+    return bits[:n].astype(bool)
 
 
 def bit_at(word: int, t: int) -> int:

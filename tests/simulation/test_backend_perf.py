@@ -1,0 +1,52 @@
+"""Perf smoke test: the vectorized backend must not lose to the reference.
+
+A coarse guard, not a benchmark — ``benchmarks/bench_perf.py`` records
+the actual speedup trajectory.  Marked slow; deselect with
+``-m "not slow"``.
+"""
+
+import time
+
+import pytest
+
+from repro.benchgen.generator import generate_from_stats
+from repro.benchgen.iscas89 import Iscas89Stats
+from repro.cells.library import default_library
+from repro.simulation.bitsim import random_input_words
+from repro.simulation.cyclesim import simulate_cycles
+from repro.techmap.mapper import technology_map
+from repro.utils.rng import make_rng
+
+N_PATTERNS = 4096
+
+
+def _best_of(n_runs, fn):
+    times = []
+    for _ in range(n_runs):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+@pytest.mark.slow
+def test_numpy_cycle_sim_not_slower_than_bigint_on_500_gates():
+    circuit = technology_map(generate_from_stats(
+        Iscas89Stats("perf550", 25, 15, 25, 550), seed=1))
+    assert len(circuit.combinational_gates()) >= 500
+    library = default_library()
+    words = random_input_words(circuit, N_PATTERNS, make_rng(0))
+
+    def run(backend):
+        return simulate_cycles(circuit, words, N_PATTERNS, library,
+                               backend=backend)
+
+    # Equivalence first (also warms the schedule cache and numpy import).
+    assert run("numpy").leakage_sum_na == run("bigint").leakage_sum_na
+
+    bigint_s = _best_of(3, lambda: run("bigint"))
+    numpy_s = _best_of(3, lambda: run("numpy"))
+    assert numpy_s <= bigint_s, (
+        f"numpy backend slower than bigint: {numpy_s * 1e3:.2f} ms vs "
+        f"{bigint_s * 1e3:.2f} ms on {len(circuit.combinational_gates())} "
+        f"gates x {N_PATTERNS} patterns")

@@ -1,0 +1,93 @@
+"""Levelized schedule construction and caching."""
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.simulation.eval2 import comb_input_lines
+from repro.simulation.schedule import build_schedule, cached_schedule
+
+
+class TestBuildSchedule:
+    def test_lines_are_inputs_then_topo(self, s27_mapped):
+        schedule = build_schedule(s27_mapped)
+        inputs = tuple(comb_input_lines(s27_mapped))
+        assert schedule.input_lines == inputs
+        assert schedule.lines[:len(inputs)] == inputs
+        assert list(schedule.lines[len(inputs):]) == s27_mapped.topo_order()
+        assert schedule.n_lines == len(schedule.lines)
+
+    def test_covers_every_combinational_gate_once(self, s27_mapped):
+        schedule = build_schedule(s27_mapped)
+        outs = [schedule.lines[i]
+                for batch in schedule.batches for i in batch.outputs]
+        assert sorted(outs) == sorted(s27_mapped.topo_order())
+        assert schedule.n_gates == len(s27_mapped.topo_order())
+        group_outs = [schedule.lines[i]
+                      for group in schedule.type_groups
+                      for i in group.outputs]
+        assert sorted(group_outs) == sorted(outs)
+
+    def test_batches_are_homogeneous_and_level_ordered(self, s27_mapped):
+        schedule = build_schedule(s27_mapped)
+        levels = [batch.level for batch in schedule.batches]
+        assert levels == sorted(levels)
+        for batch in schedule.batches:
+            assert batch.inputs.shape == (batch.arity, len(batch))
+            for g, out_idx in enumerate(batch.outputs):
+                gate = s27_mapped.gates[schedule.lines[out_idx]]
+                assert gate.gtype is batch.gtype
+                assert [schedule.lines[i] for i in batch.inputs[:, g]] == \
+                    list(gate.inputs)
+
+    def test_inputs_precede_outputs(self, s27_mapped):
+        # topological validity: every fanin row index is strictly smaller
+        # than the gate's own row index.
+        schedule = build_schedule(s27_mapped)
+        for batch in schedule.batches:
+            if batch.arity == 0:
+                continue
+            assert (batch.inputs < batch.outputs[np.newaxis, :]).all()
+
+
+class TestCachedSchedule:
+    def test_cache_hit_and_invalidation(self):
+        circuit = Circuit("cache")
+        a = circuit.add_input("a")
+        b = circuit.add_input("b")
+        circuit.add_gate("y", GateType.AND, (a, b))
+        circuit.add_output("y")
+
+        first = cached_schedule(circuit)
+        assert cached_schedule(circuit) is first
+
+        circuit.add_gate("z", GateType.NOT, ("y",))
+        second = cached_schedule(circuit)
+        assert second is not first
+        assert second.n_gates == first.n_gates + 1
+        assert cached_schedule(circuit) is second
+
+    def test_version_counter_tracks_mutations(self):
+        circuit = Circuit("ver")
+        v0 = circuit.version
+        circuit.add_input("a")
+        assert circuit.version > v0
+        v1 = circuit.version
+        circuit.add_gate("y", GateType.NOT, ("a",))
+        assert circuit.version > v1
+        v2 = circuit.version
+        circuit.replace_gate("y", GateType.BUFF, ("a",))
+        assert circuit.version > v2
+        v3 = circuit.version
+        circuit.rename_line("y", "z")
+        assert circuit.version > v3
+        v4 = circuit.version
+        circuit.remove_gate("z")
+        assert circuit.version > v4
+
+    def test_queries_do_not_bump_version(self, s27_mapped):
+        before = s27_mapped.version
+        s27_mapped.topo_order()
+        s27_mapped.depth()
+        s27_mapped.fanout_cone(s27_mapped.inputs[0])
+        assert s27_mapped.version == before
