@@ -4,6 +4,21 @@ For each fault: force the faulty line's packed waveform to the stuck
 value, re-simulate only the fault's fanout cone, and compare the good and
 faulty words at the observable lines.  With 64-4096 patterns per packed
 word this is the standard parallel-pattern single-fault method.
+
+The heavy lifting is delegated to the selected simulation backend via
+:meth:`~repro.simulation.backends.base.Backend.fault_simulate_batch`:
+
+* ``bigint`` runs the scalar big-int cone replay below (the bit-exact
+  reference);
+* ``numpy`` replays whole fault batches on the ``uint64`` pattern matrix
+  (:mod:`repro.simulation.backends.fault_kernel`);
+* ``sharded`` partitions the fault list over worker processes and merges
+  the per-shard results deterministically
+  (:mod:`repro.simulation.backends.sharded`).
+
+All engines return bit-identical detection words and the same
+``remaining`` ordering; the differential property tests in
+``tests/properties`` enforce this.
 """
 
 from __future__ import annotations
@@ -13,11 +28,12 @@ from collections.abc import Mapping, Sequence
 
 from repro.atpg.faults import Fault, observable_lines
 from repro.netlist.circuit import Circuit
-from repro.simulation.backends import Backend, resolve_backend
+from repro.simulation.backends import Backend, resolve_fault_backend
 from repro.simulation.bitsim import eval_gate_packed
 from repro.simulation.values import mask
 
-__all__ = ["FaultSimResult", "detect_word", "fault_simulate"]
+__all__ = ["FaultSimResult", "detect_word", "fault_simulate",
+           "scalar_fault_simulate"]
 
 
 @dataclasses.dataclass
@@ -25,7 +41,8 @@ class FaultSimResult:
     """Outcome of simulating a fault list against a pattern set.
 
     ``detected[f]`` is the packed word of patterns that detect ``f``
-    (missing = undetected); ``remaining`` lists undetected faults.
+    (missing = undetected); ``remaining`` lists the *undetected* faults,
+    in the order they were given.
     """
 
     detected: dict[Fault, int]
@@ -83,27 +100,22 @@ def detect_word(circuit: Circuit, fault: Fault, good: Mapping[str, int],
     return detected
 
 
-def fault_simulate(circuit: Circuit, faults: Sequence[Fault],
-                   input_words: Mapping[str, int], n: int,
-                   drop: bool = True,
-                   cone_cache: dict[str, list[str]] | None = None,
-                   backend: str | Backend | None = None
-                   ) -> FaultSimResult:
-    """Simulate ``faults`` against ``n`` packed patterns.
+def scalar_fault_simulate(backend: Backend, circuit: Circuit,
+                          faults: Sequence[Fault],
+                          input_words: Mapping[str, int], n: int,
+                          drop: bool = True,
+                          cone_cache: dict[str, list[str]] | None = None
+                          ) -> FaultSimResult:
+    """Reference fault simulation: scalar big-int cone replay per fault.
 
-    With ``drop=True`` (default) each fault is only simulated until its
-    first detection (the word still records *all* detecting patterns of
-    this batch, which reverse-order compaction exploits).
-
-    ``cone_cache`` may be shared across calls on the same (unmodified)
-    circuit to amortise fanout-cone extraction.
-
-    ``backend`` selects the engine for the fault-free reference
-    simulation; the per-fault cone replay operates on interchange words
-    and is backend-agnostic, so detection words are bit-identical across
-    backends.
+    ``backend`` supplies the fault-free pass; the per-fault replay works
+    on interchange words, so detection words are bit-identical no matter
+    which backend computed the good machine.  This is the default
+    :meth:`~repro.simulation.backends.base.Backend.fault_simulate_batch`
+    implementation and the semantics every vectorized kernel must
+    reproduce exactly.
     """
-    good = resolve_backend(backend).simulate_packed(circuit, input_words, n)
+    good = backend.simulate_packed(circuit, input_words, n)
     obs = observable_lines(circuit)
     detected: dict[Fault, int] = {}
     remaining: list[Fault] = []
@@ -117,8 +129,35 @@ def fault_simulate(circuit: Circuit, faults: Sequence[Fault],
         word = detect_word(circuit, fault, good, n, obs, cone)
         if word:
             detected[fault] = word
-            if not drop:
-                remaining.append(fault)
         else:
             remaining.append(fault)
     return FaultSimResult(detected=detected, remaining=remaining)
+
+
+def fault_simulate(circuit: Circuit, faults: Sequence[Fault],
+                   input_words: Mapping[str, int], n: int,
+                   drop: bool = True,
+                   cone_cache: dict[str, list[str]] | None = None,
+                   backend: str | Backend | None = None
+                   ) -> FaultSimResult:
+    """Simulate ``faults`` against ``n`` packed patterns.
+
+    ``remaining`` always holds exactly the undetected faults, in input
+    order.  ``drop=True`` (default) lets an engine stop refining a fault
+    once it is detected; the detection word still records *all* detecting
+    patterns of this batch (which reverse-order compaction exploits), so
+    the result does not depend on ``drop``.  Dropping *across* batches is
+    the caller's job: feed ``result.remaining`` to the next call.
+
+    ``cone_cache`` may be shared across calls on the same (unmodified)
+    circuit to amortise fanout-cone extraction on the scalar path
+    (vectorized engines keep their own per-circuit plans).
+
+    ``backend`` selects the fault-simulation engine (name, instance or
+    ``None``).  ``None`` resolves to ``$REPRO_FAULT_BACKEND`` when set,
+    else the session default.  Detection words and ``remaining`` ordering
+    are bit-identical across all engines.
+    """
+    engine = resolve_fault_backend(backend)
+    return engine.fault_simulate_batch(circuit, faults, input_words, n,
+                                       drop=drop, cone_cache=cone_cache)

@@ -101,13 +101,19 @@ def _vector_to_assignment(design: ScanDesign,
 
 def generate_tests(design: ScanDesign,
                    config: AtpgConfig | None = None,
-                   backend: str | Backend | None = None) -> TestSet:
+                   backend: str | Backend | None = None,
+                   fault_backend: str | Backend | None = None) -> TestSet:
     """Generate a compacted stuck-at test set for a full-scan design.
 
     ``backend`` selects the packed-simulation engine for every fault
-    simulation; results are bit-identical across backends.
+    simulation; ``fault_backend`` overrides it for the fault simulations
+    specifically (e.g. the ``sharded`` meta-backend for large collapsed
+    universes) and defaults to ``backend``.  Results are bit-identical
+    across backends, so the generated test set never depends on either.
     """
     config = config or AtpgConfig()
+    if fault_backend is None:
+        fault_backend = backend
     circuit = design.circuit
     universe = collapse_faults(circuit, all_faults(circuit))
     remaining: list[Fault] = list(universe)
@@ -125,7 +131,7 @@ def generate_tests(design: ScanDesign,
         words = random_input_words(circuit, n, rng)
         result = fault_simulate(circuit, remaining, words, n,
                                 drop=True, cone_cache=cones,
-                                backend=backend)
+                                backend=fault_backend)
         if len(result.detected) < config.min_batch_yield:
             break
         first_detectors: set[int] = set()
@@ -166,7 +172,7 @@ def generate_tests(design: ScanDesign,
                        if f not in proven_untestable and f not in aborted]
             result = fault_simulate(circuit, targets, words, n,
                                     drop=True, cone_cache=cones,
-                                    backend=backend)
+                                    backend=fault_backend)
             still = set(result.remaining)
             remaining = [f for f in remaining if f in still]
             kept_vectors.extend(
@@ -179,7 +185,7 @@ def generate_tests(design: ScanDesign,
     # ---- phase 3: reverse-order compaction ----------------------------- #
     if config.compaction and kept_vectors:
         kept_vectors = _reverse_compact(design, universe, kept_vectors,
-                                        backend=backend)
+                                        backend=fault_backend)
 
     # final coverage accounting on the kept set
     n_detected = 0
@@ -189,7 +195,7 @@ def generate_tests(design: ScanDesign,
         words, n = pack_input_vectors(circuit, assignments)
         final = fault_simulate(circuit, universe, words, n,
                                drop=True, cone_cache=cones,
-                               backend=backend)
+                               backend=fault_backend)
         n_detected = final.n_detected
 
     return TestSet(

@@ -50,6 +50,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=("simulation backend for all packed "
                               "simulations (results are bit-identical; "
                               "default: $REPRO_SIM_BACKEND or bigint)"))
+    parser.add_argument("--fault-backend", choices=available_backends(),
+                        default=None,
+                        help=("backend for fault simulation specifically "
+                              "(bit-identical; default: $REPRO_FAULT_BACKEND, "
+                              "else --backend)"))
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help=("worker processes for the 'sharded' fault "
+                              "backend (implies --fault-backend sharded; "
+                              "default: $REPRO_SIM_SHARDS or cpu count)"))
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="regenerate Table I")
@@ -88,6 +97,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     from repro.errors import SimulationError
     from repro.simulation.backends import (
         resolve_backend,
+        resolve_fault_backend,
         set_default_backend,
     )
     try:
@@ -95,8 +105,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             set_default_backend(args.backend)
         else:
             resolve_backend(None)  # fail fast on a bad $REPRO_SIM_BACKEND
+        # ... and on a bad $REPRO_FAULT_BACKEND (flag values are already
+        # argparse-validated).
+        engine = resolve_fault_backend(args.fault_backend)
+        from repro.simulation.backends import ShardedBackend
+        if isinstance(engine, ShardedBackend) and args.shards is None:
+            engine.effective_shards(0)  # and on a bad $REPRO_SIM_SHARDS
     except SimulationError as exc:
         print(f"repro-power: error: {exc}", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print("repro-power: error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.fault_backend not in (None, "sharded"):
+        print("repro-power: error: --shards only applies to the 'sharded' "
+              "fault backend", file=sys.stderr)
         return 2
 
     if args.command == "list":
@@ -114,7 +137,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "table1":
-        config = FlowConfig(seed=args.seed, backend=args.backend)
+        config = FlowConfig(seed=args.seed, backend=args.backend,
+                            fault_backend=args.fault_backend,
+                            shards=args.shards)
         circuits = args.circuits or None
         run = run_table1(circuits, config, verbose=not args.quiet)
         if args.experiments_md:
@@ -134,6 +159,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         config = FlowConfig(
             seed=args.seed,
             backend=args.backend,
+            fault_backend=args.fault_backend,
+            shards=args.shards,
             reorder_inputs=not args.no_reorder,
             use_observability_directive=not args.no_directive)
         result = ProposedFlow(config).run(load_circuit(args.circuit,

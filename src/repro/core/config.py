@@ -48,6 +48,14 @@ class FlowConfig:
         Simulation backend name used by the flow's packed simulations
         (``None`` = session default).  Numerically irrelevant — every
         backend is bit-identical — so results never depend on it.
+    fault_backend:
+        Backend name for the flow's fault simulations specifically
+        (``None`` = same as ``backend``).  Like ``backend`` it only
+        affects speed; ``"sharded"`` fans the collapsed fault list out
+        over worker processes.
+    shards:
+        Worker-process count for the ``sharded`` fault backend; setting
+        it implies ``fault_backend="sharded"`` when that is unset.
     """
 
     seed: int = 0
@@ -61,14 +69,24 @@ class FlowConfig:
     include_capture_cycles: bool = True
     atpg: AtpgConfig | None = None
     backend: str | None = None
+    fault_backend: str | None = None
+    shards: int | None = None
 
     def __post_init__(self) -> None:
-        if self.backend is not None:
-            from repro.simulation.backends import available_backends
-            if self.backend not in available_backends():
+        from repro.simulation.backends import available_backends
+        for which, name in (("simulation", self.backend),
+                            ("fault simulation", self.fault_backend)):
+            if name is not None and name not in available_backends():
                 raise ConfigError(
-                    f"unknown simulation backend {self.backend!r}; "
+                    f"unknown {which} backend {name!r}; "
                     f"available: {', '.join(available_backends())}")
+        if self.shards is not None:
+            if self.shards < 1:
+                raise ConfigError("shards must be >= 1")
+            if self.fault_backend not in (None, "sharded"):
+                raise ConfigError(
+                    "shards only applies to the 'sharded' fault backend, "
+                    f"not {self.fault_backend!r}")
         if self.observability_samples < 2:
             raise ConfigError("observability_samples must be >= 2")
         if self.ivc_trials < 1:
@@ -85,6 +103,31 @@ class FlowConfig:
         if self.atpg is not None:
             return self.atpg
         return AtpgConfig(seed=self.seed)
+
+    def fault_simulation_backend(self):
+        """The backend spec the flow's fault simulations should use.
+
+        Precedence mirrors :mod:`repro.simulation.backends`: an explicit
+        ``fault_backend``/``shards`` wins, else ``$REPRO_FAULT_BACKEND``,
+        else the plain ``backend`` (``None`` = session default).  Returns
+        a fresh :class:`ShardedBackend` instance when a shard count is
+        pinned, so concurrent flows with different configs never fight
+        over the registry singleton.
+        """
+        name = self.fault_backend
+        if name is None and self.shards is not None:
+            name = "sharded"
+        if name == "sharded" and self.shards is not None:
+            from repro.simulation.backends import ShardedBackend
+            return ShardedBackend(shards=self.shards)
+        if name is None:
+            import os
+
+            from repro.simulation.backends import DEFAULT_FAULT_BACKEND_ENV
+            name = os.environ.get(DEFAULT_FAULT_BACKEND_ENV, "") or None
+        if name is None:
+            return self.backend
+        return name
 
     def library(self) -> CellLibrary:
         """The cell library used throughout the flow."""

@@ -122,8 +122,9 @@ class ProposedFlow:
 
         mapped = circuit if is_mapped(circuit) else technology_map(circuit)
         design = ScanDesign.full_scan(mapped)
-        test_set = generate_tests(design, config.atpg_config(),
-                                  backend=config.backend)
+        test_set = generate_tests(
+            design, config.atpg_config(), backend=config.backend,
+            fault_backend=config.fault_simulation_backend())
 
         addmux = add_mux(mapped, library,
                          margin_ps=config.mux_delay_margin_ps)
@@ -148,7 +149,8 @@ class ProposedFlow:
             n_trials=config.ivc_trials,
             seed=derive_seed(config.seed, f"ivc:{mapped.name}"),
             library=library,
-            noise_lines=sorted(sources), n_noise=config.ivc_noise_samples)
+            noise_lines=sorted(sources), n_noise=config.ivc_noise_samples,
+            backend=config.backend)
         control_values = {**pattern.assignment, **ivc.assignment}
 
         quiescent = simulate_comb3(mapped, control_values)

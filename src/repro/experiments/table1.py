@@ -52,6 +52,9 @@ class Table1Run:
     flow_results: dict[str, FlowResult]
     provenance: dict[str, str]
     runtime_s: dict[str, float]
+    #: Engine record ("sim"/"fault" backend names) — results are
+    #: bit-identical across engines, this documents what produced the run.
+    backends: dict[str, str] = dataclasses.field(default_factory=dict)
 
     def render(self, include_paper: bool = True) -> str:
         """Fixed-width text rendering (mirrors Table I's columns)."""
@@ -89,6 +92,9 @@ class Table1Run:
         lines.append("")
         lines.append("Provenance: " + ", ".join(
             f"{name}={src}" for name, src in self.provenance.items()))
+        if self.backends:
+            lines.append("Backends: " + ", ".join(
+                f"{kind}={name}" for kind, name in self.backends.items()))
         return "\n".join(lines)
 
 
@@ -100,6 +106,16 @@ def run_table1(circuits: Sequence[str] | None = None,
         else list(default_table1_circuits())
     config = config or FlowConfig(seed=1)
     flow = ProposedFlow(config)
+    from repro.simulation.backends import (
+        default_backend_name,
+        default_fault_backend_name,
+    )
+    fault_spec = config.fault_simulation_backend()
+    backends = {
+        "sim": config.backend or default_backend_name(),
+        "fault": getattr(fault_spec, "name", None) or fault_spec or
+        default_fault_backend_name(),
+    }
 
     rows: list[Table1Row] = []
     results: dict[str, FlowResult] = {}
@@ -123,4 +139,5 @@ def run_table1(circuits: Sequence[str] | None = None,
             print(result.summary())
             print(f"  [{elapsed:.1f}s]", flush=True)
     return Table1Run(rows=rows, flow_results=results,
-                     provenance=provenance, runtime_s=runtime)
+                     provenance=provenance, runtime_s=runtime,
+                     backends=backends)

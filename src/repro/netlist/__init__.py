@@ -2,7 +2,8 @@
 
 Public surface:
 
-* :class:`~repro.netlist.circuit.Circuit` / :class:`~repro.netlist.circuit.Gate`
+* :class:`~repro.netlist.circuit.Circuit` /
+  :class:`~repro.netlist.circuit.Gate`
   — the core data structure;
 * :class:`~repro.netlist.gates.GateType` and gate semantics helpers;
 * :func:`~repro.netlist.bench.parse_bench` /

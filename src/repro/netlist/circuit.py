@@ -180,7 +180,7 @@ class Circuit:
 
     def add_gate(self, output: str, gtype: GateType,
                  inputs: Iterable[str]) -> Gate:
-        """Add a gate driving line ``output``; returns the new :class:`Gate`."""
+        """Add a gate driving ``output``; returns the new :class:`Gate`."""
         gate = Gate(output, gtype, tuple(inputs))
         if gate.output in self._input_set:
             raise NetlistError(

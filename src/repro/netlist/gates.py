@@ -146,7 +146,8 @@ def is_inverting(gtype: GateType) -> bool:
 
 
 def check_arity(gtype: GateType, n_inputs: int) -> None:
-    """Raise :class:`NetlistError` when ``n_inputs`` is illegal for ``gtype``."""
+    """Raise :class:`NetlistError` on an illegal ``n_inputs`` for
+    ``gtype``."""
     lo, hi = _ARITY[gtype]
     if n_inputs < lo or (hi is not None and n_inputs > hi):
         bound = f"exactly {lo}" if hi == lo else f">= {lo}"

@@ -33,7 +33,7 @@ from repro.power.dynamic import (
     switching_energy_fj,
 )
 from repro.scan.testview import ScanDesign, TestVector
-from repro.simulation.backends import Backend
+from repro.simulation.backends import Backend, resolve_backend
 from repro.simulation.cyclesim import simulate_cycles
 from repro.simulation.values import pack_bits
 
@@ -185,16 +185,20 @@ def evaluate_scan_power(design: ScanDesign,
         Chain contents before the first shift (default all zeros).
     backend:
         Simulation backend for the episode replay (name, instance or
-        ``None`` for the session default); affects speed only.
+        ``None`` for the session default); affects speed only.  Meta
+        backends (e.g. ``sharded``) delegate their plain packed
+        simulation to their inner engine, so any registered name works
+        here.  Resolved once per episode.
     """
     policy = policy or ShiftPolicy()
     library = library or default_library()
     circuit = design.circuit
+    engine = resolve_backend(backend)
 
     waveforms, n_cycles = _episode_waveforms(
         design, vectors, policy, include_capture, initial_state)
     result = simulate_cycles(circuit, waveforms, n_cycles, library,
-                             collect_leakage=True, backend=backend)
+                             collect_leakage=True, backend=engine)
     energy_fj = switching_energy_fj(circuit, result.transitions, library)
     mean_leak_na = result.mean_leakage_na
     return ScanPowerReport(
@@ -228,7 +232,7 @@ def per_cycle_energy_fj(design: ScanDesign,
         design, vectors, policy, include_capture, None)
     sim = simulate_cycles(circuit, waveforms, n_cycles, library,
                           collect_leakage=False, keep_waveforms=True,
-                          backend=backend)
+                          backend=resolve_backend(backend))
     caps = switched_caps_ff(circuit, library)
     profile = np.zeros(max(n_cycles - 1, 0), dtype=np.float64)
     assert sim.waveforms is not None

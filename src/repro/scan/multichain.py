@@ -34,7 +34,7 @@ from repro.power.dynamic import (
 from repro.power.scanpower import ScanPowerReport, ShiftPolicy
 from repro.scan.chain import ScanCell, ScanChain
 from repro.scan.testview import ScanDesign, TestVector
-from repro.simulation.backends import Backend
+from repro.simulation.backends import Backend, resolve_backend
 from repro.simulation.cyclesim import simulate_cycles
 from repro.simulation.eval2 import simulate_comb
 from repro.simulation.values import pack_bits
@@ -183,10 +183,14 @@ def evaluate_multichain_power(design: MultiChainDesign,
     Semantics mirror the single-chain evaluator; only the schedule
     differs: every vector costs ``max_length`` shift cycles (plus the
     capture cycle), during which each chain walks its own contents.
+    ``backend`` accepts any registered engine, including meta-backends
+    like ``sharded`` (which delegate packed simulation to their inner
+    engine); it is resolved once per episode and affects speed only.
     """
     policy = policy or ShiftPolicy()
     library = library or default_library()
     circuit = design.circuit
+    engine = resolve_backend(backend)
     if not vectors:
         raise ScanError("empty test set")
     unknown_mux = set(policy.mux_ties) - set(design.global_q_lines)
@@ -231,7 +235,7 @@ def evaluate_multichain_power(design: MultiChainDesign,
     n_cycles = len(next(iter(all_bits.values())))
     waveforms = {line: pack_bits(bits) for line, bits in all_bits.items()}
     result = simulate_cycles(circuit, waveforms, n_cycles, library,
-                             collect_leakage=True, backend=backend)
+                             collect_leakage=True, backend=engine)
     energy_fj = switching_energy_fj(circuit, result.transitions, library)
     return ScanPowerReport(
         circuit_name=circuit.name,

@@ -1,13 +1,18 @@
 """Pluggable packed-simulation backends.
 
-Two engines ship with the library:
+Three engines ship with the library:
 
 * ``bigint`` — the reference engine (Python big-int bitwise ops);
-* ``numpy`` — levelized, type-batched ``uint64`` matrix engine.
+* ``numpy`` — levelized, type-batched ``uint64`` matrix engine, with a
+  fused batched fault-simulation kernel
+  (:mod:`repro.simulation.backends.fault_kernel`);
+* ``sharded`` — meta-backend partitioning fault lists over
+  ``multiprocessing`` workers (``numpy`` inside each worker); plain
+  packed simulation delegates to the inner engine.
 
-All backends produce bit-identical packed words and IEEE-identical
-derived floats; the choice only affects speed.  Selection, in precedence
-order:
+All backends produce bit-identical packed words, fault-detection words
+and IEEE-identical derived floats; the choice only affects speed.
+Selection, in precedence order:
 
 1. an explicit ``backend=`` argument (name or instance) on the public
    entry points (``simulate_packed``, ``simulate_cycles``,
@@ -17,6 +22,14 @@ order:
    ``--backend`` flag does this);
 3. the ``REPRO_SIM_BACKEND`` environment variable;
 4. the built-in default, ``bigint``.
+
+Fault simulation resolves one extra level: an explicit fault-engine spec
+(``fault_simulate(backend=...)``, ``FlowConfig.fault_backend``/
+``.shards``, the CLI's ``--fault-backend``/``--shards``) wins; otherwise
+``REPRO_FAULT_BACKEND`` overrides the *whole* chain above — it is a
+targeted knob so e.g. CI can force sharded fault simulation across a run
+regardless of how the plain backend was chosen; otherwise the session
+chain (2-4) applies.
 
 Third-party engines register with :func:`register_backend` and become
 addressable by name everywhere.
@@ -30,6 +43,7 @@ from repro.errors import SimulationError
 from repro.simulation.backends.base import Backend, SimState
 from repro.simulation.backends.bigint import BigIntBackend, BigIntState
 from repro.simulation.backends.numpy_backend import NumpyBackend, NumpyState
+from repro.simulation.backends.sharded import ShardedBackend
 
 __all__ = [
     "Backend",
@@ -38,17 +52,25 @@ __all__ = [
     "BigIntState",
     "NumpyBackend",
     "NumpyState",
+    "ShardedBackend",
     "register_backend",
     "available_backends",
     "get_backend",
     "resolve_backend",
+    "resolve_fault_backend",
     "set_default_backend",
     "default_backend_name",
+    "default_fault_backend_name",
     "DEFAULT_BACKEND_ENV",
+    "DEFAULT_FAULT_BACKEND_ENV",
 ]
 
 #: Environment variable consulted for the session default backend.
 DEFAULT_BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+#: Environment variable overriding the default backend for *fault
+#: simulation* only (falls back to the session default when unset).
+DEFAULT_FAULT_BACKEND_ENV = "REPRO_FAULT_BACKEND"
 
 _REGISTRY: dict[str, Backend] = {}
 _default_override: str | None = None
@@ -75,7 +97,8 @@ def available_backends() -> tuple[str, ...]:
 
 
 def get_backend(name: str) -> Backend:
-    """Look a backend up by name; raises :class:`SimulationError` if unknown."""
+    """Look a backend up by name; raises :class:`SimulationError` when
+    unknown."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -109,5 +132,26 @@ def resolve_backend(backend: str | Backend | None) -> Backend:
     return get_backend(backend)
 
 
+def default_fault_backend_name() -> str:
+    """Default engine for fault simulation.
+
+    ``$REPRO_FAULT_BACKEND`` when set (a targeted override that
+    deliberately outranks the session default — see the module
+    docstring), else the session default chain.  Results are
+    bit-identical either way; only speed changes.
+    """
+    return os.environ.get(DEFAULT_FAULT_BACKEND_ENV, "") or \
+        default_backend_name()
+
+
+def resolve_fault_backend(backend: str | Backend | None) -> Backend:
+    """Like :func:`resolve_backend`, but ``None`` resolves through
+    :func:`default_fault_backend_name`."""
+    if backend is None:
+        return get_backend(default_fault_backend_name())
+    return resolve_backend(backend)
+
+
 register_backend(BigIntBackend())
 register_backend(NumpyBackend())
+register_backend(ShardedBackend())

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +27,10 @@ from repro.cells.library import CellLibrary
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import GateType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.atpg.faults import Fault
+    from repro.atpg.faultsim import FaultSimResult
 
 __all__ = ["Backend", "SimState", "require_input_word"]
 
@@ -132,6 +137,27 @@ class Backend(abc.ABC):
                         n: int) -> dict[str, int]:
         """Convenience: run and return interchange words for all lines."""
         return self.run(circuit, input_words, n).words()
+
+    def fault_simulate_batch(self, circuit: Circuit,
+                             faults: "Sequence[Fault]",
+                             input_words: Mapping[str, int], n: int,
+                             drop: bool = True,
+                             cone_cache: dict[str, list[str]] | None = None
+                             ) -> "FaultSimResult":
+        """Simulate a stuck-at fault list against ``n`` packed patterns.
+
+        The contract mirrors :func:`repro.atpg.faultsim.fault_simulate`:
+        ``detected`` maps each detected fault to the packed word of *all*
+        detecting patterns, ``remaining`` lists the undetected faults in
+        input order, and both must be bit-identical across backends.
+
+        The default implementation is the scalar big-int cone replay
+        (fault-free pass on this backend, per-fault replay on interchange
+        words); vectorized engines override it with fused kernels.
+        """
+        from repro.atpg.faultsim import scalar_fault_simulate
+        return scalar_fault_simulate(self, circuit, faults, input_words,
+                                     n, drop=drop, cone_cache=cone_cache)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,278 @@
+"""Fused, batched stuck-at fault simulation on the ``uint64`` matrix.
+
+The scalar reference (:mod:`repro.atpg.faultsim`) replays one fanout cone
+per fault with big-int gate evaluations — one Python-level dispatch per
+(fault, cone gate).  This kernel replays a whole *batch* of faults at
+once on the numpy backend's packed waveform matrix:
+
+1. faults are ordered by the topological position of their fault line, so
+   neighbouring faults share most of their fanout cones, then chunked
+   into batches sized to a fixed element budget;
+2. per batch, the union of the member cones is gathered into a compact
+   local matrix ``(n_faults, n_local_lines, n_words)`` initialised with
+   the fault-free rows; each fault lane forces its own line to the stuck
+   row;
+3. the union's gates are evaluated level by level using the circuit's
+   levelized schedule: the whole AND-family of a level (NAND/NOR/INV/...,
+   De Morgan literals, padded with the constant-ones row) collapses into
+   one gather + AND-reduce over the ``(fault, gate, word)`` axes, and the
+   remaining gate types batch per (type, arity) — so the Python-level op
+   count scales with circuit *depth* times the number of batches, not
+   with faults x cone size;
+4. fault lanes are re-forced after every level (a gate may drive another
+   fault's stuck line), and detection is one XOR + OR-reduce of the
+   observable rows against the good rows.
+
+Gates outside a fault's own cone recompute their fault-free values in
+that lane (their inputs are untouched there), so the union replay is
+exact: detection words are bit-identical to the scalar reference.
+
+Fault dropping happens per batch exactly as in the reference: every
+pattern of the call is simulated at once, so the detection word always
+records all detecting patterns and ``drop`` cannot change the result.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.atpg.faults import observable_lines
+from repro.netlist.circuit import Circuit
+from repro.simulation.schedule import (
+    AND_FAMILY,
+    GateBatch,
+    cached_schedule,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import would be cyclic
+    from repro.atpg.faults import Fault
+    from repro.atpg.faultsim import FaultSimResult
+    from repro.simulation.backends.numpy_backend import NumpyState
+
+__all__ = ["FaultSimPlan", "cached_fault_plan", "fault_simulate_matrix"]
+
+_U64 = np.dtype("<u8")
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Element budget of one batch's local faulty matrix (uint64 entries);
+#: bounds peak memory at ~32 MiB and is the only batching knob, so the
+#: fault grouping — and therefore the arithmetic — is deterministic.
+_BATCH_ELEMENT_BUDGET = 1 << 22
+
+_MIN_BATCH_FAULTS = 4
+_MAX_BATCH_FAULTS = 128
+
+
+class FaultSimPlan:
+    """Per-circuit index arrays for the batched fault kernel.
+
+    Built once per :attr:`Circuit.version` (see
+    :func:`cached_fault_plan`) on top of the levelized schedule: padded
+    AND-family literals per gate row, the non-AND-family batches, gate
+    levels, observable rows and a fanout-cone row cache.
+    """
+
+    def __init__(self, circuit: Circuit):
+        schedule = cached_schedule(circuit)
+        self.schedule = schedule
+        # Weak ref only: plans are values of a WeakKeyDictionary keyed on
+        # the circuit — a strong ref here would keep the key alive and
+        # turn the cache into a leak.
+        self._circuit_ref = weakref.ref(circuit)
+        self.version = circuit.version
+        n_rows = schedule.n_lines + 1  # + the constant-ones padding row
+        self.n_rows = n_rows
+        self.ones_index = schedule.ones_index
+
+        and_batches = [b for b in schedule.batches if b.gtype in AND_FAMILY]
+        self.other_batches: tuple[GateBatch, ...] = tuple(
+            b for b in schedule.batches if b.gtype not in AND_FAMILY)
+        max_arity = max((b.arity for b in and_batches), default=0)
+
+        self.level = np.zeros(n_rows, dtype=np.intp)
+        self.is_and = np.zeros(n_rows, dtype=bool)
+        self.and_inputs = np.full((n_rows, max_arity), self.ones_index,
+                                  dtype=np.intp)
+        self.and_inv_in = np.zeros((n_rows, max_arity), dtype=_U64)
+        self.and_inv_out = np.zeros(n_rows, dtype=_U64)
+        for batch in schedule.batches:
+            self.level[batch.outputs] = batch.level
+        for batch in and_batches:
+            self.is_and[batch.outputs] = True
+            self.and_inputs[batch.outputs, :batch.arity] = batch.inputs.T
+            in_inverted, out_inverted = AND_FAMILY[batch.gtype]
+            if in_inverted:
+                self.and_inv_in[batch.outputs, :batch.arity] = _ALL_ONES
+            if out_inverted:
+                self.and_inv_out[batch.outputs] = _ALL_ONES
+
+        self.obs_rows = np.array(
+            [schedule.line_index[line] for line in observable_lines(circuit)],
+            dtype=np.intp)
+        self._cone_rows: dict[str, np.ndarray] = {}
+
+    def cone_rows(self, line: str) -> np.ndarray:
+        """Gate-output rows in ``line``'s fanout cone, ascending (= topo).
+
+        The fault line itself is excluded; row order follows
+        ``schedule.lines`` (inputs first, then topological gate order),
+        so ascending row index is a valid evaluation order.
+        """
+        rows = self._cone_rows.get(line)
+        if rows is None:
+            circuit = self._circuit_ref()
+            assert circuit is not None, "circuit outlived by its plan"
+            index = self.schedule.line_index
+            gates = circuit.gates
+            cone = circuit.fanout_cone(line)
+            rows = np.array(
+                sorted(index[out] for out in cone
+                       if out != line and out in gates),
+                dtype=np.intp)
+            self._cone_rows[line] = rows
+        return rows
+
+
+_PLAN_CACHE: "weakref.WeakKeyDictionary[Circuit, FaultSimPlan]" = \
+    weakref.WeakKeyDictionary()
+
+
+def cached_fault_plan(circuit: Circuit) -> FaultSimPlan:
+    """Memoized :class:`FaultSimPlan`, invalidated by circuit mutation."""
+    plan = _PLAN_CACHE.get(circuit)
+    if plan is None or plan.version != circuit.version:
+        plan = FaultSimPlan(circuit)
+        _PLAN_CACHE[circuit] = plan
+    return plan
+
+
+def _batch_size(plan: FaultSimPlan, n_words: int) -> int:
+    """Faults per batch under the fixed element budget (deterministic)."""
+    per_fault = max(1, plan.n_rows * max(1, n_words))
+    size = _BATCH_ELEMENT_BUDGET // per_fault
+    return max(_MIN_BATCH_FAULTS, min(_MAX_BATCH_FAULTS, size))
+
+
+def _detect_batch(plan: FaultSimPlan, matrix: np.ndarray,
+                  full_row: np.ndarray,
+                  batch: "Sequence[Fault]") -> list[int]:
+    """Detection words (big ints) for one batch of faults."""
+    index = plan.schedule.line_index
+    n_words = matrix.shape[1]
+    n_faults = len(batch)
+    fault_rows = np.array([index[f.line] for f in batch], dtype=np.intp)
+    stuck = np.array([bool(f.stuck_at) for f in batch], dtype=bool)
+
+    cones = [plan.cone_rows(f.line) for f in batch]
+    nonempty = [c for c in cones if c.size]
+    gate_rows = np.unique(np.concatenate(nonempty)) if nonempty else \
+        np.empty(0, dtype=np.intp)
+
+    # Rows the replay touches: union cone gates, their (padded) inputs,
+    # the fault lines themselves and the constant-ones padding row.
+    parts = [gate_rows, fault_rows,
+             np.array([plan.ones_index], dtype=np.intp)]
+    and_rows_all = gate_rows[plan.is_and[gate_rows]]
+    if and_rows_all.size:
+        parts.append(plan.and_inputs[and_rows_all].ravel())
+    other_sel: list[tuple[GateBatch, np.ndarray]] = []
+    if gate_rows.size > and_rows_all.size:
+        for gbatch in plan.other_batches:
+            member = np.isin(gbatch.outputs, gate_rows)
+            if member.any():
+                other_sel.append((gbatch, member))
+                parts.append(gbatch.inputs[:, member].ravel())
+    needed = np.unique(np.concatenate(parts))
+
+    local_of = np.full(plan.n_rows, -1, dtype=np.intp)
+    local_of[needed] = np.arange(needed.size)
+    good_local = matrix[needed]                       # (L, W)
+    faulty = np.repeat(good_local[None], n_faults, axis=0)  # (F, L, W)
+
+    lanes = np.arange(n_faults)
+    fault_loc = local_of[fault_rows]
+    stuck_rows = np.where(stuck[:, None], full_row[None, :],
+                          np.zeros(n_words, dtype=_U64)[None, :])
+    faulty[lanes, fault_loc] = stuck_rows
+
+    levels = plan.level[gate_rows]
+    for lv in np.unique(levels):
+        rows_lv = gate_rows[levels == lv]
+        and_rows = rows_lv[plan.is_and[rows_lv]]
+        if and_rows.size:
+            in_loc = local_of[plan.and_inputs[and_rows]]      # (k, A)
+            gathered = faulty[:, in_loc.T]                    # (F, A, k, W)
+            gathered ^= plan.and_inv_in[and_rows].T[None, :, :, None]
+            acc = np.bitwise_and.reduce(gathered, axis=1)     # (F, k, W)
+            acc ^= plan.and_inv_out[and_rows][None, :, None]
+            acc &= full_row
+            faulty[:, local_of[and_rows]] = acc
+        if rows_lv.size > and_rows.size:
+            from repro.simulation.backends.numpy_backend import _eval_rows
+            for gbatch, member in other_sel:
+                if gbatch.level != lv:
+                    continue
+                in_loc = local_of[gbatch.inputs[:, member]]   # (A, k)
+                k = in_loc.shape[1]
+                rows = np.moveaxis(faulty[:, in_loc], 1, 0)   # (A, F, k, W)
+                out = _eval_rows(gbatch.gtype, rows, full_row,
+                                 (n_faults, k, n_words))
+                faulty[:, local_of[gbatch.outputs[member]]] = out
+        # A gate may drive another fault's stuck line: re-force every
+        # lane's own fault row before the next level reads it.
+        faulty[lanes, fault_loc] = stuck_rows
+
+    obs_loc = local_of[plan.obs_rows]
+    present = obs_loc[obs_loc >= 0]
+    if present.size:
+        diff = faulty[:, present] ^ good_local[present][None]
+        det = np.bitwise_or.reduce(diff, axis=1)              # (F, W)
+    else:
+        det = np.zeros((n_faults, n_words), dtype=_U64)
+    det = np.ascontiguousarray(det)
+    return [int.from_bytes(det[i].tobytes(), "little")
+            for i in range(n_faults)]
+
+
+def fault_simulate_matrix(state: "NumpyState",
+                          faults: "Sequence[Fault]",
+                          drop: bool = True) -> "FaultSimResult":
+    """Batched fault simulation over a settled numpy state.
+
+    ``state`` is the fault-free simulation of the target patterns
+    (:meth:`NumpyBackend.run`); the result is bit-identical to
+    :func:`repro.atpg.faultsim.scalar_fault_simulate` on the same
+    stimulus, including ``remaining`` ordering.
+    """
+    from repro.atpg.faultsim import FaultSimResult
+
+    plan = cached_fault_plan(state.circuit)
+    matrix = state.matrix
+    full_row = np.broadcast_to(matrix[plan.ones_index], (matrix.shape[1],))
+
+    index = plan.schedule.line_index
+    unique = list(dict.fromkeys(faults))
+    # Topological grouping: neighbouring fault lines share their cones.
+    unique.sort(key=lambda f: (index[f.line], f.stuck_at))
+    size = _batch_size(plan, matrix.shape[1])
+
+    words: dict[Fault, int] = {}
+    for start in range(0, len(unique), size):
+        batch = unique[start:start + size]
+        for fault, word in zip(batch,
+                               _detect_batch(plan, matrix, full_row, batch)):
+            words[fault] = word
+
+    detected: dict[Fault, int] = {}
+    remaining: list[Fault] = []
+    for fault in faults:
+        word = words[fault]
+        if word:
+            detected[fault] = word
+        else:
+            remaining.append(fault)
+    return FaultSimResult(detected=detected, remaining=remaining)

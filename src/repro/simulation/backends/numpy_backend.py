@@ -20,6 +20,7 @@ big ints:
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,6 +39,10 @@ from repro.simulation.schedule import (
     cached_schedule,
 )
 from repro.simulation.values import mask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.atpg.faults import Fault
+    from repro.atpg.faultsim import FaultSimResult
 
 __all__ = ["NumpyBackend", "NumpyState"]
 
@@ -273,3 +278,22 @@ class NumpyBackend(Backend):
             rows = np.zeros((0, n_words), dtype=_U64)
         return _row_to_int(
             _eval_rows(gtype, rows, full_row, (n_words,)))
+
+    def fault_simulate_batch(self, circuit: Circuit,
+                             faults: Sequence[Fault],
+                             input_words: Mapping[str, int], n: int,
+                             drop: bool = True,
+                             cone_cache: dict[str, list[str]] | None = None
+                             ) -> FaultSimResult:
+        """Fused batched cone replay on the ``uint64`` matrix.
+
+        See :mod:`repro.simulation.backends.fault_kernel`; bit-identical
+        to the scalar reference.  ``cone_cache`` (a string-keyed cache of
+        the scalar path) is ignored — the kernel keeps its own
+        per-circuit plan.
+        """
+        from repro.simulation.backends.fault_kernel import (
+            fault_simulate_matrix,
+        )
+        state = self.run(circuit, input_words, n)
+        return fault_simulate_matrix(state, faults, drop=drop)

@@ -1,0 +1,258 @@
+"""Process-sharded fault simulation meta-backend.
+
+``ShardedBackend`` wraps an inner engine (``numpy`` by default).  Plain
+packed simulation delegates straight to the inner backend; fault
+simulation partitions the fault list into contiguous shards, simulates
+each shard in its own ``multiprocessing`` worker with the inner engine,
+and merges the per-shard :class:`~repro.atpg.faultsim.FaultSimResult`
+objects in shard order.
+
+Determinism guarantees:
+
+* shards are contiguous slices of the input fault list, so the merged
+  ``detected`` insertion order and ``remaining`` ordering equal the
+  single-process result exactly;
+* every shard runs the same bit-identical kernel on the same patterns,
+  so detection words never depend on the shard count (the differential
+  property tests pin this against the big-int reference);
+* fault dropping happens per shard — each worker drops its own detected
+  faults — which is exactly the reference semantics, because dropping
+  never crosses fault boundaries within one call.
+
+Short fault lists (below ``min_faults_per_shard`` per worker) run inline
+on the inner backend: forking costs more than it saves there, and the
+result is identical by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.simulation.backends.base import Backend, SimState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.atpg.faults import Fault
+    from repro.atpg.faultsim import FaultSimResult
+
+__all__ = ["ShardedBackend", "shard_bounds", "DEFAULT_SHARDS_ENV"]
+
+#: Environment variable supplying the default worker count.
+DEFAULT_SHARDS_ENV = "REPRO_SIM_SHARDS"
+
+
+def shard_bounds(n_items: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, near-even ``[start, stop)`` slices of ``n_items``.
+
+    The first ``n_items % n_shards`` shards get one extra item; empty
+    shards are never produced.  Pure function so tests can pin the
+    partition the workers see.
+    """
+    n_shards = max(1, min(n_shards, n_items))
+    base, extra = divmod(n_items, n_shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _simulate_shard(payload: tuple[str, Circuit, "Sequence[Fault]",
+                                   dict[str, int], int, bool]
+                    ) -> "FaultSimResult":
+    """Worker entry point: one shard on the inner backend (picklable)."""
+    inner_name, circuit, faults, input_words, n, drop = payload
+    from repro.simulation.backends import get_backend
+    return get_backend(inner_name).fault_simulate_batch(
+        circuit, faults, input_words, n, drop=drop)
+
+
+#: Fork-path job shared with workers by inheritance instead of pickling.
+#: Children see the parent's warmed schedule / fault-plan caches (and,
+#: for the numpy inner engine, the settled fault-free state) copy-on-
+#: write, so a shard only pays for its own slice of the work.  Set
+#: strictly around the ``Pool`` construction; not thread-safe (the
+#: simulation substrate is process-parallel, not thread-parallel).
+_FORK_JOB: tuple | None = None
+
+
+def _simulate_shard_fork(bounds: tuple[int, int]) -> "FaultSimResult":
+    """Fork-context worker: slice the inherited job by ``bounds``."""
+    assert _FORK_JOB is not None
+    inner_name, circuit, faults, input_words, n, drop = _FORK_JOB
+    start, stop = bounds
+    from repro.simulation.backends import get_backend
+    return get_backend(inner_name).fault_simulate_batch(
+        circuit, faults[start:stop], input_words, n, drop=drop)
+
+
+def _simulate_shard_fork_state(bounds: tuple[int, int]) -> "FaultSimResult":
+    """Fork-context worker over an inherited, already-settled state.
+
+    The parent ran the fault-free simulation once; every worker replays
+    only its fault slice on the shared (copy-on-write) matrix instead of
+    re-simulating the whole circuit per shard.
+    """
+    assert _FORK_JOB is not None
+    state, faults, drop = _FORK_JOB
+    start, stop = bounds
+    from repro.simulation.backends.fault_kernel import fault_simulate_matrix
+    return fault_simulate_matrix(state, faults[start:stop], drop=drop)
+
+
+class ShardedBackend(Backend):
+    """Fault-list sharding over ``multiprocessing`` workers.
+
+    Parameters
+    ----------
+    inner:
+        Name of the engine each worker (and the inline fast path) runs.
+    shards:
+        Worker count; ``None`` defers to ``$REPRO_SIM_SHARDS`` at call
+        time, falling back to ``os.cpu_count()``.
+    min_faults_per_shard:
+        Never split below this many faults per worker; lists smaller
+        than two shards' worth run inline on the inner backend.
+    """
+
+    name = "sharded"
+
+    def __init__(self, inner: str = "numpy", shards: int | None = None,
+                 min_faults_per_shard: int = 256):
+        if inner == self.name:
+            raise SimulationError("sharded backend cannot nest itself")
+        if shards is not None and shards < 1:
+            raise SimulationError("shards must be >= 1")
+        if min_faults_per_shard < 1:
+            raise SimulationError("min_faults_per_shard must be >= 1")
+        self.inner_name = inner
+        self.shards = shards
+        self.min_faults_per_shard = min_faults_per_shard
+
+    # ------------------------------------------------------------------ #
+    # plain packed simulation: pure delegation
+    # ------------------------------------------------------------------ #
+
+    def _inner(self) -> Backend:
+        from repro.simulation.backends import get_backend
+        return get_backend(self.inner_name)
+
+    def run(self, circuit: Circuit, input_words: Mapping[str, int],
+            n: int) -> SimState:
+        return self._inner().run(circuit, input_words, n)
+
+    def eval_gate_packed(self, gtype: GateType, words: Sequence[int],
+                         n: int) -> int:
+        return self._inner().eval_gate_packed(gtype, words, n)
+
+    # ------------------------------------------------------------------ #
+    # sharded fault simulation
+    # ------------------------------------------------------------------ #
+
+    def effective_shards(self, n_faults: int) -> int:
+        """Worker count actually used for ``n_faults`` faults."""
+        shards = self.shards
+        if shards is None:
+            env = os.environ.get(DEFAULT_SHARDS_ENV, "")
+            if env:
+                try:
+                    shards = int(env)
+                except ValueError:
+                    raise SimulationError(
+                        f"${DEFAULT_SHARDS_ENV} must be an integer, "
+                        f"got {env!r}") from None
+            else:
+                shards = os.cpu_count() or 1
+        if shards < 1:
+            raise SimulationError(
+                f"invalid shard count {shards} "
+                f"(check ${DEFAULT_SHARDS_ENV})")
+        by_size = n_faults // self.min_faults_per_shard
+        return max(1, min(shards, by_size))
+
+    def fault_simulate_batch(self, circuit: Circuit,
+                             faults: Sequence[Fault],
+                             input_words: Mapping[str, int], n: int,
+                             drop: bool = True,
+                             cone_cache: dict[str, list[str]] | None = None
+                             ) -> FaultSimResult:
+        from repro.atpg.faultsim import FaultSimResult
+        inner = self._inner()
+        n_shards = self.effective_shards(len(faults))
+        if n_shards <= 1:
+            return inner.fault_simulate_batch(
+                circuit, faults, input_words, n,
+                drop=drop, cone_cache=cone_cache)
+
+        words = dict(input_words)
+        faults = list(faults)
+        bounds = shard_bounds(len(faults), n_shards)
+        # Fork only where it is the platform default (Linux): merely
+        # *available* fork (e.g. macOS, where spawn is the default
+        # because fork-without-exec is unsafe under Accelerate/ObjC)
+        # is not enough.
+        if multiprocessing.get_start_method(allow_none=False) == "fork":
+            # Fork path: children inherit the parent's warmed caches
+            # copy-on-write, so pay the expensive shared work (fanout
+            # cones, levelized schedule, the fault-free simulation for
+            # the numpy engine) once here instead of once per worker
+            # per call.
+            self._warm_parent_caches(circuit, faults)
+            ctx = multiprocessing.get_context("fork")
+            global _FORK_JOB
+            if self.inner_name == "numpy":
+                state = self._inner().run(circuit, words, n)
+                _FORK_JOB = (state, faults, drop)
+                worker = _simulate_shard_fork_state
+            else:
+                _FORK_JOB = (self.inner_name, circuit, faults, words, n,
+                             drop)
+                worker = _simulate_shard_fork
+            try:
+                with ctx.Pool(processes=len(bounds)) as pool:
+                    parts = pool.map(worker, bounds)
+            finally:
+                _FORK_JOB = None
+        else:  # pragma: no cover - non-fork platforms (Windows/macOS)
+            payloads: list[Any] = [
+                (self.inner_name, circuit, faults[start:stop], words, n,
+                 drop)
+                for start, stop in bounds
+            ]
+            ctx = multiprocessing.get_context("spawn")
+            with ctx.Pool(processes=len(payloads)) as pool:
+                parts = pool.map(_simulate_shard, payloads)
+
+        detected: dict[Fault, int] = {}
+        remaining: list[Fault] = []
+        for part in parts:  # shard order == input order: merge is stable
+            detected.update(part.detected)
+            remaining.extend(part.remaining)
+        return FaultSimResult(detected=detected, remaining=remaining)
+
+    def _warm_parent_caches(self, circuit: Circuit,
+                            faults: Sequence[Fault]) -> None:
+        """Populate per-circuit caches the forked workers will inherit.
+
+        Only the numpy inner engine keeps a plan cache worth warming;
+        cone extraction dominates its cold-start cost and is identical
+        for every worker, so paying it once in the parent (memoized
+        across calls) turns each fork into pure kernel work.
+        """
+        if self.inner_name != "numpy":
+            return
+        from repro.simulation.backends.fault_kernel import cached_fault_plan
+        plan = cached_fault_plan(circuit)
+        for line in {fault.line for fault in faults}:
+            plan.cone_rows(line)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ShardedBackend inner={self.inner_name!r} "
+                f"shards={self.shards!r}>")

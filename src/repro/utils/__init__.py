@@ -6,6 +6,7 @@ helpers used across the library.
 
 from repro.utils.rng import derive_seed, make_rng
 from repro.utils.tables import format_table, format_markdown_table
+from repro.utils.timing import best_of
 from repro.utils.topo import topological_order
 from repro.utils.validation import (
     check_name,
@@ -14,6 +15,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "best_of",
     "derive_seed",
     "make_rng",
     "format_table",

@@ -103,6 +103,37 @@ class TestFaultSimulate:
         assert 0.0 <= result.coverage() <= 1.0
         assert result.coverage(1000) == result.n_detected / 1000
 
+    def test_no_drop_remaining_holds_only_undetected(self, s27):
+        """Regression: drop=False used to append detected faults to
+        ``remaining``, double-counting them in ``coverage()``."""
+        universe = all_faults(s27)
+        lines = comb_input_lines(s27)
+        vectors = [
+            {line: (code * 11 >> i) & 1 for i, line in enumerate(lines)}
+            for code in range(32)
+        ]
+        words, n = pack_input_vectors(s27, vectors)
+        result = fault_simulate(s27, universe, words, n, drop=False)
+        assert result.n_detected > 0
+        assert set(result.remaining).isdisjoint(result.detected)
+        assert len(result.detected) + len(result.remaining) == len(universe)
+        assert result.coverage() == result.n_detected / len(universe)
+        # remaining keeps the input (universe) ordering
+        undetected = [f for f in universe if f not in result.detected]
+        assert result.remaining == undetected
+
+    @pytest.mark.parametrize("drop", [True, False])
+    def test_drop_flag_never_changes_the_result(self, s27, drop):
+        universe = all_faults(s27)
+        lines = comb_input_lines(s27)
+        words, n = pack_input_vectors(
+            s27, [{line: (code >> i) & 1 for i, line in enumerate(lines)}
+                  for code in range(8)])
+        result = fault_simulate(s27, universe, words, n, drop=drop)
+        baseline = fault_simulate(s27, universe, words, n)
+        assert result.detected == baseline.detected
+        assert result.remaining == baseline.remaining
+
 
 def _simulate_with_fault(circuit, inputs, fault):
     """Scalar faulty-machine simulation (reference implementation)."""

@@ -19,10 +19,44 @@ class TestFlowConfig:
         {"ivc_noise_samples": 0},
         {"max_backtracks": -1},
         {"mux_delay_margin_ps": -5.0},
+        {"backend": "warp"},
+        {"fault_backend": "warp"},
+        {"shards": 0},
+        {"shards": 2, "fault_backend": "numpy"},
     ])
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ConfigError):
             FlowConfig(**kwargs)
+
+    def test_fault_backend_defaults_to_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_BACKEND", raising=False)
+        assert FlowConfig(backend="numpy") \
+            .fault_simulation_backend() == "numpy"
+        assert FlowConfig().fault_simulation_backend() is None
+
+    def test_explicit_fault_backend_wins(self):
+        config = FlowConfig(backend="bigint", fault_backend="numpy")
+        assert config.fault_simulation_backend() == "numpy"
+
+    def test_fault_env_outranks_plain_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_BACKEND", "numpy")
+        config = FlowConfig(backend="bigint")
+        assert config.fault_simulation_backend() == "numpy"
+
+    def test_explicit_fault_backend_outranks_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_BACKEND", "numpy")
+        config = FlowConfig(backend="bigint", fault_backend="bigint")
+        assert config.fault_simulation_backend() == "bigint"
+
+    def test_shards_imply_sharded_backend(self):
+        from repro.simulation.backends import ShardedBackend
+        spec = FlowConfig(shards=3).fault_simulation_backend()
+        assert isinstance(spec, ShardedBackend)
+        assert spec.shards == 3
+
+    def test_sharded_without_shard_count_uses_registry_default(self):
+        config = FlowConfig(fault_backend="sharded")
+        assert config.fault_simulation_backend() == "sharded"
 
     def test_atpg_seed_derived_from_master(self):
         config = FlowConfig(seed=99)

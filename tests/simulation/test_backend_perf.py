@@ -5,8 +5,6 @@ the actual speedup trajectory.  Marked slow; deselect with
 ``-m "not slow"``.
 """
 
-import time
-
 import pytest
 
 from repro.benchgen.generator import generate_from_stats
@@ -16,17 +14,9 @@ from repro.simulation.bitsim import random_input_words
 from repro.simulation.cyclesim import simulate_cycles
 from repro.techmap.mapper import technology_map
 from repro.utils.rng import make_rng
+from repro.utils.timing import best_of
 
 N_PATTERNS = 4096
-
-
-def _best_of(n_runs, fn):
-    times = []
-    for _ in range(n_runs):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
 
 
 @pytest.mark.slow
@@ -44,8 +34,8 @@ def test_numpy_cycle_sim_not_slower_than_bigint_on_500_gates():
     # Equivalence first (also warms the schedule cache and numpy import).
     assert run("numpy").leakage_sum_na == run("bigint").leakage_sum_na
 
-    bigint_s = _best_of(3, lambda: run("bigint"))
-    numpy_s = _best_of(3, lambda: run("numpy"))
+    bigint_s = best_of(3, lambda: run("bigint"))
+    numpy_s = best_of(3, lambda: run("numpy"))
     assert numpy_s <= bigint_s, (
         f"numpy backend slower than bigint: {numpy_s * 1e3:.2f} ms vs "
         f"{bigint_s * 1e3:.2f} ms on {len(circuit.combinational_gates())} "

@@ -1,0 +1,147 @@
+"""Unit tests for the fused numpy fault-simulation kernel.
+
+Bit-identity on random circuits is pinned by the differential property
+suite; here we exercise the kernel's edge geometry directly: plan
+caching and invalidation, word-boundary pattern counts, faults on
+observable/input/stem lines, and mixed gate types (MUX/XOR/CONST cones).
+"""
+
+import pytest
+
+from repro.atpg.faults import Fault, all_faults
+from repro.atpg.faultsim import fault_simulate
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.simulation.backends.fault_kernel import (
+    FaultSimPlan,
+    cached_fault_plan,
+)
+from repro.simulation.bitsim import (
+    pack_input_vectors,
+    random_input_words,
+)
+from repro.utils.rng import make_rng
+
+
+def _assert_identical(circuit, faults, words, n):
+    ref = fault_simulate(circuit, faults, words, n, backend="bigint")
+    got = fault_simulate(circuit, faults, words, n, backend="numpy")
+    assert got.detected == ref.detected
+    assert list(got.detected) == list(ref.detected)
+    assert got.remaining == ref.remaining
+    return ref
+
+
+class TestPlanCache:
+    def test_plan_is_reused(self, s27_mapped):
+        plan_a = cached_fault_plan(s27_mapped)
+        plan_b = cached_fault_plan(s27_mapped)
+        assert plan_a is plan_b
+
+    def test_mutation_invalidates_plan(self, s27_mapped):
+        plan_a = cached_fault_plan(s27_mapped)
+        line = s27_mapped.topo_order()[0]
+        gate = s27_mapped.gates[line]
+        s27_mapped.replace_gate(line, gate.gtype, gate.inputs)
+        plan_b = cached_fault_plan(s27_mapped)
+        assert plan_a is not plan_b
+        assert plan_b.version == s27_mapped.version
+
+    def test_cache_does_not_keep_circuits_alive(self):
+        """The plan cache is weak-keyed; a plan holding a strong circuit
+        ref would defeat eviction and leak every simulated circuit."""
+        import gc
+        import weakref
+
+        from repro.benchgen.generator import generate_from_stats
+        from repro.benchgen.iscas89 import Iscas89Stats
+        from repro.simulation.bitsim import random_input_words
+        from repro.utils.rng import make_rng
+
+        circuit = generate_from_stats(
+            Iscas89Stats("leak", 4, 2, 3, 20), seed=0)
+        ref = weakref.ref(circuit)
+        words = random_input_words(circuit, 16, make_rng(0))
+        fault_simulate(circuit, all_faults(circuit), words, 16,
+                       backend="numpy")
+        del circuit, words
+        gc.collect()
+        assert ref() is None
+
+    def test_cone_rows_are_topological(self, s27_mapped):
+        plan = FaultSimPlan(s27_mapped)
+        for line in list(s27_mapped.lines())[:8]:
+            rows = plan.cone_rows(line)
+            assert (rows[:-1] < rows[1:]).all() if rows.size > 1 else True
+            assert plan.schedule.line_index.get(line) not in rows.tolist()
+
+
+class TestKernelGeometry:
+    @pytest.mark.parametrize("n", [1, 63, 64, 65, 128, 200])
+    def test_word_boundaries(self, s27_mapped, n):
+        faults = all_faults(s27_mapped)
+        words = random_input_words(s27_mapped, n, make_rng(n))
+        _assert_identical(s27_mapped, faults, words, n)
+
+    def test_mixed_gate_types_in_cone(self):
+        circuit = Circuit("mixy")
+        a = circuit.add_input("a")
+        b = circuit.add_input("b")
+        s = circuit.add_input("s")
+        circuit.add_gate("x", GateType.XOR, (a, b))
+        circuit.add_gate("m", GateType.MUX2, (s, "x", b))
+        circuit.add_gate("q", GateType.XNOR, ("m", a))
+        circuit.add_gate("y", GateType.NAND, ("q", "m"))
+        circuit.add_output("y")
+        faults = all_faults(circuit)
+        words = random_input_words(circuit, 100, make_rng(7))
+        _assert_identical(circuit, faults, words, 100)
+
+    def test_fault_on_observable_line(self, s27_mapped):
+        po = s27_mapped.outputs[0]
+        faults = [Fault(po, 0), Fault(po, 1)]
+        words = random_input_words(s27_mapped, 64, make_rng(2))
+        result = _assert_identical(s27_mapped, faults, words, 64)
+        assert result.n_detected == 2  # a PO stem is always observable
+
+    def test_fault_on_primary_input(self, s27_mapped):
+        pi = s27_mapped.inputs[0]
+        faults = [Fault(pi, 0), Fault(pi, 1)]
+        words = random_input_words(s27_mapped, 64, make_rng(3))
+        _assert_identical(s27_mapped, faults, words, 64)
+
+    def test_duplicate_faults_share_one_evaluation(self, s27_mapped):
+        fault = Fault(s27_mapped.inputs[0], 1)
+        words = random_input_words(s27_mapped, 32, make_rng(4))
+        result = _assert_identical(
+            s27_mapped, [fault, fault, fault], words, 32)
+        if fault not in result.detected:
+            assert result.remaining == [fault, fault, fault]
+
+    def test_stuck_at_equal_to_constant_good_is_undetected(self):
+        circuit = Circuit("const")
+        a = circuit.add_input("a")
+        circuit.add_gate("one", GateType.CONST1, ())
+        circuit.add_gate("y", GateType.AND, (a, "one"))
+        circuit.add_output("y")
+        words, n = pack_input_vectors(circuit, [{"a": 1}, {"a": 0}])
+        result = _assert_identical(
+            circuit, [Fault("one", 1), Fault("one", 0)], words, n)
+        assert Fault("one", 1) not in result.detected
+        assert Fault("one", 0) in result.detected
+
+    def test_interacting_fault_pair_in_one_batch(self):
+        # g1 feeds g2; g2's stuck line must stay forced in its own lane
+        # while g1's fault propagates through it in the other lane.
+        circuit = Circuit("chain")
+        a = circuit.add_input("a")
+        b = circuit.add_input("b")
+        circuit.add_gate("g1", GateType.NAND, (a, b))
+        circuit.add_gate("g2", GateType.NOT, ("g1",))
+        circuit.add_gate("g3", GateType.NOR, ("g2", a))
+        circuit.add_output("g3")
+        faults = [Fault("g1", 0), Fault("g1", 1),
+                  Fault("g2", 0), Fault("g2", 1)]
+        vectors = [{"a": x, "b": y} for x in (0, 1) for y in (0, 1)]
+        words, n = pack_input_vectors(circuit, vectors)
+        _assert_identical(circuit, faults, words, n)

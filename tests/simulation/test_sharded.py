@@ -1,0 +1,136 @@
+"""Sharded fault-simulation meta-backend mechanics.
+
+Bit-identity of the sharded results is pinned by the differential
+property suite (``tests/properties/test_backend_diff.py``); these tests
+cover the machinery around it: partitioning, shard-count resolution,
+inline fast path and delegation of plain packed simulation.
+"""
+
+import pytest
+
+from repro.atpg.faults import all_faults
+from repro.atpg.faultsim import fault_simulate
+from repro.errors import SimulationError
+from repro.simulation.backends import (
+    ShardedBackend,
+    get_backend,
+    resolve_fault_backend,
+)
+from repro.simulation.backends.sharded import (
+    DEFAULT_SHARDS_ENV,
+    shard_bounds,
+)
+from repro.simulation.bitsim import random_input_words, simulate_packed
+from repro.utils.rng import make_rng
+
+
+class TestShardBounds:
+    def test_even_split(self):
+        assert shard_bounds(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_uneven_split_front_loads_remainder(self):
+        assert shard_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_shards_than_items(self):
+        assert shard_bounds(2, 5) == [(0, 1), (1, 2)]
+
+    def test_single_shard(self):
+        assert shard_bounds(7, 1) == [(0, 7)]
+
+    def test_covers_everything_contiguously(self):
+        for n_items in range(1, 40):
+            for n_shards in range(1, 8):
+                bounds = shard_bounds(n_items, n_shards)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n_items
+                for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                    assert stop == start
+
+
+class TestConfiguration:
+    def test_rejects_nested_sharding(self):
+        with pytest.raises(SimulationError):
+            ShardedBackend(inner="sharded")
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(SimulationError):
+            ShardedBackend(shards=0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(SimulationError):
+            ShardedBackend(min_faults_per_shard=0)
+
+    def test_effective_shards_respects_threshold(self):
+        backend = ShardedBackend(shards=8, min_faults_per_shard=100)
+        assert backend.effective_shards(50) == 1
+        assert backend.effective_shards(250) == 2
+        assert backend.effective_shards(10_000) == 8
+
+    def test_effective_shards_from_env(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_SHARDS_ENV, "3")
+        backend = ShardedBackend(min_faults_per_shard=1)
+        assert backend.effective_shards(100) == 3
+
+    def test_bad_env_shard_count_raises(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_SHARDS_ENV, "0")
+        backend = ShardedBackend(min_faults_per_shard=1)
+        with pytest.raises(SimulationError):
+            backend.effective_shards(100)
+
+    def test_non_numeric_env_shard_count_raises_cleanly(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_SHARDS_ENV, "two")
+        backend = ShardedBackend(min_faults_per_shard=1)
+        with pytest.raises(SimulationError, match="must be an integer"):
+            backend.effective_shards(100)
+
+    def test_registered_singleton_defaults(self):
+        backend = get_backend("sharded")
+        assert isinstance(backend, ShardedBackend)
+        assert backend.inner_name == "numpy"
+
+
+class TestDelegation:
+    def test_packed_simulation_delegates_to_inner(self, s27_mapped):
+        words = random_input_words(s27_mapped, 70, make_rng(0))
+        via_sharded = simulate_packed(s27_mapped, words, 70,
+                                      backend="sharded")
+        via_numpy = simulate_packed(s27_mapped, words, 70, backend="numpy")
+        assert via_sharded == via_numpy
+
+    def test_small_fault_list_runs_inline(self, s27_mapped, monkeypatch):
+        # A threshold above the universe size must never fork: poison the
+        # worker entry point and verify it is not reached.
+        import repro.simulation.backends.sharded as sharded_mod
+
+        def boom(payload):  # pragma: no cover - must not run
+            raise AssertionError("worker should not be spawned")
+
+        monkeypatch.setattr(sharded_mod, "_simulate_shard", boom)
+        backend = ShardedBackend(shards=4, min_faults_per_shard=10_000)
+        faults = all_faults(s27_mapped)
+        words = random_input_words(s27_mapped, 64, make_rng(1))
+        got = backend.fault_simulate_batch(s27_mapped, faults, words, 64)
+        ref = fault_simulate(s27_mapped, faults, words, 64,
+                             backend="bigint")
+        assert got.detected == ref.detected
+        assert got.remaining == ref.remaining
+
+
+class TestFaultBackendResolution:
+    def test_none_resolves_to_session_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_BACKEND", raising=False)
+        from repro.simulation.backends import default_backend_name
+        assert resolve_fault_backend(None).name == default_backend_name()
+
+    def test_env_override_applies_to_fault_sim_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_BACKEND", "sharded")
+        assert resolve_fault_backend(None).name == "sharded"
+        from repro.simulation.backends import (
+            default_backend_name,
+            resolve_backend,
+        )
+        assert resolve_backend(None).name == default_backend_name()
+
+    def test_explicit_spec_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_BACKEND", "sharded")
+        assert resolve_fault_backend("numpy").name == "numpy"

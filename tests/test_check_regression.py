@@ -1,0 +1,70 @@
+"""Tests for the benchmark regression gate script."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / \
+    "check_regression.py"
+
+
+def _bench_json(path: Path, speedups: dict[str, float]) -> Path:
+    payload = {
+        "benchmarks": [
+            {"name": name, "extra_info": {"speedup": value}}
+            for name, value in speedups.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _run(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, args)],
+        capture_output=True, text=True)
+
+
+class TestRegressionGate:
+    def test_passes_within_tolerance(self, tmp_path):
+        current = _bench_json(tmp_path / "cur.json", {"b1": 3.2, "b2": 8.0})
+        baseline = _bench_json(tmp_path / "base.json", {"b1": 4.0, "b2": 8.5})
+        result = _run(current, baseline, "--max-drop-pct", "25")
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout
+
+    def test_fails_on_large_drop(self, tmp_path):
+        current = _bench_json(tmp_path / "cur.json", {"b1": 2.0})
+        baseline = _bench_json(tmp_path / "base.json", {"b1": 4.0})
+        result = _run(current, baseline, "--max-drop-pct", "25")
+        assert result.returncode == 1
+        assert "FAILED" in result.stderr
+        assert "50.0% drop" in result.stderr
+
+    def test_disappeared_speedup_warns_without_failing(self, tmp_path):
+        # A renamed/removed benchmark must not wedge the gate (the
+        # baseline only advances on green runs).
+        current = _bench_json(tmp_path / "cur.json", {})
+        baseline = _bench_json(tmp_path / "base.json", {"b1": 4.0})
+        result = _run(current, baseline)
+        assert result.returncode == 0
+        assert "warning" in result.stdout
+        assert "renamed or" in result.stdout
+
+    def test_missing_baseline_skips(self, tmp_path):
+        current = _bench_json(tmp_path / "cur.json", {"b1": 3.0})
+        result = _run(current, tmp_path / "absent.json")
+        assert result.returncode == 0
+        assert "skipping" in result.stdout
+
+    def test_missing_current_errors(self, tmp_path):
+        baseline = _bench_json(tmp_path / "base.json", {"b1": 3.0})
+        result = _run(tmp_path / "absent.json", baseline)
+        assert result.returncode == 2
+
+    def test_improvements_pass(self, tmp_path):
+        current = _bench_json(tmp_path / "cur.json", {"b1": 9.0})
+        baseline = _bench_json(tmp_path / "base.json", {"b1": 4.0})
+        result = _run(current, baseline)
+        assert result.returncode == 0

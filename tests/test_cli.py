@@ -87,6 +87,48 @@ class TestExperimentsMd:
         assert "s27" in text
 
 
+class TestFaultBackendFlags:
+    def test_run_with_fault_backend(self, capsys):
+        assert main(["--seed", "1", "--fault-backend", "numpy",
+                     "run", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement vs traditional" in out
+
+    def test_table1_with_sharded_fault_backend(self, capsys):
+        # Tiny circuit: the sharded meta-backend takes its inline path,
+        # results are bit-identical either way.
+        assert main(["--seed", "1", "--fault-backend", "sharded",
+                     "--shards", "2", "table1", "s27", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "fault=sharded" in out
+
+    def test_unknown_fault_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--fault-backend", "warp", "list"])
+
+    def test_bad_fault_backend_env_is_clean_error(self, capsys,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_BACKEND", "warp")
+        assert main(["list"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown simulation backend" in err
+
+    def test_bad_shards_env_is_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SHARDS", "abc")
+        assert main(["--fault-backend", "sharded", "list"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_SIM_SHARDS" in err
+
+    def test_bad_shard_count_rejected(self, capsys):
+        assert main(["--shards", "0", "list"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_shards_with_non_sharded_backend_rejected(self, capsys):
+        assert main(["--fault-backend", "numpy", "--shards", "2",
+                     "list"]) == 2
+        assert "sharded" in capsys.readouterr().err
+
+
 class TestArgErrors:
     def test_no_command(self):
         with pytest.raises(SystemExit):
