@@ -1,0 +1,56 @@
+"""Campaign orchestration: pools, result cache, resumable sweeps.
+
+The campaign layer sits between the flow (:mod:`repro.core.flow`) and
+the experiment harnesses (:mod:`repro.experiments`):
+
+* :mod:`repro.campaign.pool` — a persistent, non-daemonic worker pool,
+  pre-warmed once and shared by campaign jobs and the ``sharded``
+  fault backend (``ShardedBackend(pool=...)``);
+* :mod:`repro.campaign.cache` — a content-addressed on-disk artefact
+  cache keyed by (circuit fingerprint, canonical config hash, code
+  fingerprint);
+* :mod:`repro.campaign.manifest` — campaign specs, deterministic job
+  expansion and the per-job status manifest;
+* :mod:`repro.campaign.runner` — the executor tying them together with
+  deterministic result ordering regardless of worker count.
+
+See README "Campaigns" for the spec format and resume semantics.
+"""
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.manifest import (
+    CampaignJob,
+    CampaignSpec,
+    JobRecord,
+    Manifest,
+    load_spec,
+)
+from repro.campaign.pool import (
+    WorkerPool,
+    WorkerPoolError,
+    active_shared_pool,
+    ensure_shared_pool,
+    shutdown_shared_pool,
+)
+from repro.campaign.runner import (
+    CampaignResult,
+    run_campaign,
+    run_flow_jobs,
+)
+
+__all__ = [
+    "CampaignJob",
+    "CampaignResult",
+    "CampaignSpec",
+    "JobRecord",
+    "Manifest",
+    "ResultCache",
+    "WorkerPool",
+    "WorkerPoolError",
+    "active_shared_pool",
+    "ensure_shared_pool",
+    "load_spec",
+    "run_campaign",
+    "run_flow_jobs",
+    "shutdown_shared_pool",
+]

@@ -1,0 +1,139 @@
+"""Content-addressed on-disk cache for campaign artefacts.
+
+Artefacts (JSON-serializable dicts, e.g. the flow artefact a campaign
+job produces) are stored under a SHA-256 key derived from everything
+the result can depend on:
+
+* the **circuit fingerprint** (:meth:`repro.netlist.circuit.Circuit.
+  fingerprint` — netlist content, superseding the in-process
+  ``Circuit.version`` counter for cross-process keys);
+* the canonical **config hash**
+  (:meth:`repro.core.config.FlowConfig.config_hash` — runtime-only
+  engine fields excluded, so switching backends never misses);
+* the **code fingerprint** (:func:`repro.utils.hashing.
+  package_fingerprint` — any edit to the ``repro`` sources invalidates
+  every prior artefact);
+* an artefact ``kind`` tag, versioned so schema changes never read
+  stale layouts.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` (two-level fan-out keeps
+directory listings fast on large sweeps).  Writes are atomic
+(temp file + ``os.replace``), so a killed campaign never leaves a
+half-written entry; unreadable or corrupt entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.utils.hashing import package_fingerprint, stable_digest
+
+__all__ = ["ResultCache", "CacheStats"]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Content-addressed JSON artefact store rooted at ``root``."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # keys and paths
+    # ------------------------------------------------------------------ #
+
+    def key(self, kind: str, circuit_fingerprint: str, config_hash: str,
+            code_fingerprint: str | None = None) -> str:
+        """The content-addressed key for one (kind, inputs) tuple."""
+        return stable_digest({
+            "kind": kind,
+            "circuit": circuit_fingerprint,
+            "config": config_hash,
+            "code": code_fingerprint if code_fingerprint is not None
+            else package_fingerprint(),
+        })
+
+    def path(self, key: str) -> Path:
+        """On-disk location of ``key``'s entry."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    # ------------------------------------------------------------------ #
+    # storage
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The artefact stored under ``key``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries count as misses — a cache must
+        never be able to wedge a campaign.
+        """
+        path = self.path(key)
+        try:
+            with path.open() as handle:
+                entry = json.load(handle)
+            artefact = entry["artefact"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return artefact
+
+    def put(self, key: str, artefact: dict[str, Any],
+            meta: dict[str, Any] | None = None) -> Path:
+        """Atomically store ``artefact`` under ``key``.
+
+        ``meta`` (e.g. the human-readable key ingredients) is kept
+        alongside for debuggability but never read back on the hot
+        path.
+        """
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "meta": meta or {}, "artefact": artefact}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - already replaced/gone
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def entries(self) -> list[str]:
+        """All stored keys (sorted; directory scan, test/CLI use only).
+
+        Only well-formed key files count — a ``.tmp-*`` file left by a
+        kill between ``mkstemp`` and ``os.replace`` is not an entry
+        (``pathlib`` globs match dotfiles).
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.stem for p in self.root.glob("*/*.json")
+            if len(p.stem) == 64 and p.parent.name == p.stem[:2]
+            and all(c in "0123456789abcdef" for c in p.stem))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultCache root={str(self.root)!r} {self.stats}>"

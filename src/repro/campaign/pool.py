@@ -1,0 +1,343 @@
+"""Persistent process pool shared by campaigns and the sharded backend.
+
+``multiprocessing.Pool`` is deliberately not used: its workers are
+daemonic, which forbids them from having children of their own — but a
+campaign job legitimately wants to fan its *fault lists* out over the
+``sharded`` backend while the job itself runs on a pool worker.
+:class:`WorkerPool` spawns plain non-daemon processes once, keeps them
+alive across any number of :meth:`~WorkerPool.map` calls, and preserves
+submission order in the returned results regardless of which worker
+finished first.
+
+Workers are pre-warmed at :meth:`~WorkerPool.start`: the initializer
+imports the simulation substrate so the per-task cost is pure work, not
+interpreter warm-up.  On fork platforms the children additionally
+inherit every cache the parent had populated at start time
+(copy-on-write).
+
+A process-wide *shared* pool can be installed with
+:func:`ensure_shared_pool`; consumers that can profit from live workers
+but cannot carry a pool through their configuration (notably
+:class:`~repro.simulation.backends.ShardedBackend`, whose config
+travels as plain JSON) pick it up via :func:`active_shared_pool`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import multiprocessing.util  # noqa: F401  (see _close_live_pools)
+import os
+import pickle
+import queue as queue_mod
+import traceback
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "WorkerPool",
+    "WorkerPoolError",
+    "default_pool_size",
+    "ensure_shared_pool",
+    "active_shared_pool",
+    "shutdown_shared_pool",
+]
+
+
+class WorkerPoolError(SimulationError):
+    """A pool worker failed (task exception or worker death)."""
+
+
+def default_pool_size() -> int:
+    """Worker count default: usable CPUs of this process."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _warm_worker() -> None:
+    """Default initializer: pay module import cost once per worker."""
+    import repro.simulation.backends  # noqa: F401  (import is the point)
+
+
+def _worker_main(task_queue, result_queue,
+                 initializer: Callable[[], None] | None) -> None:
+    """Worker loop: run tasks until the ``None`` sentinel arrives.
+
+    Payloads cross the queues pre-pickled (bytes): ``mp.Queue`` pickles
+    asynchronously in a feeder thread and silently *drops* items that
+    fail to pickle, which would hang the parent's ``map`` forever.
+    Explicit pickling turns an unpicklable task result into an ordinary
+    relayed error instead.
+    """
+    if initializer is not None:
+        initializer()
+    while True:
+        job = task_queue.get()
+        if job is None:
+            break
+        idx, fn, arg = pickle.loads(job)
+        try:
+            payload = pickle.dumps((idx, True, fn(arg)))
+        except BaseException as exc:  # noqa: BLE001 - relayed to parent
+            payload = pickle.dumps((idx, False,
+                                    f"{type(exc).__name__}: {exc}\n"
+                                    f"{traceback.format_exc()}"))
+        result_queue.put(payload)
+
+
+#: Every started pool, so the atexit hook can join stray non-daemon
+#: workers (which would otherwise block interpreter shutdown).
+#: Deliberately *strong* references: a started pool whose last user
+#: reference is dropped without close() must stay reachable here —
+#: a WeakSet would forget exactly the stray pools this registry
+#: exists to clean up, and the interpreter would hang at exit joining
+#: their workers.  close() is the only way out of the registry.
+_LIVE_POOLS: "set[WorkerPool]" = set()
+
+
+# Registration order matters: multiprocessing.util registers its own
+# atexit hook (which *joins* every live non-daemon child) when the
+# util module is first imported.  The explicit import above forces
+# that to happen before this registration, so LIFO ordering runs
+# _close_live_pools first — our sentinels reach the workers before
+# multiprocessing blocks waiting for them.  Registered the other way
+# round, a started-but-unclosed pool deadlocks the interpreter at
+# exit (workers wait for tasks, parent waits for workers).
+@atexit.register
+def _close_live_pools() -> None:  # pragma: no cover - interpreter exit
+    for pool in list(_LIVE_POOLS):
+        pool.close()
+
+
+class WorkerPool:
+    """A persistent, non-daemonic process pool.
+
+    Parameters
+    ----------
+    processes:
+        Worker count (default: :func:`default_pool_size`).
+    initializer:
+        Callable run once in each worker before any task (default
+        warms the simulation substrate imports).
+    start_method:
+        ``multiprocessing`` start method; ``None`` uses the platform
+        default (fork on Linux — workers then inherit the parent's
+        warmed caches copy-on-write).
+
+    Usable as a context manager; :meth:`start` is lazy, so constructing
+    a pool is free until the first :meth:`map`.
+    """
+
+    def __init__(self, processes: int | None = None,
+                 initializer: Callable[[], None] | None = _warm_worker,
+                 start_method: str | None = None):
+        if processes is not None and processes < 1:
+            raise WorkerPoolError("pool needs at least one process")
+        self.processes = processes or default_pool_size()
+        self._initializer = initializer
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: list = []
+        self._task_queue = None
+        self._result_queue = None
+        self._owner_pid: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def started(self) -> bool:
+        """True once workers have been spawned (and not yet closed)."""
+        return bool(self._workers)
+
+    @property
+    def owned(self) -> bool:
+        """True when this process started the pool.
+
+        A forked child (e.g. a pool worker running a campaign job)
+        inherits the parent's pool object; using it there would push
+        tasks into the parent's queues and corrupt the parent's
+        in-flight map.  Everything that dispatches work checks this.
+        """
+        return self.started and self._owner_pid == os.getpid()
+
+    def start(self) -> "WorkerPool":
+        """Spawn and pre-warm the workers (idempotent)."""
+        if self.started:
+            if not self.owned:
+                raise WorkerPoolError(
+                    "pool was started by another process (inherited "
+                    "across fork); create a fresh WorkerPool here")
+            return self
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        for i in range(self.processes):
+            worker = self._ctx.Process(
+                target=_worker_main,
+                args=(self._task_queue, self._result_queue,
+                      self._initializer),
+                name=f"repro-pool-{i}",
+                daemon=False)
+            worker.start()
+            self._workers.append(worker)
+        self._owner_pid = os.getpid()
+        _LIVE_POOLS.add(self)
+        return self
+
+    def close(self) -> None:
+        """Stop the workers and release the queues (idempotent).
+
+        In a process that merely inherited a started pool across fork,
+        only the local references are dropped — the owner's workers and
+        queues are left untouched.
+        """
+        if not self.started:
+            return
+        if not self.owned:
+            self._workers = []
+            self._task_queue = None
+            self._result_queue = None
+            self._owner_pid = None
+            _LIVE_POOLS.discard(self)
+            return
+        for _ in self._workers:
+            self._task_queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=2.0)
+        for q in (self._task_queue, self._result_queue):
+            q.close()
+            q.join_thread()
+        self._workers = []
+        self._task_queue = None
+        self._result_queue = None
+        self._owner_pid = None
+        _LIVE_POOLS.discard(self)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "started" if self.started else "idle"
+        return f"<WorkerPool processes={self.processes} {state}>"
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            on_result: Callable[[int, Any], None] | None = None
+            ) -> list[Any]:
+        """Run ``fn`` over ``items`` on the workers; ordered results.
+
+        Results are returned in submission order regardless of worker
+        scheduling.  ``on_result(index, result)`` fires as each result
+        arrives (out of order) — campaign runners use it to checkpoint
+        caches and manifests incrementally, so an interrupted run
+        resumes from every job that already finished.
+
+        All submitted tasks are drained before an error is raised —
+        whether a task failed remotely or ``on_result`` itself raised —
+        so a failed map leaves the pool clean and reusable (no stale
+        results to poison the next map).  The first failed task's
+        remote traceback is carried in the :class:`WorkerPoolError`; a
+        callback exception is re-raised as-is after the drain.
+        """
+        self.start()
+        items = list(items)
+        if not items:
+            return []
+        for idx, item in enumerate(items):
+            # pre-pickled: raises synchronously on an unpicklable task
+            # instead of hanging (see _worker_main)
+            self._task_queue.put(pickle.dumps((idx, fn, item)))
+        results: list[Any] = [None] * len(items)
+        errors: list[tuple[int, str]] = []
+        callback_error: BaseException | None = None
+        received = 0
+        while received < len(items):
+            try:
+                idx, ok, payload = pickle.loads(
+                    self._result_queue.get(timeout=1.0))
+            except queue_mod.Empty:
+                dead = [w for w in self._workers if not w.is_alive()]
+                if dead:
+                    names = ", ".join(
+                        f"{w.name} (exitcode {w.exitcode})" for w in dead)
+                    self.close()
+                    raise WorkerPoolError(
+                        f"worker died mid-task: {names}") from None
+                continue
+            received += 1
+            if ok:
+                results[idx] = payload
+                if on_result is not None and callback_error is None:
+                    try:
+                        on_result(idx, payload)
+                    except BaseException as exc:  # noqa: BLE001
+                        callback_error = exc  # keep draining first
+            else:
+                errors.append((idx, payload))
+        if callback_error is not None:
+            raise callback_error
+        if errors:
+            errors.sort()
+            idx, remote = errors[0]
+            raise WorkerPoolError(
+                f"{len(errors)}/{len(items)} pool task(s) failed; "
+                f"first (task {idx}):\n{remote}")
+        return results
+
+
+# ---------------------------------------------------------------------- #
+# process-wide shared pool
+# ---------------------------------------------------------------------- #
+
+_SHARED: WorkerPool | None = None
+
+
+def ensure_shared_pool(processes: int | None = None) -> WorkerPool:
+    """Start (or reuse) the process-wide shared pool.
+
+    An existing shared pool is reused as-is even if ``processes``
+    differs — resizing would silently drop warmed workers; call
+    :func:`shutdown_shared_pool` first to change the size.
+    """
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = WorkerPool(processes=processes)
+    return _SHARED.start()
+
+
+def active_shared_pool() -> WorkerPool | None:
+    """The shared pool if one is started *by this process*, else
+    ``None``.
+
+    Never starts a pool: consumers (e.g. the sharded fault backend)
+    only *opportunistically* reuse live workers someone else owns.
+    The ownership check matters under fork: a pool worker inherits the
+    parent's started pool object, and dispatching into it from the
+    child would corrupt the parent's in-flight map — inherited pools
+    are therefore invisible here (the child falls back to its own
+    per-call workers).
+    """
+    if _SHARED is not None and _SHARED.owned:
+        return _SHARED
+    return None
+
+
+def shutdown_shared_pool() -> None:
+    """Close and forget the shared pool (no-op when absent)."""
+    global _SHARED
+    if _SHARED is not None:
+        _SHARED.close()
+        _SHARED = None

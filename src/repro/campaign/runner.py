@@ -1,0 +1,282 @@
+"""Campaign execution: job graph -> pool -> cache -> ordered results.
+
+:func:`run_flow_jobs` is the shared engine: it takes an ordered list of
+:class:`~repro.campaign.manifest.CampaignJob`\\ s, consults the
+content-addressed cache, executes the misses (inline or on a
+:class:`~repro.campaign.pool.WorkerPool`), checkpoints every completion
+into the cache and manifest as it lands, and returns artefacts in job
+order regardless of worker scheduling.  :func:`run_campaign` wraps it
+with spec expansion and manifest bookkeeping; the experiment harnesses
+(``run_table1``, the ablations) call :func:`run_flow_jobs` directly so
+their serial and parallel paths share one artefact builder and produce
+bit-identical rows.
+
+A *flow artefact* is the JSON-serializable distillate of one
+:class:`~repro.core.flow.FlowResult`: the Table-I row, the three power
+reports, the human summary and the detail counters the ablation
+renderers need.  Floats survive the JSON round-trip exactly
+(``repr``-based encoding), so cached rows are bit-identical to freshly
+computed ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+from typing import Any
+
+from repro.benchgen.loader import circuit_provenance, load_circuit
+from repro.campaign.cache import ResultCache
+from repro.campaign.manifest import (
+    CampaignJob,
+    CampaignSpec,
+    JobRecord,
+    Manifest,
+)
+from repro.campaign.pool import WorkerPool
+from repro.experiments.results import Table1Row
+from repro.utils.hashing import package_fingerprint
+from repro.utils.tables import format_table
+from repro.utils.timing import Stopwatch
+
+__all__ = ["FLOW_ARTEFACT_KIND", "CampaignResult", "run_campaign",
+           "run_flow_jobs", "flow_artefact", "row_from_artefact"]
+
+#: Cache kind tag; bump the suffix when the artefact schema changes.
+FLOW_ARTEFACT_KIND = "flow-artefact/v1"
+
+
+def flow_artefact(job: CampaignJob, provenance: str, result,
+                  elapsed_s: float) -> dict[str, Any]:
+    """Distil one :class:`FlowResult` into a JSON-serializable dict."""
+    reports = {method: dataclasses.asdict(report)
+               for method, report in result.reports.items()}
+    row = Table1Row.from_reports(
+        job.circuit,
+        result.reports["traditional"],
+        result.reports["input_control"],
+        result.reports["proposed"],
+    )
+    return {
+        "kind": FLOW_ARTEFACT_KIND,
+        "job_id": job.job_id,
+        "circuit": job.circuit,
+        "seed": job.seed,
+        "provenance": provenance,
+        "row": dataclasses.asdict(row),
+        "reports": reports,
+        "summary": result.summary(),
+        "detail": {
+            "n_scan_cells": len(result.design.pseudo_inputs),
+            "n_blocked": len(result.pattern.blocked_gates),
+            "n_muxable": len(result.addmux.muxable),
+            "mux_coverage": result.addmux.coverage,
+            "n_swapped": (len(result.reorder.swapped_gates)
+                          if result.reorder is not None else 0),
+        },
+        "elapsed_s": elapsed_s,
+    }
+
+
+def row_from_artefact(artefact: dict[str, Any]) -> Table1Row:
+    """Rebuild the Table-I row (floats round-trip exactly)."""
+    return Table1Row(**artefact["row"])
+
+
+def _execute_flow_job(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point: run the full flow for one job (picklable)."""
+    from repro.core.flow import ProposedFlow
+    job = CampaignJob(**payload)
+    watch = Stopwatch()
+    circuit = load_circuit(job.circuit, seed=job.circuit_seed)
+    result = ProposedFlow(job.flow_config()).run(circuit)
+    return flow_artefact(job, circuit_provenance(job.circuit), result,
+                         watch.elapsed_s)
+
+
+def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
+                  jobs: int = 1,
+                  cache: ResultCache | None = None,
+                  manifest: Manifest | None = None,
+                  pool: WorkerPool | None = None,
+                  verbose: bool = False
+                  ) -> tuple[list[dict[str, Any]], list[JobRecord],
+                             float, float]:
+    """Run ``jobs_list``; returns ``(artefacts, records, wall_s,
+    worker_s)``.
+
+    ``artefacts`` and ``records`` are in job order.  ``wall_s`` is the
+    monotonic wall clock of the whole call; ``worker_s`` is the
+    aggregate compute time of the jobs that actually executed (cache
+    hits contribute their *historical* ``elapsed_s`` to the artefact
+    but not to ``worker_s``), so ``worker_s / wall_s`` is the honest
+    parallel speedup.
+
+    ``pool`` may be an externally owned (already started)
+    :class:`WorkerPool`; otherwise one is created for ``jobs > 1`` and
+    closed before returning.  Every completed job is checkpointed into
+    ``cache`` and ``manifest`` as it lands, in completion order, so an
+    interrupted run resumes from all finished jobs.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    watch = Stopwatch()
+    code_fp = package_fingerprint() if cache is not None else ""
+
+    records: list[JobRecord] = []
+    keys: list[str | None] = []
+    artefacts: list[dict[str, Any] | None] = [None] * len(jobs_list)
+    pending: list[int] = []
+    fingerprints: dict[tuple[str, int], str] = {}  # one load per netlist
+    for index, job in enumerate(jobs_list):
+        config = job.flow_config()
+        config_hash = config.config_hash()
+        key = None
+        if cache is not None:
+            loader_key = (job.circuit, job.circuit_seed)
+            fingerprint = fingerprints.get(loader_key)
+            if fingerprint is None:
+                fingerprint = load_circuit(
+                    job.circuit, seed=job.circuit_seed).fingerprint()
+                fingerprints[loader_key] = fingerprint
+            key = cache.key(FLOW_ARTEFACT_KIND, fingerprint,
+                            config_hash, code_fp)
+        keys.append(key)
+        record = JobRecord(job_id=job.job_id, circuit=job.circuit,
+                           seed=job.seed, config_hash=config_hash,
+                           cache_key=key)
+        records.append(record)
+        hit = cache.get(key) if key is not None else None
+        if hit is not None:
+            artefacts[index] = hit
+            record.status = "done"
+            record.source = "cache"
+            if verbose:
+                print(f"[cache] {job.job_id}", flush=True)
+        else:
+            pending.append(index)
+        if manifest is not None:
+            manifest.record(record, save=False)
+    if manifest is not None:
+        manifest.save()
+
+    worker_s = 0.0
+
+    def finish(index: int, artefact: dict[str, Any]) -> None:
+        nonlocal worker_s
+        artefacts[index] = artefact
+        worker_s += artefact["elapsed_s"]
+        record = records[index]
+        record.status = "done"
+        record.source = "run"
+        record.wall_s = artefact["elapsed_s"]
+        if cache is not None:
+            job = jobs_list[index]
+            cache.put(keys[index], artefact, meta={
+                "job_id": job.job_id,
+                "circuit": job.circuit,
+                "config_hash": record.config_hash,
+                "code": code_fp,
+            })
+        if manifest is not None:
+            manifest.record(record)
+        if verbose:
+            print(artefact["summary"], flush=True)
+            print(f"  [{artefact['elapsed_s']:.1f}s]", flush=True)
+
+    try:
+        if pending and jobs > 1 and len(pending) > 1:
+            payloads = [dataclasses.asdict(jobs_list[i]) for i in pending]
+            owned = pool is None
+            active = pool if pool is not None else WorkerPool(
+                processes=min(jobs, len(pending)))
+            try:
+                active.map(
+                    _execute_flow_job, payloads,
+                    on_result=lambda pos, artefact: finish(
+                        pending[pos], artefact))
+            finally:
+                if owned:
+                    active.close()
+        else:
+            for index in pending:
+                artefact = _execute_flow_job(
+                    dataclasses.asdict(jobs_list[index]))
+                finish(index, artefact)
+    except BaseException as exc:
+        for record in records:
+            if record.status == "pending":
+                record.status = "failed"
+                record.error = str(exc)
+        if manifest is not None:
+            manifest.save()
+        raise
+
+    return artefacts, records, watch.elapsed_s, worker_s  # type: ignore
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Everything one campaign run produced, in job order."""
+
+    spec: CampaignSpec
+    jobs: list[CampaignJob]
+    artefacts: list[dict[str, Any]]
+    records: list[JobRecord]
+    wall_s: float
+    #: Aggregate compute seconds of the jobs that actually executed.
+    worker_s: float
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.records if r.source == "cache")
+
+    @property
+    def n_executed(self) -> int:
+        return sum(1 for r in self.records if r.source == "run")
+
+    def rows(self) -> list[Table1Row]:
+        """Table-I rows for every job, in job order."""
+        return [row_from_artefact(a) for a in self.artefacts]
+
+    def render(self) -> str:
+        """Fixed-width status report of the campaign."""
+        table = [
+            [record.job_id, record.circuit, str(record.seed),
+             record.status, record.source or "-",
+             f"{artefact['elapsed_s']:.2f}" if artefact else "-"]
+            for record, artefact in zip(self.records, self.artefacts)
+        ]
+        lines = [format_table(
+            ["job", "circuit", "seed", "status", "source", "compute s"],
+            table)]
+        lines.append("")
+        lines.append(
+            f"Campaign {self.spec.name!r}: {len(self.jobs)} job(s) — "
+            f"{self.n_executed} executed, {self.n_cached} from cache; "
+            f"wall {self.wall_s:.2f}s, worker {self.worker_s:.2f}s")
+        return "\n".join(lines)
+
+
+def run_campaign(spec: CampaignSpec, *,
+                 jobs: int = 1,
+                 cache_dir: str | None = None,
+                 manifest_path: str | None = None,
+                 pool: WorkerPool | None = None,
+                 verbose: bool = False) -> CampaignResult:
+    """Expand ``spec`` and run it; see :func:`run_flow_jobs`.
+
+    ``cache_dir`` enables the content-addressed artefact cache (re-runs
+    with an unchanged spec, netlists and code complete without a single
+    flow execution); ``manifest_path`` journals per-job status there.
+    """
+    expanded = spec.expand()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    manifest = Manifest.open(manifest_path, spec.digest()) \
+        if manifest_path is not None else None
+    artefacts, records, wall_s, worker_s = run_flow_jobs(
+        expanded, jobs=jobs, cache=cache, manifest=manifest, pool=pool,
+        verbose=verbose)
+    return CampaignResult(spec=spec, jobs=expanded, artefacts=artefacts,
+                          records=records, wall_s=wall_s,
+                          worker_s=worker_s)

@@ -6,7 +6,13 @@ Subcommands:
 * ``figure2`` — regenerate the paper's Figure 2 (E2);
 * ``run``     — run the full flow on one circuit and print its summary;
 * ``ablation``— run one of the ablation studies (A1-A4);
+* ``campaign``— run a multi-circuit sweep on the campaign layer
+  (persistent worker pool + content-addressed result cache);
 * ``list``    — list the available benchmark circuits.
+
+``table1`` and ``ablation`` accept ``--jobs N`` / ``--cache-dir DIR``
+to run transparently on the campaign layer; results are bit-identical
+to the serial path.
 """
 
 from __future__ import annotations
@@ -61,6 +67,14 @@ def _build_parser() -> argparse.ArgumentParser:
                               "default: $REPRO_SIM_SHARDS or cpu count)"))
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_campaign_args(p) -> None:
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help=("run independent flows on N pool workers "
+                             "(default: serial)"))
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help=("content-addressed result cache directory "
+                             "(re-runs skip cached flows)"))
+
     t1 = sub.add_parser("table1", help="regenerate Table I")
     t1.add_argument("circuits", nargs="*",
                     help="circuit names (default: the tractable subset)")
@@ -70,8 +84,37 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="suppress per-circuit progress output")
     t1.add_argument("--experiments-md", metavar="PATH", default=None,
                     help="also write the EXPERIMENTS.md report to PATH")
+    add_campaign_args(t1)
 
     sub.add_parser("figure2", help="regenerate Figure 2")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a circuits x seeds sweep on the campaign layer")
+    camp.add_argument("spec", nargs="?", default=None,
+                      help="JSON campaign spec file (see README "
+                           "'Campaigns'); omit to use --circuits")
+    camp.add_argument("--circuits", nargs="+", default=None,
+                      metavar="NAME",
+                      help="inline spec: circuits to sweep")
+    camp.add_argument("--seeds", nargs="+", type=int, default=None,
+                      metavar="SEED",
+                      help="inline spec: seeds to sweep (default: --seed)")
+    camp.add_argument("--name", default=None,
+                      help=("campaign name (manifest file stem; "
+                            "default: the spec's name or 'campaign'; "
+                            "overrides a spec file's name)"))
+    camp.add_argument("--manifest", metavar="PATH", default=None,
+                      help=("manifest path (default: "
+                            "<cache-dir>/<name>.manifest.json)"))
+    camp.add_argument("--no-cache", action="store_true",
+                      help="disable the result cache for this run")
+    camp.add_argument("--expect-all-cached", action="store_true",
+                      help=("exit non-zero if any job had to execute "
+                            "(CI guard for warm re-runs)"))
+    camp.add_argument("--quiet", action="store_true",
+                      help="suppress per-job progress output")
+    add_campaign_args(camp)
 
     run_p = sub.add_parser("run", help="run the flow on one circuit")
     run_p.add_argument("circuit")
@@ -84,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ab.add_argument("which",
                     choices=("observability", "mux", "reorder", "ivc"))
     ab.add_argument("circuits", nargs="*", default=None)
+    add_campaign_args(ab)
 
     sub.add_parser("list", help="list available circuits")
     sub.add_parser("library", help="describe the cell library")
@@ -121,6 +165,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("repro-power: error: --shards only applies to the 'sharded' "
               "fault backend", file=sys.stderr)
         return 2
+    if getattr(args, "jobs", None) is not None and args.jobs < 1:
+        print("repro-power: error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     if args.command == "list":
         for name in available_circuits():
@@ -136,12 +183,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(describe_library())
         return 0
 
+    if args.command == "campaign":
+        return _run_campaign_command(args)
+
     if args.command == "table1":
         config = FlowConfig(seed=args.seed, backend=args.backend,
                             fault_backend=args.fault_backend,
                             shards=args.shards)
         circuits = args.circuits or None
-        run = run_table1(circuits, config, verbose=not args.quiet)
+        run = run_table1(circuits, config, verbose=not args.quiet,
+                         jobs=args.jobs, cache_dir=args.cache_dir)
         if args.experiments_md:
             from repro.experiments.figure2 import run_figure2 as _fig2
             from repro.experiments.report_writer import \
@@ -170,21 +221,94 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "ablation":
         circuits = args.circuits or ["s344", "s382"]
+        grid_kwargs = {"seed": args.seed, "jobs": args.jobs or 1,
+                       "cache_dir": args.cache_dir}
         if args.which == "observability":
-            rows = ablation_observability(circuits, seed=args.seed)
+            rows = ablation_observability(circuits, **grid_kwargs)
             print(render_rows(rows, "A1: observability directive"))
         elif args.which == "mux":
-            rows = ablation_mux_margin(circuits, seed=args.seed)
+            rows = ablation_mux_margin(circuits, **grid_kwargs)
             print(render_rows(rows, "A2: MUX margin sweep"))
         elif args.which == "reorder":
-            rows = ablation_reorder(circuits, seed=args.seed)
+            rows = ablation_reorder(circuits, **grid_kwargs)
             print(render_rows(rows, "A3: input reordering"))
         else:
+            # A4 replays IVC fills against one in-process base flow;
+            # it has no campaign path (see repro.experiments.ablations).
             rows = ablation_ivc_budget(circuits[0], seed=args.seed)
             print(render_rows(rows, "A4: IVC budget sweep"))
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _run_campaign_command(args) -> int:
+    """The ``campaign`` subcommand (spec -> runner -> status report)."""
+    from pathlib import Path
+
+    from repro.campaign.manifest import CampaignSpec, load_spec
+    from repro.campaign.runner import run_campaign
+    from repro.errors import ConfigError
+
+    runtime_base = {}
+    if args.backend is not None:
+        runtime_base["backend"] = args.backend
+    if args.fault_backend is not None:
+        runtime_base["fault_backend"] = args.fault_backend
+    if args.shards is not None:
+        runtime_base["shards"] = args.shards
+
+    try:
+        if args.spec is not None:
+            if args.circuits or args.seeds:
+                print("repro-power: error: pass either a spec file or "
+                      "--circuits/--seeds, not both", file=sys.stderr)
+                return 2
+            spec = load_spec(args.spec)
+            if runtime_base or args.name is not None:
+                spec = CampaignSpec(
+                    circuits=spec.circuits, seeds=spec.seeds,
+                    overrides=spec.overrides,
+                    base={**spec.base, **runtime_base},
+                    name=args.name if args.name is not None
+                    else spec.name)
+        elif args.circuits:
+            spec = CampaignSpec(
+                circuits=tuple(args.circuits),
+                seeds=tuple(args.seeds) if args.seeds else (args.seed,),
+                base=runtime_base,
+                name=args.name or "campaign")
+        else:
+            print("repro-power: error: campaign needs a spec file or "
+                  "--circuits", file=sys.stderr)
+            return 2
+    except ConfigError as exc:
+        print(f"repro-power: error: {exc}", file=sys.stderr)
+        return 2
+
+    cache_dir = None if args.no_cache else \
+        (args.cache_dir or ".repro-cache")
+    manifest = args.manifest
+    if manifest is None and cache_dir is not None:
+        manifest = str(Path(cache_dir) / f"{spec.name}.manifest.json")
+
+    try:
+        result = run_campaign(spec, jobs=args.jobs or 1,
+                              cache_dir=cache_dir,
+                              manifest_path=manifest,
+                              verbose=not args.quiet)
+    except ConfigError as exc:
+        print(f"repro-power: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if manifest is not None:
+        print(f"Manifest: {manifest}")
+    if args.expect_all_cached and result.n_executed:
+        print(f"repro-power: error: expected a fully cached campaign "
+              f"but {result.n_executed} job(s) executed",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

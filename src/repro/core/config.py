@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+from typing import ClassVar
 
 from repro.atpg.generate import AtpgConfig
 from repro.cells.library import CellLibrary, default_library
@@ -58,6 +59,12 @@ class FlowConfig:
         it implies ``fault_backend="sharded"`` when that is unset.
     """
 
+    #: Fields that only affect execution speed, never results (every
+    #: backend is bit-identical by contract); excluded from
+    #: :meth:`config_hash` so cache keys are engine-independent.
+    RUNTIME_FIELDS: ClassVar[tuple[str, ...]] = (
+        "backend", "fault_backend", "shards")
+
     seed: int = 0
     observability_samples: int = 512
     ivc_trials: int = 64
@@ -97,6 +104,25 @@ class FlowConfig:
             raise ConfigError("max_backtracks must be >= 0")
         if self.mux_delay_margin_ps < 0:
             raise ConfigError("mux_delay_margin_ps must be >= 0")
+
+    def config_hash(self) -> str:
+        """Canonical content hash of the result-relevant configuration.
+
+        Properties: stable across processes and dict orderings (keys
+        are sorted before hashing); excludes the runtime-only engine
+        fields (:attr:`RUNTIME_FIELDS` — backends are bit-identical,
+        so results never depend on them); resolves the ATPG sub-config
+        through :meth:`atpg_config` so a config with an explicitly
+        spelled-out default ATPG hashes equal to one relying on the
+        implicit default.  The campaign result cache keys artefacts on
+        this hash.
+        """
+        from repro.utils.hashing import stable_digest
+        payload = dataclasses.asdict(self)
+        for field in self.RUNTIME_FIELDS:
+            payload.pop(field)
+        payload["atpg"] = dataclasses.asdict(self.atpg_config())
+        return stable_digest(payload)
 
     def atpg_config(self) -> AtpgConfig:
         """The ATPG configuration, seeded from the master seed by default."""

@@ -8,12 +8,21 @@
 
 Each function runs the full flow under modified configurations and
 returns simple row dicts; the benches and the CLI render them.
+
+A1-A3 are grids of independent flow runs, so they execute through the
+campaign runner (:func:`repro.campaign.runner.run_flow_jobs`): pass
+``jobs > 1`` to fan the grid out over a persistent worker pool and
+``cache_dir`` to memoize configuration points — a re-run of an
+unchanged ablation completes without a single flow execution.  Rows
+are bit-identical regardless of ``jobs`` or cache state.  A4 replays
+the IVC fill in-process against one base flow and stays serial.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.benchgen.loader import load_circuit
 from repro.core.config import FlowConfig
@@ -59,63 +68,91 @@ def _run(name: str, config: FlowConfig) -> tuple:
     return result, report
 
 
-def ablation_observability(circuits: Sequence[str],
-                           seed: int = 1) -> list[AblationRow]:
-    """A1: directive on vs off (decisions fall back to structural order)."""
+#: One ablation grid point: (circuit, variant label, config overrides,
+#: detail renderer over the flow artefact).
+_Point = tuple[str, str, dict[str, Any],
+               Callable[[dict[str, Any]], str]]
+
+
+def _grid_rows(points: Sequence[_Point], seed: int, jobs: int,
+               cache_dir: str | None) -> list[AblationRow]:
+    """Run an ablation grid through the campaign runner.
+
+    Serial (``jobs=1``, no cache) and parallel/cached paths share one
+    executor and artefact builder, so rows are identical by
+    construction.  Ablations historically load circuits with seed 1
+    (``circuit_seed=1``) while the flow seed varies.
+    """
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.manifest import CampaignJob
+    from repro.campaign.runner import run_flow_jobs
+
+    job_list = [
+        CampaignJob(job_id=f"{name}:{variant}", circuit=name, seed=seed,
+                    circuit_seed=1, config_kwargs=dict(overrides))
+        for name, variant, overrides, _detail in points
+    ]
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    artefacts, _records, _wall, _worker = run_flow_jobs(
+        job_list, jobs=jobs, cache=cache)
     rows: list[AblationRow] = []
-    for name in circuits:
-        for directive in (True, False):
-            config = FlowConfig(seed=seed,
-                                use_observability_directive=directive)
-            result, report = _run(name, config)
-            rows.append(AblationRow(
-                circuit=name,
-                variant="directed" if directive else "undirected",
-                dynamic_uw_per_hz=report.dynamic_uw_per_hz,
-                static_uw=report.static_uw,
-                detail=f"{len(result.pattern.blocked_gates)} blocked",
-            ))
+    for (name, variant, _overrides, detail), artefact in zip(points,
+                                                             artefacts):
+        proposed = artefact["reports"]["proposed"]
+        rows.append(AblationRow(
+            circuit=name,
+            variant=variant,
+            dynamic_uw_per_hz=proposed["dynamic_uw_per_hz"],
+            static_uw=proposed["static_uw"],
+            detail=detail(artefact),
+        ))
     return rows
+
+
+def ablation_observability(circuits: Sequence[str],
+                           seed: int = 1, jobs: int = 1,
+                           cache_dir: str | None = None
+                           ) -> list[AblationRow]:
+    """A1: directive on vs off (decisions fall back to structural order)."""
+    points: list[_Point] = [
+        (name, "directed" if directive else "undirected",
+         {"use_observability_directive": directive},
+         lambda art: f"{art['detail']['n_blocked']} blocked")
+        for name in circuits
+        for directive in (True, False)
+    ]
+    return _grid_rows(points, seed, jobs, cache_dir)
 
 
 def ablation_mux_margin(circuits: Sequence[str],
                         margins_ps: Sequence[float] = (0.0, 20.0, 50.0,
                                                        100.0),
-                        seed: int = 1) -> list[AblationRow]:
+                        seed: int = 1, jobs: int = 1,
+                        cache_dir: str | None = None
+                        ) -> list[AblationRow]:
     """A2: demand extra slack before accepting a MUX (coverage sweep)."""
-    rows: list[AblationRow] = []
-    for name in circuits:
-        for margin in margins_ps:
-            config = FlowConfig(seed=seed, mux_delay_margin_ps=margin)
-            result, report = _run(name, config)
-            rows.append(AblationRow(
-                circuit=name,
-                variant=f"margin={margin:g}ps",
-                dynamic_uw_per_hz=report.dynamic_uw_per_hz,
-                static_uw=report.static_uw,
-                detail=f"coverage {result.addmux.coverage:.0%}",
-            ))
-    return rows
+    points: list[_Point] = [
+        (name, f"margin={margin:g}ps",
+         {"mux_delay_margin_ps": margin},
+         lambda art: f"coverage {art['detail']['mux_coverage']:.0%}")
+        for name in circuits
+        for margin in margins_ps
+    ]
+    return _grid_rows(points, seed, jobs, cache_dir)
 
 
 def ablation_reorder(circuits: Sequence[str],
-                     seed: int = 1) -> list[AblationRow]:
+                     seed: int = 1, jobs: int = 1,
+                     cache_dir: str | None = None) -> list[AblationRow]:
     """A3: with vs without the input-reordering step."""
-    rows: list[AblationRow] = []
-    for name in circuits:
-        for reorder in (True, False):
-            config = FlowConfig(seed=seed, reorder_inputs=reorder)
-            result, report = _run(name, config)
-            swaps = len(result.reorder.swapped_gates) if result.reorder \
-                else 0
-            rows.append(AblationRow(
-                circuit=name,
-                variant="reorder" if reorder else "no-reorder",
-                dynamic_uw_per_hz=report.dynamic_uw_per_hz,
-                static_uw=report.static_uw,
-                detail=f"{swaps} gates swapped",
-            ))
-    return rows
+    points: list[_Point] = [
+        (name, "reorder" if reorder else "no-reorder",
+         {"reorder_inputs": reorder},
+         lambda art: f"{art['detail']['n_swapped']} gates swapped")
+        for name in circuits
+        for reorder in (True, False)
+    ]
+    return _grid_rows(points, seed, jobs, cache_dir)
 
 
 def ablation_ivc_budget(circuit: str,
@@ -124,7 +161,9 @@ def ablation_ivc_budget(circuit: str,
     """A4: leakage of the IVC fill vs number of random trials.
 
     Runs the flow once, then replays the don't-care fill with varying
-    budgets against the same fixed pattern assignment.
+    budgets against the same fixed pattern assignment (in-process —
+    the replays share the base flow's state, so A4 has no campaign
+    path).
     """
     base_config = FlowConfig(seed=seed)
     result, _report = _run(circuit, base_config)

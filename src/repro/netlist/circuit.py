@@ -67,6 +67,7 @@ class Circuit:
         self._input_set: set[str] = set()
         self._dirty = True
         self._version = 0
+        self._fingerprint: tuple[int, str] | None = None
         self._fanouts: dict[str, list[tuple[str, int]]] = {}
         self._topo: list[str] = []
         self._levels: dict[str, int] = {}
@@ -84,6 +85,31 @@ class Circuit:
         simulation schedules) use this to detect staleness.
         """
         return self._version
+
+    def fingerprint(self) -> str:
+        """Process-independent content digest of the netlist.
+
+        Covers the name, PI/PO declarations and every gate (output,
+        type, input tuple) in insertion order — everything a simulation
+        result can depend on.  Unlike :attr:`version` (an in-process
+        mutation counter) the fingerprint is identical for structurally
+        identical circuits built in different processes, so the
+        campaign result cache keys artefacts on it.  Memoized per
+        :attr:`version`.
+        """
+        if self._fingerprint is not None \
+                and self._fingerprint[0] == self._version:
+            return self._fingerprint[1]
+        import hashlib
+        parts = [self.name, "|", ",".join(self._inputs), "|",
+                 ",".join(self._outputs), "|"]
+        for gate in self._gates.values():
+            parts.append(
+                f"{gate.output}={gate.gtype.value}"
+                f"({','.join(gate.inputs)});")
+        digest = hashlib.sha256("".join(parts).encode()).hexdigest()
+        self._fingerprint = (self._version, digest)
+        return digest
 
     # ------------------------------------------------------------------ #
     # basic accessors

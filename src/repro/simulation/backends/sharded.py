@@ -22,13 +22,27 @@ Determinism guarantees:
 Short fault lists (below ``min_faults_per_shard`` per worker) run inline
 on the inner backend: forking costs more than it saves there, and the
 result is identical by construction.
+
+Dispatch goes to, in precedence order:
+
+1. an externally owned persistent :class:`~repro.campaign.pool.
+   WorkerPool` (``pool=`` at construction, or temporarily via
+   :meth:`ShardedBackend.using_pool`) — live workers, no per-call fork;
+   workers intern circuits by content fingerprint so their per-circuit
+   plan caches keep hitting across calls;
+2. the process-wide shared pool, when someone started one
+   (:func:`repro.campaign.pool.ensure_shared_pool`);
+3. a fresh per-call ``multiprocessing`` pool (fork where it is the
+   platform default, spawn elsewhere) — the original behaviour.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
-from collections.abc import Mapping, Sequence
+from collections import OrderedDict
+from collections.abc import Iterator, Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
@@ -39,6 +53,7 @@ from repro.simulation.backends.base import Backend, SimState
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.atpg.faults import Fault
     from repro.atpg.faultsim import FaultSimResult
+    from repro.campaign.pool import WorkerPool
 
 __all__ = ["ShardedBackend", "shard_bounds", "DEFAULT_SHARDS_ENV"]
 
@@ -69,6 +84,39 @@ def _simulate_shard(payload: tuple[str, Circuit, "Sequence[Fault]",
                     ) -> "FaultSimResult":
     """Worker entry point: one shard on the inner backend (picklable)."""
     inner_name, circuit, faults, input_words, n, drop = payload
+    from repro.simulation.backends import get_backend
+    return get_backend(inner_name).fault_simulate_batch(
+        circuit, faults, input_words, n, drop=drop)
+
+
+#: Worker-side circuit intern table for the persistent-pool path.
+#: Every call ships a freshly unpickled circuit copy; the per-circuit
+#: plan/schedule caches key on object identity, so without interning a
+#: persistent worker would rebuild cone plans on every call.  Keyed by
+#: content fingerprint, bounded LRU.
+_INTERN_MAX = 8
+_INTERNED_CIRCUITS: "OrderedDict[str, Circuit]" = OrderedDict()
+
+
+def _interned_circuit(circuit: Circuit, fingerprint: str) -> Circuit:
+    cached = _INTERNED_CIRCUITS.get(fingerprint)
+    if cached is None:
+        _INTERNED_CIRCUITS[fingerprint] = cached = circuit
+        while len(_INTERNED_CIRCUITS) > _INTERN_MAX:
+            _INTERNED_CIRCUITS.popitem(last=False)
+    else:
+        _INTERNED_CIRCUITS.move_to_end(fingerprint)
+    return cached
+
+
+def _simulate_shard_pooled(payload: tuple[str, Circuit, str,
+                                          "Sequence[Fault]",
+                                          dict[str, int], int, bool]
+                           ) -> "FaultSimResult":
+    """Persistent-pool worker: one shard, circuit interned by content."""
+    inner_name, circuit, fingerprint, faults, input_words, n, drop = \
+        payload
+    circuit = _interned_circuit(circuit, fingerprint)
     from repro.simulation.backends import get_backend
     return get_backend(inner_name).fault_simulate_batch(
         circuit, faults, input_words, n, drop=drop)
@@ -120,12 +168,20 @@ class ShardedBackend(Backend):
     min_faults_per_shard:
         Never split below this many faults per worker; lists smaller
         than two shards' worth run inline on the inner backend.
+    pool:
+        Externally owned persistent :class:`~repro.campaign.pool.
+        WorkerPool`; shard dispatch then reuses its live workers
+        instead of forking a fresh pool per call.  The caller owns the
+        pool's lifetime.  When unset, a started process-wide shared
+        pool (:func:`repro.campaign.pool.ensure_shared_pool`) is picked
+        up opportunistically.
     """
 
     name = "sharded"
 
     def __init__(self, inner: str = "numpy", shards: int | None = None,
-                 min_faults_per_shard: int = 256):
+                 min_faults_per_shard: int = 256,
+                 pool: "WorkerPool | None" = None):
         if inner == self.name:
             raise SimulationError("sharded backend cannot nest itself")
         if shards is not None and shards < 1:
@@ -135,6 +191,28 @@ class ShardedBackend(Backend):
         self.inner_name = inner
         self.shards = shards
         self.min_faults_per_shard = min_faults_per_shard
+        self.pool = pool
+
+    @contextlib.contextmanager
+    def using_pool(self, pool: "WorkerPool") -> Iterator["ShardedBackend"]:
+        """Temporarily dispatch shards through ``pool``.
+
+        Restores the previous pool (usually ``None``) on exit; the
+        pool itself is not closed — the caller owns it.
+        """
+        previous = self.pool
+        self.pool = pool
+        try:
+            yield self
+        finally:
+            self.pool = previous
+
+    def _resolve_pool(self) -> "WorkerPool | None":
+        """The pool shard dispatch should use, if any."""
+        if self.pool is not None:
+            return self.pool
+        from repro.campaign.pool import active_shared_pool
+        return active_shared_pool()
 
     # ------------------------------------------------------------------ #
     # plain packed simulation: pure delegation
@@ -169,7 +247,9 @@ class ShardedBackend(Backend):
                         f"${DEFAULT_SHARDS_ENV} must be an integer, "
                         f"got {env!r}") from None
             else:
-                shards = os.cpu_count() or 1
+                pool = self._resolve_pool()
+                shards = pool.processes if pool is not None \
+                    else os.cpu_count() or 1
         if shards < 1:
             raise SimulationError(
                 f"invalid shard count {shards} "
@@ -183,7 +263,6 @@ class ShardedBackend(Backend):
                              drop: bool = True,
                              cone_cache: dict[str, list[str]] | None = None
                              ) -> FaultSimResult:
-        from repro.atpg.faultsim import FaultSimResult
         inner = self._inner()
         n_shards = self.effective_shards(len(faults))
         if n_shards <= 1:
@@ -194,6 +273,18 @@ class ShardedBackend(Backend):
         words = dict(input_words)
         faults = list(faults)
         bounds = shard_bounds(len(faults), n_shards)
+        pool = self._resolve_pool()
+        if pool is not None:
+            # Persistent-pool path: no per-call fork.  Ship each shard
+            # as a payload; workers intern the circuit by content
+            # fingerprint so their plan caches survive across calls.
+            fingerprint = circuit.fingerprint()
+            parts = pool.map(_simulate_shard_pooled, [
+                (self.inner_name, circuit, fingerprint,
+                 faults[start:stop], words, n, drop)
+                for start, stop in bounds
+            ])
+            return self._merge(parts)
         # Fork only where it is the platform default (Linux): merely
         # *available* fork (e.g. macOS, where spawn is the default
         # because fork-without-exec is unsafe under Accelerate/ObjC)
@@ -227,12 +318,17 @@ class ShardedBackend(Backend):
                 for start, stop in bounds
             ]
             ctx = multiprocessing.get_context("spawn")
-            with ctx.Pool(processes=len(payloads)) as pool:
-                parts = pool.map(_simulate_shard, payloads)
+            with ctx.Pool(processes=len(payloads)) as mp_pool:
+                parts = mp_pool.map(_simulate_shard, payloads)
+        return self._merge(parts)
 
+    @staticmethod
+    def _merge(parts: "Sequence[FaultSimResult]") -> "FaultSimResult":
+        """Stable merge: shard order == input order."""
+        from repro.atpg.faultsim import FaultSimResult
         detected: dict[Fault, int] = {}
         remaining: list[Fault] = []
-        for part in parts:  # shard order == input order: merge is stable
+        for part in parts:
             detected.update(part.detected)
             remaining.extend(part.remaining)
         return FaultSimResult(detected=detected, remaining=remaining)

@@ -1,0 +1,70 @@
+"""Stable content hashing for cross-process cache keys.
+
+Python's built-in ``hash`` is salted per process, so nothing here uses
+it.  These helpers give process-independent hex digests:
+
+* :func:`canonical_json` / :func:`stable_digest` — canonical-JSON
+  hashing of plain data (dict key order never matters);
+* :func:`package_fingerprint` — a digest over every ``.py`` source file
+  of an installed package, so content-addressed caches are invalidated
+  when the code that produced an artefact changes.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import importlib
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["canonical_json", "stable_digest", "package_fingerprint"]
+
+
+def _jsonify(obj: Any) -> Any:
+    """Fallback encoder: enums (anything with ``.value``) by value."""
+    value = getattr(obj, "value", None)
+    if value is not None:
+        return value
+    raise TypeError(
+        f"object of type {type(obj).__name__} is not hashable as "
+        f"canonical JSON")
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text for ``payload``.
+
+    Keys are sorted and separators fixed, so two structurally equal
+    payloads always serialize to the same bytes regardless of insertion
+    order or platform.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=_jsonify)
+
+
+def stable_digest(payload: Any) -> str:
+    """SHA-256 hex digest of ``payload``'s canonical JSON."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+@functools.lru_cache(maxsize=None)
+def package_fingerprint(package: str = "repro") -> str:
+    """Digest of all ``.py`` sources under ``package``.
+
+    File contents and package-relative paths both feed the digest, so
+    edits, renames, additions and deletions all change it; timestamps
+    do not.  Memoized per process (source trees do not change under a
+    running campaign).
+    """
+    module = importlib.import_module(package)
+    if module.__file__ is None:  # pragma: no cover - namespace package
+        raise ValueError(f"package {package!r} has no source directory")
+    root = Path(module.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()

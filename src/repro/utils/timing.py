@@ -6,7 +6,36 @@ import time
 from collections.abc import Callable
 from typing import Any
 
-__all__ = ["best_of"]
+__all__ = ["best_of", "Stopwatch"]
+
+
+class Stopwatch:
+    """Monotonic wall-clock stopwatch (``time.monotonic`` based).
+
+    The experiment harnesses use it for honest wall-vs-worker time
+    accounting: the monotonic clock never jumps backwards under NTP
+    adjustments, so recorded durations are always non-negative and
+    comparable across a long campaign.  Started on construction.
+    """
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    def restart(self) -> None:
+        """Reset the start mark to now."""
+        self._start = time.monotonic()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since construction / the last :meth:`restart`."""
+        return time.monotonic() - self._start
+
+    def split_s(self) -> float:
+        """Elapsed seconds, then restart (per-item loop timing)."""
+        now = time.monotonic()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed
 
 
 def best_of(n_runs: int, fn: Callable[[], Any]) -> float:

@@ -1,0 +1,110 @@
+"""Content-addressed cache semantics: hits, misses, invalidation."""
+
+from repro.campaign.cache import ResultCache
+from repro.netlist import builders
+from repro.netlist.gates import GateType
+from repro.core.config import FlowConfig
+from repro.utils.hashing import package_fingerprint
+
+
+class TestKeying:
+    def test_key_is_deterministic(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key("k", "c1", "h1", "f1") == \
+            cache.key("k", "c1", "h1", "f1")
+
+    def test_key_changes_with_each_ingredient(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key("k", "c1", "h1", "f1")
+        assert cache.key("k2", "c1", "h1", "f1") != base
+        assert cache.key("k", "c2", "h1", "f1") != base
+        assert cache.key("k", "c1", "h2", "f1") != base
+        assert cache.key("k", "c1", "h1", "f2") != base
+
+    def test_default_code_fingerprint_is_package(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key("k", "c", "h") == \
+            cache.key("k", "c", "h", package_fingerprint())
+
+
+class TestStorage:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("k", "c", "h", "f")
+        assert cache.get(key) is None
+        assert key not in cache
+        cache.put(key, {"value": 1.5, "nested": {"a": [1, 2]}})
+        assert key in cache
+        assert cache.get(key) == {"value": 1.5, "nested": {"a": [1, 2]}}
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = 6.2791875000000006e-09  # repr-encoded: exact
+        key = cache.key("k", "c", "h", "f")
+        cache.put(key, {"x": value})
+        assert cache.get(key)["x"] == value
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("k", "c", "h", "f")
+        cache.put(key, {"x": 1})
+        cache.path(key).write_text("{ not json")
+        assert cache.get(key) is None
+
+    def test_stats_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("k", "c", "h", "f")
+        cache.get(key)
+        cache.put(key, {})
+        cache.get(key)
+        assert (cache.stats.misses, cache.stats.stores,
+                cache.stats.hits) == (1, 1, 1)
+
+    def test_entries_listing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = {cache.key("k", "c", h, "f") for h in ("h1", "h2")}
+        for key in keys:
+            cache.put(key, {})
+        assert cache.entries() == sorted(keys)
+
+    def test_no_temp_file_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key("k", "c", "h", "f"), {"x": 1})
+        stray = [p for p in tmp_path.rglob("*")
+                 if p.is_file() and p.name.startswith(".tmp-")]
+        assert stray == []
+
+
+class TestInvalidation:
+    """The cache-miss triggers the campaign layer relies on."""
+
+    def test_circuit_edit_changes_fingerprint(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        circuit = builders.s27()
+        before = cache.key("k", circuit.fingerprint(), "h", "f")
+        gate = circuit.gate("G11")        # G11 = NOR(G5, G9)
+        circuit.replace_gate("G11", GateType.NAND, gate.inputs)
+        after = cache.key("k", circuit.fingerprint(), "h", "f")
+        assert before != after
+
+    def test_identical_rebuild_hits_same_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key_a = cache.key("k", builders.s27().fingerprint(), "h", "f")
+        key_b = cache.key("k", builders.s27().fingerprint(), "h", "f")
+        assert key_a == key_b
+
+    def test_config_change_changes_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = builders.s27().fingerprint()
+        assert cache.key("k", fp, FlowConfig(seed=1).config_hash()) != \
+            cache.key("k", fp, FlowConfig(seed=2).config_hash())
+
+
+class TestEntriesHygiene:
+    def test_stray_temp_files_are_not_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("k", "c", "h", "f")
+        cache.put(key, {"x": 1})
+        # simulate a kill between mkstemp and os.replace
+        (cache.path(key).parent / ".tmp-dead.json").write_text("{}")
+        assert cache.entries() == [key]

@@ -1,0 +1,181 @@
+"""Campaign runner: ordering, cache correctness, resume, manifests."""
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.manifest import CampaignSpec, Manifest
+from repro.campaign.runner import (
+    FLOW_ARTEFACT_KIND,
+    row_from_artefact,
+    run_campaign,
+    run_flow_jobs,
+)
+
+#: Keeps every flow in the tens-of-milliseconds range (s27 only).
+SMALL = {"observability_samples": 16, "ivc_trials": 2,
+         "ivc_noise_samples": 2}
+
+
+def small_spec(circuits=("s27",), seeds=(1,), **base):
+    return CampaignSpec(circuits=circuits, seeds=seeds,
+                        base={**SMALL, **base}, name="t")
+
+
+@pytest.fixture(scope="module")
+def cold(tmp_path_factory):
+    """One cold cached campaign shared by the read-only tests."""
+    cache_dir = str(tmp_path_factory.mktemp("cache"))
+    result = run_campaign(small_spec(), jobs=1, cache_dir=cache_dir)
+    return result, cache_dir
+
+
+class TestColdRun:
+    def test_statuses(self, cold):
+        result, _ = cold
+        assert [r.status for r in result.records] == ["done"]
+        assert result.n_executed == 1
+        assert result.n_cached == 0
+
+    def test_artefact_shape(self, cold):
+        result, _ = cold
+        artefact = result.artefacts[0]
+        assert artefact["kind"] == FLOW_ARTEFACT_KIND
+        assert artefact["circuit"] == "s27"
+        assert artefact["provenance"] == "embedded"
+        assert set(artefact["reports"]) == {
+            "traditional", "input_control", "proposed"}
+        assert artefact["detail"]["n_scan_cells"] == 3
+        assert artefact["elapsed_s"] > 0
+
+    def test_row_reconstruction(self, cold):
+        result, _ = cold
+        row = row_from_artefact(result.artefacts[0])
+        assert row.circuit == "s27"
+        assert row.prop_static < row.trad_static
+
+    def test_timing_recorded(self, cold):
+        result, _ = cold
+        assert result.wall_s > 0
+        assert result.worker_s > 0
+
+    def test_render_mentions_provenance_and_totals(self, cold):
+        result, _ = cold
+        text = result.render()
+        assert "1 executed, 0 from cache" in text
+        assert "s27" in text
+
+
+class TestWarmRun:
+    def test_warm_run_executes_nothing(self, cold, monkeypatch):
+        result, cache_dir = cold
+        # any flow execution would blow up: the warm run must be
+        # answered entirely from the cache
+        monkeypatch.setattr(
+            "repro.campaign.runner._execute_flow_job",
+            lambda payload: pytest.fail("flow executed on a warm run"))
+        warm = run_campaign(small_spec(), jobs=1, cache_dir=cache_dir)
+        assert warm.n_executed == 0
+        assert warm.n_cached == 1
+        assert warm.rows() == result.rows()
+        assert warm.artefacts == result.artefacts
+
+    def test_config_change_misses(self, cold):
+        _, cache_dir = cold
+        changed = run_campaign(small_spec(ivc_trials=3), jobs=1,
+                               cache_dir=cache_dir)
+        assert changed.n_executed == 1
+
+    def test_seed_change_misses(self, cold):
+        _, cache_dir = cold
+        changed = run_campaign(small_spec(seeds=(2,)), jobs=1,
+                               cache_dir=cache_dir)
+        assert changed.n_executed == 1
+
+    def test_netlist_change_misses(self, cold, monkeypatch):
+        """A structurally different netlist under the same name and
+        config must re-execute (fingerprint key ingredient)."""
+        _, cache_dir = cold
+        from repro.netlist import builders
+
+        def tweaked_load(name, seed=1, search_dir=None):
+            circuit = builders.s27()
+            from repro.netlist.gates import GateType
+            line = next(g.output for g in circuit.combinational_gates()
+                        if g.gtype is GateType.AND)
+            gate = circuit.gate(line)
+            circuit.replace_gate(line, GateType.OR, gate.inputs)
+            return circuit
+
+        monkeypatch.setattr("repro.campaign.runner.load_circuit",
+                            tweaked_load)
+        changed = run_campaign(small_spec(), jobs=1,
+                               cache_dir=cache_dir)
+        assert changed.n_executed == 1
+
+
+class TestDeterministicOrdering:
+    def test_parallel_rows_match_serial(self, tmp_path):
+        spec = small_spec(seeds=(1, 2))  # expands to two jobs
+        serial = run_campaign(spec, jobs=1)
+        parallel = run_campaign(spec, jobs=2,
+                                cache_dir=str(tmp_path / "c"))
+        assert [j.job_id for j in serial.jobs] == \
+            [j.job_id for j in parallel.jobs]
+        assert serial.rows() == parallel.rows()
+        assert [a["summary"] for a in serial.artefacts] == \
+            [a["summary"] for a in parallel.artefacts]
+
+
+class TestManifestIntegration:
+    def test_manifest_journal_and_resume(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        manifest_path = tmp_path / "m.json"
+        spec = small_spec()
+        run_campaign(spec, jobs=1, cache_dir=cache_dir,
+                     manifest_path=str(manifest_path))
+        journal = Manifest.open(manifest_path, spec.digest())
+        assert journal.records["s27"].source == "run"
+        assert journal.records["s27"].cache_key in \
+            ResultCache(cache_dir)
+
+        run_campaign(spec, jobs=1, cache_dir=cache_dir,
+                     manifest_path=str(manifest_path))
+        journal = Manifest.open(manifest_path, spec.digest())
+        assert journal.records["s27"].source == "cache"
+        assert journal.stats()["cached"] == 1
+
+    def test_failed_job_recorded_and_raised(self, tmp_path,
+                                            monkeypatch):
+        manifest_path = tmp_path / "m.json"
+        spec = small_spec()
+
+        def explode(payload):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr("repro.campaign.runner._execute_flow_job",
+                            explode)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            run_campaign(spec, jobs=1,
+                         manifest_path=str(manifest_path))
+        journal = Manifest.open(manifest_path, spec.digest())
+        assert journal.records["s27"].status == "failed"
+        assert "kaboom" in journal.records["s27"].error
+
+
+class TestRunFlowJobs:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_flow_jobs([], jobs=0)
+
+    def test_empty_job_list(self):
+        artefacts, records, wall, worker = run_flow_jobs([], jobs=1)
+        assert artefacts == [] and records == []
+        assert worker == 0.0
+
+    def test_external_pool_not_closed(self, tmp_path):
+        from repro.campaign.pool import WorkerPool
+        spec = small_spec(seeds=(1, 2))  # expands to two jobs
+        with WorkerPool(processes=2) as pool:
+            result = run_campaign(spec, jobs=2, pool=pool)
+            assert pool.started  # runner must not close a borrowed pool
+        assert result.n_executed == 2

@@ -75,3 +75,45 @@ class TestFlowConfig:
         config = FlowConfig()
         with pytest.raises(Exception):
             config.seed = 5
+
+
+class TestConfigHash:
+    """Canonical config hashing (campaign cache key ingredient)."""
+
+    #: Pinned digest of the all-defaults config.  If this test fails
+    #: you changed what the hash covers (new field, changed default,
+    #: different canonicalization): bump the pin *and* expect every
+    #: cached campaign artefact to be invalidated.
+    DEFAULT_HASH = ("bfaa64e24cb6f29663371c7468fbc9c5"
+                    "7c88f9755697633da951276b7d3a151f")
+
+    def test_default_hash_pinned(self):
+        assert FlowConfig().config_hash() == self.DEFAULT_HASH
+
+    def test_stable_across_instances(self):
+        assert FlowConfig(seed=5).config_hash() == \
+            FlowConfig(seed=5).config_hash()
+
+    def test_runtime_fields_excluded(self):
+        base = FlowConfig().config_hash()
+        assert FlowConfig(backend="numpy").config_hash() == base
+        assert FlowConfig(fault_backend="numpy").config_hash() == base
+        assert FlowConfig(shards=4).config_hash() == base
+
+    def test_result_relevant_fields_included(self):
+        base = FlowConfig().config_hash()
+        assert FlowConfig(seed=1).config_hash() != base
+        assert FlowConfig(ivc_trials=7).config_hash() != base
+        assert FlowConfig(reorder_inputs=False).config_hash() != base
+        assert FlowConfig(mux_delay_margin_ps=1.0).config_hash() != base
+
+    def test_explicit_default_atpg_equals_implicit(self):
+        implicit = FlowConfig(seed=3)
+        explicit = FlowConfig(seed=3, atpg=AtpgConfig(seed=3))
+        assert implicit.config_hash() == explicit.config_hash()
+
+    def test_atpg_changes_hash(self):
+        base = FlowConfig(seed=3)
+        tweaked = FlowConfig(seed=3,
+                             atpg=AtpgConfig(seed=3, random_batch=8))
+        assert base.config_hash() != tweaked.config_hash()

@@ -78,3 +78,58 @@ class TestDefaults:
         assert "s9234" in default_table1_circuits()
         monkeypatch.setenv("REPRO_FULL_TABLE1", "0")
         assert "s9234" not in default_table1_circuits()
+
+
+class TestTimingAccounting:
+    def test_wall_vs_worker_time(self, small_run):
+        assert small_run.wall_s > 0
+        assert small_run.worker_s > 0
+        # serial run: the workers' aggregate compute fits in the wall
+        assert small_run.worker_s <= small_run.wall_s + 0.5
+        assert small_run.cache_hits == 0
+
+    def test_timing_summary_line(self, small_run):
+        text = small_run.timing_summary()
+        assert "wall" in text and "worker" in text
+
+
+class TestCampaignPath:
+    """``jobs``/``cache_dir`` route through the campaign layer with
+    bit-identical output."""
+
+    @pytest.fixture(scope="class")
+    def cache_dir(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("t1cache"))
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return FlowConfig(seed=1, observability_samples=128,
+                          ivc_trials=16)
+
+    def test_cold_campaign_render_identical(self, small_run, config,
+                                            cache_dir):
+        cold = run_table1(["s27", "s344"], config, jobs=2,
+                          cache_dir=cache_dir)
+        assert cold.rows == small_run.rows
+        assert cold.render() == small_run.render()
+        assert cold.cache_hits == 0
+        assert cold.flow_results == {}  # documented campaign trade-off
+
+    def test_warm_campaign_is_pure_cache(self, small_run, config,
+                                         cache_dir, monkeypatch):
+        # depends on the cold test having populated the cache
+        monkeypatch.setattr(
+            "repro.campaign.runner._execute_flow_job",
+            lambda payload: pytest.fail("flow executed on a warm run"))
+        warm = run_table1(["s27", "s344"], config, jobs=4,
+                          cache_dir=cache_dir)
+        assert warm.cache_hits == 2
+        assert warm.rows == small_run.rows
+        assert warm.render() == small_run.render()
+
+    def test_provenance_and_runtime_recorded(self, config, cache_dir):
+        run = run_table1(["s27", "s344"], config, jobs=1,
+                         cache_dir=cache_dir)
+        assert run.provenance == {"s27": "embedded",
+                                  "s344": "synthetic"}
+        assert all(t > 0 for t in run.runtime_s.values())

@@ -222,3 +222,42 @@ class TestCopyAndExport:
         comb = graph.subgraph(
             n for n, d in graph.nodes(data=True) if d["kind"] != "dff")
         assert nx.is_directed_acyclic_graph(comb)
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self, s27):
+        from repro.netlist import builders
+        assert s27.fingerprint() == builders.s27().fingerprint()
+
+    def test_hex_sha256(self, s27):
+        digest = s27.fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_copy_preserves_content_fingerprint(self, s27):
+        assert s27.copy().fingerprint() == s27.fingerprint()
+
+    def test_name_is_part_of_the_content(self, s27):
+        assert s27.copy("renamed").fingerprint() != s27.fingerprint()
+
+    def test_mutation_changes_fingerprint(self, s27):
+        clone = s27.copy()
+        before = clone.fingerprint()
+        gate = clone.gate("G11")          # G11 = NOR(G5, G9)
+        clone.replace_gate("G11", gate.gtype, gate.inputs[::-1])
+        assert clone.fingerprint() != before  # pin order matters
+
+    def test_gate_type_is_part_of_the_content(self, s27):
+        from repro.netlist.gates import GateType
+        clone = s27.copy()
+        before = clone.fingerprint()
+        gate = clone.gate("G11")          # G11 = NOR(G5, G9)
+        clone.replace_gate("G11", GateType.NAND, gate.inputs)
+        assert clone.fingerprint() != before
+
+    def test_memoized_until_mutation(self, s27):
+        first = s27.fingerprint()
+        assert s27.fingerprint() is first  # cached string object
+        clone = s27.copy()
+        clone.add_input("EXTRA")
+        assert clone.fingerprint() != first

@@ -134,3 +134,125 @@ class TestFaultBackendResolution:
     def test_explicit_spec_wins_over_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_FAULT_BACKEND", "sharded")
         assert resolve_fault_backend("numpy").name == "numpy"
+
+
+class TestPooledDispatch:
+    """Persistent-pool shard dispatch (``pool=`` hook)."""
+
+    @pytest.fixture
+    def pool(self):
+        from repro.campaign.pool import WorkerPool
+        with WorkerPool(processes=2) as p:
+            yield p
+
+    def _fault_job(self, circuit):
+        faults = all_faults(circuit)
+        words = random_input_words(circuit, 64, make_rng(1))
+        return faults, words
+
+    def test_pooled_results_bit_identical(self, s27_mapped, pool):
+        faults, words = self._fault_job(s27_mapped)
+        ref = fault_simulate(s27_mapped, faults, words, 64,
+                             backend="bigint")
+        backend = ShardedBackend(shards=2, min_faults_per_shard=4,
+                                 pool=pool)
+        got = fault_simulate(s27_mapped, faults, words, 64,
+                             backend=backend)
+        assert got.detected == ref.detected
+        assert got.remaining == ref.remaining
+
+    def test_pool_reused_across_calls(self, s27_mapped, pool):
+        faults, words = self._fault_job(s27_mapped)
+        backend = ShardedBackend(shards=2, min_faults_per_shard=4,
+                                 pool=pool)
+        first = fault_simulate(s27_mapped, faults, words, 64,
+                               backend=backend)
+        second = fault_simulate(s27_mapped, faults, words, 64,
+                                backend=backend)
+        assert first.detected == second.detected
+        assert pool.started  # dispatch must not tear the pool down
+
+    def test_pooled_dispatch_does_not_fork_per_call(self, s27_mapped,
+                                                    pool, monkeypatch):
+        # with a pool attached, the per-call fork/spawn entry points
+        # must never run
+        import repro.simulation.backends.sharded as sharded_mod
+
+        def boom(*args):  # pragma: no cover - must not run
+            raise AssertionError("per-call pool was constructed")
+
+        monkeypatch.setattr(sharded_mod, "_simulate_shard_fork", boom)
+        monkeypatch.setattr(sharded_mod, "_simulate_shard_fork_state",
+                            boom)
+        monkeypatch.setattr(sharded_mod, "_simulate_shard", boom)
+        faults, words = self._fault_job(s27_mapped)
+        backend = ShardedBackend(shards=2, min_faults_per_shard=4,
+                                 pool=pool)
+        result = backend.fault_simulate_batch(s27_mapped, faults,
+                                              words, 64)
+        assert result.n_detected > 0
+
+    def test_using_pool_context_restores(self, pool):
+        backend = ShardedBackend()
+        assert backend.pool is None
+        with backend.using_pool(pool) as bound:
+            assert bound is backend
+            assert backend.pool is pool
+        assert backend.pool is None
+
+    def test_effective_shards_defaults_to_pool_size(self, pool,
+                                                    monkeypatch):
+        monkeypatch.delenv(DEFAULT_SHARDS_ENV, raising=False)
+        backend = ShardedBackend(min_faults_per_shard=1, pool=pool)
+        assert backend.effective_shards(100) == pool.processes
+
+    def test_shared_pool_picked_up(self, monkeypatch):
+        from repro.campaign.pool import (
+            ensure_shared_pool,
+            shutdown_shared_pool,
+        )
+        backend = ShardedBackend()
+        assert backend._resolve_pool() is None
+        try:
+            shared = ensure_shared_pool(processes=1)
+            assert backend._resolve_pool() is shared
+        finally:
+            shutdown_shared_pool()
+        assert backend._resolve_pool() is None
+
+    def test_explicit_pool_outranks_shared(self, pool):
+        from repro.campaign.pool import (
+            ensure_shared_pool,
+            shutdown_shared_pool,
+        )
+        try:
+            ensure_shared_pool(processes=1)
+            backend = ShardedBackend(pool=pool)
+            assert backend._resolve_pool() is pool
+        finally:
+            shutdown_shared_pool()
+
+
+class TestCircuitInterning:
+    """Worker-side intern table behind the pooled dispatch path."""
+
+    def test_first_copy_wins(self, s27_mapped, monkeypatch):
+        import repro.simulation.backends.sharded as sharded_mod
+        monkeypatch.setattr(sharded_mod, "_INTERNED_CIRCUITS",
+                            type(sharded_mod._INTERNED_CIRCUITS)())
+        fp = s27_mapped.fingerprint()
+        first = sharded_mod._interned_circuit(s27_mapped, fp)
+        copy = s27_mapped.copy()
+        second = sharded_mod._interned_circuit(copy, fp)
+        assert first is s27_mapped
+        assert second is s27_mapped  # the copy was deduplicated
+
+    def test_bounded_lru(self, monkeypatch):
+        import repro.simulation.backends.sharded as sharded_mod
+        from repro.netlist import builders
+        monkeypatch.setattr(sharded_mod, "_INTERNED_CIRCUITS",
+                            type(sharded_mod._INTERNED_CIRCUITS)())
+        for i in range(sharded_mod._INTERN_MAX + 3):
+            sharded_mod._interned_circuit(builders.s27(), f"fp{i}")
+        assert len(sharded_mod._INTERNED_CIRCUITS) == \
+            sharded_mod._INTERN_MAX

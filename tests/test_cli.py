@@ -137,3 +137,88 @@ class TestArgErrors:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCampaignCommand:
+    def test_needs_spec_or_circuits(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "spec file or --circuits" in capsys.readouterr().err
+
+    def test_spec_and_circuits_mutually_exclusive(self, tmp_path,
+                                                  capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text('{"circuits": ["s27"]}')
+        assert main(["campaign", str(spec), "--circuits", "s27"]) == 2
+
+    def test_inline_campaign_cold_then_cached(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "--circuits", "s27",
+                     "--cache-dir", cache, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "1 executed, 0 from cache" in out
+        assert "Manifest:" in out
+
+        assert main(["campaign", "--circuits", "s27",
+                     "--cache-dir", cache, "--quiet",
+                     "--expect-all-cached"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 1 from cache" in out
+
+    def test_expect_all_cached_fails_on_cold_run(self, tmp_path,
+                                                 capsys):
+        assert main(["campaign", "--circuits", "s27",
+                     "--cache-dir", str(tmp_path / "c"), "--quiet",
+                     "--expect-all-cached"]) == 1
+        assert "expected a fully cached" in capsys.readouterr().err
+
+    def test_spec_file_run(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"name": "mini", "circuits": ["s27"],'
+            ' "base": {"ivc_trials": 2}}')
+        assert main(["campaign", str(spec), "--no-cache",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign 'mini'" in out
+
+    def test_bad_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text("{nope")
+        assert main(["campaign", str(spec)]) == 2
+
+    def test_name_overrides_spec_file_name(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text('{"circuits": ["s27"], "base": {"ivc_trials": 2}}')
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", str(spec), "--name", "nightly",
+                     "--cache-dir", cache, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign 'nightly'" in out
+        assert (tmp_path / "cache" / "nightly.manifest.json").is_file()
+
+    def test_bad_jobs_rejected(self, capsys):
+        assert main(["campaign", "--circuits", "s27",
+                     "--jobs", "0"]) == 2
+
+
+class TestTable1CampaignFlags:
+    def test_jobs_and_cache_dir(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["--seed", "1", "table1", "s27", "--quiet",
+                     "--jobs", "1", "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(["--seed", "1", "table1", "s27", "--quiet",
+                     "--jobs", "1", "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # warm re-run renders identically
+
+
+class TestAblationCampaignFlags:
+    def test_ablation_with_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["--seed", "1", "ablation", "observability", "s27",
+                "--cache-dir", cache]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # second run: pure cache hits
+        assert capsys.readouterr().out == first

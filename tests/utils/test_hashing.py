@@ -1,0 +1,43 @@
+"""Stable hashing helpers (cache key ingredients)."""
+
+import pytest
+
+from repro.netlist.gates import GateType
+from repro.utils.hashing import (
+    canonical_json,
+    package_fingerprint,
+    stable_digest,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_never_matters(self):
+        assert canonical_json({"a": 1, "b": 2}) == \
+            canonical_json({"b": 2, "a": 1})
+
+    def test_nested_order_never_matters(self):
+        assert stable_digest({"x": {"a": 1, "b": [1, 2]}}) == \
+            stable_digest({"x": {"b": [1, 2], "a": 1}})
+
+    def test_enums_hash_by_value(self):
+        assert canonical_json({"t": GateType.NAND}) == \
+            canonical_json({"t": GateType.NAND.value})
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_digest_is_hex_sha256(self):
+        digest = stable_digest({"a": 1})
+        assert len(digest) == 64
+        int(digest, 16)  # raises on non-hex
+
+
+class TestPackageFingerprint:
+    def test_memoized_and_stable(self):
+        assert package_fingerprint() == package_fingerprint()
+        assert len(package_fingerprint()) == 64
+
+    def test_distinguishes_packages(self):
+        assert package_fingerprint("repro") != \
+            package_fingerprint("repro.utils")

@@ -1,0 +1,34 @@
+"""Timing helpers: best_of and the monotonic Stopwatch."""
+
+from repro.utils.timing import Stopwatch, best_of
+
+
+class TestBestOf:
+    def test_returns_minimum_observation(self):
+        calls = []
+        assert best_of(3, lambda: calls.append(1)) >= 0.0
+        assert len(calls) == 3
+
+
+class TestStopwatch:
+    def test_elapsed_is_monotone_non_negative(self):
+        watch = Stopwatch()
+        first = watch.elapsed_s
+        second = watch.elapsed_s
+        assert 0.0 <= first <= second
+
+    def test_restart_resets(self):
+        watch = Stopwatch()
+        sum(range(10_000))  # let a little time pass
+        before = watch.elapsed_s
+        watch.restart()
+        assert watch.elapsed_s <= before + 1.0
+
+    def test_split_restarts(self):
+        watch = Stopwatch()
+        first = watch.split_s()
+        second = watch.split_s()
+        assert first >= 0.0 and second >= 0.0
+        # the split reset the start mark: the second leg does not
+        # include the first
+        assert watch.elapsed_s < first + second + 1.0
