@@ -153,6 +153,65 @@ def test_perf_backend_packed_sim_comparison(benchmark, s1423_mapped,
     assert len(words) > 900
 
 
+#: Enforced batched-vs-serial episode replay floor on the numpy engine.
+EPISODE_SPEEDUP_FLOOR = float(
+    os.environ.get("REPRO_BENCH_EPISODE_FLOOR", "2.0"))
+
+
+def test_perf_episode_batch_speedup(benchmark, s1423_mapped):
+    """Whole-test-set episode replay: batched engine vs per-episode loop.
+
+    The Table-I measurement's shape: one scan episode per vector (74
+    shift cycles + capture on s1423), evaluated over a full test set.
+    The legacy path builds waveforms with per-vector/cycle/line Python
+    loops plus one scalar capture simulation per vector; the batched
+    engine compiles one :class:`EpisodePlan` (single packed capture
+    pass + numpy shift tensor) and evaluates the whole replay in one
+    ``uint64``-matrix pass.  Reports are asserted equal (bit-identical
+    by contract) and the speedup is recorded as
+    ``episode_batch_speedup`` and enforced >= 2x on the numpy backend
+    (the regression gate diffs it across runs).
+    """
+    from repro.power.scanpower import evaluate_scan_power
+    from repro.scan.testview import ScanDesign, TestVector
+
+    design = ScanDesign.full_scan(s1423_mapped)
+    gen = make_rng(7)
+    vectors = [
+        TestVector(
+            pi_values={pi: int(gen.integers(2))
+                       for pi in design.circuit.inputs},
+            scan_state=tuple(int(gen.integers(2))
+                             for _ in range(design.chain.length)))
+        for _ in range(32)
+    ]
+
+    def run(batch):
+        return evaluate_scan_power(design, vectors, backend="numpy",
+                                   episode_batch=batch)
+
+    batched = run(True)  # warms the schedule cache
+    serial = run(False)
+    assert batched == serial
+
+    serial_s = best_of(3, lambda: run(False))
+    batch_s = best_of(3, lambda: run(True))
+    result = benchmark.pedantic(run, args=(True,),
+                                rounds=1, iterations=1, warmup_rounds=0)
+
+    speedup = serial_s / batch_s
+    benchmark.extra_info["n_vectors"] = len(vectors)
+    benchmark.extra_info["n_cycles"] = batched.n_cycles
+    benchmark.extra_info["serial_ms"] = round(serial_s * 1e3, 3)
+    benchmark.extra_info["batch_ms"] = round(batch_s * 1e3, 3)
+    benchmark.extra_info["episode_batch_speedup"] = round(speedup, 2)
+    assert result == serial
+    assert speedup >= EPISODE_SPEEDUP_FLOOR, (
+        f"episode batch speedup {speedup:.2f}x below the "
+        f"{EPISODE_SPEEDUP_FLOOR}x floor ({serial_s * 1e3:.2f} ms serial "
+        f"vs {batch_s * 1e3:.2f} ms batched)")
+
+
 def test_perf_fault_simulation(benchmark, s1423_mapped):
     universe = collapse_faults(s1423_mapped, all_faults(s1423_mapped))
     words = random_input_words(s1423_mapped, 64, make_rng(1))

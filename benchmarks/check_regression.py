@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 
 #: ``extra_info`` keys treated as guarded speedup ratios.
-SPEEDUP_KEYS = ("speedup",)
+SPEEDUP_KEYS = ("speedup", "episode_batch_speedup")
 
 
 def load_speedups(path: Path) -> dict[tuple[str, str], float]:

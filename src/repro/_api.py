@@ -85,13 +85,18 @@ from repro.scan import (
 )
 from repro.simulation import (
     Backend,
+    EpisodeBatchResult,
+    EpisodePlan,
     SequentialSimulator,
     SimState,
     available_backends,
+    compile_episode_plan,
+    episode_batching_enabled,
     get_backend,
     register_backend,
     resolve_backend,
     set_default_backend,
+    set_default_episode_batching,
     simulate_comb,
     simulate_comb3,
     simulate_cycles,
@@ -123,6 +128,8 @@ __all__ = [
     # simulation backends
     "Backend", "SimState", "available_backends", "get_backend",
     "register_backend", "resolve_backend", "set_default_backend",
+    "EpisodePlan", "EpisodeBatchResult", "compile_episode_plan",
+    "episode_batching_enabled", "set_default_episode_batching",
     # scan / power
     "ScanCell", "ScanChain", "ScanDesign", "TestVector",
     "MuxPlan", "insert_muxes",

@@ -20,6 +20,7 @@ deterministic.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 
 from repro.atpg.collapse import collapse_faults
@@ -110,12 +111,43 @@ def generate_tests(design: ScanDesign,
     specifically (e.g. the ``sharded`` meta-backend for large collapsed
     universes) and defaults to ``backend``.  Results are bit-identical
     across backends, so the generated test set never depends on either.
+
+    When the resolved fault engine is a sharding meta-backend that
+    would actually split this circuit's collapsed universe, the inner
+    fault-simulation loop runs against the process-wide shared worker
+    pool (:func:`repro.campaign.pool.ensure_shared_pool`) by default:
+    ATPG makes many fault-simulation calls on the same circuit, and
+    live workers with interned plan caches beat a fresh fork per call.
+    An explicitly attached pool, or an already active shared pool, is
+    honoured as-is.
     """
     config = config or AtpgConfig()
-    if fault_backend is None:
-        fault_backend = backend
+    from repro.simulation.backends import (
+        ShardedBackend,
+        resolve_fault_backend,
+    )
+    engine = resolve_fault_backend(
+        fault_backend if fault_backend is not None else backend)
     circuit = design.circuit
     universe = collapse_faults(circuit, all_faults(circuit))
+    pool_ctx: contextlib.AbstractContextManager = contextlib.nullcontext()
+    if isinstance(engine, ShardedBackend) and engine.pool is None \
+            and engine.effective_shards(len(universe)) > 1:
+        from repro.campaign.pool import (
+            active_shared_pool,
+            ensure_shared_pool,
+        )
+        if active_shared_pool() is None:
+            pool_ctx = engine.using_pool(ensure_shared_pool())
+    with pool_ctx:
+        return _generate_tests(design, config, universe, engine)
+
+
+def _generate_tests(design: ScanDesign, config: AtpgConfig,
+                    universe: list[Fault],
+                    fault_backend: Backend) -> TestSet:
+    """The generation pipeline proper (fault engine fully resolved)."""
+    circuit = design.circuit
     remaining: list[Fault] = list(universe)
     kept_vectors: list[TestVector] = []
     n_untestable = 0

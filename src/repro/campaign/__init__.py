@@ -33,15 +33,21 @@ from repro.campaign.pool import (
     shutdown_shared_pool,
 )
 from repro.campaign.runner import (
+    FIGURE2_ARTEFACT_KIND,
+    FLOW_ARTEFACT_KIND,
     CampaignResult,
+    figure2_from_artefact,
     run_campaign,
     run_flow_jobs,
 )
 
 __all__ = [
+    "FIGURE2_ARTEFACT_KIND",
+    "FLOW_ARTEFACT_KIND",
     "CampaignJob",
     "CampaignResult",
     "CampaignSpec",
+    "figure2_from_artefact",
     "JobRecord",
     "Manifest",
     "ResultCache",

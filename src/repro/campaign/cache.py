@@ -121,6 +121,44 @@ class ResultCache:
         self.stats.stores += 1
         return path
 
+    def gc(self, max_bytes: int) -> tuple[int, int]:
+        """Evict LRU-by-mtime entries until the cache fits ``max_bytes``.
+
+        Only well-formed key files count and get evicted — manifests
+        (top-level) and stray temp files are never touched.  The mtime
+        order makes this an LRU on *write* time: campaigns re-``put``
+        nothing on hits, so untouched artefacts age out first while a
+        long-lived ``.repro-cache/`` stops growing without bound.
+
+        Returns ``(entries evicted, bytes freed)``.  A vanished file
+        (concurrent eviction) is skipped, never an error.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries: list[tuple[float, str, int]] = []
+        total = 0
+        for key in self.entries():
+            path = self.path(key)
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced eviction
+                continue
+            entries.append((stat.st_mtime, key, stat.st_size))
+            total += stat.st_size
+        entries.sort()
+        evicted = 0
+        freed = 0
+        for _mtime, key, size in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                self.path(key).unlink()
+            except OSError:  # pragma: no cover - raced eviction
+                continue
+            evicted += 1
+            freed += size
+        return evicted, freed
+
     def entries(self) -> list[str]:
         """All stored keys (sorted; directory scan, test/CLI use only).
 

@@ -73,6 +73,13 @@ def config_kwargs(config: FlowConfig) -> dict[str, Any]:
     return payload
 
 
+#: Job kinds a campaign spec may declare: ``flow`` runs the full
+#: proposed flow per (circuit, seed, config) point; ``figure2``
+#: regenerates the paper's Figure-2 leakage tables (circuit-free — the
+#: circuits axis is a label only, defaulting to ``("figure2",)``).
+SPEC_KINDS = ("flow", "figure2")
+
+
 @dataclasses.dataclass(frozen=True)
 class CampaignSpec:
     """Declarative sweep: circuits x seeds x config overrides."""
@@ -84,10 +91,31 @@ class CampaignSpec:
     #: Base ``FlowConfig`` kwargs shared by every job.
     base: dict[str, Any] = dataclasses.field(default_factory=dict)
     name: str = "campaign"
+    #: What each job computes; see :data:`SPEC_KINDS`.
+    kind: str = "flow"
 
     def __post_init__(self) -> None:
+        if self.kind not in SPEC_KINDS:
+            raise ConfigError(
+                f"unknown campaign kind {self.kind!r}; "
+                f"available: {', '.join(SPEC_KINDS)}")
         if not self.circuits:
             raise ConfigError("campaign spec needs at least one circuit")
+        if self.kind == "figure2":
+            # run_figure2() depends on the default library only: a grid
+            # would execute the identical computation once per point,
+            # and a circuit name would mislabel the job and manifest.
+            if len(self.circuits) > 1 or len(self.seeds) > 1 \
+                    or len(self.overrides) > 1:
+                raise ConfigError(
+                    "figure2 campaigns have no circuit/seed/override "
+                    "axes (the leakage tables depend only on the cell "
+                    "library)")
+            if self.circuits != ("figure2",):
+                raise ConfigError(
+                    "figure2 campaigns take no circuit; omit "
+                    "'circuits' (it defaults to [\"figure2\"], a "
+                    "label only)")
         if not self.seeds:
             raise ConfigError("campaign spec needs at least one seed")
         if not self.overrides:
@@ -146,6 +174,7 @@ class CampaignSpec:
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
+            "kind": self.kind,
             "circuits": list(self.circuits),
             "seeds": list(self.seeds),
             "overrides": [dict(o) for o in self.overrides],
@@ -154,24 +183,28 @@ class CampaignSpec:
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "CampaignSpec":
-        unknown = set(payload) - {"name", "circuits", "seeds",
+        unknown = set(payload) - {"name", "kind", "circuits", "seeds",
                                   "overrides", "base"}
         if unknown:
             raise ConfigError(
                 f"unknown campaign spec field(s): "
                 f"{', '.join(sorted(unknown))}")
-        try:
-            circuits = tuple(payload["circuits"])
-        except KeyError:
-            raise ConfigError(
-                "campaign spec is missing 'circuits'") from None
+        kind = payload.get("kind", "flow")
+        circuits = payload.get("circuits")
+        if circuits is None:
+            # figure2 jobs are circuit-free; the axis is just a label.
+            if kind == "figure2":
+                circuits = ("figure2",)
+            else:
+                raise ConfigError("campaign spec is missing 'circuits'")
         return cls(
-            circuits=circuits,
+            circuits=tuple(circuits),
             seeds=tuple(payload.get("seeds", (1,))),
             overrides=tuple(dict(o)
                             for o in payload.get("overrides", ({},))),
             base=dict(payload.get("base", {})),
             name=payload.get("name", "campaign"),
+            kind=kind,
         )
 
 

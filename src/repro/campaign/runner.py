@@ -39,11 +39,21 @@ from repro.utils.hashing import package_fingerprint
 from repro.utils.tables import format_table
 from repro.utils.timing import Stopwatch
 
-__all__ = ["FLOW_ARTEFACT_KIND", "CampaignResult", "run_campaign",
-           "run_flow_jobs", "flow_artefact", "row_from_artefact"]
+__all__ = ["FLOW_ARTEFACT_KIND", "FIGURE2_ARTEFACT_KIND",
+           "CampaignResult", "run_campaign", "run_flow_jobs",
+           "flow_artefact", "row_from_artefact", "figure2_artefact",
+           "figure2_from_artefact"]
 
 #: Cache kind tag; bump the suffix when the artefact schema changes.
 FLOW_ARTEFACT_KIND = "flow-artefact/v1"
+
+#: Cache kind tag of Figure-2 leakage-table artefacts.
+FIGURE2_ARTEFACT_KIND = "figure2-artefact/v1"
+
+#: Stand-in circuit fingerprint for circuit-free figure2 jobs: the
+#: leakage tables depend on the default library/technology only (the
+#: code fingerprint in the cache key covers changes to either).
+_FIGURE2_FINGERPRINT = "figure2:default-library"
 
 
 def flow_artefact(job: CampaignJob, provenance: str, result,
@@ -94,12 +104,72 @@ def _execute_flow_job(payload: dict[str, Any]) -> dict[str, Any]:
                          watch.elapsed_s)
 
 
+def _pattern_table_to_json(table: dict) -> dict[str, float]:
+    """``{(0, 1): leak}`` -> ``{"01": leak}`` (JSON-safe keys)."""
+    return {"".join(str(b) for b in pattern): leak
+            for pattern, leak in table.items()}
+
+
+def _pattern_table_from_json(table: dict) -> dict:
+    return {tuple(int(c) for c in key): leak
+            for key, leak in table.items()}
+
+
+def figure2_artefact(job: CampaignJob, run, elapsed_s: float
+                     ) -> dict[str, Any]:
+    """Distil one :class:`~repro.experiments.figure2.Figure2Run`."""
+    return {
+        "kind": FIGURE2_ARTEFACT_KIND,
+        "job_id": job.job_id,
+        "circuit": job.circuit,
+        "seed": job.seed,
+        "nand2": _pattern_table_to_json(run.nand2),
+        "paper_nand2": _pattern_table_to_json(run.paper_nand2),
+        "extra_cells": {cell: _pattern_table_to_json(table)
+                        for cell, table in run.extra_cells.items()},
+        "max_relative_error": run.max_relative_error(),
+        "render": run.render(),
+        "summary": (f"figure2: max NAND2 model error "
+                    f"{run.max_relative_error():.2%} vs the paper"),
+        "elapsed_s": elapsed_s,
+    }
+
+
+def figure2_from_artefact(artefact: dict[str, Any]):
+    """Rebuild the :class:`Figure2Run` (floats round-trip exactly)."""
+    from repro.experiments.figure2 import Figure2Run
+    return Figure2Run(
+        nand2=_pattern_table_from_json(artefact["nand2"]),
+        paper_nand2=_pattern_table_from_json(artefact["paper_nand2"]),
+        extra_cells={cell: _pattern_table_from_json(table)
+                     for cell, table in artefact["extra_cells"].items()},
+    )
+
+
+def _execute_figure2_job(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point: one Figure-2 leakage evaluation (picklable)."""
+    from repro.experiments.figure2 import run_figure2
+    job = CampaignJob(**payload)
+    watch = Stopwatch()
+    run = run_figure2()
+    return figure2_artefact(job, run, watch.elapsed_s)
+
+
+#: Executor per artefact kind, resolved by module attribute at call
+#: time so tests can monkeypatch the worker entry points.
+_EXECUTORS = {
+    FLOW_ARTEFACT_KIND: "_execute_flow_job",
+    FIGURE2_ARTEFACT_KIND: "_execute_figure2_job",
+}
+
+
 def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
                   jobs: int = 1,
                   cache: ResultCache | None = None,
                   manifest: Manifest | None = None,
                   pool: WorkerPool | None = None,
-                  verbose: bool = False
+                  verbose: bool = False,
+                  kind: str = FLOW_ARTEFACT_KIND
                   ) -> tuple[list[dict[str, Any]], list[JobRecord],
                              float, float]:
     """Run ``jobs_list``; returns ``(artefacts, records, wall_s,
@@ -117,9 +187,17 @@ def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
     closed before returning.  Every completed job is checkpointed into
     ``cache`` and ``manifest`` as it lands, in completion order, so an
     interrupted run resumes from all finished jobs.
+
+    ``kind`` selects the artefact each job computes (and its cache
+    namespace): :data:`FLOW_ARTEFACT_KIND` runs the full flow,
+    :data:`FIGURE2_ARTEFACT_KIND` evaluates the Figure-2 leakage
+    tables (circuit-free; jobs are keyed on config + code only).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if kind not in _EXECUTORS:
+        raise ValueError(f"unknown campaign job kind {kind!r}")
+    execute = globals()[_EXECUTORS[kind]]
     watch = Stopwatch()
     code_fp = package_fingerprint() if cache is not None else ""
 
@@ -129,18 +207,28 @@ def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
     pending: list[int] = []
     fingerprints: dict[tuple[str, int], str] = {}  # one load per netlist
     for index, job in enumerate(jobs_list):
-        config = job.flow_config()
-        config_hash = config.config_hash()
+        if kind == FIGURE2_ARTEFACT_KIND:
+            # run_figure2() ignores the flow config (and the seed), so
+            # hashing it would split byte-identical artefacts across
+            # keys; the code fingerprint covers the library.  Still
+            # build the config so typo'd spec fields error like any
+            # other campaign instead of being silently ignored.
+            job.flow_config()
+            config_hash = "figure2"
+        else:
+            config_hash = job.flow_config().config_hash()
         key = None
         if cache is not None:
-            loader_key = (job.circuit, job.circuit_seed)
-            fingerprint = fingerprints.get(loader_key)
-            if fingerprint is None:
-                fingerprint = load_circuit(
-                    job.circuit, seed=job.circuit_seed).fingerprint()
-                fingerprints[loader_key] = fingerprint
-            key = cache.key(FLOW_ARTEFACT_KIND, fingerprint,
-                            config_hash, code_fp)
+            if kind == FIGURE2_ARTEFACT_KIND:
+                fingerprint = _FIGURE2_FINGERPRINT
+            else:
+                loader_key = (job.circuit, job.circuit_seed)
+                fingerprint = fingerprints.get(loader_key)
+                if fingerprint is None:
+                    fingerprint = load_circuit(
+                        job.circuit, seed=job.circuit_seed).fingerprint()
+                    fingerprints[loader_key] = fingerprint
+            key = cache.key(kind, fingerprint, config_hash, code_fp)
         keys.append(key)
         record = JobRecord(job_id=job.job_id, circuit=job.circuit,
                            seed=job.seed, config_hash=config_hash,
@@ -192,7 +280,7 @@ def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
                 processes=min(jobs, len(pending)))
             try:
                 active.map(
-                    _execute_flow_job, payloads,
+                    execute, payloads,
                     on_result=lambda pos, artefact: finish(
                         pending[pos], artefact))
             finally:
@@ -200,8 +288,7 @@ def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
                     active.close()
         else:
             for index in pending:
-                artefact = _execute_flow_job(
-                    dataclasses.asdict(jobs_list[index]))
+                artefact = execute(dataclasses.asdict(jobs_list[index]))
                 finish(index, artefact)
     except BaseException as exc:
         for record in records:
@@ -236,7 +323,7 @@ class CampaignResult:
         return sum(1 for r in self.records if r.source == "run")
 
     def rows(self) -> list[Table1Row]:
-        """Table-I rows for every job, in job order."""
+        """Table-I rows for every job, in job order (flow kind only)."""
         return [row_from_artefact(a) for a in self.artefacts]
 
     def render(self) -> str:
@@ -274,9 +361,11 @@ def run_campaign(spec: CampaignSpec, *,
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     manifest = Manifest.open(manifest_path, spec.digest()) \
         if manifest_path is not None else None
+    kind = FIGURE2_ARTEFACT_KIND if spec.kind == "figure2" \
+        else FLOW_ARTEFACT_KIND
     artefacts, records, wall_s, worker_s = run_flow_jobs(
         expanded, jobs=jobs, cache=cache, manifest=manifest, pool=pool,
-        verbose=verbose)
+        verbose=verbose, kind=kind)
     return CampaignResult(spec=spec, jobs=expanded, artefacts=artefacts,
                           records=records, wall_s=wall_s,
                           worker_s=worker_s)

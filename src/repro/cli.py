@@ -43,6 +43,7 @@ __all__ = ["main"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.campaign.manifest import SPEC_KINDS
     from repro.simulation.backends import available_backends
 
     parser = argparse.ArgumentParser(
@@ -65,6 +66,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=("worker processes for the 'sharded' fault "
                               "backend (implies --fault-backend sharded; "
                               "default: $REPRO_SIM_SHARDS or cpu count)"))
+    parser.add_argument("--episode-batch", choices=("on", "off"),
+                        default=None,
+                        help=("batched whole-test-set episode engine for "
+                              "scan-power replays (bit-identical to the "
+                              "per-episode path; default: "
+                              "$REPRO_EPISODE_BATCH or on)"))
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_campaign_args(p) -> None:
@@ -93,10 +100,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a circuits x seeds sweep on the campaign layer")
     camp.add_argument("spec", nargs="?", default=None,
                       help="JSON campaign spec file (see README "
-                           "'Campaigns'); omit to use --circuits")
+                           "'Campaigns'); omit to use --circuits; the "
+                           "literal word 'gc' instead runs cache "
+                           "eviction (with --max-mb)")
     camp.add_argument("--circuits", nargs="+", default=None,
                       metavar="NAME",
                       help="inline spec: circuits to sweep")
+    camp.add_argument("--kind", choices=SPEC_KINDS, default=None,
+                      help=("job kind: 'flow' (Table-I flow artefacts, "
+                            "default) or 'figure2' (leakage-table "
+                            "artefacts; --circuits optional)"))
+    camp.add_argument("--max-mb", type=float, default=None, metavar="N",
+                      help=("with 'gc': evict least-recently-modified "
+                            "cache entries until the cache fits N MB"))
     camp.add_argument("--seeds", nargs="+", type=int, default=None,
                       metavar="SEED",
                       help="inline spec: seeds to sweep (default: --seed)")
@@ -144,6 +160,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         resolve_fault_backend,
         set_default_backend,
     )
+    from repro.simulation.episode import (
+        episode_batching_enabled,
+        set_default_episode_batching,
+    )
+    episode_batch = {"on": True, "off": False, None: None}[
+        args.episode_batch]
+    # Session default, like --backend: reaches consumers that don't
+    # thread the knob through their own config (e.g. the ablations).
+    set_default_episode_batching(episode_batch)
     try:
         if args.backend is not None:
             set_default_backend(args.backend)
@@ -155,6 +180,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.simulation.backends import ShardedBackend
         if isinstance(engine, ShardedBackend) and args.shards is None:
             engine.effective_shards(0)  # and on a bad $REPRO_SIM_SHARDS
+        if episode_batch is None:
+            episode_batching_enabled(None)  # bad $REPRO_EPISODE_BATCH
     except SimulationError as exc:
         print(f"repro-power: error: {exc}", file=sys.stderr)
         return 2
@@ -184,12 +211,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "campaign":
-        return _run_campaign_command(args)
+        return _run_campaign_command(args, episode_batch)
 
     if args.command == "table1":
         config = FlowConfig(seed=args.seed, backend=args.backend,
                             fault_backend=args.fault_backend,
-                            shards=args.shards)
+                            shards=args.shards,
+                            episode_batch=episode_batch)
         circuits = args.circuits or None
         run = run_table1(circuits, config, verbose=not args.quiet,
                          jobs=args.jobs, cache_dir=args.cache_dir)
@@ -212,6 +240,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             backend=args.backend,
             fault_backend=args.fault_backend,
             shards=args.shards,
+            episode_batch=episode_batch,
             reorder_inputs=not args.no_reorder,
             use_observability_directive=not args.no_directive)
         result = ProposedFlow(config).run(load_circuit(args.circuit,
@@ -242,13 +271,52 @@ def main(argv: Sequence[str] | None = None) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
-def _run_campaign_command(args) -> int:
+def _run_campaign_gc(args) -> int:
+    """``repro campaign gc --max-mb N``: LRU-by-mtime cache eviction."""
+    from repro.campaign.cache import ResultCache
+
+    conflicting = [flag for flag, value in (
+        ("--circuits", args.circuits), ("--seeds", args.seeds),
+        ("--kind", args.kind), ("--name", args.name),
+        ("--jobs", args.jobs), ("--manifest", args.manifest),
+        ("--no-cache", args.no_cache or None),
+        ("--expect-all-cached", args.expect_all_cached or None),
+    ) if value is not None]
+    if conflicting:
+        print(f"repro-power: error: campaign gc does not accept "
+              f"{', '.join(conflicting)}", file=sys.stderr)
+        return 2
+    if args.max_mb is None:
+        print("repro-power: error: campaign gc needs --max-mb N",
+              file=sys.stderr)
+        return 2
+    if args.max_mb < 0:
+        print("repro-power: error: --max-mb must be >= 0",
+              file=sys.stderr)
+        return 2
+    cache_dir = args.cache_dir or ".repro-cache"
+    cache = ResultCache(cache_dir)
+    evicted, freed = cache.gc(int(args.max_mb * 1024 * 1024))
+    print(f"campaign gc: evicted {evicted} entry(ies), freed "
+          f"{freed / (1024 * 1024):.2f} MB "
+          f"(cache {cache_dir}, budget {args.max_mb:g} MB)")
+    return 0
+
+
+def _run_campaign_command(args, episode_batch: bool | None) -> int:
     """The ``campaign`` subcommand (spec -> runner -> status report)."""
     from pathlib import Path
 
     from repro.campaign.manifest import CampaignSpec, load_spec
     from repro.campaign.runner import run_campaign
     from repro.errors import ConfigError
+
+    if args.spec == "gc":
+        return _run_campaign_gc(args)
+    if args.max_mb is not None:
+        print("repro-power: error: --max-mb only applies to "
+              "'campaign gc'", file=sys.stderr)
+        return 2
 
     runtime_base = {}
     if args.backend is not None:
@@ -257,6 +325,8 @@ def _run_campaign_command(args) -> int:
         runtime_base["fault_backend"] = args.fault_backend
     if args.shards is not None:
         runtime_base["shards"] = args.shards
+    if episode_batch is not None:
+        runtime_base["episode_batch"] = episode_batch
 
     try:
         if args.spec is not None:
@@ -265,22 +335,27 @@ def _run_campaign_command(args) -> int:
                       "--circuits/--seeds, not both", file=sys.stderr)
                 return 2
             spec = load_spec(args.spec)
-            if runtime_base or args.name is not None:
+            if runtime_base or args.name is not None \
+                    or args.kind is not None:
                 spec = CampaignSpec(
                     circuits=spec.circuits, seeds=spec.seeds,
                     overrides=spec.overrides,
                     base={**spec.base, **runtime_base},
                     name=args.name if args.name is not None
-                    else spec.name)
-        elif args.circuits:
+                    else spec.name,
+                    kind=args.kind if args.kind is not None
+                    else spec.kind)
+        elif args.circuits or args.kind == "figure2":
             spec = CampaignSpec(
-                circuits=tuple(args.circuits),
+                circuits=tuple(args.circuits) if args.circuits
+                else ("figure2",),
                 seeds=tuple(args.seeds) if args.seeds else (args.seed,),
                 base=runtime_base,
-                name=args.name or "campaign")
+                name=args.name or "campaign",
+                kind=args.kind or "flow")
         else:
-            print("repro-power: error: campaign needs a spec file or "
-                  "--circuits", file=sys.stderr)
+            print("repro-power: error: campaign needs a spec file, "
+                  "--circuits, or --kind figure2", file=sys.stderr)
             return 2
     except ConfigError as exc:
         print(f"repro-power: error: {exc}", file=sys.stderr)

@@ -57,13 +57,18 @@ class FlowConfig:
     shards:
         Worker-process count for the ``sharded`` fault backend; setting
         it implies ``fault_backend="sharded"`` when that is unset.
+    episode_batch:
+        Batched episode engine for the flow's scan-power replays:
+        ``True``/``False`` force it on/off, ``None`` defers to
+        ``$REPRO_EPISODE_BATCH`` (default on).  Bit-identical either
+        way; only speed changes.
     """
 
     #: Fields that only affect execution speed, never results (every
     #: backend is bit-identical by contract); excluded from
     #: :meth:`config_hash` so cache keys are engine-independent.
     RUNTIME_FIELDS: ClassVar[tuple[str, ...]] = (
-        "backend", "fault_backend", "shards")
+        "backend", "fault_backend", "shards", "episode_batch")
 
     seed: int = 0
     observability_samples: int = 512
@@ -78,6 +83,7 @@ class FlowConfig:
     backend: str | None = None
     fault_backend: str | None = None
     shards: int | None = None
+    episode_batch: bool | None = None
 
     def __post_init__(self) -> None:
         from repro.simulation.backends import available_backends

@@ -186,15 +186,18 @@ class ProposedFlow:
             "traditional": evaluate_scan_power(
                 design, test_set.vectors, policies["traditional"],
                 library, config.include_capture_cycles,
-                backend=config.backend),
+                backend=config.backend,
+                episode_batch=config.episode_batch),
             "input_control": evaluate_scan_power(
                 design, test_set.vectors, policies["input_control"],
                 library, config.include_capture_cycles,
-                backend=config.backend),
+                backend=config.backend,
+                episode_batch=config.episode_batch),
             "proposed": evaluate_scan_power(
                 proposed_design, test_set.vectors, policies["proposed"],
                 library, config.include_capture_cycles,
-                backend=config.backend),
+                backend=config.backend,
+                episode_batch=config.episode_batch),
         }
 
         return FlowResult(

@@ -35,6 +35,10 @@ from repro.power.dynamic import (
 from repro.scan.testview import ScanDesign, TestVector
 from repro.simulation.backends import Backend, resolve_backend
 from repro.simulation.cyclesim import simulate_cycles
+from repro.simulation.episode import (
+    compile_episode_plan,
+    episode_batching_enabled,
+)
 from repro.simulation.values import pack_bits
 
 __all__ = ["ShiftPolicy", "ScanPowerReport", "evaluate_scan_power",
@@ -97,11 +101,17 @@ def _episode_waveforms(design: ScanDesign, vectors: Sequence[TestVector],
                        policy: ShiftPolicy, include_capture: bool,
                        initial_state: Sequence[int] | None
                        ) -> tuple[dict[str, int], int]:
-    """Per-line packed waveforms of the whole scan episode.
+    """Per-line packed waveforms of the whole scan episode (serial path).
 
     Shift cycles present the policy's constants (PIs, MUX ties) and the
     live chain state on non-muxed pseudo-inputs; capture cycles present
     the test vector itself (MUXes transparent in normal mode).
+
+    This is the legacy per-vector, per-cycle, per-line loop, kept as
+    the reference the batched episode compiler
+    (:func:`repro.simulation.episode.compile_episode_plan`) is pinned
+    against (same words, bit for bit) and as the fallback when episode
+    batching is switched off.
     """
     circuit = design.circuit
     chain = design.chain
@@ -146,15 +156,33 @@ def _episode_waveforms(design: ScanDesign, vectors: Sequence[TestVector],
 def episode_waveforms(design: ScanDesign, vectors: Sequence[TestVector],
                       policy: ShiftPolicy | None = None,
                       include_capture: bool = True,
-                      initial_state: Sequence[int] | None = None
+                      initial_state: Sequence[int] | None = None,
+                      backend: str | Backend | None = None,
+                      episode_batch: bool | None = None
                       ) -> tuple[dict[str, int], int]:
     """Public wrapper over the episode waveform builder.
 
     Returns ``(per-line packed waveforms, n_cycles)`` for the whole scan
     episode — useful for custom analyses (spectra, peak windows, VCD-ish
     dumps) on top of the same shift semantics the evaluator uses.
+
+    ``backend`` selects the engine for the batched compiler's capture
+    pre-pass and is **resolved exactly once per call**: a meta backend
+    (e.g. ``sharded``) resolves here to one engine instance whose inner
+    delegation applies uniformly, never re-resolved per vector — the
+    resolve-once convention every public entry point follows.
+    ``episode_batch`` (default: ``$REPRO_EPISODE_BATCH``, on) picks the
+    batched compiler or the legacy serial loop; both return the same
+    words bit for bit.
     """
-    return _episode_waveforms(design, vectors, policy or ShiftPolicy(),
+    policy = policy or ShiftPolicy()
+    if episode_batching_enabled(episode_batch):
+        plan = compile_episode_plan(
+            design, vectors, pi_values=policy.pi_values,
+            mux_ties=policy.mux_ties, include_capture=include_capture,
+            initial_state=initial_state, backend=resolve_backend(backend))
+        return plan.waveforms, plan.n_cycles
+    return _episode_waveforms(design, vectors, policy,
                               include_capture, initial_state)
 
 
@@ -164,7 +192,8 @@ def evaluate_scan_power(design: ScanDesign,
                         library: CellLibrary | None = None,
                         include_capture: bool = True,
                         initial_state: Sequence[int] | None = None,
-                        backend: str | Backend | None = None
+                        backend: str | Backend | None = None,
+                        episode_batch: bool | None = None
                         ) -> ScanPowerReport:
     """Replay a scan test set and measure combinational power.
 
@@ -188,19 +217,38 @@ def evaluate_scan_power(design: ScanDesign,
         ``None`` for the session default); affects speed only.  Meta
         backends (e.g. ``sharded``) delegate their plain packed
         simulation to their inner engine, so any registered name works
-        here.  Resolved once per episode.
+        here.  Resolved exactly once per call and reused for the
+        capture pre-pass and the batch evaluation.
+    episode_batch:
+        ``True``/``False`` force the batched episode engine on/off;
+        ``None`` defers to ``$REPRO_EPISODE_BATCH`` (default on).  The
+        two paths are bit-identical; only speed changes.
     """
     policy = policy or ShiftPolicy()
     library = library or default_library()
     circuit = design.circuit
     engine = resolve_backend(backend)
 
-    waveforms, n_cycles = _episode_waveforms(
-        design, vectors, policy, include_capture, initial_state)
-    result = simulate_cycles(circuit, waveforms, n_cycles, library,
-                             collect_leakage=True, backend=engine)
-    energy_fj = switching_energy_fj(circuit, result.transitions, library)
-    mean_leak_na = result.mean_leakage_na
+    if episode_batching_enabled(episode_batch):
+        plan = compile_episode_plan(
+            design, vectors, pi_values=policy.pi_values,
+            mux_ties=policy.mux_ties, include_capture=include_capture,
+            initial_state=initial_state, backend=engine)
+        batch = engine.simulate_episode_batch(plan, library,
+                                              collect_leakage=True)
+        n_cycles = batch.n_cycles
+        transitions = batch.transitions
+        total_transitions = batch.total_transitions
+        mean_leak_na = batch.mean_leakage_na
+    else:
+        waveforms, n_cycles = _episode_waveforms(
+            design, vectors, policy, include_capture, initial_state)
+        result = simulate_cycles(circuit, waveforms, n_cycles, library,
+                                 collect_leakage=True, backend=engine)
+        transitions = result.transitions
+        total_transitions = result.total_transitions
+        mean_leak_na = result.mean_leakage_na
+    energy_fj = switching_energy_fj(circuit, transitions, library)
     return ScanPowerReport(
         circuit_name=circuit.name,
         policy_name=policy.name,
@@ -208,7 +256,7 @@ def evaluate_scan_power(design: ScanDesign,
         n_cycles=n_cycles,
         dynamic_uw_per_hz=energy_per_cycle_uw_per_hz(energy_fj, n_cycles),
         static_uw=leakage_power_uw(mean_leak_na, library.vdd),
-        total_transitions=result.total_transitions,
+        total_transitions=total_transitions,
         mean_leakage_na=mean_leak_na,
     )
 
@@ -218,26 +266,40 @@ def per_cycle_energy_fj(design: ScanDesign,
                         policy: ShiftPolicy | None = None,
                         library: CellLibrary | None = None,
                         include_capture: bool = True,
-                        backend: str | Backend | None = None
+                        backend: str | Backend | None = None,
+                        episode_batch: bool | None = None
                         ) -> np.ndarray:
     """Per-cycle-boundary switching energy profile (peak-power studies).
 
     Memory/time scale with lines x cycles; intended for the smaller
-    circuits (ablation benches use it, Table I does not need it).
+    circuits (ablation benches use it, Table I does not need it).  The
+    backend is resolved once per call; ``episode_batch`` follows
+    :func:`evaluate_scan_power`.
     """
     policy = policy or ShiftPolicy()
     library = library or default_library()
     circuit = design.circuit
-    waveforms, n_cycles = _episode_waveforms(
-        design, vectors, policy, include_capture, None)
-    sim = simulate_cycles(circuit, waveforms, n_cycles, library,
-                          collect_leakage=False, keep_waveforms=True,
-                          backend=resolve_backend(backend))
+    engine = resolve_backend(backend)
+    if episode_batching_enabled(episode_batch):
+        plan = compile_episode_plan(
+            design, vectors, pi_values=policy.pi_values,
+            mux_ties=policy.mux_ties, include_capture=include_capture,
+            initial_state=None, backend=engine)
+        batch = engine.simulate_episode_batch(
+            plan, library, collect_leakage=False, keep_waveforms=True)
+        n_cycles, line_waveforms = batch.n_cycles, batch.waveforms
+    else:
+        waveforms, n_cycles = _episode_waveforms(
+            design, vectors, policy, include_capture, None)
+        sim = simulate_cycles(circuit, waveforms, n_cycles, library,
+                              collect_leakage=False, keep_waveforms=True,
+                              backend=engine)
+        line_waveforms = sim.waveforms
     caps = switched_caps_ff(circuit, library)
     profile = np.zeros(max(n_cycles - 1, 0), dtype=np.float64)
-    assert sim.waveforms is not None
+    assert line_waveforms is not None
     boundary_mask = (1 << max(n_cycles - 1, 0)) - 1
-    for line, word in sim.waveforms.items():
+    for line, word in line_waveforms.items():
         toggles = (word ^ (word >> 1)) & boundary_mask
         if toggles == 0:
             continue

@@ -16,6 +16,13 @@ from repro.simulation.bitsim import (
     simulate_packed,
 )
 from repro.simulation.cyclesim import CycleSimResult, simulate_cycles
+from repro.simulation.episode import (
+    EpisodeBatchResult,
+    EpisodePlan,
+    compile_episode_plan,
+    episode_batching_enabled,
+    set_default_episode_batching,
+)
 from repro.simulation.eval2 import comb_input_lines, simulate_comb
 from repro.simulation.eval3 import imply_from, simulate_comb3
 from repro.simulation.eventsim import EventSimulator
@@ -48,6 +55,11 @@ __all__ = [
     "eval_gate_packed",
     "CycleSimResult",
     "simulate_cycles",
+    "EpisodePlan",
+    "EpisodeBatchResult",
+    "compile_episode_plan",
+    "episode_batching_enabled",
+    "set_default_episode_batching",
     "EventSimulator",
     "SequentialSimulator",
     "render_vcd",

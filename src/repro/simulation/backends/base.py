@@ -31,6 +31,7 @@ from repro.netlist.gates import GateType
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.atpg.faults import Fault
     from repro.atpg.faultsim import FaultSimResult
+    from repro.simulation.episode import EpisodeBatchResult, EpisodePlan
 
 __all__ = ["Backend", "SimState", "require_input_word"]
 
@@ -91,6 +92,31 @@ class SimState(abc.ABC):
         agree bit-for-bit across backends.
         """
 
+    def pattern_counts(self) -> dict[str, np.ndarray]:
+        """Exact per-gate pattern counts over all simulated patterns.
+
+        Entry ``counts[line][code]`` is the number of patterns on which
+        the gate driving ``line`` sees the input bit-pattern ``code``
+        (pin ``j`` = bit ``j`` of the code), as an ``int64`` array of
+        length ``2**arity``.  Keys are the combinational gate outputs
+        in topological order.  Counts are integers, so they merge
+        exactly across pattern-axis shards; pricing merged counts with
+        the leakage tables reproduces :meth:`leakage_sum` bit for bit
+        (see :func:`repro.leakage.estimator.leakage_from_pattern_counts`).
+        """
+        from repro.simulation.values import pattern_count
+        counts: dict[str, np.ndarray] = {}
+        for line in self.circuit.topo_order():
+            gate = self.circuit.gates[line]
+            arity = len(gate.inputs)
+            in_words = [self.word(src) for src in gate.inputs]
+            arr = np.empty(1 << arity, dtype=np.int64)
+            for code in range(1 << arity):
+                pattern = tuple((code >> pin) & 1 for pin in range(arity))
+                arr[code] = pattern_count(in_words, pattern, self.n)
+            counts[line] = arr
+        return counts
+
     def bools(self, line: str) -> np.ndarray:
         """The line's waveform as a length-``n`` boolean array (cached)."""
         cached = self._bool_cache.get(line)
@@ -137,6 +163,39 @@ class Backend(abc.ABC):
                         n: int) -> dict[str, int]:
         """Convenience: run and return interchange words for all lines."""
         return self.run(circuit, input_words, n).words()
+
+    def simulate_episode_batch(self, plan: "EpisodePlan",
+                               library: CellLibrary | None = None,
+                               collect_leakage: bool = True,
+                               keep_waveforms: bool = False
+                               ) -> "EpisodeBatchResult":
+        """Evaluate a whole test set's scan replay in one pass.
+
+        ``plan`` is a compiled :class:`~repro.simulation.episode.
+        EpisodePlan` (all episodes' cycles packed back to back).  The
+        default implementation runs the plan's stimulus through
+        :meth:`run` as a single packed simulation — on the big-int
+        engine this is the reference semantics, on the numpy engine one
+        ``uint64``-matrix pass over the levelized fused-AND schedule —
+        and derives transitions / leakage sums exactly as
+        :func:`~repro.simulation.cyclesim.simulate_cycles` would.  Meta
+        backends may shard the pattern/cycle axis instead (see
+        :class:`~repro.simulation.backends.sharded.ShardedBackend`);
+        every implementation must stay bit-identical.
+        """
+        from repro.cells.library import default_library
+        from repro.simulation.episode import EpisodeBatchResult
+        library = library or default_library()
+        state = self.run(plan.circuit, plan.waveforms, plan.n_cycles)
+        return EpisodeBatchResult(
+            n_cycles=plan.n_cycles,
+            transitions=state.transitions(),
+            leakage_sum_na=state.leakage_sum(library)
+            if collect_leakage else {},
+            offsets=plan.offsets,
+            lengths=plan.lengths,
+            waveforms=state.words() if keep_waveforms else None,
+        )
 
     def fault_simulate_batch(self, circuit: Circuit,
                              faults: "Sequence[Fault]",

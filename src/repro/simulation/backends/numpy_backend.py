@@ -229,6 +229,26 @@ class NumpyState(SimState):
                 leakage[schedule.lines[out_pos]] = float(value)
         return leakage
 
+    def pattern_counts(self) -> dict[str, np.ndarray]:
+        """Möbius-inverted subset popcounts per (type, arity) group.
+
+        Same integers as the generic per-pattern popcount reference
+        (:meth:`SimState.pattern_counts`), one vectorized pass per
+        group instead of one Python loop per gate.
+        """
+        schedule = self._schedule
+        n_inputs = len(schedule.input_lines)
+        # Seed the dict in topological order; groups fill it out of
+        # order but cover every combinational gate exactly once.
+        counts: dict[str, np.ndarray] = \
+            dict.fromkeys(schedule.lines[n_inputs:])  # type: ignore[arg-type]
+        for group in schedule.type_groups:
+            ones = self._pattern_counts(self._matrix[group.inputs])
+            for g, out_pos in enumerate(group.outputs):
+                counts[schedule.lines[out_pos]] = \
+                    np.ascontiguousarray(ones[:, g])
+        return counts
+
     def _unpack_bools(self, line: str) -> np.ndarray:
         row = self._matrix[self._schedule.line_index[line]]
         bits = np.unpackbits(np.frombuffer(row.tobytes(), dtype=np.uint8),

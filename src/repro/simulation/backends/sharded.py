@@ -1,11 +1,19 @@
-"""Process-sharded fault simulation meta-backend.
+"""Process-sharded simulation meta-backend (fault and pattern axes).
 
 ``ShardedBackend`` wraps an inner engine (``numpy`` by default).  Plain
 packed simulation delegates straight to the inner backend; fault
 simulation partitions the fault list into contiguous shards, simulates
 each shard in its own ``multiprocessing`` worker with the inner engine,
 and merges the per-shard :class:`~repro.atpg.faultsim.FaultSimResult`
-objects in shard order.
+objects in shard order.  Batched *episode* simulation
+(:meth:`ShardedBackend.simulate_episode_batch`) shards the other axis:
+oversized :class:`~repro.simulation.episode.EpisodePlan`\\ s are split
+into contiguous **cycle ranges** under a fixed memory budget, each chunk
+is simulated by a worker, and the chunk results are merged with
+integer-exact arithmetic (transition counts add, boundary transitions
+are recovered from the chunk-edge bits, leakage pattern counts add and
+are priced once) — so the merge is bit-identical to the unsharded pass
+for every chunk count.
 
 Determinism guarantees:
 
@@ -17,7 +25,10 @@ Determinism guarantees:
   property tests pin this against the big-int reference);
 * fault dropping happens per shard — each worker drops its own detected
   faults — which is exactly the reference semantics, because dropping
-  never crosses fault boundaries within one call.
+  never crosses fault boundaries within one call;
+* episode chunks merge through integer pattern/transition counts and a
+  single float pricing pass in table order, so leakage floats and
+  concatenated waveforms never depend on the chunk count either.
 
 Short fault lists (below ``min_faults_per_shard`` per worker) run inline
 on the inner backend: forking costs more than it saves there, and the
@@ -45,20 +56,30 @@ from collections import OrderedDict
 from collections.abc import Iterator, Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
+from repro.cells.library import CellLibrary
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import GateType
 from repro.simulation.backends.base import Backend, SimState
+from repro.simulation.values import mask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    import numpy as np
+
     from repro.atpg.faults import Fault
     from repro.atpg.faultsim import FaultSimResult
     from repro.campaign.pool import WorkerPool
+    from repro.simulation.episode import EpisodeBatchResult, EpisodePlan
 
 __all__ = ["ShardedBackend", "shard_bounds", "DEFAULT_SHARDS_ENV"]
 
 #: Environment variable supplying the default worker count.
 DEFAULT_SHARDS_ENV = "REPRO_SIM_SHARDS"
+
+#: ``uint64``-element budget of one episode chunk's state matrix
+#: (lines x words), ~32 MiB — the same order as the fault kernel's
+#: batch budget.  Plans that fit run inline on the inner backend.
+_EPISODE_ELEMENT_BUDGET = 1 << 22
 
 
 def shard_bounds(n_items: int, n_shards: int) -> list[tuple[int, int]]:
@@ -122,6 +143,90 @@ def _simulate_shard_pooled(payload: tuple[str, Circuit, str,
         circuit, faults, input_words, n, drop=drop)
 
 
+def _episode_chunk_result(inner_name: str, circuit: Circuit,
+                          words: dict[str, int], n: int, leakage: bool,
+                          keep: bool
+                          ) -> tuple[dict[str, int],
+                                     dict[str, tuple[int, int]],
+                                     "dict[str, np.ndarray] | None",
+                                     dict[str, int] | None]:
+    """Simulate one cycle-range chunk and distil the merge ingredients.
+
+    Returns ``(transitions, edge bits, pattern counts, words)`` — the
+    integer-exact ingredients the parent merges: per-line transition
+    counts within the chunk, each line's (first, last) cycle bit for
+    the boundary transitions between neighbouring chunks, per-gate
+    leakage pattern counts (``None`` unless leakage was requested) and
+    the chunk's packed words (``None`` unless waveforms were kept).
+    """
+    from repro.simulation.backends import get_backend
+    state = get_backend(inner_name).run(circuit, words, n)
+    edges: dict[str, tuple[int, int]] = {}
+    for line in state.lines():
+        word = state.word(line)
+        edges[line] = (word & 1, (word >> (n - 1)) & 1)
+    return (state.transitions(), edges,
+            state.pattern_counts() if leakage else None,
+            state.words() if keep else None)
+
+
+def _simulate_episode_chunk(payload: tuple[str, Circuit, str,
+                                           dict[str, int], int, bool, bool]
+                            ) -> tuple[dict[str, int],
+                                       dict[str, tuple[int, int]],
+                                       "dict[str, np.ndarray] | None",
+                                       dict[str, int] | None]:
+    """Pool/spawn worker: one episode chunk, circuit interned by
+    content."""
+    inner_name, circuit, fingerprint, words, n, leakage, keep = payload
+    circuit = _interned_circuit(circuit, fingerprint)
+    return _episode_chunk_result(inner_name, circuit, words, n, leakage,
+                                 keep)
+
+
+def _window_word(raw: bytes, start: int, stop: int) -> int:
+    """Cycles ``[start, stop)`` of a little-endian packed byte string.
+
+    O(window) regardless of where the window sits, unlike shifting the
+    whole packed big-int (O(total cycles) per chunk — which would make
+    slicing k chunks cost k full-plan passes).
+    """
+    low = start // 8
+    high = (stop + 7) // 8
+    return (int.from_bytes(raw[low:high], "little")
+            >> (start - low * 8)) & mask(stop - start)
+
+
+def _plan_byte_map(waveforms: Mapping[str, int],
+                   n_cycles: int) -> dict[str, bytes]:
+    """Each line's packed word as bytes — one O(plan) pass, after which
+    every chunk window slices in O(window)."""
+    n_bytes = (n_cycles + 7) // 8
+    return {line: word.to_bytes(n_bytes, "little")
+            for line, word in waveforms.items()}
+
+
+def _simulate_episode_chunk_fork(bounds: tuple[int, int]
+                                 ) -> tuple[dict[str, int],
+                                            dict[str, tuple[int, int]],
+                                            "dict[str, np.ndarray] | None",
+                                            dict[str, int] | None]:
+    """Fork-context worker: slice the inherited plan by ``bounds``.
+
+    The circuit, its warmed schedule cache and the stimulus byte map
+    arrive by copy-on-write inheritance (like the fault-shard fork
+    path), so nothing is pickled per chunk and each worker only pays
+    O(window) for slicing its own cycle window.
+    """
+    assert _FORK_JOB is not None
+    inner_name, circuit, byte_map, leakage, keep = _FORK_JOB
+    start, stop = bounds
+    words = {line: _window_word(raw, start, stop)
+             for line, raw in byte_map.items()}
+    return _episode_chunk_result(inner_name, circuit, words,
+                                 stop - start, leakage, keep)
+
+
 #: Fork-path job shared with workers by inheritance instead of pickling.
 #: Children see the parent's warmed schedule / fault-plan caches (and,
 #: for the numpy inner engine, the settled fault-free state) copy-on-
@@ -175,23 +280,33 @@ class ShardedBackend(Backend):
         pool's lifetime.  When unset, a started process-wide shared
         pool (:func:`repro.campaign.pool.ensure_shared_pool`) is picked
         up opportunistically.
+    episode_budget:
+        ``uint64``-element budget of one episode chunk's state matrix
+        (lines x words); plans whose whole matrix fits run inline on
+        the inner backend, larger plans split along the cycle axis.
+        Defaults to ~32 MiB per chunk.
     """
 
     name = "sharded"
 
     def __init__(self, inner: str = "numpy", shards: int | None = None,
                  min_faults_per_shard: int = 256,
-                 pool: "WorkerPool | None" = None):
+                 pool: "WorkerPool | None" = None,
+                 episode_budget: int | None = None):
         if inner == self.name:
             raise SimulationError("sharded backend cannot nest itself")
         if shards is not None and shards < 1:
             raise SimulationError("shards must be >= 1")
         if min_faults_per_shard < 1:
             raise SimulationError("min_faults_per_shard must be >= 1")
+        if episode_budget is not None and episode_budget < 1:
+            raise SimulationError("episode_budget must be >= 1")
         self.inner_name = inner
         self.shards = shards
         self.min_faults_per_shard = min_faults_per_shard
         self.pool = pool
+        self.episode_budget = episode_budget if episode_budget is not None \
+            else _EPISODE_ELEMENT_BUDGET
 
     @contextlib.contextmanager
     def using_pool(self, pool: "WorkerPool") -> Iterator["ShardedBackend"]:
@@ -231,11 +346,147 @@ class ShardedBackend(Backend):
         return self._inner().eval_gate_packed(gtype, words, n)
 
     # ------------------------------------------------------------------ #
+    # pattern/cycle-axis sharded episode simulation
+    # ------------------------------------------------------------------ #
+
+    def episode_chunks(self, plan: "EpisodePlan") -> int:
+        """Cycle-axis chunk count for ``plan`` under the memory budget.
+
+        ``1`` (inline on the inner backend) when the plan's whole state
+        matrix fits the per-chunk element budget; otherwise at least
+        enough chunks to respect the budget, rounded up to the
+        configured worker count so an oversized plan also parallelizes.
+        """
+        n_lines = len(plan.waveforms) + len(plan.circuit.topo_order()) + 1
+        n_words = (plan.n_cycles + 63) // 64
+        needed = -(n_lines * n_words // -self.episode_budget)
+        if needed <= 1:
+            return 1
+        return min(plan.n_cycles, max(needed, self.configured_shards()))
+
+    def simulate_episode_batch(self, plan: "EpisodePlan",
+                               library: CellLibrary | None = None,
+                               collect_leakage: bool = True,
+                               keep_waveforms: bool = False
+                               ) -> "EpisodeBatchResult":
+        """Shard the plan's cycle axis across workers and merge exactly.
+
+        Chunks are contiguous cycle ranges; every chunk is one plain
+        packed simulation on the inner engine.  The merge is
+        integer-exact (transition counts add, with one extra transition
+        per chunk boundary where the edge bits differ; leakage pattern
+        counts add and are priced once in table order; kept waveforms
+        concatenate by shifting), so the result never depends on the
+        chunk count — pinned against the unsharded pass by the
+        differential property tests.
+        """
+        from repro.cells.library import default_library
+        library = library or default_library()
+        n_chunks = self.episode_chunks(plan)
+        if n_chunks <= 1:
+            return self._inner().simulate_episode_batch(
+                plan, library, collect_leakage=collect_leakage,
+                keep_waveforms=keep_waveforms)
+
+        bounds = shard_bounds(plan.n_cycles, n_chunks)
+        processes = min(len(bounds), self.configured_shards())
+        pool = self._resolve_pool()
+        if pool is not None or \
+                multiprocessing.get_start_method(allow_none=False) \
+                != "fork":
+            # Pool/spawn paths ship pre-sliced chunk stimuli; one
+            # O(plan) byte conversion, then each window is O(window).
+            # Workers intern the circuit by content fingerprint.
+            fingerprint = plan.circuit.fingerprint()
+            byte_map = _plan_byte_map(plan.waveforms, plan.n_cycles)
+            payloads: list[Any] = [
+                (self.inner_name, plan.circuit, fingerprint,
+                 {line: _window_word(raw, start, stop)
+                  for line, raw in byte_map.items()},
+                 stop - start, collect_leakage, keep_waveforms)
+                for start, stop in bounds
+            ]
+            if pool is not None:
+                parts = pool.map(_simulate_episode_chunk, payloads)
+            else:  # pragma: no cover - non-fork platforms
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(processes=processes) as mp_pool:
+                    parts = mp_pool.map(_simulate_episode_chunk,
+                                        payloads)
+        else:
+            # Fork path: the circuit, its warmed schedule cache and the
+            # stimulus byte map inherit copy-on-write; workers slice
+            # their own cycle windows (nothing pickled per chunk).
+            if self.inner_name == "numpy":
+                from repro.simulation.schedule import cached_schedule
+                cached_schedule(plan.circuit)
+            ctx = multiprocessing.get_context("fork")
+            global _FORK_JOB
+            _FORK_JOB = (self.inner_name, plan.circuit,
+                         _plan_byte_map(plan.waveforms, plan.n_cycles),
+                         collect_leakage, keep_waveforms)
+            try:
+                with ctx.Pool(processes=processes) as mp_pool:
+                    parts = mp_pool.map(_simulate_episode_chunk_fork,
+                                        bounds)
+            finally:
+                _FORK_JOB = None
+        return self._merge_episode(plan, bounds, parts, library,
+                                   collect_leakage, keep_waveforms)
+
+    @staticmethod
+    def _merge_episode(plan: "EpisodePlan",
+                       bounds: Sequence[tuple[int, int]],
+                       parts: Sequence[tuple], library: CellLibrary,
+                       collect_leakage: bool, keep_waveforms: bool
+                       ) -> "EpisodeBatchResult":
+        from repro.leakage.estimator import leakage_from_pattern_counts
+        from repro.simulation.episode import EpisodeBatchResult
+
+        # Transition counts add across chunks; a boundary between two
+        # chunks contributes one more transition per line whose last
+        # bit of the left chunk differs from the first bit of the
+        # right.  Entry order follows the inner backend's dict.
+        transitions = dict(parts[0][0])
+        for left, right in zip(parts, parts[1:]):
+            left_edges, right_trans, right_edges = \
+                left[1], right[0], right[1]
+            for line, count in right_trans.items():
+                transitions[line] += count
+                if left_edges[line][1] != right_edges[line][0]:
+                    transitions[line] += 1
+
+        leakage_sum: dict[str, float] = {}
+        if collect_leakage:
+            merged_counts = {line: arr.copy()
+                             for line, arr in parts[0][2].items()}
+            for part in parts[1:]:
+                for line, arr in part[2].items():
+                    merged_counts[line] += arr
+            leakage_sum = leakage_from_pattern_counts(
+                plan.circuit, merged_counts, library)
+
+        waveforms: dict[str, int] | None = None
+        if keep_waveforms:
+            waveforms = dict(parts[0][3])
+            for (start, _stop), part in zip(bounds[1:], parts[1:]):
+                for line, word in part[3].items():
+                    waveforms[line] |= word << start
+        return EpisodeBatchResult(
+            n_cycles=plan.n_cycles,
+            transitions=transitions,
+            leakage_sum_na=leakage_sum,
+            offsets=plan.offsets,
+            lengths=plan.lengths,
+            waveforms=waveforms,
+        )
+
+    # ------------------------------------------------------------------ #
     # sharded fault simulation
     # ------------------------------------------------------------------ #
 
-    def effective_shards(self, n_faults: int) -> int:
-        """Worker count actually used for ``n_faults`` faults."""
+    def configured_shards(self) -> int:
+        """The configured worker count (flag, env, pool or CPU count)."""
         shards = self.shards
         if shards is None:
             env = os.environ.get(DEFAULT_SHARDS_ENV, "")
@@ -254,8 +505,12 @@ class ShardedBackend(Backend):
             raise SimulationError(
                 f"invalid shard count {shards} "
                 f"(check ${DEFAULT_SHARDS_ENV})")
+        return shards
+
+    def effective_shards(self, n_faults: int) -> int:
+        """Worker count actually used for ``n_faults`` faults."""
         by_size = n_faults // self.min_faults_per_shard
-        return max(1, min(shards, by_size))
+        return max(1, min(self.configured_shards(), by_size))
 
     def fault_simulate_batch(self, circuit: Circuit,
                              faults: Sequence[Fault],

@@ -1,0 +1,309 @@
+"""Episode planning: whole-test-set scan replay as one stimulus matrix.
+
+The paper's Table I / Figure 2 measurements replay scan *episodes*: per
+test vector, ``L`` shift cycles (the previous response shifts out while
+the next vector shifts in) followed by one capture cycle.  The legacy
+builder in :mod:`repro.power.scanpower` assembled those waveforms with
+per-vector, per-cycle, per-line Python loops and one
+:func:`~repro.scan.testview.ScanDesign.capture` simulation per vector —
+so a vectorized backend only ever accelerated the innermost simulation
+step.
+
+This module compiles a :class:`~repro.scan.testview.ScanDesign` plus a
+full test set into a single :class:`EpisodePlan`:
+
+* all capture responses are computed in **one** packed simulation
+  (``n_vectors`` patterns) instead of one scalar simulation per vector;
+* the intermediate chain states of every shift cycle are generated as
+  one numpy tensor (the shift register is an index mapping, not a loop);
+* every line's stimulus over the whole episode sequence is packed into
+  one interchange word, episode-major, with per-episode offsets so
+  consumers can slice any vector's segment back out.
+
+``Backend.simulate_episode_batch(plan)`` then evaluates the whole test
+set's replay in a single backend pass (one ``uint64``-matrix pass on the
+numpy engine) and returns an :class:`EpisodeBatchResult`; the ``sharded``
+meta-backend splits the *pattern/cycle axis* of oversized plans under a
+memory budget and merges chunk results with integer-exact arithmetic.
+
+Everything stays bit-identical to the legacy per-episode path: the plan's
+packed words equal the loop-built waveforms bit for bit, so transitions,
+leakage sums and every derived power metric follow.  The differential
+property tests in ``tests/properties`` pin this across backends and
+shard counts.
+
+The batched path is on by default; ``$REPRO_EPISODE_BATCH`` (``0``/``1``)
+or the per-call ``episode_batch=`` argument override it (the CLI's
+``--episode-batch on|off`` flag sets the same knob per run).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ScanError, SimulationError
+from repro.netlist.circuit import Circuit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.scan.testview import ScanDesign, TestVector
+    from repro.simulation.backends import Backend
+
+__all__ = [
+    "EpisodePlan",
+    "EpisodeBatchResult",
+    "compile_episode_plan",
+    "episode_batching_enabled",
+    "set_default_episode_batching",
+    "DEFAULT_EPISODE_BATCH_ENV",
+]
+
+#: Environment variable toggling the batched episode engine (``1`` on,
+#: ``0`` off; unset = on).
+DEFAULT_EPISODE_BATCH_ENV = "REPRO_EPISODE_BATCH"
+
+_TRUE_VALUES = ("1", "true", "on", "yes")
+_FALSE_VALUES = ("0", "false", "off", "no")
+
+_default_override: bool | None = None
+
+
+def set_default_episode_batching(flag: bool | None) -> None:
+    """Install the session-default episode-batching switch.
+
+    Mirrors :func:`repro.simulation.backends.set_default_backend`: the
+    CLI's ``--episode-batch`` flag installs the session default here so
+    every consumer — including ones that never thread the knob through
+    their own configuration (the ablation grids, examples) — honours
+    it.  ``None`` resets to the environment/built-in default.
+    """
+    global _default_override
+    _default_override = flag
+
+
+def episode_batching_enabled(flag: bool | None = None) -> bool:
+    """Resolve the episode-batching switch.
+
+    An explicit ``flag`` wins, then a session default installed via
+    :func:`set_default_episode_batching`, then
+    ``$REPRO_EPISODE_BATCH``, defaulting to **on** (the batched path is
+    bit-identical to the legacy loop, so only speed changes).
+    """
+    if flag is not None:
+        return flag
+    if _default_override is not None:
+        return _default_override
+    env = os.environ.get(DEFAULT_EPISODE_BATCH_ENV, "")
+    if not env:
+        return True
+    lowered = env.strip().lower()
+    if lowered in _TRUE_VALUES:
+        return True
+    if lowered in _FALSE_VALUES:
+        return False
+    raise SimulationError(
+        f"${DEFAULT_EPISODE_BATCH_ENV} must be one of "
+        f"{_TRUE_VALUES + _FALSE_VALUES}, got {env!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class EpisodePlan:
+    """A whole test set's scan replay as one packed stimulus.
+
+    Attributes
+    ----------
+    circuit:
+        The circuit the stimulus drives (combinational part).
+    waveforms:
+        Per-line packed interchange words covering every episode's
+        cycles back to back — bit-identical to the legacy per-episode
+        waveform builder's output.
+    n_cycles:
+        Total cycle count over all episodes.
+    offsets:
+        Start cycle of each episode (one per test vector).
+    lengths:
+        Cycle count of each episode (chain length, plus one when the
+        capture cycle is included).
+    """
+
+    circuit: Circuit
+    waveforms: dict[str, int]
+    n_cycles: int
+    offsets: tuple[int, ...]
+    lengths: tuple[int, ...]
+
+    @property
+    def n_episodes(self) -> int:
+        return len(self.offsets)
+
+    def episode_bounds(self) -> list[tuple[int, int]]:
+        """``[start, stop)`` cycle range of every episode."""
+        return [(start, start + length)
+                for start, length in zip(self.offsets, self.lengths)]
+
+
+@dataclasses.dataclass
+class EpisodeBatchResult:
+    """Outcome of one batched episode simulation.
+
+    Mirrors :class:`~repro.simulation.cyclesim.CycleSimResult` (same
+    accounting, same float semantics) plus the episode geometry so
+    consumers can slice per-vector segments out of the batch.
+    """
+
+    n_cycles: int
+    transitions: dict[str, int]
+    leakage_sum_na: dict[str, float]
+    offsets: tuple[int, ...]
+    lengths: tuple[int, ...]
+    waveforms: dict[str, int] | None = None
+
+    @property
+    def total_transitions(self) -> int:
+        """Sum of transitions over all lines."""
+        return sum(self.transitions.values())
+
+    @property
+    def mean_leakage_na(self) -> float:
+        """Average total leakage current (nA) over all cycles."""
+        if self.n_cycles == 0:
+            return 0.0
+        return sum(self.leakage_sum_na.values()) / self.n_cycles
+
+
+def _pack_word(bits: np.ndarray) -> int:
+    """Pack a flat 0/1 array into one interchange word (bit 0 first)."""
+    return int.from_bytes(
+        np.packbits(bits, bitorder="little").tobytes(), "little")
+
+
+def _bit_column(values: Sequence[int]) -> np.ndarray:
+    return np.asarray(values, dtype=np.uint8)
+
+
+def compile_episode_plan(design: "ScanDesign",
+                         vectors: "Sequence[TestVector]", *,
+                         pi_values: Mapping[str, int] | None = None,
+                         mux_ties: Mapping[str, int] | None = None,
+                         include_capture: bool = True,
+                         initial_state: Sequence[int] | None = None,
+                         backend: "str | Backend | None" = None
+                         ) -> EpisodePlan:
+    """Compile a design + test set into one :class:`EpisodePlan`.
+
+    ``pi_values``/``mux_ties`` carry the shift policy (see
+    :class:`~repro.power.scanpower.ShiftPolicy`): constants driven on
+    primary inputs / muxed pseudo-inputs while shifting.  The capture
+    responses feeding each next episode's shift-out are computed in one
+    packed simulation on ``backend`` (resolved once; a meta backend
+    delegates to its inner engine).
+
+    The packed words are bit-identical to the legacy per-episode
+    builder for every input; the shift protocol itself is generated
+    from the chain's index mapping, whose "last state equals the
+    vector" invariant holds by construction.
+    """
+    from repro.simulation.backends import resolve_backend
+
+    circuit = design.circuit
+    chain = design.chain
+    if not vectors:
+        raise ScanError("empty test set")
+    mux_ties = dict(mux_ties or {})
+    unknown_mux = set(mux_ties) - set(chain.q_lines)
+    if unknown_mux:
+        raise ScanError(f"mux ties on unknown cells: {sorted(unknown_mux)}")
+    for name, value in mux_ties.items():
+        if value not in (0, 1):
+            raise ScanError(f"mux tie for {name!r} must be 0/1")
+    if pi_values:
+        for name, value in pi_values.items():
+            if value not in (0, 1):
+                raise ScanError(f"policy PI value for {name!r} must be 0/1")
+
+    n_vec = len(vectors)
+    length = chain.length
+    state0 = tuple(initial_state) if initial_state is not None \
+        else (0,) * length
+    if len(state0) != length:
+        raise ScanError("initial state length mismatch")
+    if any(bit not in (0, 1) for bit in state0):
+        raise ScanError("initial state bits must be 0/1")
+
+    scan_matrix = np.empty((n_vec, length), dtype=np.uint8)
+    for i, vector in enumerate(vectors):
+        if len(vector.scan_state) != length:
+            raise ScanError("test vector scan state length mismatch")
+        scan_matrix[i] = vector.scan_state
+
+    # Capture responses of all vectors in one packed pass; episode i's
+    # shift-out state is the response captured from vector i - 1.
+    prev = np.empty((n_vec, length), dtype=np.uint8)
+    prev[0] = state0
+    if n_vec > 1:
+        engine = resolve_backend(backend)
+        capture_words = {
+            pi: _pack_word(_bit_column([v.pi_values[pi] for v in vectors]))
+            for pi in circuit.inputs
+        }
+        for position, q_line in enumerate(chain.q_lines):
+            capture_words[q_line] = _pack_word(scan_matrix[:, position])
+        state = engine.run(circuit, capture_words, n_vec)
+        for position, d_line in enumerate(chain.d_lines):
+            prev[1:, position] = state.bools(d_line)[:-1]
+
+    # Chain state after shift t (1-based) of episode i, cell position p:
+    # the low t positions hold the vector's tail, the rest the previous
+    # response still shifting out.  With j = t - 1:
+    #   state[p] = vector[length - 1 - j + p]  when j >= p
+    #   state[p] = prev[p - j - 1]             when j <  p
+    # Index matrices are (cycle, cell); the shift bits themselves are
+    # materialized one cell column at a time below, keeping the
+    # transient working set O(n_vec x length) instead of the full
+    # (n_vec, length, length) tensor.
+    cycle = np.arange(length)[:, None]
+    position = np.arange(length)[None, :]
+    from_vector = cycle >= position
+    vector_index = np.where(from_vector,
+                            length - 1 - cycle + position, 0)
+    prev_index = np.where(from_vector, 0, position - cycle - 1)
+
+    def shift_column(p: int) -> np.ndarray:
+        """Cell ``p``'s value over every shift cycle: (n_vec, length)."""
+        return np.where(from_vector[:, p][None, :],
+                        scan_matrix[:, vector_index[:, p]],
+                        prev[:, prev_index[:, p]])
+
+    per_episode = length + (1 if include_capture else 0)
+    waveforms: dict[str, int] = {}
+    for pi in circuit.inputs:
+        test_bits = _bit_column([v.pi_values[pi] for v in vectors])
+        if pi_values is not None and pi in pi_values:
+            shift_value = np.full(n_vec, pi_values[pi], dtype=np.uint8)
+        else:
+            shift_value = test_bits
+        bits = np.empty((n_vec, per_episode), dtype=np.uint8)
+        bits[:, :length] = shift_value[:, None]
+        if include_capture:
+            bits[:, length] = test_bits
+        waveforms[pi] = _pack_word(bits.reshape(-1))
+    for p, cell in enumerate(chain.cells):
+        tie = mux_ties.get(cell.q)
+        bits = np.empty((n_vec, per_episode), dtype=np.uint8)
+        bits[:, :length] = tie if tie is not None else shift_column(p)
+        if include_capture:
+            bits[:, length] = scan_matrix[:, p]
+        waveforms[cell.q] = _pack_word(bits.reshape(-1))
+
+    return EpisodePlan(
+        circuit=circuit,
+        waveforms=waveforms,
+        n_cycles=n_vec * per_episode,
+        offsets=tuple(range(0, n_vec * per_episode, per_episode)),
+        lengths=(per_episode,) * n_vec,
+    )

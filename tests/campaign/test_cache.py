@@ -1,5 +1,7 @@
 """Content-addressed cache semantics: hits, misses, invalidation."""
 
+import pytest
+
 from repro.campaign.cache import ResultCache
 from repro.netlist import builders
 from repro.netlist.gates import GateType
@@ -108,3 +110,52 @@ class TestEntriesHygiene:
         # simulate a kill between mkstemp and os.replace
         (cache.path(key).parent / ".tmp-dead.json").write_text("{}")
         assert cache.entries() == [key]
+
+
+class TestGc:
+    def _fill(self, cache, n, size=512):
+        import time
+        keys = []
+        for i in range(n):
+            key = cache.key("k", f"circuit{i}", "h", "f")
+            cache.put(key, {"blob": "x" * size})
+            time.sleep(0.01)  # distinct mtimes drive the LRU order
+            keys.append(key)
+        return keys
+
+    def test_noop_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 3)
+        assert cache.gc(1 << 30) == (0, 0)
+        assert len(cache.entries()) == 3
+
+    def test_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._fill(cache, 4)
+        total = sum(cache.path(k).stat().st_size for k in keys)
+        oldest = cache.path(keys[0]).stat().st_size
+        evicted, freed = cache.gc(total - 1)
+        assert evicted == 1
+        assert freed == oldest
+        assert keys[0] not in cache
+        assert all(k in cache for k in keys[1:])
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._fill(cache, 3)
+        evicted, _freed = cache.gc(0)
+        assert evicted == 3
+        assert cache.entries() == []
+        assert all(k not in cache for k in keys)
+
+    def test_manifests_survive(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 2)
+        manifest = tmp_path / "camp.manifest.json"
+        manifest.write_text("{}")
+        cache.gc(0)
+        assert manifest.exists()
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).gc(-1)

@@ -178,3 +178,63 @@ class TestDuplicateGridPoints:
         spec = CampaignSpec(circuits=("s27",),
                             overrides=({}, {"ivc_trials": 2}))
         assert len(spec.expand()) == 2
+
+
+class TestSpecKinds:
+    def test_default_kind_is_flow(self):
+        assert CampaignSpec(circuits=("s27",)).kind == "flow"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown campaign kind"):
+            CampaignSpec(circuits=("s27",), kind="table9")
+
+    def test_kind_round_trips(self):
+        spec = CampaignSpec(circuits=("figure2",), kind="figure2")
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.kind == "figure2"
+
+    def test_kind_changes_digest(self):
+        flow = CampaignSpec(circuits=("figure2",))
+        fig2 = CampaignSpec(circuits=("figure2",), kind="figure2")
+        assert flow.digest() != fig2.digest()
+
+    def test_figure2_spec_defaults_circuits(self):
+        spec = CampaignSpec.from_dict({"kind": "figure2"})
+        assert spec.circuits == ("figure2",)
+        assert spec.expand()[0].job_id == "figure2"
+
+    def test_flow_spec_still_requires_circuits(self):
+        with pytest.raises(ConfigError, match="missing 'circuits'"):
+            CampaignSpec.from_dict({"kind": "flow"})
+
+    def test_figure2_spec_file(self, tmp_path):
+        path = tmp_path / "fig2.json"
+        path.write_text(json.dumps({"kind": "figure2", "name": "f2"}))
+        spec = load_spec(path)
+        assert spec.kind == "figure2"
+        assert spec.name == "f2"
+
+
+class TestFigure2Axes:
+    """figure2 campaigns have no circuit/seed/override axes: a grid
+    would run the identical computation once per point."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"circuits": ("a", "b")},
+        {"circuits": ("figure2",), "seeds": (1, 2)},
+        {"circuits": ("figure2",),
+         "overrides": ({}, {"ivc_trials": 2})},
+    ])
+    def test_grids_rejected(self, kwargs):
+        with pytest.raises(ConfigError, match="no circuit/seed"):
+            CampaignSpec(kind="figure2", **kwargs)
+
+    def test_single_point_accepted(self):
+        spec = CampaignSpec(circuits=("figure2",), kind="figure2",
+                            seeds=(5,))
+        assert len(spec.expand()) == 1
+
+    def test_real_circuit_name_rejected(self):
+        with pytest.raises(ConfigError, match="take no circuit"):
+            CampaignSpec(circuits=("s27",), kind="figure2")

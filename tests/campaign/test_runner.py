@@ -179,3 +179,66 @@ class TestRunFlowJobs:
             result = run_campaign(spec, jobs=2, pool=pool)
             assert pool.started  # runner must not close a borrowed pool
         assert result.n_executed == 2
+
+
+class TestFigure2Kind:
+    def test_artefact_matches_direct_run(self, tmp_path):
+        from repro.campaign.runner import figure2_from_artefact
+        from repro.experiments.figure2 import run_figure2
+
+        spec = CampaignSpec(circuits=("figure2",), kind="figure2",
+                            name="f2")
+        result = run_campaign(spec, cache_dir=str(tmp_path / "cache"))
+        assert result.n_executed == 1
+        rebuilt = figure2_from_artefact(result.artefacts[0])
+        direct = run_figure2()
+        assert rebuilt.nand2 == direct.nand2
+        assert rebuilt.paper_nand2 == direct.paper_nand2
+        assert rebuilt.extra_cells == direct.extra_cells
+        assert rebuilt.max_relative_error() == \
+            direct.max_relative_error()
+        assert rebuilt.render() == direct.render()
+
+    def test_warm_rerun_is_fully_cached(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        spec = CampaignSpec(circuits=("figure2",), kind="figure2")
+        cold = run_campaign(spec, cache_dir=cache_dir)
+        warm = run_campaign(spec, cache_dir=cache_dir)
+        assert cold.n_executed == 1
+        assert warm.n_executed == 0 and warm.n_cached == 1
+        assert warm.artefacts[0]["render"] == \
+            cold.artefacts[0]["render"]
+
+    def test_figure2_and_flow_caches_do_not_collide(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_campaign(CampaignSpec(circuits=("figure2",), kind="figure2"),
+                     cache_dir=cache_dir)
+        flow = run_campaign(small_spec(), cache_dir=cache_dir)
+        assert flow.n_executed == 1  # no cross-kind false hit
+
+    def test_unknown_kind_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign job"):
+            run_flow_jobs([], kind="nope/v0")
+
+    def test_figure2_cache_key_ignores_seed_and_config(self, tmp_path):
+        """run_figure2() depends on the library/code only: campaigns
+        differing in seed or flow-config base must share the artefact."""
+        cache_dir = str(tmp_path / "cache")
+        cold = run_campaign(
+            CampaignSpec(circuits=("figure2",), kind="figure2"),
+            cache_dir=cache_dir)
+        warm = run_campaign(
+            CampaignSpec(circuits=("figure2",), kind="figure2",
+                         seeds=(9,), base={"ivc_trials": 3}),
+            cache_dir=cache_dir)
+        assert cold.n_executed == 1
+        assert warm.n_executed == 0 and warm.n_cached == 1
+
+    def test_figure2_spec_base_is_still_validated(self):
+        """Typo'd base fields must error like any other campaign, even
+        though figure2 jobs never use the flow config."""
+        from repro.errors import ConfigError
+        spec = CampaignSpec(circuits=("figure2",), kind="figure2",
+                            base={"ivc_trails": 3})
+        with pytest.raises(ConfigError, match="ivc_trails"):
+            run_campaign(spec)

@@ -18,6 +18,20 @@ from repro.techmap.mapper import technology_map
 from repro.utils.rng import make_rng
 
 
+@pytest.fixture(autouse=True)
+def _reset_session_episode_batching():
+    """Clear the episode-batching session default after every test.
+
+    ``repro.cli.main`` installs a process-global default (like
+    ``set_default_backend``); without this reset a CLI test running
+    ``--episode-batch off`` would leak the override into later tests
+    and make the suite order-dependent.
+    """
+    yield
+    from repro.simulation.episode import set_default_episode_batching
+    set_default_episode_batching(None)
+
+
 @pytest.fixture
 def s27():
     """The real ISCAS89 s27 circuit (4 PI, 1 PO, 3 DFF)."""

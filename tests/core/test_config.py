@@ -99,6 +99,10 @@ class TestConfigHash:
         assert FlowConfig(backend="numpy").config_hash() == base
         assert FlowConfig(fault_backend="numpy").config_hash() == base
         assert FlowConfig(shards=4).config_hash() == base
+        # episode batching is bit-identical by contract -> never a
+        # cache-key ingredient
+        assert FlowConfig(episode_batch=True).config_hash() == base
+        assert FlowConfig(episode_batch=False).config_hash() == base
 
     def test_result_relevant_fields_included(self):
         base = FlowConfig().config_hash()

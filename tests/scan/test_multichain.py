@@ -136,3 +136,32 @@ class TestTestTime:
         assert total_test_cycles(one, 10) == 10 * 7
         assert total_test_cycles(two, 10) == 10 * 4
         assert total_test_cycles(two, 10, include_capture=False) == 30
+
+
+class TestEpisodeBatchRouting:
+    """Multichain evaluation rides ``simulate_episode_batch``: forced
+    cycle-axis sharding must be invisible in the report."""
+
+    def test_sharded_chunks_match_plain_backends(self, toy_mapped,
+                                                 toy_multi):
+        from repro.simulation.backends import ShardedBackend
+        vectors = _vectors(toy_multi.global_q_lines, toy_mapped, 4,
+                           seed=3)
+        reference = evaluate_multichain_power(toy_multi, vectors,
+                                              backend="bigint")
+        plain = evaluate_multichain_power(toy_multi, vectors,
+                                          backend="numpy")
+        assert plain == reference
+        forced = ShardedBackend(shards=2, episode_budget=4)
+        sharded = evaluate_multichain_power(toy_multi, vectors,
+                                            backend=forced)
+        assert sharded == reference
+
+    def test_serial_escape_hatch_matches(self, toy_mapped, toy_multi):
+        vectors = _vectors(toy_multi.global_q_lines, toy_mapped, 3,
+                           seed=4)
+        batched = evaluate_multichain_power(toy_multi, vectors,
+                                            episode_batch=True)
+        serial = evaluate_multichain_power(toy_multi, vectors,
+                                           episode_batch=False)
+        assert batched == serial

@@ -1,0 +1,230 @@
+"""Tests for the episode-planning layer (batched whole-test-set replay)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScanError, SimulationError
+from repro.power.scanpower import ShiftPolicy, _episode_waveforms
+from repro.scan.testview import TestVector
+from repro.simulation.backends import get_backend
+from repro.simulation.episode import (
+    DEFAULT_EPISODE_BATCH_ENV,
+    EpisodeBatchResult,
+    compile_episode_plan,
+    episode_batching_enabled,
+)
+
+
+class TestEpisodeBatchToggle:
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_EPISODE_BATCH_ENV, "0")
+        assert episode_batching_enabled(True) is True
+        monkeypatch.setenv(DEFAULT_EPISODE_BATCH_ENV, "1")
+        assert episode_batching_enabled(False) is False
+
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv(DEFAULT_EPISODE_BATCH_ENV, raising=False)
+        assert episode_batching_enabled(None) is True
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("on", True), ("TRUE", True), ("yes", True),
+        ("0", False), ("off", False), ("False", False), ("no", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv(DEFAULT_EPISODE_BATCH_ENV, value)
+        assert episode_batching_enabled(None) is expected
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_EPISODE_BATCH_ENV, "maybe")
+        with pytest.raises(SimulationError):
+            episode_batching_enabled(None)
+
+
+class TestPlanGeometry:
+    def test_offsets_and_lengths_with_capture(self, s27_design,
+                                              make_vectors):
+        vectors = make_vectors(s27_design, 4)
+        plan = compile_episode_plan(s27_design, vectors)
+        per_episode = s27_design.chain.length + 1
+        assert plan.n_episodes == 4
+        assert plan.n_cycles == 4 * per_episode
+        assert plan.lengths == (per_episode,) * 4
+        assert plan.offsets == tuple(range(0, plan.n_cycles, per_episode))
+        assert plan.episode_bounds()[-1] == (3 * per_episode,
+                                             4 * per_episode)
+
+    def test_offsets_without_capture(self, s27_design, make_vectors):
+        vectors = make_vectors(s27_design, 3)
+        plan = compile_episode_plan(s27_design, vectors,
+                                    include_capture=False)
+        assert plan.lengths == (s27_design.chain.length,) * 3
+        assert plan.n_cycles == 3 * s27_design.chain.length
+
+    def test_covers_all_input_lines(self, s27_design, make_vectors):
+        plan = compile_episode_plan(s27_design, make_vectors(s27_design, 2))
+        expected = set(s27_design.circuit.inputs) | \
+            set(s27_design.chain.q_lines)
+        assert set(plan.waveforms) == expected
+
+
+class TestPlanMatchesSerialBuilder:
+    """The compiled words must equal the legacy loop bit for bit."""
+
+    @pytest.mark.parametrize("include_capture", [True, False])
+    @pytest.mark.parametrize("n_vectors", [1, 2, 7])
+    def test_traditional_policy(self, s27_design, make_vectors,
+                                include_capture, n_vectors):
+        vectors = make_vectors(s27_design, n_vectors)
+        serial, n_serial = _episode_waveforms(
+            s27_design, vectors, ShiftPolicy(), include_capture, None)
+        plan = compile_episode_plan(s27_design, vectors,
+                                    include_capture=include_capture)
+        assert plan.n_cycles == n_serial
+        assert plan.waveforms == serial
+
+    def test_policy_constants_and_ties(self, s27_design, make_vectors):
+        vectors = make_vectors(s27_design, 5, seed=3)
+        policy = ShiftPolicy(
+            name="proposed",
+            pi_values={pi: 1 for pi in
+                       list(s27_design.circuit.inputs)[:2]},
+            mux_ties={s27_design.chain.q_lines[0]: 0,
+                      s27_design.chain.q_lines[-1]: 1})
+        serial, _ = _episode_waveforms(s27_design, vectors, policy,
+                                       True, None)
+        plan = compile_episode_plan(
+            s27_design, vectors, pi_values=policy.pi_values,
+            mux_ties=policy.mux_ties)
+        assert plan.waveforms == serial
+
+    def test_initial_state(self, s27_design, make_vectors):
+        vectors = make_vectors(s27_design, 3, seed=9)
+        initial = (1,) * s27_design.chain.length
+        serial, _ = _episode_waveforms(s27_design, vectors, ShiftPolicy(),
+                                       True, initial)
+        plan = compile_episode_plan(s27_design, vectors,
+                                    initial_state=initial)
+        assert plan.waveforms == serial
+
+    def test_unmapped_circuit(self, toy, make_vectors):
+        from repro.scan.testview import ScanDesign
+        design = ScanDesign.full_scan(toy)
+        vectors = make_vectors(design, 4, seed=5)
+        serial, _ = _episode_waveforms(design, vectors, ShiftPolicy(),
+                                       True, None)
+        plan = compile_episode_plan(design, vectors)
+        assert plan.waveforms == serial
+
+
+class TestPlanValidation:
+    def test_empty_test_set(self, s27_design):
+        with pytest.raises(ScanError, match="empty test set"):
+            compile_episode_plan(s27_design, [])
+
+    def test_unknown_mux_tie(self, s27_design, make_vectors):
+        with pytest.raises(ScanError, match="unknown cells"):
+            compile_episode_plan(s27_design, make_vectors(s27_design, 1),
+                                 mux_ties={"nope": 0})
+
+    def test_bad_tie_value(self, s27_design, make_vectors):
+        with pytest.raises(ScanError, match="must be 0/1"):
+            compile_episode_plan(
+                s27_design, make_vectors(s27_design, 1),
+                mux_ties={s27_design.chain.q_lines[0]: 2})
+
+    def test_initial_state_length(self, s27_design, make_vectors):
+        with pytest.raises(ScanError, match="initial state length"):
+            compile_episode_plan(s27_design, make_vectors(s27_design, 1),
+                                 initial_state=(0,))
+
+    def test_vector_state_length(self, s27_design):
+        bad = TestVector(
+            pi_values={pi: 0 for pi in s27_design.circuit.inputs},
+            scan_state=(0,))
+        with pytest.raises(ScanError, match="scan state length"):
+            compile_episode_plan(s27_design, [bad])
+
+
+class TestSimulateEpisodeBatch:
+    def test_matches_cycle_sim(self, s27_design, make_vectors, library):
+        from repro.simulation.cyclesim import simulate_cycles
+        vectors = make_vectors(s27_design, 6)
+        plan = compile_episode_plan(s27_design, vectors)
+        batch = get_backend("bigint").simulate_episode_batch(plan, library)
+        reference = simulate_cycles(s27_design.circuit, plan.waveforms,
+                                    plan.n_cycles, library,
+                                    backend="bigint")
+        assert batch.transitions == reference.transitions
+        assert batch.leakage_sum_na == reference.leakage_sum_na
+        assert batch.mean_leakage_na == reference.mean_leakage_na
+        assert batch.total_transitions == reference.total_transitions
+
+    def test_keep_waveforms(self, s27_design, make_vectors):
+        plan = compile_episode_plan(s27_design, make_vectors(s27_design, 2))
+        batch = get_backend("numpy").simulate_episode_batch(
+            plan, keep_waveforms=True)
+        assert batch.waveforms is not None
+        for line, word in plan.waveforms.items():
+            assert batch.waveforms[line] == word
+
+    def test_skip_leakage(self, s27_design, make_vectors):
+        plan = compile_episode_plan(s27_design, make_vectors(s27_design, 2))
+        batch = get_backend("numpy").simulate_episode_batch(
+            plan, collect_leakage=False)
+        assert batch.leakage_sum_na == {}
+        assert batch.mean_leakage_na == 0.0
+
+    def test_empty_result_mean(self):
+        result = EpisodeBatchResult(n_cycles=0, transitions={},
+                                    leakage_sum_na={}, offsets=(),
+                                    lengths=())
+        assert result.mean_leakage_na == 0.0
+        assert result.total_transitions == 0
+
+
+class TestPatternCounts:
+    """The vectorized pattern counts must equal the popcount reference."""
+
+    @pytest.mark.parametrize("mapped", [True, False])
+    def test_numpy_matches_bigint(self, s27, s27_mapped, rng, mapped):
+        from repro.simulation.bitsim import random_input_words
+        circuit = s27_mapped if mapped else s27
+        n = 77
+        words = random_input_words(circuit, n, rng)
+        reference = get_backend("bigint").run(circuit, words, n)
+        vectorized = get_backend("numpy").run(circuit, words, n)
+        ref_counts = reference.pattern_counts()
+        got_counts = vectorized.pattern_counts()
+        assert list(got_counts) == list(ref_counts)
+        for line in ref_counts:
+            assert np.array_equal(got_counts[line], ref_counts[line]), line
+
+    def test_counts_price_to_leakage_sum(self, s27_mapped, rng, library):
+        from repro.leakage.estimator import leakage_from_pattern_counts
+        from repro.simulation.bitsim import random_input_words
+        n = 130
+        words = random_input_words(s27_mapped, n, rng)
+        for name in ("bigint", "numpy"):
+            state = get_backend(name).run(s27_mapped, words, n)
+            priced = leakage_from_pattern_counts(
+                s27_mapped, state.pattern_counts(), library)
+            assert priced == state.leakage_sum(library), name
+
+
+class TestSessionDefault:
+    def test_session_default_beats_env(self, monkeypatch):
+        from repro.simulation.episode import set_default_episode_batching
+        monkeypatch.setenv(DEFAULT_EPISODE_BATCH_ENV, "1")
+        set_default_episode_batching(False)
+        try:
+            assert episode_batching_enabled(None) is False
+            assert episode_batching_enabled(True) is True  # flag wins
+        finally:
+            set_default_episode_batching(None)
+        assert episode_batching_enabled(None) is True
+
+    def test_reset_restores_env_chain(self, monkeypatch):
+        from repro.simulation.episode import set_default_episode_batching
+        monkeypatch.setenv(DEFAULT_EPISODE_BATCH_ENV, "0")
+        set_default_episode_batching(None)
+        assert episode_batching_enabled(None) is False

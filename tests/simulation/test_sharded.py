@@ -256,3 +256,26 @@ class TestCircuitInterning:
             sharded_mod._interned_circuit(builders.s27(), f"fp{i}")
         assert len(sharded_mod._INTERNED_CIRCUITS) == \
             sharded_mod._INTERN_MAX
+
+
+class TestEpisodeWindowSlicing:
+    def test_window_word_matches_shift(self):
+        """Byte-view windows must equal the straightforward
+        shift-and-mask slices for arbitrary (unaligned) bounds."""
+        import numpy as np
+
+        from repro.simulation.backends.sharded import (
+            _plan_byte_map,
+            _window_word,
+            shard_bounds,
+        )
+        from repro.simulation.values import mask
+
+        rng = np.random.default_rng(3)
+        n = 203  # deliberately not a multiple of 8 or 64
+        word = int.from_bytes(rng.bytes((n + 7) // 8), "little") & mask(n)
+        raw = _plan_byte_map({"x": word}, n)["x"]
+        for n_chunks in (1, 2, 3, 7, 40):
+            for start, stop in shard_bounds(n, n_chunks):
+                expected = (word >> start) & mask(stop - start)
+                assert _window_word(raw, start, stop) == expected

@@ -142,7 +142,8 @@ class TestArgErrors:
 class TestCampaignCommand:
     def test_needs_spec_or_circuits(self, capsys):
         assert main(["campaign"]) == 2
-        assert "spec file or --circuits" in capsys.readouterr().err
+        assert "spec file, --circuits, or --kind figure2" \
+            in capsys.readouterr().err
 
     def test_spec_and_circuits_mutually_exclusive(self, tmp_path,
                                                   capsys):
@@ -222,3 +223,105 @@ class TestAblationCampaignFlags:
         first = capsys.readouterr().out
         assert main(args) == 0  # second run: pure cache hits
         assert capsys.readouterr().out == first
+
+
+class TestEpisodeBatchFlag:
+    def test_run_with_flag_on_and_off_match(self, capsys):
+        assert main(["--seed", "1", "--episode-batch", "on",
+                     "run", "s27"]) == 0
+        batched = capsys.readouterr().out
+        assert main(["--seed", "1", "--episode-batch", "off",
+                     "run", "s27"]) == 0
+        serial = capsys.readouterr().out
+        assert batched == serial  # bit-identical by contract
+
+    def test_invalid_flag_value_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--episode-batch", "sometimes", "list"])
+
+    def test_bad_env_is_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EPISODE_BATCH", "maybe")
+        assert main(["list"]) == 2
+        assert "REPRO_EPISODE_BATCH" in capsys.readouterr().err
+
+    def test_flag_overrides_bad_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EPISODE_BATCH", "maybe")
+        assert main(["--episode-batch", "on", "list"]) == 0
+
+
+class TestCampaignGc:
+    def _seed_cache(self, cache_dir, n=3):
+        import time
+
+        from repro.campaign.cache import ResultCache
+        cache = ResultCache(cache_dir)
+        for i in range(n):
+            cache.put(cache.key("k", f"c{i}", "h", "f"),
+                      {"blob": "x" * 256})
+            time.sleep(0.01)
+        return cache
+
+    def test_gc_requires_max_mb(self, capsys):
+        assert main(["campaign", "gc"]) == 2
+        assert "--max-mb" in capsys.readouterr().err
+
+    def test_gc_evicts_to_budget(self, tmp_path, capsys):
+        cache = self._seed_cache(str(tmp_path))
+        assert main(["campaign", "gc", "--max-mb", "0",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 3" in out
+        assert cache.entries() == []
+
+    def test_gc_noop_under_budget(self, tmp_path, capsys):
+        cache = self._seed_cache(str(tmp_path))
+        assert main(["campaign", "gc", "--max-mb", "100",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "evicted 0" in capsys.readouterr().out
+        assert len(cache.entries()) == 3
+
+    def test_gc_negative_budget_rejected(self, capsys):
+        assert main(["campaign", "gc", "--max-mb", "-1"]) == 2
+        assert "--max-mb" in capsys.readouterr().err
+
+
+class TestCampaignFigure2Kind:
+    def test_inline_figure2_campaign(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["campaign", "--kind", "figure2",
+                     "--cache-dir", cache_dir, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "1 job(s)" in out and "1 executed" in out
+        # warm re-run: everything cached
+        assert main(["campaign", "--kind", "figure2",
+                     "--cache-dir", cache_dir, "--quiet",
+                     "--expect-all-cached"]) == 0
+        assert "1 from cache" in capsys.readouterr().out
+
+    def test_spec_file_kind_figure2(self, tmp_path, capsys):
+        import json
+        spec = tmp_path / "fig2.json"
+        spec.write_text(json.dumps({"kind": "figure2", "name": "f2"}))
+        assert main(["campaign", str(spec), "--no-cache",
+                     "--quiet"]) == 0
+        assert "'f2'" in capsys.readouterr().out
+
+    def test_max_mb_outside_gc_rejected(self, capsys):
+        assert main(["campaign", "--circuits", "s27",
+                     "--max-mb", "10"]) == 2
+        assert "campaign gc" in capsys.readouterr().err
+
+    def test_gc_rejects_campaign_flags(self, tmp_path, capsys):
+        assert main(["campaign", "gc", "--max-mb", "1",
+                     "--circuits", "s27", "--jobs", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "--circuits" in err and "--jobs" in err
+
+    def test_flag_does_not_leak_across_main_calls(self):
+        """The autouse conftest fixture must clear the session default
+        main() installs, or the suite becomes order-dependent."""
+        from repro.simulation.episode import episode_batching_enabled
+        assert main(["--episode-batch", "off", "list"]) == 0
+        assert episode_batching_enabled(None) is False  # session default
+        assert main(["list"]) == 0  # no flag: main resets the default
+        assert episode_batching_enabled(None) is True
