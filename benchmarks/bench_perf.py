@@ -212,6 +212,78 @@ def test_perf_episode_batch_speedup(benchmark, s1423_mapped):
         f"vs {batch_s * 1e3:.2f} ms batched)")
 
 
+#: Enforced one-plan-vs-per-batch fault replay floor on the numpy engine.
+FAULT_EPISODE_SPEEDUP_FLOOR = float(
+    os.environ.get("REPRO_BENCH_FAULT_EPISODE_FLOOR", "3.0"))
+
+
+def test_perf_fault_episode_speedup(benchmark, s1423_mapped):
+    """Whole-test-set fault detection: one plan vs the per-batch loop.
+
+    The Table-I / coverage-evaluation shape: the collapsed fault
+    universe against a 1024-pattern test set.  The per-batch loop
+    drives 16 independent 64-pattern ``fault_simulate`` calls (each
+    re-simulating the good machine and re-dispatching the kernel) and
+    OR-merges the detection words; the planned path packs the whole
+    fault x pattern matrix into one :class:`FaultEpisodePlan` and
+    replays it in a single 2-D-tiled kernel pass over one settled good
+    state.  Merged detection words are asserted bit-identical, the
+    speedup is recorded as ``fault_episode_speedup`` and enforced
+    >= 3x on the numpy backend (``$REPRO_BENCH_FAULT_EPISODE_FLOOR``
+    overrides; the regression gate diffs the trajectory).
+    """
+    from repro.simulation.backends import get_backend
+    from repro.simulation.fault_episode import compile_fault_episode_plan
+    from repro.simulation.values import mask
+
+    universe = collapse_faults(s1423_mapped, all_faults(s1423_mapped))
+    n_total, chunk = 1024, 64
+    words = random_input_words(s1423_mapped, n_total, make_rng(3))
+    chunk_words = [
+        {line: (word >> start) & mask(chunk)
+         for line, word in words.items()}
+        for start in range(0, n_total, chunk)
+    ]
+    engine = get_backend("numpy")
+
+    def per_batch():
+        merged: dict = {}
+        for i, batch in enumerate(chunk_words):
+            result = engine.fault_simulate_batch(
+                s1423_mapped, universe, batch, chunk, drop=False)
+            for fault, word in result.detected.items():
+                merged[fault] = merged.get(fault, 0) | (word << i * chunk)
+        return merged
+
+    def one_plan():
+        plan = compile_fault_episode_plan(s1423_mapped, universe, words,
+                                          n_total)
+        return engine.fault_simulate_plan(plan, drop=False)
+
+    reference = one_plan()  # warms the schedule + fault plan
+    merged = per_batch()
+    assert merged == dict(reference.detected)
+
+    batch_s = best_of(3, per_batch)
+    plan_s = best_of(3, one_plan)
+    result = benchmark.pedantic(one_plan, rounds=1, iterations=1,
+                                warmup_rounds=0)
+
+    speedup = batch_s / plan_s
+    benchmark.extra_info["n_faults"] = len(universe)
+    benchmark.extra_info["patterns"] = n_total
+    benchmark.extra_info["batches"] = len(chunk_words)
+    benchmark.extra_info["per_batch_ms"] = round(batch_s * 1e3, 3)
+    benchmark.extra_info["plan_ms"] = round(plan_s * 1e3, 3)
+    benchmark.extra_info["fault_episode_speedup"] = round(speedup, 2)
+    assert result.detected == reference.detected
+    assert result.remaining == reference.remaining
+    assert speedup >= FAULT_EPISODE_SPEEDUP_FLOOR, (
+        f"fault episode speedup {speedup:.2f}x below the "
+        f"{FAULT_EPISODE_SPEEDUP_FLOOR}x floor ({batch_s * 1e3:.2f} ms "
+        f"per-batch vs {plan_s * 1e3:.2f} ms planned)")
+
+
 def test_perf_fault_simulation(benchmark, s1423_mapped):
     universe = collapse_faults(s1423_mapped, all_faults(s1423_mapped))
     words = random_input_words(s1423_mapped, 64, make_rng(1))

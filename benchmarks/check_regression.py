@@ -22,7 +22,8 @@ import sys
 from pathlib import Path
 
 #: ``extra_info`` keys treated as guarded speedup ratios.
-SPEEDUP_KEYS = ("speedup", "episode_batch_speedup")
+SPEEDUP_KEYS = ("speedup", "episode_batch_speedup",
+                "fault_episode_speedup")
 
 
 def load_speedups(path: Path) -> dict[tuple[str, str], float]:

@@ -87,16 +87,21 @@ from repro.simulation import (
     Backend,
     EpisodeBatchResult,
     EpisodePlan,
+    FaultEpisodePlan,
+    FaultSimSession,
     SequentialSimulator,
     SimState,
     available_backends,
     compile_episode_plan,
+    compile_fault_episode_plan,
     episode_batching_enabled,
+    fault_planning_enabled,
     get_backend,
     register_backend,
     resolve_backend,
     set_default_backend,
     set_default_episode_batching,
+    set_default_fault_planning,
     simulate_comb,
     simulate_comb3,
     simulate_cycles,
@@ -130,6 +135,8 @@ __all__ = [
     "register_backend", "resolve_backend", "set_default_backend",
     "EpisodePlan", "EpisodeBatchResult", "compile_episode_plan",
     "episode_batching_enabled", "set_default_episode_batching",
+    "FaultEpisodePlan", "FaultSimSession", "compile_fault_episode_plan",
+    "fault_planning_enabled", "set_default_fault_planning",
     # scan / power
     "ScanCell", "ScanChain", "ScanDesign", "TestVector",
     "MuxPlan", "insert_muxes",

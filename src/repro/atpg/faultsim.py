@@ -33,7 +33,7 @@ from repro.simulation.bitsim import eval_gate_packed
 from repro.simulation.values import mask
 
 __all__ = ["FaultSimResult", "detect_word", "fault_simulate",
-           "scalar_fault_simulate"]
+           "scalar_fault_simulate", "scalar_replay"]
 
 
 @dataclasses.dataclass
@@ -100,22 +100,20 @@ def detect_word(circuit: Circuit, fault: Fault, good: Mapping[str, int],
     return detected
 
 
-def scalar_fault_simulate(backend: Backend, circuit: Circuit,
-                          faults: Sequence[Fault],
-                          input_words: Mapping[str, int], n: int,
-                          drop: bool = True,
-                          cone_cache: dict[str, list[str]] | None = None
-                          ) -> FaultSimResult:
-    """Reference fault simulation: scalar big-int cone replay per fault.
+def scalar_replay(circuit: Circuit, faults: Sequence[Fault],
+                  good: Mapping[str, int], n: int,
+                  cone_cache: dict[str, list[str]] | None = None
+                  ) -> FaultSimResult:
+    """Scalar cone replay over an already-settled good machine.
 
-    ``backend`` supplies the fault-free pass; the per-fault replay works
-    on interchange words, so detection words are bit-identical no matter
-    which backend computed the good machine.  This is the default
-    :meth:`~repro.simulation.backends.base.Backend.fault_simulate_batch`
-    implementation and the semantics every vectorized kernel must
-    reproduce exactly.
+    ``good`` holds the fault-free interchange words of every line
+    (whichever backend produced them — words are backend-agnostic).
+    This is the shared core of :func:`scalar_fault_simulate` and of the
+    plan-based reference path
+    (:meth:`~repro.simulation.backends.base.Backend.fault_simulate_plan`),
+    which reuses one good machine across many calls instead of
+    re-simulating it per batch.
     """
-    good = backend.simulate_packed(circuit, input_words, n)
     obs = observable_lines(circuit)
     detected: dict[Fault, int] = {}
     remaining: list[Fault] = []
@@ -132,6 +130,25 @@ def scalar_fault_simulate(backend: Backend, circuit: Circuit,
         else:
             remaining.append(fault)
     return FaultSimResult(detected=detected, remaining=remaining)
+
+
+def scalar_fault_simulate(backend: Backend, circuit: Circuit,
+                          faults: Sequence[Fault],
+                          input_words: Mapping[str, int], n: int,
+                          drop: bool = True,
+                          cone_cache: dict[str, list[str]] | None = None
+                          ) -> FaultSimResult:
+    """Reference fault simulation: scalar big-int cone replay per fault.
+
+    ``backend`` supplies the fault-free pass; the per-fault replay works
+    on interchange words, so detection words are bit-identical no matter
+    which backend computed the good machine.  This is the default
+    :meth:`~repro.simulation.backends.base.Backend.fault_simulate_batch`
+    implementation and the semantics every vectorized kernel must
+    reproduce exactly.
+    """
+    good = backend.simulate_packed(circuit, input_words, n)
+    return scalar_replay(circuit, faults, good, n, cone_cache=cone_cache)
 
 
 def fault_simulate(circuit: Circuit, faults: Sequence[Fault],

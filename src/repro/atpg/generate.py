@@ -23,14 +23,17 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 
+import numpy as np
+
 from repro.atpg.collapse import collapse_faults
 from repro.atpg.faults import Fault, all_faults
-from repro.atpg.faultsim import fault_simulate
+from repro.atpg.faultsim import FaultSimResult
 from repro.atpg.podem import PodemEngine, generate_test
 from repro.scan.testview import ScanDesign, TestVector
 from repro.simulation.backends import Backend
 from repro.simulation.bitsim import pack_input_vectors, random_input_words
 from repro.simulation.eval2 import comb_input_lines
+from repro.simulation.fault_episode import FaultSimSession
 from repro.simulation.values import bit_at
 from repro.utils.rng import derive_seed, make_rng
 
@@ -103,7 +106,8 @@ def _vector_to_assignment(design: ScanDesign,
 def generate_tests(design: ScanDesign,
                    config: AtpgConfig | None = None,
                    backend: str | Backend | None = None,
-                   fault_backend: str | Backend | None = None) -> TestSet:
+                   fault_backend: str | Backend | None = None,
+                   fault_plan: bool | None = None) -> TestSet:
     """Generate a compacted stuck-at test set for a full-scan design.
 
     ``backend`` selects the packed-simulation engine for every fault
@@ -111,6 +115,14 @@ def generate_tests(design: ScanDesign,
     specifically (e.g. the ``sharded`` meta-backend for large collapsed
     universes) and defaults to ``backend``.  Results are bit-identical
     across backends, so the generated test set never depends on either.
+
+    All fault simulations run through one persistent
+    :class:`~repro.simulation.fault_episode.FaultSimSession` that
+    carries the fanout-cone cache and good-machine states across the
+    pipeline's batches.  ``fault_plan`` overrides the planned-replay
+    toggle for this run (``None`` = session default /
+    ``$REPRO_FAULT_PLAN``, default on); the legacy per-batch path is
+    the pinned reference and produces the identical test set.
 
     When the resolved fault engine is a sharding meta-backend that
     would actually split this circuit's collapsed universe, the inner
@@ -140,19 +152,19 @@ def generate_tests(design: ScanDesign,
         if active_shared_pool() is None:
             pool_ctx = engine.using_pool(ensure_shared_pool())
     with pool_ctx:
-        return _generate_tests(design, config, universe, engine)
+        session = FaultSimSession(circuit, engine, plan=fault_plan)
+        return _generate_tests(design, config, universe, session)
 
 
 def _generate_tests(design: ScanDesign, config: AtpgConfig,
                     universe: list[Fault],
-                    fault_backend: Backend) -> TestSet:
-    """The generation pipeline proper (fault engine fully resolved)."""
+                    session: FaultSimSession) -> TestSet:
+    """The generation pipeline proper (fault session fully resolved)."""
     circuit = design.circuit
     remaining: list[Fault] = list(universe)
     kept_vectors: list[TestVector] = []
     n_untestable = 0
     aborted: list[Fault] = []
-    cones: dict[str, list[str]] = {}  # shared fanout-cone cache
 
     # ---- phase 1: random patterns ------------------------------------- #
     rng = make_rng(derive_seed(config.seed, f"atpg:{circuit.name}"))
@@ -161,9 +173,7 @@ def _generate_tests(design: ScanDesign, config: AtpgConfig,
             break
         n = config.random_batch
         words = random_input_words(circuit, n, rng)
-        result = fault_simulate(circuit, remaining, words, n,
-                                drop=True, cone_cache=cones,
-                                backend=fault_backend)
+        result = session.simulate(remaining, words, n, drop=True)
         if len(result.detected) < config.min_batch_yield:
             break
         first_detectors: set[int] = set()
@@ -202,9 +212,7 @@ def _generate_tests(design: ScanDesign, config: AtpgConfig,
             targets = batch + remaining
             targets = [f for f in targets
                        if f not in proven_untestable and f not in aborted]
-            result = fault_simulate(circuit, targets, words, n,
-                                    drop=True, cone_cache=cones,
-                                    backend=fault_backend)
+            result = session.simulate(targets, words, n, drop=True)
             still = set(result.remaining)
             remaining = [f for f in remaining if f in still]
             kept_vectors.extend(
@@ -215,20 +223,31 @@ def _generate_tests(design: ScanDesign, config: AtpgConfig,
         # from further generation (counted via `aborted` when applicable).
 
     # ---- phase 3: reverse-order compaction ----------------------------- #
+    matrix: FaultSimResult | None = None
+    kept_mask = 0
     if config.compaction and kept_vectors:
-        kept_vectors = _reverse_compact(design, universe, kept_vectors,
-                                        backend=fault_backend)
+        kept_vectors, kept_mask, matrix = _reverse_compact(
+            design, universe, kept_vectors, session)
 
     # final coverage accounting on the kept set
     n_detected = 0
     if kept_vectors:
-        assignments = [_vector_to_assignment(design, v)
-                       for v in kept_vectors]
-        words, n = pack_input_vectors(circuit, assignments)
-        final = fault_simulate(circuit, universe, words, n,
-                               drop=True, cone_cache=cones,
-                               backend=fault_backend)
-        n_detected = final.n_detected
+        if session.plan_enabled and matrix is not None:
+            # The no-drop compaction matrix already holds, per fault,
+            # the word of detecting vectors; a fault is detected by the
+            # compacted set iff that word hits a kept column (per-
+            # pattern detection is independent, so this equals the
+            # legacy re-simulation bit for bit).
+            n_detected = sum(1 for word in matrix.detected.values()
+                             if word & kept_mask)
+        else:
+            # Legacy pinned reference: one more drop-mode pass over the
+            # compacted set.
+            assignments = [_vector_to_assignment(design, v)
+                           for v in kept_vectors]
+            words, n = pack_input_vectors(circuit, assignments)
+            final = session.simulate(universe, words, n, drop=True)
+            n_detected = final.n_detected
 
     return TestSet(
         vectors=kept_vectors,
@@ -241,23 +260,40 @@ def _generate_tests(design: ScanDesign, config: AtpgConfig,
 
 def _reverse_compact(design: ScanDesign, universe: list[Fault],
                      vectors: list[TestVector],
-                     backend: str | Backend | None = None
-                     ) -> list[TestVector]:
+                     session: FaultSimSession
+                     ) -> tuple[list[TestVector], int, FaultSimResult]:
     """Reverse-order compaction via one no-drop detection matrix.
 
     One packed fault simulation of all kept vectors yields, per fault, the
     word of detecting vectors; the reverse greedy pass is then pure bit
-    arithmetic.
+    arithmetic.  Returns ``(kept vectors, packed keep mask, matrix)`` so
+    the final coverage accounting can be read off the matrix instead of
+    re-simulating (plan path).
+
+    The greedy pass itself runs vectorized (numpy bool matrix + column
+    reductions) on the planned path and as the original big-int scan on
+    the legacy path; both produce the identical keep-set (pinned by
+    tests).
     """
     circuit = design.circuit
     assignments = [_vector_to_assignment(design, v) for v in vectors]
     words, n = pack_input_vectors(circuit, assignments)
-    matrix = fault_simulate(circuit, universe, words, n, drop=False,
-                            backend=backend)
+    matrix = session.simulate(universe, words, n, drop=False)
 
+    if session.plan_enabled:
+        keep = _greedy_keep_vectorized(matrix, len(vectors))
+    else:
+        keep = _greedy_keep_bigint(matrix, len(vectors))
+    kept_mask = sum(1 << t for t, k in enumerate(keep) if k)
+    return [v for v, k in zip(vectors, keep) if k], kept_mask, matrix
+
+
+def _greedy_keep_bigint(matrix: FaultSimResult,
+                        n_vectors: int) -> list[bool]:
+    """Reference reverse-greedy keep-set: big-int column scans."""
     still_uncovered = [word for word in matrix.detected.values() if word]
-    keep: list[bool] = [False] * len(vectors)
-    for t in range(len(vectors) - 1, -1, -1):
+    keep: list[bool] = [False] * n_vectors
+    for t in range(n_vectors - 1, -1, -1):
         bit = 1 << t
         hits = [w for w in still_uncovered if w & bit]
         if hits:
@@ -265,4 +301,35 @@ def _reverse_compact(design: ScanDesign, universe: list[Fault],
             still_uncovered = [w for w in still_uncovered if not (w & bit)]
         if not still_uncovered:
             break
-    return [v for v, k in zip(vectors, keep) if k]
+    return keep
+
+
+def _greedy_keep_vectorized(matrix: FaultSimResult,
+                            n_vectors: int) -> list[bool]:
+    """Vectorized reverse-greedy keep-set (numpy bool matrix).
+
+    The detection words become a ``(faults, vectors)`` bool matrix once;
+    each reverse step is then one column AND / row update instead of an
+    O(faults) Python list scan per vector.  Identical keep-set to
+    :func:`_greedy_keep_bigint` by construction (the same faults are
+    covered and removed at every step).
+    """
+    words = [word for word in matrix.detected.values() if word]
+    keep = [False] * n_vectors
+    if not words:
+        return keep
+    n_bytes = (n_vectors + 7) // 8
+    raw = b"".join(word.to_bytes(n_bytes, "little") for word in words)
+    packed = np.frombuffer(raw, dtype=np.uint8).reshape(len(words),
+                                                        n_bytes)
+    bits = np.unpackbits(packed, axis=1,
+                         bitorder="little")[:, :n_vectors].astype(bool)
+    uncovered = np.ones(len(words), dtype=bool)
+    for t in range(n_vectors - 1, -1, -1):
+        column = bits[:, t]
+        if (column & uncovered).any():
+            keep[t] = True
+            uncovered &= ~column
+        if not uncovered.any():
+            break
+    return keep

@@ -72,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "scan-power replays (bit-identical to the "
                               "per-episode path; default: "
                               "$REPRO_EPISODE_BATCH or on)"))
+    parser.add_argument("--fault-plan", choices=("on", "off"),
+                        default=None,
+                        help=("planned fault x pattern replay for fault "
+                              "simulations (bit-identical to the "
+                              "per-batch loop; default: "
+                              "$REPRO_FAULT_PLAN or on)"))
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_campaign_args(p) -> None:
@@ -164,11 +170,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         episode_batching_enabled,
         set_default_episode_batching,
     )
+    from repro.simulation.fault_episode import (
+        fault_planning_enabled,
+        set_default_fault_planning,
+    )
     episode_batch = {"on": True, "off": False, None: None}[
         args.episode_batch]
-    # Session default, like --backend: reaches consumers that don't
-    # thread the knob through their own config (e.g. the ablations).
+    fault_plan = {"on": True, "off": False, None: None}[args.fault_plan]
+    # Session defaults, like --backend: reach consumers that don't
+    # thread the knobs through their own config (e.g. the ablations).
     set_default_episode_batching(episode_batch)
+    set_default_fault_planning(fault_plan)
     try:
         if args.backend is not None:
             set_default_backend(args.backend)
@@ -182,6 +194,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             engine.effective_shards(0)  # and on a bad $REPRO_SIM_SHARDS
         if episode_batch is None:
             episode_batching_enabled(None)  # bad $REPRO_EPISODE_BATCH
+        if fault_plan is None:
+            fault_planning_enabled(None)  # bad $REPRO_FAULT_PLAN
     except SimulationError as exc:
         print(f"repro-power: error: {exc}", file=sys.stderr)
         return 2
@@ -211,13 +225,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "campaign":
-        return _run_campaign_command(args, episode_batch)
+        return _run_campaign_command(args, episode_batch, fault_plan)
 
     if args.command == "table1":
         config = FlowConfig(seed=args.seed, backend=args.backend,
                             fault_backend=args.fault_backend,
                             shards=args.shards,
-                            episode_batch=episode_batch)
+                            episode_batch=episode_batch,
+                            fault_plan=fault_plan)
         circuits = args.circuits or None
         run = run_table1(circuits, config, verbose=not args.quiet,
                          jobs=args.jobs, cache_dir=args.cache_dir)
@@ -241,6 +256,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             fault_backend=args.fault_backend,
             shards=args.shards,
             episode_batch=episode_batch,
+            fault_plan=fault_plan,
             reorder_inputs=not args.no_reorder,
             use_observability_directive=not args.no_directive)
         result = ProposedFlow(config).run(load_circuit(args.circuit,
@@ -303,7 +319,8 @@ def _run_campaign_gc(args) -> int:
     return 0
 
 
-def _run_campaign_command(args, episode_batch: bool | None) -> int:
+def _run_campaign_command(args, episode_batch: bool | None,
+                          fault_plan: bool | None) -> int:
     """The ``campaign`` subcommand (spec -> runner -> status report)."""
     from pathlib import Path
 
@@ -327,6 +344,8 @@ def _run_campaign_command(args, episode_batch: bool | None) -> int:
         runtime_base["shards"] = args.shards
     if episode_batch is not None:
         runtime_base["episode_batch"] = episode_batch
+    if fault_plan is not None:
+        runtime_base["fault_plan"] = fault_plan
 
     try:
         if args.spec is not None:

@@ -62,13 +62,21 @@ class FlowConfig:
         ``True``/``False`` force it on/off, ``None`` defers to
         ``$REPRO_EPISODE_BATCH`` (default on).  Bit-identical either
         way; only speed changes.
+    fault_plan:
+        Planned fault x pattern replay for the flow's fault
+        simulations (ATPG batches, compaction matrices, coverage
+        accounting): ``True``/``False`` force it on/off, ``None``
+        defers to ``$REPRO_FAULT_PLAN`` (default on).  The legacy
+        per-batch loop is the pinned reference; results are
+        bit-identical either way.
     """
 
     #: Fields that only affect execution speed, never results (every
     #: backend is bit-identical by contract); excluded from
     #: :meth:`config_hash` so cache keys are engine-independent.
     RUNTIME_FIELDS: ClassVar[tuple[str, ...]] = (
-        "backend", "fault_backend", "shards", "episode_batch")
+        "backend", "fault_backend", "shards", "episode_batch",
+        "fault_plan")
 
     seed: int = 0
     observability_samples: int = 512
@@ -84,6 +92,7 @@ class FlowConfig:
     fault_backend: str | None = None
     shards: int | None = None
     episode_batch: bool | None = None
+    fault_plan: bool | None = None
 
     def __post_init__(self) -> None:
         from repro.simulation.backends import available_backends

@@ -124,7 +124,8 @@ class ProposedFlow:
         design = ScanDesign.full_scan(mapped)
         test_set = generate_tests(
             design, config.atpg_config(), backend=config.backend,
-            fault_backend=config.fault_simulation_backend())
+            fault_backend=config.fault_simulation_backend(),
+            fault_plan=config.fault_plan)
 
         addmux = add_mux(mapped, library,
                          margin_ps=config.mux_delay_margin_ps)

@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.atpg.faults import Fault
     from repro.atpg.faultsim import FaultSimResult
     from repro.simulation.episode import EpisodeBatchResult, EpisodePlan
+    from repro.simulation.fault_episode import FaultEpisodePlan
 
 __all__ = ["Backend", "SimState", "require_input_word"]
 
@@ -217,6 +218,31 @@ class Backend(abc.ABC):
         from repro.atpg.faultsim import scalar_fault_simulate
         return scalar_fault_simulate(self, circuit, faults, input_words,
                                      n, drop=drop, cone_cache=cone_cache)
+
+    def fault_simulate_plan(self, plan: "FaultEpisodePlan",
+                            drop: bool = True) -> "FaultSimResult":
+        """Replay a compiled fault x pattern plan in one fused pass.
+
+        ``plan`` is a :class:`~repro.simulation.fault_episode.
+        FaultEpisodePlan` packing a whole fault universe against a whole
+        pattern set.  The contract is exactly
+        :meth:`fault_simulate_batch` on the plan's components —
+        detection words record all detecting patterns, ``remaining``
+        follows the plan's fault order, and results are bit-identical
+        across engines, tile geometries and shard counts.
+
+        The default implementation is the scalar big-int cone replay
+        over the plan's **memoized** good-machine words (one fault-free
+        pass per backend, shared across calls and shards via the plan's
+        state cache) with the plan's shared cone cache — the pinned
+        reference semantics.  The numpy engine overrides this with the
+        2-D-tiled kernel; the sharded meta-backend shards the fault
+        axis (drop mode) or the pattern axis (no-drop matrices).
+        """
+        from repro.atpg.faultsim import scalar_replay
+        return scalar_replay(plan.circuit, plan.faults,
+                             plan.good_words(self), plan.n,
+                             cone_cache=plan.cone_cache)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

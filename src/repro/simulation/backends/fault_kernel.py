@@ -53,7 +53,8 @@ if TYPE_CHECKING:  # pragma: no cover - runtime import would be cyclic
     from repro.atpg.faultsim import FaultSimResult
     from repro.simulation.backends.numpy_backend import NumpyState
 
-__all__ = ["FaultSimPlan", "cached_fault_plan", "fault_simulate_matrix"]
+__all__ = ["FaultSimPlan", "cached_fault_plan", "fault_simulate_matrix",
+           "tile_geometry"]
 
 _U64 = np.dtype("<u8")
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -150,17 +151,40 @@ def cached_fault_plan(circuit: Circuit) -> FaultSimPlan:
     return plan
 
 
-def _batch_size(plan: FaultSimPlan, n_words: int) -> int:
-    """Faults per batch under the fixed element budget (deterministic)."""
-    per_fault = max(1, plan.n_rows * max(1, n_words))
-    size = _BATCH_ELEMENT_BUDGET // per_fault
-    return max(_MIN_BATCH_FAULTS, min(_MAX_BATCH_FAULTS, size))
+def tile_geometry(plan: FaultSimPlan, n_words: int,
+                  element_budget: int | None = None) -> tuple[int, int]:
+    """2-D tile shape ``(faults per tile, words per tile)``.
+
+    Deterministic for a given (circuit, pattern count, budget): the
+    fault axis is chunked first (as the 1-D kernel always did); when
+    the pattern set is so wide that even the minimum fault chunk blows
+    the element budget, the **pattern axis** is tiled into word blocks
+    instead of letting the faulty matrix overshoot.  Tile boundaries
+    are invisible in the results — every (fault, pattern) cell is
+    computed independently — so the geometry is purely a memory/speed
+    knob.
+    """
+    budget = _BATCH_ELEMENT_BUDGET if element_budget is None \
+        else element_budget
+    n_words = max(1, n_words)
+    per_fault = max(1, plan.n_rows * n_words)
+    size = budget // per_fault
+    if size >= _MIN_BATCH_FAULTS:
+        return (min(_MAX_BATCH_FAULTS, size), n_words)
+    words = budget // max(1, plan.n_rows * _MIN_BATCH_FAULTS)
+    return (_MIN_BATCH_FAULTS, max(1, min(n_words, words)))
 
 
 def _detect_batch(plan: FaultSimPlan, matrix: np.ndarray,
                   full_row: np.ndarray,
-                  batch: "Sequence[Fault]") -> list[int]:
-    """Detection words (big ints) for one batch of faults."""
+                  batch: "Sequence[Fault]") -> np.ndarray:
+    """Detection rows ``(n_faults, n_words)`` for one batch of faults.
+
+    ``matrix``/``full_row`` may be column slices of the full waveform
+    matrix: every operation here is word-wise, so a pattern-axis tile
+    computes exactly the corresponding columns of the full detection
+    matrix.
+    """
     index = plan.schedule.line_index
     n_words = matrix.shape[1]
     n_faults = len(batch)
@@ -191,13 +215,16 @@ def _detect_batch(plan: FaultSimPlan, matrix: np.ndarray,
     local_of = np.full(plan.n_rows, -1, dtype=np.intp)
     local_of[needed] = np.arange(needed.size)
     good_local = matrix[needed]                       # (L, W)
-    faulty = np.repeat(good_local[None], n_faults, axis=0)  # (F, L, W)
+    # Lane-minor layout (L, F, W): a gathered gate row is one
+    # contiguous (F, W) slab, so the per-level fancy indexing streams
+    # instead of striding n_local_lines * n_words apart per lane.
+    faulty = np.repeat(good_local[:, None], n_faults, axis=1)
 
     lanes = np.arange(n_faults)
     fault_loc = local_of[fault_rows]
     stuck_rows = np.where(stuck[:, None], full_row[None, :],
                           np.zeros(n_words, dtype=_U64)[None, :])
-    faulty[lanes, fault_loc] = stuck_rows
+    faulty[fault_loc, lanes] = stuck_rows
 
     levels = plan.level[gate_rows]
     for lv in np.unique(levels):
@@ -205,12 +232,20 @@ def _detect_batch(plan: FaultSimPlan, matrix: np.ndarray,
         and_rows = rows_lv[plan.is_and[rows_lv]]
         if and_rows.size:
             in_loc = local_of[plan.and_inputs[and_rows]]      # (k, A)
-            gathered = faulty[:, in_loc.T]                    # (F, A, k, W)
-            gathered ^= plan.and_inv_in[and_rows].T[None, :, :, None]
-            acc = np.bitwise_and.reduce(gathered, axis=1)     # (F, k, W)
-            acc ^= plan.and_inv_out[and_rows][None, :, None]
+            inv_in = plan.and_inv_in[and_rows]                # (k, A)
+            # Accumulate pin by pin instead of materializing the full
+            # (A, k, F, W) gather: each fancy index already copies, so
+            # the xor/and run in place on (k, F, W) slabs — about half
+            # the memory traffic of gather + reduce.
+            acc = faulty[in_loc[:, 0]]                        # (k, F, W)
+            acc ^= inv_in[:, 0][:, None, None]
+            for pin in range(1, in_loc.shape[1]):
+                term = faulty[in_loc[:, pin]]
+                term ^= inv_in[:, pin][:, None, None]
+                acc &= term
+            acc ^= plan.and_inv_out[and_rows][:, None, None]
             acc &= full_row
-            faulty[:, local_of[and_rows]] = acc
+            faulty[local_of[and_rows]] = acc
         if rows_lv.size > and_rows.size:
             from repro.simulation.backends.numpy_backend import _eval_rows
             for gbatch, member in other_sel:
@@ -218,54 +253,72 @@ def _detect_batch(plan: FaultSimPlan, matrix: np.ndarray,
                     continue
                 in_loc = local_of[gbatch.inputs[:, member]]   # (A, k)
                 k = in_loc.shape[1]
-                rows = np.moveaxis(faulty[:, in_loc], 1, 0)   # (A, F, k, W)
+                rows = faulty[in_loc]                         # (A, k, F, W)
                 out = _eval_rows(gbatch.gtype, rows, full_row,
-                                 (n_faults, k, n_words))
-                faulty[:, local_of[gbatch.outputs[member]]] = out
+                                 (k, n_faults, n_words))
+                faulty[local_of[gbatch.outputs[member]]] = out
         # A gate may drive another fault's stuck line: re-force every
         # lane's own fault row before the next level reads it.
-        faulty[lanes, fault_loc] = stuck_rows
+        faulty[fault_loc, lanes] = stuck_rows
 
     obs_loc = local_of[plan.obs_rows]
     present = obs_loc[obs_loc >= 0]
     if present.size:
-        diff = faulty[:, present] ^ good_local[present][None]
-        det = np.bitwise_or.reduce(diff, axis=1)              # (F, W)
+        diff = faulty[present] ^ good_local[present][:, None]
+        det = np.bitwise_or.reduce(diff, axis=0)              # (F, W)
     else:
         det = np.zeros((n_faults, n_words), dtype=_U64)
-    det = np.ascontiguousarray(det)
-    return [int.from_bytes(det[i].tobytes(), "little")
-            for i in range(n_faults)]
+    return det
 
 
 def fault_simulate_matrix(state: "NumpyState",
                           faults: "Sequence[Fault]",
-                          drop: bool = True) -> "FaultSimResult":
-    """Batched fault simulation over a settled numpy state.
+                          drop: bool = True,
+                          element_budget: int | None = None
+                          ) -> "FaultSimResult":
+    """Batched fault simulation over a settled numpy state, 2-D tiled.
 
     ``state`` is the fault-free simulation of the target patterns
     (:meth:`NumpyBackend.run`); the result is bit-identical to
     :func:`repro.atpg.faultsim.scalar_fault_simulate` on the same
-    stimulus, including ``remaining`` ordering.
+    stimulus, including ``remaining`` ordering, for **every** tile
+    geometry (:func:`tile_geometry`): the fault axis is chunked under
+    the element budget and, for pattern sets too wide for even the
+    minimum fault chunk, the pattern axis is additionally tiled into
+    word blocks — each block replays the same union-of-cones kernel on
+    a column slice of the waveform matrix, reusing the settled good
+    state and the levelized schedule across all tiles.
+
+    ``element_budget`` overrides the batch budget (tests force tiny
+    budgets to pin multi-tile geometries; production uses the default).
     """
     from repro.atpg.faultsim import FaultSimResult
 
     plan = cached_fault_plan(state.circuit)
     matrix = state.matrix
-    full_row = np.broadcast_to(matrix[plan.ones_index], (matrix.shape[1],))
+    n_words = matrix.shape[1]
+    full_row = np.broadcast_to(matrix[plan.ones_index], (n_words,))
 
     index = plan.schedule.line_index
     unique = list(dict.fromkeys(faults))
     # Topological grouping: neighbouring fault lines share their cones.
     unique.sort(key=lambda f: (index[f.line], f.stuck_at))
-    size = _batch_size(plan, matrix.shape[1])
+    f_tile, w_tile = tile_geometry(plan, n_words, element_budget)
 
     words: dict[Fault, int] = {}
-    for start in range(0, len(unique), size):
-        batch = unique[start:start + size]
-        for fault, word in zip(batch,
-                               _detect_batch(plan, matrix, full_row, batch)):
-            words[fault] = word
+    for start in range(0, len(unique), f_tile):
+        batch = unique[start:start + f_tile]
+        if w_tile >= n_words:
+            det = _detect_batch(plan, matrix, full_row, batch)
+        else:
+            det = np.empty((len(batch), n_words), dtype=_U64)
+            for w0 in range(0, n_words, w_tile):
+                w1 = min(n_words, w0 + w_tile)
+                det[:, w0:w1] = _detect_batch(
+                    plan, matrix[:, w0:w1], full_row[w0:w1], batch)
+        det = np.ascontiguousarray(det)
+        for i, fault in enumerate(batch):
+            words[fault] = int.from_bytes(det[i].tobytes(), "little")
 
     detected: dict[Fault, int] = {}
     remaining: list[Fault] = []

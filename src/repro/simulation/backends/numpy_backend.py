@@ -43,6 +43,7 @@ from repro.simulation.values import mask
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.atpg.faults import Fault
     from repro.atpg.faultsim import FaultSimResult
+    from repro.simulation.fault_episode import FaultEpisodePlan
 
 __all__ = ["NumpyBackend", "NumpyState"]
 
@@ -317,3 +318,21 @@ class NumpyBackend(Backend):
         )
         state = self.run(circuit, input_words, n)
         return fault_simulate_matrix(state, faults, drop=drop)
+
+    def fault_simulate_plan(self, plan: "FaultEpisodePlan",
+                            drop: bool = True) -> "FaultSimResult":
+        """Whole-plan replay on the 2-D-tiled fused kernel.
+
+        The plan's memoized good-machine state (and with it the
+        levelized schedule) is settled once and reused across every
+        fault-axis chunk and pattern-axis word block; see
+        :func:`repro.simulation.backends.fault_kernel.
+        fault_simulate_matrix`.  Bit-identical to the scalar reference
+        for every tile geometry.
+        """
+        from repro.simulation.backends.fault_kernel import (
+            fault_simulate_matrix,
+        )
+        state = plan.good_state(self)
+        assert isinstance(state, NumpyState)
+        return fault_simulate_matrix(state, plan.faults, drop=drop)

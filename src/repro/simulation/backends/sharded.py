@@ -70,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.atpg.faultsim import FaultSimResult
     from repro.campaign.pool import WorkerPool
     from repro.simulation.episode import EpisodeBatchResult, EpisodePlan
+    from repro.simulation.fault_episode import FaultEpisodePlan
 
 __all__ = ["ShardedBackend", "shard_bounds", "DEFAULT_SHARDS_ENV"]
 
@@ -258,6 +259,26 @@ def _simulate_shard_fork_state(bounds: tuple[int, int]) -> "FaultSimResult":
     start, stop = bounds
     from repro.simulation.backends.fault_kernel import fault_simulate_matrix
     return fault_simulate_matrix(state, faults[start:stop], drop=drop)
+
+
+def _simulate_fault_window_fork(bounds: tuple[int, int]
+                                ) -> "FaultSimResult":
+    """Fork-context worker: the whole fault list on one pattern window.
+
+    The circuit, the fault list and the stimulus byte map arrive by
+    copy-on-write inheritance (the ``_FORK_JOB`` machinery); each
+    worker slices its own word-aligned cycle window in O(window) and
+    good-simulates only that window, so the fault-free work is split
+    across workers instead of duplicated.
+    """
+    assert _FORK_JOB is not None
+    inner_name, circuit, faults, byte_map, drop = _FORK_JOB
+    start, stop = bounds
+    words = {line: _window_word(raw, start, stop)
+             for line, raw in byte_map.items()}
+    from repro.simulation.backends import get_backend
+    return get_backend(inner_name).fault_simulate_batch(
+        circuit, faults, words, stop - start, drop=drop)
 
 
 class ShardedBackend(Backend):
@@ -524,9 +545,53 @@ class ShardedBackend(Backend):
             return inner.fault_simulate_batch(
                 circuit, faults, input_words, n,
                 drop=drop, cone_cache=cone_cache)
+        return self._shard_fault_axis(circuit, list(faults),
+                                      dict(input_words), n, drop,
+                                      n_shards)
 
-        words = dict(input_words)
-        faults = list(faults)
+    def fault_simulate_plan(self, plan: "FaultEpisodePlan",
+                            drop: bool = True) -> "FaultSimResult":
+        """Two-axis sharded replay of a compiled fault x pattern plan.
+
+        Drop-mode runs shard the **fault axis** (each worker replays
+        its contiguous fault slice against all patterns — dropping is
+        per fault, so fault-major keeps every worker's early-outs);
+        no-drop detection matrices shard the **pattern axis** into
+        word-aligned cycle windows (every fault is refined on every
+        pattern anyway, and splitting the patterns also splits the
+        fault-free simulation across workers).  Both merges are
+        integer-exact — shard-ordered concatenation resp. an OR of
+        window detection words — so the result never depends on the
+        axis or the shard count.
+        """
+        inner = self._inner()
+        if drop:
+            n_shards = self.effective_shards(plan.n_faults)
+            if n_shards <= 1:
+                return inner.fault_simulate_plan(plan, drop=drop)
+            return self._shard_fault_axis(
+                plan.circuit, list(plan.faults), dict(plan.input_words),
+                plan.n, drop, n_shards,
+                good_state=lambda: plan.good_state(inner))
+        n_shards = min(self.configured_shards(), plan.n_words)
+        if n_shards <= 1 or plan.n_faults < self.min_faults_per_shard:
+            # Tiny matrices (or single-word pattern sets) run inline:
+            # forking costs more than the window work saves.
+            return inner.fault_simulate_plan(plan, drop=drop)
+        return self._shard_pattern_axis(plan, drop, n_shards)
+
+    def _shard_fault_axis(self, circuit: Circuit, faults: "list[Fault]",
+                          words: dict[str, int], n: int, drop: bool,
+                          n_shards: int,
+                          good_state: "Any | None" = None
+                          ) -> FaultSimResult:
+        """Contiguous fault-list shards over workers (stable merge).
+
+        ``good_state`` (a thunk) supplies the settled numpy state for
+        the fork path; plan-based calls pass the plan's memoized state
+        so repeated dispatches on the same stimulus never re-simulate
+        the good machine.
+        """
         bounds = shard_bounds(len(faults), n_shards)
         pool = self._resolve_pool()
         if pool is not None:
@@ -554,7 +619,8 @@ class ShardedBackend(Backend):
             ctx = multiprocessing.get_context("fork")
             global _FORK_JOB
             if self.inner_name == "numpy":
-                state = self._inner().run(circuit, words, n)
+                state = good_state() if good_state is not None \
+                    else self._inner().run(circuit, words, n)
                 _FORK_JOB = (state, faults, drop)
                 worker = _simulate_shard_fork_state
             else:
@@ -576,6 +642,90 @@ class ShardedBackend(Backend):
             with ctx.Pool(processes=len(payloads)) as mp_pool:
                 parts = mp_pool.map(_simulate_shard, payloads)
         return self._merge(parts)
+
+    def _shard_pattern_axis(self, plan: "FaultEpisodePlan", drop: bool,
+                            n_shards: int) -> FaultSimResult:
+        """Word-aligned cycle windows over workers, OR-merged.
+
+        Windows are contiguous ``uint64``-word ranges of the pattern
+        axis (the last window absorbs the tail bits), so each worker's
+        detection words are exact column slices of the full matrix:
+        the merge shifts them back to their window offset and ORs —
+        bit-identical to the unsharded plan for every window count.
+        """
+        circuit = plan.circuit
+        faults = list(plan.faults)
+        word_bounds = shard_bounds(plan.n_words, n_shards)
+        bounds = [(w0 * 64, min(plan.n, w1 * 64))
+                  for w0, w1 in word_bounds]
+        byte_map = _plan_byte_map(plan.input_words, plan.n)
+        pool = self._resolve_pool()
+        if pool is not None or \
+                multiprocessing.get_start_method(allow_none=False) \
+                != "fork":
+            # Pool/spawn paths ship pre-sliced window stimuli (one
+            # O(plan) byte conversion, each window O(window)); the
+            # payload shape matches the fault-axis shard workers, so
+            # the same interning entry points serve both axes.
+            fingerprint = circuit.fingerprint()
+            payloads: list[Any] = [
+                (self.inner_name, circuit, fingerprint, faults,
+                 {line: _window_word(raw, start, stop)
+                  for line, raw in byte_map.items()},
+                 stop - start, drop)
+                for start, stop in bounds
+            ]
+            if pool is not None:
+                parts = pool.map(_simulate_shard_pooled, payloads)
+            else:  # pragma: no cover - non-fork platforms
+                spawn_payloads = [payload[:2] + payload[3:]
+                                  for payload in payloads]
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(processes=len(spawn_payloads)) as mp_pool:
+                    parts = mp_pool.map(_simulate_shard, spawn_payloads)
+        else:
+            # Fork path: circuit, fault list and stimulus byte map
+            # inherit copy-on-write; workers slice their own windows.
+            self._warm_parent_caches(circuit, faults)
+            ctx = multiprocessing.get_context("fork")
+            global _FORK_JOB
+            _FORK_JOB = (self.inner_name, circuit, faults, byte_map,
+                         drop)
+            try:
+                with ctx.Pool(processes=len(bounds)) as mp_pool:
+                    parts = mp_pool.map(_simulate_fault_window_fork,
+                                        bounds)
+            finally:
+                _FORK_JOB = None
+        return self._merge_pattern_axis(faults, bounds, parts)
+
+    @staticmethod
+    def _merge_pattern_axis(faults: "Sequence[Fault]",
+                            bounds: Sequence[tuple[int, int]],
+                            parts: "Sequence[FaultSimResult]"
+                            ) -> FaultSimResult:
+        """OR window detection words back into full-set words.
+
+        Every (fault, pattern) detection bit is computed independently,
+        so the word of window ``[start, stop)`` is exactly bits
+        ``start..stop-1`` of the full word; the merge shifts and ORs.
+        ``detected``/``remaining`` are rebuilt in fault-input order —
+        identical to the single-pass reference.
+        """
+        from repro.atpg.faultsim import FaultSimResult
+        merged: dict[Fault, int] = {}
+        for (start, _stop), part in zip(bounds, parts):
+            for fault, word in part.detected.items():
+                merged[fault] = merged.get(fault, 0) | (word << start)
+        detected: dict[Fault, int] = {}
+        remaining: list[Fault] = []
+        for fault in faults:
+            word = merged.get(fault, 0)
+            if word:
+                detected[fault] = word
+            else:
+                remaining.append(fault)
+        return FaultSimResult(detected=detected, remaining=remaining)
 
     @staticmethod
     def _merge(parts: "Sequence[FaultSimResult]") -> "FaultSimResult":

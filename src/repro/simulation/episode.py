@@ -40,13 +40,12 @@ or the per-call ``episode_batch=`` argument override it (the CLI's
 from __future__ import annotations
 
 import dataclasses
-import os
 from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import ScanError, SimulationError
+from repro.errors import ScanError
 from repro.netlist.circuit import Circuit
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -65,9 +64,6 @@ __all__ = [
 #: Environment variable toggling the batched episode engine (``1`` on,
 #: ``0`` off; unset = on).
 DEFAULT_EPISODE_BATCH_ENV = "REPRO_EPISODE_BATCH"
-
-_TRUE_VALUES = ("1", "true", "on", "yes")
-_FALSE_VALUES = ("0", "false", "off", "no")
 
 _default_override: bool | None = None
 
@@ -93,21 +89,9 @@ def episode_batching_enabled(flag: bool | None = None) -> bool:
     ``$REPRO_EPISODE_BATCH``, defaulting to **on** (the batched path is
     bit-identical to the legacy loop, so only speed changes).
     """
-    if flag is not None:
-        return flag
-    if _default_override is not None:
-        return _default_override
-    env = os.environ.get(DEFAULT_EPISODE_BATCH_ENV, "")
-    if not env:
-        return True
-    lowered = env.strip().lower()
-    if lowered in _TRUE_VALUES:
-        return True
-    if lowered in _FALSE_VALUES:
-        return False
-    raise SimulationError(
-        f"${DEFAULT_EPISODE_BATCH_ENV} must be one of "
-        f"{_TRUE_VALUES + _FALSE_VALUES}, got {env!r}")
+    from repro.simulation.toggles import resolve_toggle
+    return resolve_toggle(DEFAULT_EPISODE_BATCH_ENV, flag,
+                          _default_override)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,0 +1,274 @@
+"""Fault x pattern batched replay: whole-test-set fault detection.
+
+PR 4 turned whole-test-set *power* replay into one matrix
+(:mod:`repro.simulation.episode`); this module does the same for fault
+detection — the dominant cost of ATPG and of every Table-I run.  The
+scan-power literature evaluates fault coverage over the *entire* applied
+test set, which is exactly the fault x pattern detection matrix, so
+instead of driving many independent
+:func:`~repro.atpg.faultsim.fault_simulate` calls (each re-simulating
+the good machine, re-chunking cones and re-dispatching shards) the whole
+fault universe and the whole pattern set are packed into **one**
+:class:`FaultEpisodePlan` and handed to
+:meth:`~repro.simulation.backends.base.Backend.fault_simulate_plan`:
+
+* ``bigint`` replays the plan with the scalar cone-replay reference on
+  the plan's memoized good-machine words (the pinned semantics);
+* ``numpy`` evaluates the detection matrix with **2-D tiling** — fault-
+  axis chunks x pattern-axis word blocks under the fault kernel's
+  element budget — reusing the warmed good-machine state and levelized
+  schedule across all tiles (:mod:`~repro.simulation.backends.
+  fault_kernel`);
+* ``sharded`` shards **both axes**: fault-major for drop-mode runs,
+  pattern-major (word-aligned cycle windows) for no-drop detection
+  matrices, with an integer-exact OR-merge of detection words
+  (:mod:`~repro.simulation.backends.sharded`).
+
+A :class:`FaultSimSession` carries the plan machinery, the good-machine
+state cache and the shared fanout-cone cache across the many batches of
+one ATPG run (or one campaign circuit), so incremental fault dropping
+never recomputes shared state.
+
+Everything is bit-identical to the per-batch reference path: detection
+words, ``remaining`` ordering, coverage statistics and compacted test
+sets never depend on the engine, the tile geometry or the shard count —
+the differential property tests in ``tests/properties`` pin this.  The
+planned path is on by default; ``$REPRO_FAULT_PLAN`` (``0``/``1``), a
+session default installed via :func:`set_default_fault_planning` (the
+CLI's ``--fault-plan on|off`` flag) or a per-call flag override it.
+The toggle is runtime-only and excluded from
+:meth:`~repro.core.config.FlowConfig.config_hash`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.simulation.toggles import resolve_toggle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.atpg.faults import Fault
+    from repro.atpg.faultsim import FaultSimResult
+    from repro.simulation.backends import Backend, SimState
+
+__all__ = [
+    "FaultEpisodePlan",
+    "FaultSimSession",
+    "compile_fault_episode_plan",
+    "fault_planning_enabled",
+    "set_default_fault_planning",
+    "DEFAULT_FAULT_PLAN_ENV",
+]
+
+#: Environment variable toggling the planned fault-replay engine
+#: (``1`` on, ``0`` off; unset = on).
+DEFAULT_FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_default_override: bool | None = None
+
+
+def set_default_fault_planning(flag: bool | None) -> None:
+    """Install the session-default fault-planning switch.
+
+    Mirrors :func:`repro.simulation.episode.set_default_episode_batching`:
+    the CLI's ``--fault-plan`` flag installs the session default here so
+    every consumer honours it.  ``None`` resets to the environment/
+    built-in default.
+    """
+    global _default_override
+    _default_override = flag
+
+
+def fault_planning_enabled(flag: bool | None = None) -> bool:
+    """Resolve the fault-planning switch.
+
+    An explicit ``flag`` wins, then a session default installed via
+    :func:`set_default_fault_planning`, then ``$REPRO_FAULT_PLAN``,
+    defaulting to **on** (the planned path is bit-identical to the
+    per-batch loop, so only speed changes).
+    """
+    return resolve_toggle(DEFAULT_FAULT_PLAN_ENV, flag,
+                          _default_override)
+
+
+class FaultEpisodePlan:
+    """A whole fault universe x pattern set as one replay plan.
+
+    Attributes
+    ----------
+    circuit:
+        The circuit under test (combinational test view).
+    faults:
+        The fault list, in caller order (``remaining`` ordering follows
+        it exactly).
+    input_words:
+        Packed interchange stimulus for every combinational input.
+    n:
+        Pattern count.
+    cone_cache:
+        Shared fanout-cone cache for the scalar replay path; a session
+        passes its own so cones are extracted once per circuit line.
+
+    The plan memoizes the fault-free ("good machine") simulation per
+    backend, so every engine — and every tile and shard within one
+    engine — reuses one settled state instead of re-simulating per
+    call.  Plans are never pickled: sharded dispatch ships raw
+    components (or inherits the plan copy-on-write on the fork path).
+    """
+
+    def __init__(self, circuit: Circuit, faults: "Sequence[Fault]",
+                 input_words: Mapping[str, int], n: int,
+                 cone_cache: dict[str, list[str]] | None = None,
+                 state_cache: "dict[str, SimState] | None" = None):
+        if n < 1:
+            raise SimulationError("fault episode plan needs >= 1 pattern")
+        self.circuit = circuit
+        self.faults: "tuple[Fault, ...]" = tuple(faults)
+        self.input_words = dict(input_words)
+        self.n = n
+        self.cone_cache = {} if cone_cache is None else cone_cache
+        self._states: "dict[str, SimState]" = \
+            {} if state_cache is None else state_cache
+        self._good_words: dict[str, dict[str, int]] = {}
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def n_words(self) -> int:
+        """``uint64`` words per packed waveform row."""
+        return (self.n + 63) // 64
+
+    def good_state(self, backend: "Backend") -> "SimState":
+        """The fault-free simulation on ``backend``, memoized by name.
+
+        The state cache may be shared with a :class:`FaultSimSession`
+        so identical stimuli reuse one settled state across plans.
+        """
+        state = self._states.get(backend.name)
+        if state is None:
+            state = backend.run(self.circuit, self.input_words, self.n)
+            self._states[backend.name] = state
+        return state
+
+    def good_words(self, backend: "Backend") -> dict[str, int]:
+        """Interchange words of the good machine (memoized per backend)."""
+        words = self._good_words.get(backend.name)
+        if words is None:
+            words = self.good_state(backend).words()
+            self._good_words[backend.name] = words
+        return words
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<FaultEpisodePlan {self.circuit.name!r} "
+                f"faults={self.n_faults} patterns={self.n}>")
+
+
+def compile_fault_episode_plan(circuit: Circuit,
+                               faults: "Sequence[Fault]",
+                               input_words: Mapping[str, int], n: int,
+                               cone_cache: dict[str, list[str]] | None = None
+                               ) -> FaultEpisodePlan:
+    """Compile one :class:`FaultEpisodePlan` (standalone convenience).
+
+    Long-running consumers should prefer a :class:`FaultSimSession`,
+    which shares cone and good-machine caches across plans.
+    """
+    return FaultEpisodePlan(circuit, faults, input_words, n,
+                            cone_cache=cone_cache)
+
+
+#: Good-machine states kept per session: distinct stimuli worth caching
+#: at once (ATPG alternates between at most a few within one phase).
+_SESSION_STATE_SLOTS = 4
+
+
+class FaultSimSession:
+    """Persistent fault-simulation context for one circuit.
+
+    Carries the resolved engine, the shared fanout-cone cache and a
+    bounded good-machine state pool across *many* fault-simulation
+    calls (ATPG batches, compaction, coverage accounting), so
+    incremental fault dropping never recomputes shared state.  The
+    session resolves the planning toggle **once** at construction —
+    one ATPG run never mixes paths.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit every call simulates (cone/plan caches key on it).
+    backend:
+        Fault-simulation engine (name, instance or ``None`` — resolved
+        through :func:`~repro.simulation.backends.resolve_fault_backend`).
+    plan:
+        Planning toggle override; ``None`` defers to the session
+        default / ``$REPRO_FAULT_PLAN`` (default on).  Off routes every
+        call through the legacy per-batch
+        :meth:`~repro.simulation.backends.base.Backend.
+        fault_simulate_batch` path — the pinned reference.
+    cone_cache:
+        Optional externally shared fanout-cone cache.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 backend: "str | Backend | None" = None,
+                 plan: bool | None = None,
+                 cone_cache: dict[str, list[str]] | None = None):
+        from repro.simulation.backends import resolve_fault_backend
+        self.circuit = circuit
+        self.engine = resolve_fault_backend(backend)
+        self.cone_cache: dict[str, list[str]] = \
+            {} if cone_cache is None else cone_cache
+        self.plan_enabled = fault_planning_enabled(plan)
+        self._state_pool: \
+            "OrderedDict[tuple, dict[str, SimState]]" = OrderedDict()
+
+    def _states_for(self, input_words: Mapping[str, int], n: int
+                    ) -> "dict[str, SimState]":
+        """The per-stimulus good-machine cache slot (bounded LRU)."""
+        key = (n, tuple(sorted(input_words.items())))
+        states = self._state_pool.get(key)
+        if states is None:
+            self._state_pool[key] = states = {}
+            while len(self._state_pool) > _SESSION_STATE_SLOTS:
+                self._state_pool.popitem(last=False)
+        else:
+            self._state_pool.move_to_end(key)
+        return states
+
+    def compile(self, faults: "Sequence[Fault]",
+                input_words: Mapping[str, int], n: int
+                ) -> FaultEpisodePlan:
+        """Compile a plan wired to the session's shared caches."""
+        words = dict(input_words)
+        return FaultEpisodePlan(
+            self.circuit, faults, words, n,
+            cone_cache=self.cone_cache,
+            state_cache=self._states_for(words, n))
+
+    def simulate(self, faults: "Sequence[Fault]",
+                 input_words: Mapping[str, int], n: int,
+                 drop: bool = True) -> "FaultSimResult":
+        """Simulate ``faults`` against ``n`` packed patterns.
+
+        Same contract as :func:`repro.atpg.faultsim.fault_simulate`
+        (detection words record all detecting patterns; ``remaining``
+        is the undetected faults in input order), bit-identical whether
+        the planned or the legacy per-batch path runs.
+        """
+        if not self.plan_enabled:
+            return self.engine.fault_simulate_batch(
+                self.circuit, faults, input_words, n, drop=drop,
+                cone_cache=self.cone_cache)
+        plan = self.compile(faults, input_words, n)
+        return self.engine.fault_simulate_plan(plan, drop=drop)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<FaultSimSession {self.circuit.name!r} "
+                f"engine={self.engine.name!r} "
+                f"plan={self.plan_enabled}>")

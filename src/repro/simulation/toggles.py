@@ -1,0 +1,45 @@
+"""Shared resolution for runtime speed toggles.
+
+The batched episode engine and the planned fault replay are both
+bit-identical to their legacy reference paths, so each is guarded by a
+speed-only switch with the same precedence chain: an explicit per-call
+flag, then a session default (installed by the CLI), then an
+environment variable, then the built-in default (**on**).  This module
+holds the one resolver both share so parsing and precedence cannot
+drift between them.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import SimulationError
+
+__all__ = ["TRUE_VALUES", "FALSE_VALUES", "resolve_toggle"]
+
+TRUE_VALUES = ("1", "true", "on", "yes")
+FALSE_VALUES = ("0", "false", "off", "no")
+
+
+def resolve_toggle(env_var: str, flag: bool | None,
+                   override: bool | None, default: bool = True) -> bool:
+    """Resolve flag > session override > ``$env_var`` > ``default``.
+
+    A malformed environment value raises :class:`SimulationError`
+    naming the variable (consumers surface it as a clean CLI error).
+    """
+    if flag is not None:
+        return flag
+    if override is not None:
+        return override
+    env = os.environ.get(env_var, "")
+    if not env:
+        return default
+    lowered = env.strip().lower()
+    if lowered in TRUE_VALUES:
+        return True
+    if lowered in FALSE_VALUES:
+        return False
+    raise SimulationError(
+        f"${env_var} must be one of {TRUE_VALUES + FALSE_VALUES}, "
+        f"got {env!r}")

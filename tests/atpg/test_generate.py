@@ -84,6 +84,62 @@ class TestGenerateTests:
             assert len(vector.scan_state) == s27_design.chain.length
 
 
+class TestFaultPlanToggle:
+    """The planned fault x pattern replay must never change the
+    generated test set — the legacy per-batch loop is the pinned
+    reference."""
+
+    def test_plan_on_equals_legacy(self, s27_design):
+        legacy = generate_tests(s27_design, AtpgConfig(seed=1),
+                                fault_plan=False)
+        planned = generate_tests(s27_design, AtpgConfig(seed=1),
+                                 fault_plan=True)
+        assert planned.vectors == legacy.vectors
+        assert planned.n_detected == legacy.n_detected
+        assert planned.n_untestable == legacy.n_untestable
+        assert planned.n_aborted == legacy.n_aborted
+
+    def test_plan_on_equals_legacy_without_compaction(self, s27_design):
+        """With compaction off there is no detection matrix to reuse;
+        the plan path must fall back to the final drop-mode pass."""
+        config = AtpgConfig(seed=2, compaction=False)
+        legacy = generate_tests(s27_design, config, fault_plan=False)
+        planned = generate_tests(s27_design, config, fault_plan=True)
+        assert planned.vectors == legacy.vectors
+        assert planned.n_detected == legacy.n_detected
+
+    def test_matrix_reuse_skips_final_simulation(self, s27_design,
+                                                 monkeypatch):
+        """On the plan path the final coverage accounting reads the
+        compaction matrix: exactly one no-drop call, no trailing
+        drop-mode call on the compacted set."""
+        from repro.simulation.fault_episode import FaultSimSession
+
+        calls = []
+        original = FaultSimSession.simulate
+
+        def spy(self, faults, words, n, drop=True):
+            calls.append(drop)
+            return original(self, faults, words, n, drop=drop)
+
+        monkeypatch.setattr(FaultSimSession, "simulate", spy)
+        generate_tests(s27_design, AtpgConfig(seed=1), fault_plan=True)
+        assert calls.count(False) == 1  # the compaction matrix
+        planned_calls = list(calls)
+        calls.clear()
+        generate_tests(s27_design, AtpgConfig(seed=1), fault_plan=False)
+        # legacy runs one extra drop-mode pass after the matrix
+        assert len(calls) == len(planned_calls) + 1
+
+    def test_coverage_on_env_toggle(self, s27_design, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "0")
+        legacy = generate_tests(s27_design, AtpgConfig(seed=3))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "1")
+        planned = generate_tests(s27_design, AtpgConfig(seed=3))
+        assert planned.vectors == legacy.vectors
+        assert planned.n_detected == legacy.n_detected
+
+
 class TestSharedPoolRouting:
     """ATPG's inner fault-simulation loop rides the shared worker pool
     by default when a sharding fault backend would actually split the

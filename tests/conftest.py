@@ -29,7 +29,9 @@ def _reset_session_episode_batching():
     """
     yield
     from repro.simulation.episode import set_default_episode_batching
+    from repro.simulation.fault_episode import set_default_fault_planning
     set_default_episode_batching(None)
+    set_default_fault_planning(None)
 
 
 @pytest.fixture

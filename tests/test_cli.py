@@ -249,6 +249,37 @@ class TestEpisodeBatchFlag:
         assert main(["--episode-batch", "on", "list"]) == 0
 
 
+class TestFaultPlanFlag:
+    def test_run_with_flag_on_and_off_match(self, capsys):
+        assert main(["--seed", "1", "--fault-plan", "on",
+                     "run", "s27"]) == 0
+        planned = capsys.readouterr().out
+        assert main(["--seed", "1", "--fault-plan", "off",
+                     "run", "s27"]) == 0
+        legacy = capsys.readouterr().out
+        assert planned == legacy  # bit-identical by contract
+
+    def test_invalid_flag_value_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--fault-plan", "sometimes", "list"])
+
+    def test_bad_env_is_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "maybe")
+        assert main(["list"]) == 2
+        assert "REPRO_FAULT_PLAN" in capsys.readouterr().err
+
+    def test_flag_overrides_bad_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "maybe")
+        assert main(["--fault-plan", "off", "list"]) == 0
+
+    def test_flag_does_not_leak_across_main_calls(self):
+        from repro.simulation.fault_episode import fault_planning_enabled
+        assert main(["--fault-plan", "off", "list"]) == 0
+        assert fault_planning_enabled(None) is False  # session default
+        assert main(["list"]) == 0  # no flag: main resets the default
+        assert fault_planning_enabled(None) is True
+
+
 class TestCampaignGc:
     def _seed_cache(self, cache_dir, n=3):
         import time
