@@ -1,0 +1,261 @@
+"""Scaling-curve bench: time vs gates for every engine (ROADMAP item 3).
+
+Generates synthetic circuits at a ladder of gate budgets with
+:func:`repro.benchgen.generate_scaled`, then times the three
+long-pole operations per engine and size:
+
+* circuit generation (once per size; pins the de-quadraticized
+  generator),
+* whole-test-set power replay (``evaluate_scan_power`` over a compiled
+  :class:`EpisodePlan`),
+* whole-test-set fault detection on a sampled fault universe
+  (``FaultSimSession`` over a :class:`FaultEpisodePlan`).
+
+A ``--stream-budget`` (or ``$REPRO_STREAM_BUDGET``) routes the replay
+and detection passes through the out-of-core streaming path, so the
+curve demonstrates bounded-memory scaling; streamed results are
+bit-identical to resident by contract, so the curve is the only thing
+that changes.
+
+Output is a pytest-benchmark-compatible JSON (``{"benchmarks": [...]}``,
+one entry per engine x size plus one summary entry per engine) that
+``check_regression.py`` can diff: per-engine ``*_efficiency`` ratios
+(per-gate time at the smallest size over per-gate time at the largest
+— 1.0 is perfectly linear scaling, below 1 is superlinear blowup) are
+guarded keys; the fitted log-log exponents ride along as unguarded
+``extra_info``.
+
+Usage::
+
+    python benchmarks/bench_scaling.py --gates 10000,100000 \
+        --engines numpy,sharded --stream-budget 500000 -o scaling.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.atpg.faults import all_faults  # noqa: E402
+from repro.benchgen import generate_scaled  # noqa: E402
+from repro.power.scanpower import evaluate_scan_power  # noqa: E402
+from repro.scan.testview import ScanDesign, TestVector  # noqa: E402
+from repro.simulation.bitsim import random_input_words  # noqa: E402
+from repro.simulation.fault_episode import FaultSimSession  # noqa: E402
+from repro.techmap.mapper import technology_map  # noqa: E402
+from repro.utils.rng import make_rng  # noqa: E402
+
+#: Engines swept by default; bigint is capped (see ``--bigint-cap``)
+#: because the reference engine is the quantity being escaped.
+DEFAULT_ENGINES = ("bigint", "numpy", "sharded")
+DEFAULT_GATES = (1_000, 10_000, 100_000)
+
+
+def _parse_int_list(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def _time_once(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _best(repeats: int, fn) -> tuple[float, object]:
+    best_s, result = _time_once(fn)
+    for _ in range(repeats - 1):
+        elapsed, result = _time_once(fn)
+        best_s = min(best_s, elapsed)
+    return best_s, result
+
+
+def _vectors(design: ScanDesign, n_vectors: int, seed: int
+             ) -> list[TestVector]:
+    gen = make_rng(seed)
+    return [
+        TestVector(
+            pi_values={pi: int(gen.integers(2))
+                       for pi in design.circuit.inputs},
+            scan_state=tuple(int(gen.integers(2))
+                             for _ in range(design.chain.length)))
+        for _ in range(n_vectors)
+    ]
+
+
+def _sample_faults(circuit, n_sample: int, seed: int):
+    universe = all_faults(circuit)
+    if len(universe) <= n_sample:
+        return universe
+    gen = make_rng(seed)
+    picks = sorted(gen.choice(len(universe), size=n_sample,
+                              replace=False).tolist())
+    return [universe[i] for i in picks]
+
+
+def bench_size(n_gates: int, args: argparse.Namespace,
+               engines: tuple[str, ...]) -> list[dict]:
+    """One ladder rung: generate once, time replay + detection per engine."""
+    gen_s, raw = _time_once(
+        lambda: generate_scaled(n_gates, seed=args.seed,
+                                n_dffs=args.dffs))
+    map_s, circuit = _time_once(lambda: technology_map(raw))
+    design = ScanDesign.full_scan(circuit)
+    vectors = _vectors(design, args.vectors, args.seed)
+    faults = _sample_faults(circuit, args.faults, args.seed)
+    words = random_input_words(circuit, args.patterns,
+                               make_rng(args.seed + 1))
+
+    records = []
+    for engine in engines:
+        replay_s, report = _best(args.repeats, lambda: evaluate_scan_power(
+            design, vectors, backend=engine,
+            stream_budget=args.stream_budget))
+        session = FaultSimSession(circuit, engine,
+                                  stream_budget=args.stream_budget)
+        fault_s, result = _best(args.repeats, lambda: session.simulate(
+            faults, words, args.patterns, drop=False))
+        total_s = replay_s + fault_s
+        print(f"  {engine:>7}: replay {replay_s * 1e3:9.1f} ms   "
+              f"fault {fault_s * 1e3:9.1f} ms   "
+              f"({result.n_detected}/{len(faults)} detected)")
+        records.append({
+            "name": f"scaling_{engine}_g{n_gates}",
+            "stats": {"mean": total_s},
+            "extra_info": {
+                "engine": engine,
+                "gates": n_gates,
+                "mapped_gates": len(circuit.combinational_gates()),
+                "patterns": args.patterns,
+                "n_vectors": args.vectors,
+                "n_cycles": report.n_cycles,
+                "faults_sampled": len(faults),
+                "stream_budget": args.stream_budget,
+                "gen_s": round(gen_s, 4),
+                "map_s": round(map_s, 4),
+                "replay_s": round(replay_s, 4),
+                "fault_s": round(fault_s, 4),
+            },
+        })
+    return records
+
+
+def _fit_exponent(sizes: list[int], times: list[float]) -> float:
+    """Least-squares slope of log(time) against log(gates)."""
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(max(t, 1e-9)) for t in times]
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    if denom == 0:
+        return 0.0
+    return sum((x - mean_x) * (y - mean_y)
+               for x, y in zip(xs, ys)) / denom
+
+
+def summarize(engine: str, rungs: list[dict]) -> dict | None:
+    """Per-engine curve summary: guarded efficiencies + fitted exponents."""
+    mine = [r for r in rungs if r["extra_info"]["engine"] == engine]
+    if len(mine) < 2:
+        return None
+    mine.sort(key=lambda r: r["extra_info"]["gates"])
+    sizes = [r["extra_info"]["gates"] for r in mine]
+    extra: dict = {"engine": engine, "gates_ladder": sizes}
+    for metric in ("replay_s", "fault_s"):
+        times = [r["extra_info"][metric] for r in mine]
+        per_gate = [t / s for t, s in zip(times, sizes)]
+        short = metric[:-2]  # "replay" / "fault"
+        # Per-gate time at the smallest size over the largest: 1.0 is
+        # linear scaling, < 1 superlinear.  Guarded (suffix match).
+        extra[f"{short}_efficiency"] = round(
+            per_gate[0] / max(per_gate[-1], 1e-12), 3)
+        extra[f"{short}_exponent"] = round(
+            _fit_exponent(sizes, times), 3)
+    return {"name": f"scaling_{engine}", "stats": {"mean": 0.0},
+            "extra_info": extra}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--gates", type=_parse_int_list,
+                        default=DEFAULT_GATES, metavar="N,N,...",
+                        help="gate-count ladder (default 1e3,1e4,1e5; "
+                             "pass 1000000 explicitly for the "
+                             "million-gate rung)")
+    parser.add_argument("--engines", default=",".join(DEFAULT_ENGINES),
+                        metavar="E,E,...",
+                        help="engines to sweep (default bigint,numpy,"
+                             "sharded)")
+    parser.add_argument("--bigint-cap", type=int, default=20_000,
+                        metavar="N",
+                        help="largest size the bigint reference runs at "
+                             "(default 20000)")
+    parser.add_argument("--patterns", type=int, default=256, metavar="N",
+                        help="fault-detection pattern count (default 256)")
+    parser.add_argument("--vectors", type=int, default=8, metavar="N",
+                        help="power-replay test vectors (default 8)")
+    parser.add_argument("--faults", type=int, default=200, metavar="N",
+                        help="sampled fault-universe size (default 200)")
+    parser.add_argument("--dffs", type=int, default=64, metavar="N",
+                        help="flop count (fixed so the episode length "
+                             "stays constant and the curve isolates "
+                             "gate-count scaling; default 64)")
+    parser.add_argument("--stream-budget", type=int, metavar="N",
+                        default=None,
+                        help="out-of-core streaming budget in uint64 "
+                             "elements (default $REPRO_STREAM_BUDGET, "
+                             "else resident)")
+    parser.add_argument("--repeats", type=int, default=1, metavar="N",
+                        help="timing repeats, best-of (default 1)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("-o", "--output", type=Path, default=None,
+                        help="write pytest-benchmark-style JSON here")
+    args = parser.parse_args(argv)
+
+    if args.stream_budget is None:
+        env = os.environ.get("REPRO_STREAM_BUDGET", "")
+        args.stream_budget = int(env) if env else None
+
+    engines = tuple(e for e in args.engines.split(",") if e)
+    rungs: list[dict] = []
+    for n_gates in sorted(set(args.gates)):
+        sized = tuple(e for e in engines
+                      if e != "bigint" or n_gates <= args.bigint_cap)
+        if not sized:
+            print(f"{n_gates} gates: skipped (only bigint requested and "
+                  f"size exceeds --bigint-cap {args.bigint_cap})")
+            continue
+        skipped = set(engines) - set(sized)
+        budget = args.stream_budget
+        print(f"{n_gates} gates (stream_budget="
+              f"{budget if budget is not None else 'off'}"
+              f"{', skipping ' + ','.join(sorted(skipped)) if skipped else ''})")
+        rungs.extend(bench_size(n_gates, args, sized))
+
+    benchmarks = list(rungs)
+    for engine in engines:
+        summary = summarize(engine, rungs)
+        if summary is not None:
+            benchmarks.append(summary)
+            extra = summary["extra_info"]
+            print(f"{engine}: replay exponent "
+                  f"{extra['replay_exponent']:.2f} "
+                  f"(efficiency {extra['replay_efficiency']:.2f}), "
+                  f"fault exponent {extra['fault_exponent']:.2f} "
+                  f"(efficiency {extra['fault_efficiency']:.2f})")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(
+            {"benchmarks": benchmarks}, indent=2) + "\n")
+        print(f"wrote {args.output} ({len(benchmarks)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,9 +21,22 @@ import json
 import sys
 from pathlib import Path
 
-#: ``extra_info`` keys treated as guarded speedup ratios.
+#: ``extra_info`` keys treated as guarded speedup ratios.  Listed
+#: explicitly so renames are deliberate; :func:`is_guarded_key` also
+#: guards every ``*_speedup`` / ``*_efficiency`` suffix so a newly
+#: recorded ratio can never silently bypass the gate again (the
+#: historical bug: ``pool_speedup``/``campaign_speedup`` were recorded
+#: for two PRs without ever being diffed).
 SPEEDUP_KEYS = ("speedup", "episode_batch_speedup",
-                "fault_episode_speedup")
+                "fault_episode_speedup", "pool_speedup",
+                "campaign_speedup", "shard_speedup",
+                "scaling_efficiency")
+
+
+def is_guarded_key(key: str) -> bool:
+    """Whether an ``extra_info`` key is a gated machine-relative ratio."""
+    return (key in SPEEDUP_KEYS or key.endswith("_speedup")
+            or key.endswith("_efficiency"))
 
 
 def load_speedups(path: Path) -> dict[tuple[str, str], float]:
@@ -33,9 +46,9 @@ def load_speedups(path: Path) -> dict[tuple[str, str], float]:
     speedups: dict[tuple[str, str], float] = {}
     for bench in data.get("benchmarks", []):
         extra = bench.get("extra_info", {})
-        for key in SPEEDUP_KEYS:
-            value = extra.get(key)
-            if isinstance(value, (int, float)) and value > 0:
+        for key, value in extra.items():
+            if is_guarded_key(key) and \
+                    isinstance(value, (int, float)) and value > 0:
                 speedups[(bench.get("name", "?"), key)] = float(value)
     return speedups
 

@@ -107,7 +107,8 @@ def generate_tests(design: ScanDesign,
                    config: AtpgConfig | None = None,
                    backend: str | Backend | None = None,
                    fault_backend: str | Backend | None = None,
-                   fault_plan: bool | None = None) -> TestSet:
+                   fault_plan: bool | None = None,
+                   stream_budget: int | None = None) -> TestSet:
     """Generate a compacted stuck-at test set for a full-scan design.
 
     ``backend`` selects the packed-simulation engine for every fault
@@ -123,6 +124,9 @@ def generate_tests(design: ScanDesign,
     toggle for this run (``None`` = session default /
     ``$REPRO_FAULT_PLAN``, default on); the legacy per-batch path is
     the pinned reference and produces the identical test set.
+    ``stream_budget`` bounds the session's planned replays out of core
+    (``None`` = session default / ``$REPRO_STREAM_BUDGET``, ``0`` off);
+    streaming is bit-identical, so the test set never depends on it.
 
     When the resolved fault engine is a sharding meta-backend that
     would actually split this circuit's collapsed universe, the inner
@@ -152,7 +156,8 @@ def generate_tests(design: ScanDesign,
         if active_shared_pool() is None:
             pool_ctx = engine.using_pool(ensure_shared_pool())
     with pool_ctx:
-        session = FaultSimSession(circuit, engine, plan=fault_plan)
+        session = FaultSimSession(circuit, engine, plan=fault_plan,
+                                  stream_budget=stream_budget)
         return _generate_tests(design, config, universe, session)
 
 

@@ -1,10 +1,15 @@
 """Benchmark circuits: published ISCAS89 stats, synthetic generator, loader."""
 
-from repro.benchgen.generator import generate_circuit, generate_from_stats
+from repro.benchgen.generator import (
+    generate_circuit,
+    generate_from_stats,
+    generate_scaled,
+)
 from repro.benchgen.iscas89 import (
     ISCAS89_STATS,
     TABLE1_CIRCUITS,
     Iscas89Stats,
+    scaled_stats,
     stats_for,
 )
 from repro.benchgen.loader import (
@@ -20,8 +25,10 @@ __all__ = [
     "ISCAS89_STATS",
     "TABLE1_CIRCUITS",
     "stats_for",
+    "scaled_stats",
     "generate_circuit",
     "generate_from_stats",
+    "generate_scaled",
     "load_circuit",
     "circuit_provenance",
     "available_circuits",

@@ -17,18 +17,30 @@ The generator is deterministic per (name, seed): circuit ``s344`` is the
 same netlist in every run and on every machine.  It is *not* the original
 s344 — substitution documented in DESIGN.md; drop real ``.bench`` files
 into ``$REPRO_ISCAS89_DIR`` to run the originals instead.
+
+Generation is O(gates log gates): the uniform-over-``unused`` fanin draw
+selects the k-th member of a lexicographically pre-sorted name universe
+through a Fenwick rank-select (:class:`_SortedPool`) instead of
+re-sorting the set per draw, and the recency window is pure index
+arithmetic instead of a per-call list copy.  Both transformations
+consume the RNG stream identically to the historical quadratic code, so
+every (name, seed) pair still produces the bit-identical netlist — the
+fingerprint-pinned tests in ``tests/benchgen`` enforce this, because
+circuit fingerprints are campaign cache keys.  Million-gate synthetic
+circuits (:func:`generate_scaled`) are therefore practical to generate
+on the fly for the scaling benches.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.benchgen.iscas89 import Iscas89Stats, stats_for
+from repro.benchgen.iscas89 import Iscas89Stats, scaled_stats, stats_for
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import GateType
 from repro.utils.rng import derive_seed, make_rng
 
-__all__ = ["generate_circuit", "generate_from_stats"]
+__all__ = ["generate_circuit", "generate_from_stats", "generate_scaled"]
 
 # Gate-type mix: (type, arity) weights, ISCAS-flavoured (NAND/NOR heavy).
 _GATE_MENU: list[tuple[GateType, int, float]] = [
@@ -46,10 +58,119 @@ _GATE_MENU: list[tuple[GateType, int, float]] = [
     (GateType.BUFF, 1, 0.01),
 ]
 
+_MENU_TYPES: list[tuple[GateType, int]] = [(t, a) for t, a, _w in _GATE_MENU]
+
+# Precomputed CDF reproducing rng.choice(len, p=weights) exactly:
+# Generator.choice normalizes, cumsums and divides by the last entry
+# before searchsorting one uniform draw, so doing the same up front
+# consumes the identical stream and returns the identical indices.
+_MENU_WEIGHTS = np.array([w for _t, _a, w in _GATE_MENU])
+_MENU_WEIGHTS = _MENU_WEIGHTS / _MENU_WEIGHTS.sum()
+_MENU_CDF = _MENU_WEIGHTS.cumsum()
+_MENU_CDF = _MENU_CDF / _MENU_CDF[-1]
+
+
+class _SortedPool:
+    """Membership pool over a fixed name universe with O(log n) k-th
+    select in lexicographic order.
+
+    Replaces ``sorted(unused)[k]`` — O(n log n) per fanin draw — with a
+    Fenwick (binary indexed) tree over the pre-sorted universe: the
+    k-th smallest member is found by descending the tree's implicit
+    prefix sums.  Selection order is identical to sorting the live set,
+    so the RNG-indexed draws of the historical code are reproduced bit
+    for bit.
+    """
+
+    __slots__ = ("_names", "_pos", "_member", "_tree", "_size", "_count")
+
+    def __init__(self, universe: list[str]):
+        self._names = sorted(universe)
+        self._pos = {name: i for i, name in enumerate(self._names)}
+        self._size = len(self._names)
+        self._member = bytearray(self._size)
+        self._tree = [0] * (self._size + 1)
+        self._count = 0
+
+    def add(self, name: str) -> None:
+        pos = self._pos[name]
+        if self._member[pos]:
+            return
+        self._member[pos] = 1
+        self._count += 1
+        tree = self._tree
+        i = pos + 1
+        while i <= self._size:
+            tree[i] += 1
+            i += i & -i
+
+    def discard(self, name: str) -> None:
+        pos = self._pos.get(name)
+        if pos is None or not self._member[pos]:
+            return
+        self._member[pos] = 0
+        self._count -= 1
+        tree = self._tree
+        i = pos + 1
+        while i <= self._size:
+            tree[i] -= 1
+            i += i & -i
+
+    def kth(self, k: int) -> str:
+        """The k-th smallest member (0-based); k must be < len(self)."""
+        if not 0 <= k < self._count:
+            raise IndexError(k)
+        # Descend the Fenwick prefix sums: find the smallest position
+        # whose member-count prefix exceeds k.
+        pos = 0
+        remaining = k + 1
+        bit = 1 << (self._size.bit_length() - 1) if self._size else 0
+        tree = self._tree
+        while bit:
+            nxt = pos + bit
+            if nxt <= self._size and tree[nxt] < remaining:
+                remaining -= tree[nxt]
+                pos = nxt
+            bit >>= 1
+        return self._names[pos]
+
+    def __contains__(self, name: str) -> bool:
+        pos = self._pos.get(name)
+        return pos is not None and bool(self._member[pos])
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def sorted_members(self) -> list[str]:
+        """All members in lexicographic order (== ``sorted(set)``)."""
+        member = self._member
+        return [name for i, name in enumerate(self._names) if member[i]]
+
 
 def generate_circuit(name: str, seed: int = 1) -> Circuit:
     """Synthetic circuit with the published statistics of ``name``."""
     return generate_from_stats(stats_for(name), seed)
+
+
+def generate_scaled(n_gates: int, seed: int = 1, *,
+                    name: str | None = None,
+                    n_inputs: int | None = None,
+                    n_outputs: int | None = None,
+                    n_dffs: int | None = None) -> Circuit:
+    """Synthetic circuit of an arbitrary gate budget (no published stats).
+
+    The interface counts default to ISCAS-like ratios via
+    :func:`repro.benchgen.iscas89.scaled_stats`; pass explicit counts to
+    override any of them.  Deterministic per (resolved name, seed), like
+    every other generated circuit.  Intended for the scaling benches:
+    10^5–10^6-gate circuits generate in seconds.
+    """
+    stats = scaled_stats(n_gates, name=name, n_inputs=n_inputs,
+                         n_outputs=n_outputs, n_dffs=n_dffs)
+    return generate_from_stats(stats, seed)
 
 
 def generate_from_stats(stats: Iscas89Stats, seed: int = 1) -> Circuit:
@@ -64,9 +185,6 @@ def generate_from_stats(stats: Iscas89Stats, seed: int = 1) -> Circuit:
         circuit.add_gate(q, GateType.DFF, (d,))
 
     sources = pis + q_lines
-    menu_types = [(t, a) for t, a, _w in _GATE_MENU]
-    menu_weights = np.array([w for _t, _a, w in _GATE_MENU])
-    menu_weights = menu_weights / menu_weights.sum()
 
     # D lines are produced as the last n_dffs gates, so they see the full
     # depth of the circuit; plain gates are G<i>.
@@ -76,18 +194,27 @@ def generate_from_stats(stats: Iscas89Stats, seed: int = 1) -> Circuit:
             f"{stats.name}: gate budget {stats.n_gates} below DFF count")
 
     available: list[str] = list(sources)
-    unused: set[str] = set(sources)
+    # D lines never enter the unused pool (they feed their flop by
+    # construction), so the selectable universe is sources + plain gates.
+    unused = _SortedPool(sources + [f"G{i}" for i in range(n_plain)])
+    for line in sources:
+        unused.add(line)
     window = max(8, stats.n_gates // 8)
 
     def pick_fanins(k: int) -> tuple[str, ...]:
         chosen: list[str] = []
-        pool_recent = available[-window:]
+        # The recency pool is a snapshot of available[-window:] at call
+        # time; available never mutates inside one call, so indexing
+        # from `base` is the historical slice without the O(window)
+        # copy per gate.
+        base = max(0, len(available) - window)
+        pool_len = len(available) - base
         while len(chosen) < k:
             candidate: str
             if unused and rng.random() < 0.35:
-                candidate = sorted(unused)[int(rng.integers(len(unused)))]
-            elif rng.random() < 0.65 and len(pool_recent) >= 1:
-                candidate = pool_recent[int(rng.integers(len(pool_recent)))]
+                candidate = unused.kth(int(rng.integers(len(unused))))
+            elif rng.random() < 0.65 and pool_len >= 1:
+                candidate = available[base + int(rng.integers(pool_len))]
             else:
                 candidate = available[int(rng.integers(len(available)))]
             if candidate not in chosen:
@@ -95,9 +222,12 @@ def generate_from_stats(stats: Iscas89Stats, seed: int = 1) -> Circuit:
                 unused.discard(candidate)
         return tuple(chosen)
 
+    def menu_draw() -> tuple[GateType, int]:
+        return _MENU_TYPES[int(_MENU_CDF.searchsorted(rng.random(),
+                                                      side="right"))]
+
     for i in range(n_plain):
-        menu_idx = int(rng.choice(len(menu_types), p=menu_weights))
-        gtype, arity = menu_types[menu_idx]
+        gtype, arity = menu_draw()
         arity = min(arity, len(available))
         if arity < 2 and gtype not in (GateType.NOT, GateType.BUFF):
             gtype, arity = GateType.NOT, 1
@@ -109,8 +239,7 @@ def generate_from_stats(stats: Iscas89Stats, seed: int = 1) -> Circuit:
     # Next-state functions: one dedicated gate per flop, consuming unused
     # signals first so nothing dangles.
     for d in d_lines:
-        menu_idx = int(rng.choice(len(menu_types), p=menu_weights))
-        gtype, arity = menu_types[menu_idx]
+        gtype, arity = menu_draw()
         arity = min(max(arity, 2), len(available))
         gtype = gtype if gtype not in (GateType.NOT, GateType.BUFF) \
             else GateType.NAND
@@ -118,28 +247,50 @@ def generate_from_stats(stats: Iscas89Stats, seed: int = 1) -> Circuit:
         available.append(d)
 
     # Primary outputs: late unused signals first, then random late picks.
-    po_pool = [s for s in available if s in unused and s not in q_lines]
-    po_pool.sort(key=available.index)
+    # The pool comprehension iterates `available` in order and names are
+    # unique, so it is already sorted by position — the historical
+    # sort(key=available.index) was a stable no-op (and O(n^2)).
+    q_set = set(q_lines)
+    po_pool = [s for s in available if s in unused and s not in q_set]
     outputs: list[str] = []
     for line in reversed(po_pool):
         if len(outputs) >= stats.n_outputs:
             break
         outputs.append(line)
         unused.discard(line)
-    tail = [s for s in available if s not in outputs]
-    while len(outputs) < stats.n_outputs:
+    need = stats.n_outputs - len(outputs)
+    if need > 0:
+        out_set = set(outputs)
+        tail = [s for s in available if s not in out_set]
         lo = max(0, len(tail) - 4 * stats.n_outputs)
-        candidate = tail[int(rng.integers(lo, len(tail)))]
-        if candidate not in outputs:
-            outputs.append(candidate)
+        # The draw window [lo, len(tail)) holds len(tail) - lo distinct
+        # candidates, none of them outputs yet, and it never widens: a
+        # deficit larger than the window used to spin the rejection loop
+        # forever.  The candidate set shrinks by one per accepted draw,
+        # so feasibility checked up front guarantees termination; the
+        # draws themselves stay bit-identical to the historical loop for
+        # every feasible record (fingerprints are campaign cache keys).
+        if len(tail) - lo < need:
+            raise ValueError(
+                f"{stats.name}: n_outputs {stats.n_outputs} exceeds the "
+                f"{len(tail) - lo} distinct candidate signals "
+                f"({stats.n_inputs} PIs + {stats.n_gates} gates + "
+                f"{stats.n_dffs} flops reachable)")
+        while need:
+            candidate = tail[int(rng.integers(lo, len(tail)))]
+            if candidate not in out_set:
+                out_set.add(candidate)
+                outputs.append(candidate)
+                need -= 1
     for line in outputs:
         circuit.add_output(line)
 
     # Anything still unused feeds an extra fanin of some PO-side gate?  No:
     # remaining unused signals are tolerated only if they are flop outputs
     # (state that only influences next state); pure gates must be consumed.
-    for line in sorted(unused):
-        if line in q_lines or line in pis:
+    pi_set = set(pis)
+    for line in unused.sorted_members():
+        if line in q_set or line in pi_set:
             continue
         # Give the dangling gate a consumer: replace a random D gate input.
         d = d_lines[int(rng.integers(len(d_lines)))]

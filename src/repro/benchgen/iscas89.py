@@ -11,9 +11,10 @@ combinational gate count — with realistic topology.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 __all__ = ["Iscas89Stats", "ISCAS89_STATS", "TABLE1_CIRCUITS",
-           "stats_for"]
+           "stats_for", "scaled_stats"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,3 +77,35 @@ def stats_for(name: str) -> Iscas89Stats:
         known = ", ".join(sorted(ISCAS89_STATS))
         raise KeyError(
             f"unknown ISCAS89 circuit {name!r}; known: {known}") from None
+
+
+def scaled_stats(n_gates: int, *, name: str | None = None,
+                 n_inputs: int | None = None,
+                 n_outputs: int | None = None,
+                 n_dffs: int | None = None) -> Iscas89Stats:
+    """A synthetic statistics record for an arbitrary gate budget.
+
+    Interface counts default to ratios modelled on the large published
+    circuits (s13207...s38584): flop count ~ ``n_gates / 16`` and
+    PI/PO counts ~ ``sqrt(n_gates) / 4`` — wide enough for non-trivial
+    stimulus, narrow enough that the scan chain dominates the episode
+    the way it does on the real designs.  Pass any count explicitly to
+    override.  ``name`` defaults to ``synth<n_gates>``; the (name, seed)
+    pair fully determines the generated netlist, so distinct budgets
+    never share an RNG stream.
+
+    This is the ``stats_for``-independent entry for million-gate
+    scaling studies; :func:`repro.benchgen.generator.generate_scaled`
+    wraps it.
+    """
+    if n_gates < 4:
+        raise ValueError(f"scaled stats need >= 4 gates, got {n_gates}")
+    root = max(1, math.isqrt(n_gates))
+    inputs = n_inputs if n_inputs is not None else max(8, root // 4)
+    outputs = n_outputs if n_outputs is not None else max(4, root // 4)
+    dffs = n_dffs if n_dffs is not None else max(2, n_gates // 16)
+    if dffs >= n_gates:
+        raise ValueError(
+            f"flop count {dffs} must stay below the gate budget {n_gates}")
+    return Iscas89Stats(name or f"synth{n_gates}", inputs, outputs,
+                        dffs, n_gates)

@@ -78,6 +78,14 @@ def _build_parser() -> argparse.ArgumentParser:
                               "simulations (bit-identical to the "
                               "per-batch loop; default: "
                               "$REPRO_FAULT_PLAN or on)"))
+    parser.add_argument("--stream-budget", type=int, default=None,
+                        metavar="N",
+                        help=("out-of-core streaming budget in uint64 "
+                              "elements of one window's state matrix: "
+                              "plans that exceed it evaluate in "
+                              "bounded-memory windows, bit-identical "
+                              "to the resident path (0 = off; "
+                              "default: $REPRO_STREAM_BUDGET or off)"))
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_campaign_args(p) -> None:
@@ -174,13 +182,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         fault_planning_enabled,
         set_default_fault_planning,
     )
+    from repro.simulation.streaming import (
+        resolve_stream_budget,
+        set_default_stream_budget,
+    )
     episode_batch = {"on": True, "off": False, None: None}[
         args.episode_batch]
     fault_plan = {"on": True, "off": False, None: None}[args.fault_plan]
+    if args.stream_budget is not None and args.stream_budget < 0:
+        print("repro-power: error: --stream-budget must be >= 0",
+              file=sys.stderr)
+        return 2
     # Session defaults, like --backend: reach consumers that don't
     # thread the knobs through their own config (e.g. the ablations).
     set_default_episode_batching(episode_batch)
     set_default_fault_planning(fault_plan)
+    set_default_stream_budget(args.stream_budget)
     try:
         if args.backend is not None:
             set_default_backend(args.backend)
@@ -196,6 +213,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             episode_batching_enabled(None)  # bad $REPRO_EPISODE_BATCH
         if fault_plan is None:
             fault_planning_enabled(None)  # bad $REPRO_FAULT_PLAN
+        resolve_stream_budget(None)  # bad $REPRO_STREAM_BUDGET
     except SimulationError as exc:
         print(f"repro-power: error: {exc}", file=sys.stderr)
         return 2
@@ -232,7 +250,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                             fault_backend=args.fault_backend,
                             shards=args.shards,
                             episode_batch=episode_batch,
-                            fault_plan=fault_plan)
+                            fault_plan=fault_plan,
+                            stream_budget=args.stream_budget)
         circuits = args.circuits or None
         run = run_table1(circuits, config, verbose=not args.quiet,
                          jobs=args.jobs, cache_dir=args.cache_dir)
@@ -257,6 +276,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             shards=args.shards,
             episode_batch=episode_batch,
             fault_plan=fault_plan,
+            stream_budget=args.stream_budget,
             reorder_inputs=not args.no_reorder,
             use_observability_directive=not args.no_directive)
         result = ProposedFlow(config).run(load_circuit(args.circuit,
@@ -346,6 +366,8 @@ def _run_campaign_command(args, episode_batch: bool | None,
         runtime_base["episode_batch"] = episode_batch
     if fault_plan is not None:
         runtime_base["fault_plan"] = fault_plan
+    if args.stream_budget is not None:
+        runtime_base["stream_budget"] = args.stream_budget
 
     try:
         if args.spec is not None:

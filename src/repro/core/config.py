@@ -69,6 +69,13 @@ class FlowConfig:
         defers to ``$REPRO_FAULT_PLAN`` (default on).  The legacy
         per-batch loop is the pinned reference; results are
         bit-identical either way.
+    stream_budget:
+        Out-of-core streaming budget for the flow's plan evaluations
+        (``uint64`` elements of one window's state matrix): a positive
+        value streams any plan that exceeds it, ``0`` forces streaming
+        off, ``None`` defers to ``$REPRO_STREAM_BUDGET`` (default
+        off).  Streamed and resident paths are bit-identical; only
+        peak memory changes.
     """
 
     #: Fields that only affect execution speed, never results (every
@@ -76,7 +83,7 @@ class FlowConfig:
     #: :meth:`config_hash` so cache keys are engine-independent.
     RUNTIME_FIELDS: ClassVar[tuple[str, ...]] = (
         "backend", "fault_backend", "shards", "episode_batch",
-        "fault_plan")
+        "fault_plan", "stream_budget")
 
     seed: int = 0
     observability_samples: int = 512
@@ -93,6 +100,7 @@ class FlowConfig:
     shards: int | None = None
     episode_batch: bool | None = None
     fault_plan: bool | None = None
+    stream_budget: int | None = None
 
     def __post_init__(self) -> None:
         from repro.simulation.backends import available_backends
@@ -109,6 +117,8 @@ class FlowConfig:
                 raise ConfigError(
                     "shards only applies to the 'sharded' fault backend, "
                     f"not {self.fault_backend!r}")
+        if self.stream_budget is not None and self.stream_budget < 0:
+            raise ConfigError("stream_budget must be >= 0")
         if self.observability_samples < 2:
             raise ConfigError("observability_samples must be >= 2")
         if self.ivc_trials < 1:

@@ -125,7 +125,8 @@ class ProposedFlow:
         test_set = generate_tests(
             design, config.atpg_config(), backend=config.backend,
             fault_backend=config.fault_simulation_backend(),
-            fault_plan=config.fault_plan)
+            fault_plan=config.fault_plan,
+            stream_budget=config.stream_budget)
 
         addmux = add_mux(mapped, library,
                          margin_ps=config.mux_delay_margin_ps)
@@ -188,17 +189,20 @@ class ProposedFlow:
                 design, test_set.vectors, policies["traditional"],
                 library, config.include_capture_cycles,
                 backend=config.backend,
-                episode_batch=config.episode_batch),
+                episode_batch=config.episode_batch,
+                stream_budget=config.stream_budget),
             "input_control": evaluate_scan_power(
                 design, test_set.vectors, policies["input_control"],
                 library, config.include_capture_cycles,
                 backend=config.backend,
-                episode_batch=config.episode_batch),
+                episode_batch=config.episode_batch,
+                stream_budget=config.stream_budget),
             "proposed": evaluate_scan_power(
                 proposed_design, test_set.vectors, policies["proposed"],
                 library, config.include_capture_cycles,
                 backend=config.backend,
-                episode_batch=config.episode_batch),
+                episode_batch=config.episode_batch,
+                stream_budget=config.stream_budget),
         }
 
         return FlowResult(

@@ -193,7 +193,8 @@ def evaluate_scan_power(design: ScanDesign,
                         include_capture: bool = True,
                         initial_state: Sequence[int] | None = None,
                         backend: str | Backend | None = None,
-                        episode_batch: bool | None = None
+                        episode_batch: bool | None = None,
+                        stream_budget: int | None = None
                         ) -> ScanPowerReport:
     """Replay a scan test set and measure combinational power.
 
@@ -223,6 +224,11 @@ def evaluate_scan_power(design: ScanDesign,
         ``True``/``False`` force the batched episode engine on/off;
         ``None`` defers to ``$REPRO_EPISODE_BATCH`` (default on).  The
         two paths are bit-identical; only speed changes.
+    stream_budget:
+        Out-of-core streaming budget for the batch evaluation
+        (``uint64`` elements of one window's state matrix); ``None``
+        defers to the session default / ``$REPRO_STREAM_BUDGET``, ``0``
+        forces streaming off.  Bit-identical; only peak memory changes.
     """
     policy = policy or ShiftPolicy()
     library = library or default_library()
@@ -235,7 +241,8 @@ def evaluate_scan_power(design: ScanDesign,
             mux_ties=policy.mux_ties, include_capture=include_capture,
             initial_state=initial_state, backend=engine)
         batch = engine.simulate_episode_batch(plan, library,
-                                              collect_leakage=True)
+                                              collect_leakage=True,
+                                              stream_budget=stream_budget)
         n_cycles = batch.n_cycles
         transitions = batch.transitions
         total_transitions = batch.total_transitions
@@ -267,14 +274,16 @@ def per_cycle_energy_fj(design: ScanDesign,
                         library: CellLibrary | None = None,
                         include_capture: bool = True,
                         backend: str | Backend | None = None,
-                        episode_batch: bool | None = None
+                        episode_batch: bool | None = None,
+                        stream_budget: int | None = None
                         ) -> np.ndarray:
     """Per-cycle-boundary switching energy profile (peak-power studies).
 
     Memory/time scale with lines x cycles; intended for the smaller
     circuits (ablation benches use it, Table I does not need it).  The
-    backend is resolved once per call; ``episode_batch`` follows
-    :func:`evaluate_scan_power`.
+    backend is resolved once per call; ``episode_batch`` and
+    ``stream_budget`` follow :func:`evaluate_scan_power` (the profile
+    itself still materializes every line's waveform).
     """
     policy = policy or ShiftPolicy()
     library = library or default_library()
@@ -286,7 +295,8 @@ def per_cycle_energy_fj(design: ScanDesign,
             mux_ties=policy.mux_ties, include_capture=include_capture,
             initial_state=None, backend=engine)
         batch = engine.simulate_episode_batch(
-            plan, library, collect_leakage=False, keep_waveforms=True)
+            plan, library, collect_leakage=False, keep_waveforms=True,
+            stream_budget=stream_budget)
         n_cycles, line_waveforms = batch.n_cycles, batch.waveforms
     else:
         waveforms, n_cycles = _episode_waveforms(

@@ -168,7 +168,8 @@ class Backend(abc.ABC):
     def simulate_episode_batch(self, plan: "EpisodePlan",
                                library: CellLibrary | None = None,
                                collect_leakage: bool = True,
-                               keep_waveforms: bool = False
+                               keep_waveforms: bool = False,
+                               stream_budget: int | None = None
                                ) -> "EpisodeBatchResult":
         """Evaluate a whole test set's scan replay in one pass.
 
@@ -183,9 +184,24 @@ class Backend(abc.ABC):
         backends may shard the pattern/cycle axis instead (see
         :class:`~repro.simulation.backends.sharded.ShardedBackend`);
         every implementation must stay bit-identical.
+
+        When a ``stream_budget`` resolves (argument > session default >
+        ``$REPRO_STREAM_BUDGET``) and the plan's resident state matrix
+        would exceed it, evaluation streams cycle windows instead of
+        materializing the matrix — out-of-core, bounded peak memory,
+        bit-identical; see :mod:`repro.simulation.streaming`.
         """
         from repro.cells.library import default_library
         from repro.simulation.episode import EpisodeBatchResult
+        from repro.simulation.streaming import (
+            resolve_stream_budget,
+            stream_episode_batch,
+        )
+        budget = resolve_stream_budget(stream_budget)
+        if budget is not None and plan.state_elements() > budget:
+            return stream_episode_batch(self, plan, library,
+                                        collect_leakage, keep_waveforms,
+                                        budget)
         library = library or default_library()
         state = self.run(plan.circuit, plan.waveforms, plan.n_cycles)
         return EpisodeBatchResult(
@@ -220,7 +236,9 @@ class Backend(abc.ABC):
                                      n, drop=drop, cone_cache=cone_cache)
 
     def fault_simulate_plan(self, plan: "FaultEpisodePlan",
-                            drop: bool = True) -> "FaultSimResult":
+                            drop: bool = True,
+                            stream_budget: int | None = None
+                            ) -> "FaultSimResult":
         """Replay a compiled fault x pattern plan in one fused pass.
 
         ``plan`` is a :class:`~repro.simulation.fault_episode.
@@ -238,11 +256,42 @@ class Backend(abc.ABC):
         reference semantics.  The numpy engine overrides this with the
         2-D-tiled kernel; the sharded meta-backend shards the fault
         axis (drop mode) or the pattern axis (no-drop matrices).
+
+        When a ``stream_budget`` resolves and the plan's good-machine
+        state would exceed it, evaluation streams word-aligned pattern
+        windows instead of memoizing the full state (both drop modes —
+        within one call dropping cannot change detection words); see
+        :mod:`repro.simulation.streaming`.
         """
         from repro.atpg.faultsim import scalar_replay
+        from repro.simulation.streaming import (
+            resolve_stream_budget,
+            stream_fault_plan,
+        )
+        budget = resolve_stream_budget(stream_budget)
+        if budget is not None and plan.state_elements() > budget:
+            return stream_fault_plan(self, plan, budget)
         return scalar_replay(plan.circuit, plan.faults,
                              plan.good_words(self), plan.n,
                              cone_cache=plan.cone_cache)
+
+    def fault_window_result(self, circuit: Circuit,
+                            faults: "Sequence[Fault]",
+                            input_words: Mapping[str, int], n: int,
+                            element_budget: int | None = None
+                            ) -> "FaultSimResult":
+        """One pattern window of a streamed fault plan.
+
+        Drop-free by contract: within a single call every pattern is
+        simulated at once, so the detection word of each fault records
+        *all* of the window's detecting patterns and the streamed
+        OR-fold reconstructs both drop modes' results exactly.
+        ``element_budget`` bounds any internal tiling the engine does
+        (the numpy kernel evaluates its fault tiles from the window
+        view under this budget).
+        """
+        return self.fault_simulate_batch(circuit, faults, input_words, n,
+                                         drop=False)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

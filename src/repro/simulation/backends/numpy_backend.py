@@ -320,7 +320,9 @@ class NumpyBackend(Backend):
         return fault_simulate_matrix(state, faults, drop=drop)
 
     def fault_simulate_plan(self, plan: "FaultEpisodePlan",
-                            drop: bool = True) -> "FaultSimResult":
+                            drop: bool = True,
+                            stream_budget: int | None = None
+                            ) -> "FaultSimResult":
         """Whole-plan replay on the 2-D-tiled fused kernel.
 
         The plan's memoized good-machine state (and with it the
@@ -328,11 +330,42 @@ class NumpyBackend(Backend):
         fault-axis chunk and pattern-axis word block; see
         :func:`repro.simulation.backends.fault_kernel.
         fault_simulate_matrix`.  Bit-identical to the scalar reference
-        for every tile geometry.
+        for every tile geometry.  A resolved ``stream_budget`` the plan
+        exceeds switches to streamed pattern windows (the memoized state
+        is bypassed — it is exactly the matrix streaming avoids).
         """
         from repro.simulation.backends.fault_kernel import (
             fault_simulate_matrix,
         )
+        from repro.simulation.streaming import (
+            resolve_stream_budget,
+            stream_fault_plan,
+        )
+        budget = resolve_stream_budget(stream_budget)
+        if budget is not None and plan.state_elements() > budget:
+            return stream_fault_plan(self, plan, budget)
         state = plan.good_state(self)
         assert isinstance(state, NumpyState)
         return fault_simulate_matrix(state, plan.faults, drop=drop)
+
+    def fault_window_result(self, circuit: Circuit,
+                            faults: Sequence[Fault],
+                            input_words: Mapping[str, int], n: int,
+                            element_budget: int | None = None
+                            ) -> "FaultSimResult":
+        """One streamed pattern window on the tiled kernel.
+
+        The good machine is settled over the window's cycles only and
+        the fault tiles are evaluated from that window view, with the
+        kernel's element budget capped at the stream budget so a faulty
+        tile never outgrows the window it streams from.
+        """
+        from repro.simulation.backends.fault_kernel import (
+            _BATCH_ELEMENT_BUDGET,
+            fault_simulate_matrix,
+        )
+        state = self.run(circuit, input_words, n)
+        budget = _BATCH_ELEMENT_BUDGET if element_budget is None else \
+            min(element_budget, _BATCH_ELEMENT_BUDGET)
+        return fault_simulate_matrix(state, faults, drop=False,
+                                     element_budget=budget)

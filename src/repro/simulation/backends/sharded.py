@@ -61,7 +61,17 @@ from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import GateType
 from repro.simulation.backends.base import Backend, SimState
-from repro.simulation.values import mask
+from repro.simulation.streaming import (
+    PlanByteStore,
+    episode_window_ingredients,
+    plan_byte_map,
+    resolve_stream_budget,
+    shard_bounds,
+    state_elements,
+    stream_episode_ingredients,
+    stream_fault_words,
+    window_word,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     import numpy as np
@@ -82,23 +92,12 @@ DEFAULT_SHARDS_ENV = "REPRO_SIM_SHARDS"
 #: batch budget.  Plans that fit run inline on the inner backend.
 _EPISODE_ELEMENT_BUDGET = 1 << 22
 
-
-def shard_bounds(n_items: int, n_shards: int) -> list[tuple[int, int]]:
-    """Contiguous, near-even ``[start, stop)`` slices of ``n_items``.
-
-    The first ``n_items % n_shards`` shards get one extra item; empty
-    shards are never produced.  Pure function so tests can pin the
-    partition the workers see.
-    """
-    n_shards = max(1, min(n_shards, n_items))
-    base, extra = divmod(n_items, n_shards)
-    bounds: list[tuple[int, int]] = []
-    start = 0
-    for i in range(n_shards):
-        stop = start + base + (1 if i < extra else 0)
-        bounds.append((start, stop))
-        start = stop
-    return bounds
+# ``shard_bounds`` (and the byte-map slicing helpers) now live in
+# :mod:`repro.simulation.streaming` — the canonical home shared by
+# shard partitioning and stream windowing; the historical aliases stay
+# importable from here.
+_plan_byte_map = plan_byte_map
+_window_word = window_word
 
 
 def _simulate_shard(payload: tuple[str, Circuit, "Sequence[Fault]",
@@ -146,7 +145,8 @@ def _simulate_shard_pooled(payload: tuple[str, Circuit, str,
 
 def _episode_chunk_result(inner_name: str, circuit: Circuit,
                           words: dict[str, int], n: int, leakage: bool,
-                          keep: bool
+                          keep: bool,
+                          stream_budget: int | None = None
                           ) -> tuple[dict[str, int],
                                      dict[str, tuple[int, int]],
                                      "dict[str, np.ndarray] | None",
@@ -159,52 +159,40 @@ def _episode_chunk_result(inner_name: str, circuit: Circuit,
     the boundary transitions between neighbouring chunks, per-gate
     leakage pattern counts (``None`` unless leakage was requested) and
     the chunk's packed words (``None`` unless waveforms were kept).
+
+    With a ``stream_budget`` the chunk exceeds, the worker streams its
+    own sub-windows (sharding composes with streaming) and folds them
+    before returning — the parent receives the exact ingredients an
+    unstreamed chunk would have produced.
     """
     from repro.simulation.backends import get_backend
-    state = get_backend(inner_name).run(circuit, words, n)
-    edges: dict[str, tuple[int, int]] = {}
-    for line in state.lines():
-        word = state.word(line)
-        edges[line] = (word & 1, (word >> (n - 1)) & 1)
-    return (state.transitions(), edges,
-            state.pattern_counts() if leakage else None,
-            state.words() if keep else None)
+    backend = get_backend(inner_name)
+    if stream_budget is not None:
+        elements = state_elements(len(words), circuit, n)
+        if elements > stream_budget:
+            store = PlanByteStore(words, n)
+            needed = -(elements // -stream_budget)
+            bounds = shard_bounds(n, min(needed, n))
+            return stream_episode_ingredients(backend, circuit, store, n,
+                                              leakage, keep, bounds)
+    return episode_window_ingredients(backend, circuit, words, n,
+                                      leakage, keep)
 
 
 def _simulate_episode_chunk(payload: tuple[str, Circuit, str,
-                                           dict[str, int], int, bool, bool]
+                                           dict[str, int], int, bool,
+                                           bool, int | None]
                             ) -> tuple[dict[str, int],
                                        dict[str, tuple[int, int]],
                                        "dict[str, np.ndarray] | None",
                                        dict[str, int] | None]:
     """Pool/spawn worker: one episode chunk, circuit interned by
     content."""
-    inner_name, circuit, fingerprint, words, n, leakage, keep = payload
+    (inner_name, circuit, fingerprint, words, n, leakage, keep,
+     stream_budget) = payload
     circuit = _interned_circuit(circuit, fingerprint)
     return _episode_chunk_result(inner_name, circuit, words, n, leakage,
-                                 keep)
-
-
-def _window_word(raw: bytes, start: int, stop: int) -> int:
-    """Cycles ``[start, stop)`` of a little-endian packed byte string.
-
-    O(window) regardless of where the window sits, unlike shifting the
-    whole packed big-int (O(total cycles) per chunk — which would make
-    slicing k chunks cost k full-plan passes).
-    """
-    low = start // 8
-    high = (stop + 7) // 8
-    return (int.from_bytes(raw[low:high], "little")
-            >> (start - low * 8)) & mask(stop - start)
-
-
-def _plan_byte_map(waveforms: Mapping[str, int],
-                   n_cycles: int) -> dict[str, bytes]:
-    """Each line's packed word as bytes — one O(plan) pass, after which
-    every chunk window slices in O(window)."""
-    n_bytes = (n_cycles + 7) // 8
-    return {line: word.to_bytes(n_bytes, "little")
-            for line, word in waveforms.items()}
+                                 keep, stream_budget)
 
 
 def _simulate_episode_chunk_fork(bounds: tuple[int, int]
@@ -220,12 +208,14 @@ def _simulate_episode_chunk_fork(bounds: tuple[int, int]
     O(window) for slicing its own cycle window.
     """
     assert _FORK_JOB is not None
-    inner_name, circuit, byte_map, leakage, keep = _FORK_JOB
+    inner_name, circuit, byte_map, leakage, keep, stream_budget = \
+        _FORK_JOB
     start, stop = bounds
     words = {line: _window_word(raw, start, stop)
              for line, raw in byte_map.items()}
     return _episode_chunk_result(inner_name, circuit, words,
-                                 stop - start, leakage, keep)
+                                 stop - start, leakage, keep,
+                                 stream_budget)
 
 
 #: Fork-path job shared with workers by inheritance instead of pickling.
@@ -279,6 +269,40 @@ def _simulate_fault_window_fork(bounds: tuple[int, int]
     from repro.simulation.backends import get_backend
     return get_backend(inner_name).fault_simulate_batch(
         circuit, faults, words, stop - start, drop=drop)
+
+
+def _simulate_shard_fork_stream(bounds: tuple[int, int]
+                                ) -> "FaultSimResult":
+    """Fork-context worker: stream one fault slice's pattern windows.
+
+    The streamed composition of the fault axis: each worker owns a
+    contiguous fault slice (like :func:`_simulate_shard_fork`) but
+    replays it over pattern windows under the inherited stream budget,
+    so no worker ever materializes the full good machine or detection
+    matrix.
+    """
+    assert _FORK_JOB is not None
+    inner_name, circuit, faults, byte_map, n, budget = _FORK_JOB
+    start, stop = bounds
+    from repro.simulation.backends import get_backend
+    store = PlanByteStore.from_bytes(byte_map, n)
+    return stream_fault_words(get_backend(inner_name), circuit,
+                              faults[start:stop], store, n, budget)
+
+
+def _simulate_shard_pooled_stream(payload: tuple[str, Circuit, str,
+                                                 "Sequence[Fault]",
+                                                 dict[str, bytes], int,
+                                                 int]
+                                  ) -> "FaultSimResult":
+    """Pool/spawn worker: stream one fault slice's pattern windows."""
+    inner_name, circuit, fingerprint, faults, byte_map, n, budget = \
+        payload
+    circuit = _interned_circuit(circuit, fingerprint)
+    from repro.simulation.backends import get_backend
+    store = PlanByteStore.from_bytes(byte_map, n)
+    return stream_fault_words(get_backend(inner_name), circuit, faults,
+                              store, n, budget)
 
 
 class ShardedBackend(Backend):
@@ -388,7 +412,8 @@ class ShardedBackend(Backend):
     def simulate_episode_batch(self, plan: "EpisodePlan",
                                library: CellLibrary | None = None,
                                collect_leakage: bool = True,
-                               keep_waveforms: bool = False
+                               keep_waveforms: bool = False,
+                               stream_budget: int | None = None
                                ) -> "EpisodeBatchResult":
         """Shard the plan's cycle axis across workers and merge exactly.
 
@@ -400,14 +425,22 @@ class ShardedBackend(Backend):
         concatenate by shifting), so the result never depends on the
         chunk count — pinned against the unsharded pass by the
         differential property tests.
+
+        Sharding composes with streaming: under a resolved
+        ``stream_budget`` every chunk worker streams its own
+        sub-windows (see :func:`_episode_chunk_result`), and the
+        inline single-chunk path delegates the budget to the inner
+        engine — peak memory per process is one window either way.
         """
         from repro.cells.library import default_library
         library = library or default_library()
+        budget = resolve_stream_budget(stream_budget)
         n_chunks = self.episode_chunks(plan)
         if n_chunks <= 1:
             return self._inner().simulate_episode_batch(
                 plan, library, collect_leakage=collect_leakage,
-                keep_waveforms=keep_waveforms)
+                keep_waveforms=keep_waveforms,
+                stream_budget=budget or 0)
 
         bounds = shard_bounds(plan.n_cycles, n_chunks)
         processes = min(len(bounds), self.configured_shards())
@@ -424,7 +457,7 @@ class ShardedBackend(Backend):
                 (self.inner_name, plan.circuit, fingerprint,
                  {line: _window_word(raw, start, stop)
                   for line, raw in byte_map.items()},
-                 stop - start, collect_leakage, keep_waveforms)
+                 stop - start, collect_leakage, keep_waveforms, budget)
                 for start, stop in bounds
             ]
             if pool is not None:
@@ -445,7 +478,7 @@ class ShardedBackend(Backend):
             global _FORK_JOB
             _FORK_JOB = (self.inner_name, plan.circuit,
                          _plan_byte_map(plan.waveforms, plan.n_cycles),
-                         collect_leakage, keep_waveforms)
+                         collect_leakage, keep_waveforms, budget)
             try:
                 with ctx.Pool(processes=processes) as mp_pool:
                     parts = mp_pool.map(_simulate_episode_chunk_fork,
@@ -550,7 +583,9 @@ class ShardedBackend(Backend):
                                       n_shards)
 
     def fault_simulate_plan(self, plan: "FaultEpisodePlan",
-                            drop: bool = True) -> "FaultSimResult":
+                            drop: bool = True,
+                            stream_budget: int | None = None
+                            ) -> "FaultSimResult":
         """Two-axis sharded replay of a compiled fault x pattern plan.
 
         Drop-mode runs shard the **fault axis** (each worker replays
@@ -563,35 +598,58 @@ class ShardedBackend(Backend):
         integer-exact — shard-ordered concatenation resp. an OR of
         window detection words — so the result never depends on the
         axis or the shard count.
+
+        Sharding composes with streaming: under a resolved
+        ``stream_budget`` a plan exceeds, fault-axis workers stream
+        pattern windows of their own fault slice (never materializing
+        the good machine), and the pattern axis raises its window
+        count so every window fits the budget.
         """
         inner = self._inner()
+        budget = resolve_stream_budget(stream_budget)
+        if budget is not None and plan.state_elements() <= budget:
+            budget = None
         if drop:
             n_shards = self.effective_shards(plan.n_faults)
             if n_shards <= 1:
-                return inner.fault_simulate_plan(plan, drop=drop)
+                return inner.fault_simulate_plan(plan, drop=drop,
+                                                 stream_budget=budget or 0)
             return self._shard_fault_axis(
                 plan.circuit, list(plan.faults), dict(plan.input_words),
                 plan.n, drop, n_shards,
-                good_state=lambda: plan.good_state(inner))
+                good_state=lambda: plan.good_state(inner),
+                stream_budget=budget)
         n_shards = min(self.configured_shards(), plan.n_words)
+        if budget is not None:
+            needed = -(plan.state_elements() // -budget)
+            n_shards = min(plan.n_words, max(n_shards, needed))
         if n_shards <= 1 or plan.n_faults < self.min_faults_per_shard:
             # Tiny matrices (or single-word pattern sets) run inline:
             # forking costs more than the window work saves.
-            return inner.fault_simulate_plan(plan, drop=drop)
+            return inner.fault_simulate_plan(plan, drop=drop,
+                                             stream_budget=budget or 0)
         return self._shard_pattern_axis(plan, drop, n_shards)
 
     def _shard_fault_axis(self, circuit: Circuit, faults: "list[Fault]",
                           words: dict[str, int], n: int, drop: bool,
                           n_shards: int,
-                          good_state: "Any | None" = None
+                          good_state: "Any | None" = None,
+                          stream_budget: int | None = None
                           ) -> FaultSimResult:
         """Contiguous fault-list shards over workers (stable merge).
 
         ``good_state`` (a thunk) supplies the settled numpy state for
         the fork path; plan-based calls pass the plan's memoized state
         so repeated dispatches on the same stimulus never re-simulate
-        the good machine.
+        the good machine.  A set ``stream_budget`` routes every worker
+        through the streamed pattern-window replay of its fault slice
+        instead (the memoized state is deliberately bypassed — it *is*
+        the resident matrix streaming avoids).
         """
+        if stream_budget is not None:
+            return self._shard_fault_axis_stream(circuit, faults, words,
+                                                 n, n_shards,
+                                                 stream_budget)
         bounds = shard_bounds(len(faults), n_shards)
         pool = self._resolve_pool()
         if pool is not None:
@@ -643,6 +701,55 @@ class ShardedBackend(Backend):
                 parts = mp_pool.map(_simulate_shard, payloads)
         return self._merge(parts)
 
+    def _shard_fault_axis_stream(self, circuit: Circuit,
+                                 faults: "list[Fault]",
+                                 words: dict[str, int], n: int,
+                                 n_shards: int,
+                                 budget: int) -> FaultSimResult:
+        """Fault-axis shards whose workers stream pattern windows.
+
+        Same contiguous fault partition and stable merge as
+        :meth:`_shard_fault_axis`, but each worker replays its slice
+        window-by-window under the stream budget (drop-free windows,
+        OR-folded — bit-identical in both drop modes), so no process
+        ever holds the full good machine or its slice's detection
+        matrix.
+        """
+        bounds = shard_bounds(len(faults), n_shards)
+        byte_map = _plan_byte_map(words, n)
+        pool = self._resolve_pool()
+        if pool is not None or \
+                multiprocessing.get_start_method(allow_none=False) \
+                != "fork":
+            fingerprint = circuit.fingerprint()
+            payloads: list[Any] = [
+                (self.inner_name, circuit, fingerprint,
+                 faults[start:stop], byte_map, n, budget)
+                for start, stop in bounds
+            ]
+            if pool is not None:
+                parts = pool.map(_simulate_shard_pooled_stream, payloads)
+            else:  # pragma: no cover - non-fork platforms
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(processes=len(payloads)) as mp_pool:
+                    parts = mp_pool.map(_simulate_shard_pooled_stream,
+                                        payloads)
+        else:
+            # Fork path: circuit, fault list and stimulus byte map
+            # inherit copy-on-write; each worker streams its own slice.
+            self._warm_parent_caches(circuit, faults)
+            ctx = multiprocessing.get_context("fork")
+            global _FORK_JOB
+            _FORK_JOB = (self.inner_name, circuit, faults, byte_map, n,
+                         budget)
+            try:
+                with ctx.Pool(processes=len(bounds)) as mp_pool:
+                    parts = mp_pool.map(_simulate_shard_fork_stream,
+                                        bounds)
+            finally:
+                _FORK_JOB = None
+        return self._merge(parts)
+
     def _shard_pattern_axis(self, plan: "FaultEpisodePlan", drop: bool,
                             n_shards: int) -> FaultSimResult:
         """Word-aligned cycle windows over workers, OR-merged.
@@ -658,6 +765,9 @@ class ShardedBackend(Backend):
         word_bounds = shard_bounds(plan.n_words, n_shards)
         bounds = [(w0 * 64, min(plan.n, w1 * 64))
                   for w0, w1 in word_bounds]
+        # Streaming can raise the window count past the worker count;
+        # extra windows queue on the pool rather than spawning workers.
+        processes = min(len(bounds), self.configured_shards())
         byte_map = _plan_byte_map(plan.input_words, plan.n)
         pool = self._resolve_pool()
         if pool is not None or \
@@ -681,7 +791,7 @@ class ShardedBackend(Backend):
                 spawn_payloads = [payload[:2] + payload[3:]
                                   for payload in payloads]
                 ctx = multiprocessing.get_context("spawn")
-                with ctx.Pool(processes=len(spawn_payloads)) as mp_pool:
+                with ctx.Pool(processes=processes) as mp_pool:
                     parts = mp_pool.map(_simulate_shard, spawn_payloads)
         else:
             # Fork path: circuit, fault list and stimulus byte map
@@ -692,7 +802,7 @@ class ShardedBackend(Backend):
             _FORK_JOB = (self.inner_name, circuit, faults, byte_map,
                          drop)
             try:
-                with ctx.Pool(processes=len(bounds)) as mp_pool:
+                with ctx.Pool(processes=processes) as mp_pool:
                     parts = mp_pool.map(_simulate_fault_window_fork,
                                         bounds)
             finally:

@@ -125,6 +125,23 @@ class EpisodePlan:
     def n_episodes(self) -> int:
         return len(self.offsets)
 
+    @property
+    def n_words(self) -> int:
+        """``uint64`` words per packed waveform row."""
+        return (self.n_cycles + 63) // 64
+
+    def state_elements(self) -> int:
+        """``uint64`` elements of the plan's resident state matrix.
+
+        The budget currency shared by the sharded backend's
+        ``episode_budget`` and the streaming ``stream_budget``: every
+        stimulus line plus every gate output plus the padding row,
+        times the packed word count.
+        """
+        from repro.simulation.streaming import state_elements
+        return state_elements(len(self.waveforms), self.circuit,
+                              self.n_cycles)
+
     def episode_bounds(self) -> list[tuple[int, int]]:
         """``[start, stop)`` cycle range of every episode."""
         return [(start, start + length)

@@ -144,6 +144,16 @@ class FaultEpisodePlan:
         """``uint64`` words per packed waveform row."""
         return (self.n + 63) // 64
 
+    def state_elements(self) -> int:
+        """``uint64`` elements of the good machine's resident state.
+
+        The budget currency of the streaming ``stream_budget``: every
+        combinational input plus every gate output plus the padding
+        row, times the packed word count.
+        """
+        from repro.simulation.streaming import state_elements
+        return state_elements(len(self.input_words), self.circuit, self.n)
+
     def good_state(self, backend: "Backend") -> "SimState":
         """The fault-free simulation on ``backend``, memoized by name.
 
@@ -213,18 +223,26 @@ class FaultSimSession:
         fault_simulate_batch` path — the pinned reference.
     cone_cache:
         Optional externally shared fanout-cone cache.
+    stream_budget:
+        Out-of-core streaming budget override (``uint64`` elements of
+        one window's state matrix); ``None`` defers to the session
+        default / ``$REPRO_STREAM_BUDGET``, ``0`` forces streaming off.
+        Resolved once at construction, like the planning toggle.
     """
 
     def __init__(self, circuit: Circuit,
                  backend: "str | Backend | None" = None,
                  plan: bool | None = None,
-                 cone_cache: dict[str, list[str]] | None = None):
+                 cone_cache: dict[str, list[str]] | None = None,
+                 stream_budget: int | None = None):
         from repro.simulation.backends import resolve_fault_backend
+        from repro.simulation.streaming import resolve_stream_budget
         self.circuit = circuit
         self.engine = resolve_fault_backend(backend)
         self.cone_cache: dict[str, list[str]] = \
             {} if cone_cache is None else cone_cache
         self.plan_enabled = fault_planning_enabled(plan)
+        self.stream_budget = resolve_stream_budget(stream_budget)
         self._state_pool: \
             "OrderedDict[tuple, dict[str, SimState]]" = OrderedDict()
 
@@ -266,7 +284,10 @@ class FaultSimSession:
                 self.circuit, faults, input_words, n, drop=drop,
                 cone_cache=self.cone_cache)
         plan = self.compile(faults, input_words, n)
-        return self.engine.fault_simulate_plan(plan, drop=drop)
+        # The budget was resolved once at construction; 0 pins it off so
+        # a later session default cannot flip one run mid-flight.
+        return self.engine.fault_simulate_plan(
+            plan, drop=drop, stream_budget=self.stream_budget or 0)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<FaultSimSession {self.circuit.name!r} "

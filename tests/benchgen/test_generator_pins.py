@@ -1,0 +1,191 @@
+"""Pins for the de-quadraticized generator (PR-6 scaling bugfixes).
+
+The generator's draw sequence is part of the repo's reproducibility
+contract: every published result keys on (circuit name, seed).  The
+O(n^2) ``available.index`` sort and the per-draw ``sorted(unused)``
+rebuild were replaced with a Fenwick-indexed pool, and the
+potentially-nonterminating PO tail-pick rejection loop with an
+up-front feasibility check — all of which had to keep the historical
+draw sequence bit-identical.  These fingerprints were recorded from
+the pre-rewrite generator and pin exactly that.
+"""
+
+import pytest
+
+from repro.benchgen import (
+    Iscas89Stats,
+    TABLE1_CIRCUITS,
+    generate_circuit,
+    generate_from_stats,
+    generate_scaled,
+    scaled_stats,
+)
+
+#: ``circuit.fingerprint()`` of every named circuit x test seed,
+#: recorded before the Fenwick-pool rewrite.  A change here means the
+#: generator's draw sequence moved and every downstream artefact
+#: (golden files, Table-I rows, cached campaign results) silently
+#: refers to different netlists.
+NAMED_FINGERPRINTS = {
+    ("s27", 1): "0e21be6497eb47ec8bd39e43d0b9e68c39475694a313493af2ca5b4df4a1214e",
+    ("s27", 2): "ec458a1f58dbd33b7ce3a9772281e101c80b67478e0c77c50771944c6acf7676",
+    ("s27", 7): "a1fc2455af7f74a2ff39e294dce3ab0a9d3361c452f67d5d476d166f053f4f14",
+    ("s344", 1): "62c9caa6994f3db4b72ff21bbd74572acf32bdd5117cebbb294071da2494357b",
+    ("s344", 2): "068c9cd4bdebe6f65ab2334a63c46d883a0be608428908017062c883a14cdefe",
+    ("s344", 7): "2abfd0959879d0eafe9b31f6e6d84927b952df132746f4d4f1ae24263c2b7302",
+    ("s349", 1): "62f279960f0c77fb2c8aafc12df13f660996d9192a97e9f8ea76fe521aa5f169",
+    ("s349", 2): "6e7aecf8d284a9feacdace60198b0dc340c68bef49e1b81dcd0f2218d4b3189e",
+    ("s349", 7): "9ded1d8535f4189e63b6ec90f9e746bc05c97890cb366924d038276118793a6f",
+    ("s382", 1): "f0db055d75be9db519d6e8f608445c41a2f586aa5c447c44cabd2e18286b70d5",
+    ("s382", 2): "629c599a9d0572a1206716b5b0e58ba731f8596657f33e1785bc9fae1dfa9ae4",
+    ("s382", 7): "312b298a19f0630ca20fbd7d37dd3a7f2ba95ff2c910a7976b6bc1ea3ae148b3",
+    ("s386", 1): "290d28dd5245676f549f687879cd935387056bf284e08547cdc3056c6579d783",
+    ("s386", 2): "9b3da8b3cddb903d8358f48a71bad197b6a91b34087e631178c04f7fef1ffb16",
+    ("s386", 7): "729bf5766eec954a57be5ed10db7710262daf922cbd4e84dbefb316186b8cb20",
+    ("s400", 1): "232e6f3b304b7728bb9dd14e70761ad3d18a5f2931bd2ef46fb50ce0dd40c1b8",
+    ("s400", 2): "2d4e09bbf3f88217a77d3885c6b8a17f672b82cfe0ba6f103b7a4ad744c6af1e",
+    ("s400", 7): "47ffdeb247ad922b806fb2a382febc6d18c3ad2bda7145166933c572ff1ca193",
+    ("s420", 1): "1c3184c871a6c71bf37f30bc54cbc1b85f449eeb795b7416070efe5dbe3363fc",
+    ("s420", 2): "7f793a560382d50f0ef21b5777887ce29cf260ba9252722cf0a295d2a927b3e3",
+    ("s420", 7): "f6b4b222b93cac8814bebf165ee35325539ee60c2d324ba58105bc8d0baa4bd8",
+    ("s444", 1): "477df040921c01031197586ad93116b0cd895f7ffac901ac373ce43853b0d339",
+    ("s444", 2): "5414bf3a1c4016d4160612c9d14a6b8b19b9d252debbb4951c36d3e43b51e565",
+    ("s444", 7): "2b69347a2381192e216ce24cf5eb4bb68d80130d04ecc2429e0693f83a4e4257",
+    ("s510", 1): "fbf1bdef836aabe9e9c87f9c5d9ec9ee561b956b05ebac70172818eda781e501",
+    ("s510", 2): "71a9a4b12c137b019edb5ca255e5bff31be91ef75e0daec4dd205308e5e366eb",
+    ("s510", 7): "19332cacd39afbab3fd290d92d60718fb08eca1a2ad69c6c7fd59d8da96b0e6c",
+    ("s526", 1): "6cafc8cfd779038eaa8b32dcd314281bd8f09795e69c07f90485e90f7fae0287",
+    ("s526", 2): "618ca5145d01c16e149821dca417cc4c4dbb1b935aaf25837d6c9ece116b1ca9",
+    ("s526", 7): "fe3b1e90207c1b49de0e73f8b34c8cbec1204e41fdf660aed1564c92fc41afeb",
+    ("s641", 1): "d7e69999209cabf6aeb50af77d13251e7a93b496a8e984575331af48944f6280",
+    ("s641", 2): "1e0f2f44990080c5b82f67cb1a26cccf3138090c5115caaeedaf5168f9a1c5c8",
+    ("s641", 7): "ac32123827219149d9db82d8dda77697ef32c9255d172b2fc7e6ef1ba06d6166",
+    ("s713", 1): "867ea8c21859539ab3a54774b5b6ae84e95e3b5960e3ef55bab1e8b9d4839055",
+    ("s713", 2): "8aea38f3d1dfd6ae3a676c050358ac1f3a80b5c9ddf32f78b813e06755a9c560",
+    ("s713", 7): "16795961773ebc05331adccd25e06eadc93148338f80613d1b179bb61f8d166d",
+    ("s820", 1): "770a01e0bb7d63deeb3e28af79a35c02151e55b5881eb9bdd04f3558ec9f16f3",
+    ("s820", 2): "e198bda6d9b5ae4ff8acc709eed067335359df3f84c4d7a74292ee8c30ca93cd",
+    ("s820", 7): "01a445da8e040a1fd48320c581cba30789fd70d0cfaeefdb0d1ffdf34db13d65",
+    ("s832", 1): "ea37214daa65d75cd7ed608ff4be7defcf9c7044b405484b7400ffc14a4c5d88",
+    ("s832", 2): "fabf9bbf5ac1adf5427d817013b4583aaac85e38dbc92e9407800108b20bf283",
+    ("s832", 7): "358c6832062f2225290c582bbfb3dbadd8d6fffaf5121ec14d6180812a6c9e51",
+    ("s838", 1): "3b1eae6173f86b000fc32527b0de2a67921ebb240a96be715e4be5d65d3d143b",
+    ("s838", 2): "09590663cdb2fb064ba9c5570c4bf54326457e9448615598002f8a651f3f6d13",
+    ("s838", 7): "043de88f472c7c6232d1de047e1f0bc99fe71338ba38484ad30f1e991f31eaf3",
+    ("s953", 1): "463cf4990419eabaa719021722d87e5194b07c31a898f242bf9c4f588843f214",
+    ("s953", 2): "30c22d8d7ab9b73c1d6146002d90ba053a0e986b78d8ed27d58480eeb4bab14c",
+    ("s953", 7): "0048e1894e991fe226ea458e32216d824499a343e6536af32c08b7174d6753fa",
+    ("s1196", 1): "940a96985eba182dba15b49c0d407b94bf8ab31d0861c53b6ca567f8a19da88e",
+    ("s1196", 2): "68060baf9a8793a870d56ce371027dda0c1dc9e1bb787300cb72a89d9e87f973",
+    ("s1196", 7): "4c8a02d20f332c2ee158a5de438da1e4bf4279d6049650116e2afb2cbb3f4a70",
+    ("s1238", 1): "15963f7666b79977a4358f487ec1e1b89739d330407c5466032fa8afa399d10b",
+    ("s1238", 2): "47e4a6776272cbe397ca24ce951cc5057d6f85737bceac7e41fa848ef2fdc278",
+    ("s1238", 7): "ddc2ca1bd5bde4b3a9d324f42b80a59909cf91c298250cc742508c03f70a2571",
+    ("s1423", 1): "c25bab66c447cb8936516cc8a6f6ecee3b91843ee4e188df558bd76f03665a52",
+    ("s1423", 2): "9ce7c58db5d71c5a44d2062d8c236b66bcd34013d9c38dcb9404e496849aaa77",
+    ("s1423", 7): "09779a170733fadb73c4cbe6f71b8a06e056db2bfa72becc71b88cd90c6dfffd",
+    ("s1488", 1): "eaa2b1296597bd33ce798971746f550966a21f4c4dacf2895eeafdcdffc53155",
+    ("s1488", 2): "b0b8aa6e5759af610455dea7b4d8b69c9b9b01fd956acd05c3604bd33a78c010",
+    ("s1488", 7): "4096e6f6c5949594d9657cbbae67dd52849c802629032581e20de087de0af2c9",
+    ("s1494", 1): "e56f436200d1b27f6e1a5c5016337a30bc036d0cd11cc4b0184eda8360d08b41",
+    ("s1494", 2): "29abd103ade804cedebf5650341269be9242beb59f4f04cc338c8a7436512daa",
+    ("s1494", 7): "efd6b66d7d4f7b56bba427b93813ca3832af2466c454c1fbadf59a05afdeb4c0",
+    ("s5378", 1): "413f386a3a94d82f43fa9e877025430751fc842336cfe5b556561d49aed7b6f5",
+    ("s5378", 2): "1574b6437e8924360ef7c2c9f37ff7ce9e688efe6f5a60e437e69e65f89d6f9f",
+    ("s5378", 7): "4dd21d59980ade947c262675d1b0fc2a625f0befc8592f0578001877bd6f2571",
+    ("s9234", 1): "477b06b38ac6b62376c7a96566366e97df89647dd4abc873a5b1bc0d9e78f677",
+    ("s9234", 2): "fb4e1fd43b4b3afd677e491ba3621e7c50b80a1d252a10328ea7524dd04750ee",
+    ("s9234", 7): "ac9c6b0a4398b5e78c155d351a600dca0da957074011556bdb7317c903f0a687",
+}
+
+#: Fingerprints of the synthetic stats records the property suites use.
+SYNTH_FINGERPRINTS = {
+    (("epi", 4, 2, 5, 30), 0):
+        "a6a894825f0778205a7191ba7e2ef5169523c2255d66dc642807d06821f1da62",
+    (("epi", 4, 2, 5, 30), 1):
+        "45fcb67309736540e3328e2a78a933592ba05c7574dbc48d7899672dde9c825a",
+    (("fedge", 5, 3, 4, 40), 0):
+        "1494a5bf3ad018d686e040d2c37c68320a26bea4120b48178e0a810bccdb877e",
+    (("fedge", 5, 3, 4, 40), 1):
+        "b90e22ff27cd4c8017bb4dd5e028b53c8e753d461b5e6cf387c1982482a8f966",
+    (("fuzz", 6, 5, 7, 50), 0):
+        "c6b416f78f4fd87e8ad72ce88a3887718f8ceb3e9561fb93c3c8c6c84092f0f9",
+    (("fuzz", 6, 5, 7, 50), 1):
+        "d407ae1a84fb298dcfffa6adf8344503077db95998474b0978bfd6daec7a5af8",
+}
+
+
+class TestDrawSequencePinned:
+    @pytest.mark.parametrize("name",
+                             sorted({k[0] for k in NAMED_FINGERPRINTS}))
+    def test_named_circuits_bit_identical(self, name):
+        for (pinned_name, seed), expected in NAMED_FINGERPRINTS.items():
+            if pinned_name == name:
+                assert generate_circuit(name, seed).fingerprint() == \
+                    expected, (name, seed)
+
+    def test_every_table1_circuit_is_pinned(self):
+        pinned = {name for name, _ in NAMED_FINGERPRINTS}
+        assert set(TABLE1_CIRCUITS) <= pinned
+
+    def test_synthetic_stats_bit_identical(self):
+        for (spec, seed), expected in SYNTH_FINGERPRINTS.items():
+            circuit = generate_from_stats(Iscas89Stats(*spec), seed)
+            assert circuit.fingerprint() == expected, (spec, seed)
+
+
+class TestTailPickTermination:
+    def test_infeasible_po_count_raises_instead_of_hanging(self):
+        """Regression: 10 POs over 4 distinct candidates used to loop
+        forever in the tail pick; now it is rejected up front."""
+        with pytest.raises(ValueError, match="exceeds"):
+            generate_from_stats(Iscas89Stats("hang", 1, 10, 1, 3), seed=1)
+
+    def test_exactly_feasible_po_count_terminates(self):
+        """POs == distinct candidates is the tightest legal corner."""
+        stats = Iscas89Stats("tight", 1, 4, 1, 3)
+        circuit = generate_from_stats(stats, seed=1)
+        circuit.validate()
+        assert len(circuit.outputs) == 4
+
+
+class TestScaledGeneration:
+    def test_scaled_stats_defaults(self):
+        stats = scaled_stats(100_000)
+        assert stats.name == "synth100000"
+        assert stats.n_gates == 100_000
+        assert stats.n_dffs == 100_000 // 16
+        assert stats.n_inputs >= 8 and stats.n_outputs >= 4
+
+    def test_scaled_stats_overrides(self):
+        stats = scaled_stats(5_000, name="big", n_inputs=10,
+                             n_outputs=6, n_dffs=32)
+        assert (stats.name, stats.n_inputs, stats.n_outputs,
+                stats.n_dffs) == ("big", 10, 6, 32)
+
+    def test_scaled_stats_rejects_bad_budgets(self):
+        with pytest.raises(ValueError):
+            scaled_stats(2)
+        with pytest.raises(ValueError):
+            scaled_stats(100, n_dffs=100)
+
+    def test_generate_scaled_valid_and_deterministic(self):
+        a = generate_scaled(2_000, seed=3, n_dffs=16)
+        b = generate_scaled(2_000, seed=3, n_dffs=16)
+        a.validate()
+        assert a.fingerprint() == b.fingerprint()
+        assert len(a.combinational_gates()) == 2_000
+
+    def test_generate_scaled_is_fast_at_scale(self):
+        """The de-quadraticized pool: 100k gates in seconds, not hours.
+
+        The old ``available.index`` sort alone did ~1e10 comparisons at
+        this size; a loose wall-clock ceiling keeps the O(n^2) path
+        from silently returning.
+        """
+        import time
+        start = time.perf_counter()
+        circuit = generate_scaled(100_000, seed=1, n_dffs=64)
+        elapsed = time.perf_counter() - start
+        assert len(circuit.combinational_gates()) == 100_000
+        assert elapsed < 60, f"100k-gate generation took {elapsed:.0f}s"
