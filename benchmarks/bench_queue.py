@@ -1,0 +1,96 @@
+"""Distributed queue overhead: multi-worker drain vs in-process run.
+
+The work queue trades per-job filesystem transactions (enqueue, claim
+rename, heartbeat, done marker) for multi-host fan-out.  These benches
+measure that overhead directly: a whole-campaign drain through
+``run_worker`` (cold cache, N concurrent worker threads) against the
+in-process ``run_campaign`` reference, plus the pure transaction cost
+with the executor stubbed to a no-op — the queue-tax ceiling per job.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.campaign.cache import ResultCache
+from repro.campaign.manifest import CampaignSpec
+from repro.campaign.queue import WorkQueue, run_worker
+from repro.campaign.runner import run_campaign
+
+_WORKERS = (1, 2, 4)
+
+
+def _spec(n_seeds: int) -> CampaignSpec:
+    return CampaignSpec(circuits=("s27",),
+                        seeds=tuple(range(1, n_seeds + 1)),
+                        name="bench-queue")
+
+
+def _drain(queue_dir, cache_dir, workers: int):
+    threads = [
+        threading.Thread(
+            target=run_worker, args=(queue_dir, cache_dir),
+            kwargs={"worker_id": f"bench-{i}", "poll_s": 0.01})
+        for i in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+@pytest.mark.parametrize("workers", _WORKERS,
+                         ids=[f"workers{n}" for n in _WORKERS])
+def test_queue_drain(benchmark, tmp_path, workers):
+    """Cold-cache drain of an 8-job campaign by N workers."""
+    spec = _spec(8)
+    queue_dir = tmp_path / "queue"
+    cache_dir = tmp_path / "cache"
+    WorkQueue(queue_dir).enqueue(spec)
+
+    run_once(benchmark, _drain, queue_dir, cache_dir, workers)
+
+    cache = ResultCache(cache_dir)
+    depth = WorkQueue(queue_dir).depth()
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["jobs"] = depth.total
+    benchmark.extra_info["cached_entries"] = len(cache.entries())
+    assert depth.done == 8 and depth.outstanding == 0
+
+
+def test_campaign_inprocess_reference(benchmark, tmp_path):
+    """The same 8 jobs through ``run_campaign`` (no queue)."""
+    result = run_once(
+        benchmark, run_campaign, _spec(8),
+        cache_dir=str(tmp_path / "cache"))
+
+    benchmark.extra_info["jobs"] = len(result.jobs)
+    assert result.n_executed == 8
+
+
+def test_queue_transaction_overhead(benchmark, tmp_path, monkeypatch):
+    """Pure queue tax: 32 jobs with the flow executor stubbed out."""
+    import repro.campaign.runner as runner
+
+    def _noop(payload):
+        return {"kind": runner.FLOW_ARTEFACT_KIND,
+                "job_id": payload["job_id"],
+                "circuit": payload["circuit"],
+                "seed": payload["seed"], "row": {},
+                "summary": "noop", "elapsed_s": 0.0}
+
+    monkeypatch.setattr(runner, "_execute_flow_job", _noop)
+    spec = _spec(32)
+    queue_dir = tmp_path / "queue"
+    WorkQueue(queue_dir).enqueue(spec)
+
+    stats = run_once(benchmark, run_worker, queue_dir,
+                     tmp_path / "cache", poll_s=0.01)
+
+    benchmark.extra_info["jobs"] = 32
+    benchmark.extra_info["per_job_ms"] = (
+        stats.wall_s / 32.0 * 1000.0)
+    assert stats.executed == 32

@@ -25,6 +25,19 @@ from repro.benchgen import (
     generate_circuit,
     load_circuit,
 )
+from repro.campaign import (
+    ArtifactService,
+    CampaignJob,
+    CampaignResult,
+    CampaignSpec,
+    ResultCache,
+    ServiceServer,
+    WorkQueue,
+    load_spec,
+    run_campaign,
+    run_server,
+    run_worker,
+)
 from repro.cells import (
     CellLibrary,
     CellSpec,
@@ -70,6 +83,12 @@ from repro.power import (
     ShiftPolicy,
     analyze_peak_power,
     evaluate_scan_power,
+)
+from repro.runtime import (
+    RuntimeOptions,
+    session_defaults,
+    set_session_defaults,
+    using,
 )
 from repro.scan import (
     MultiChainDesign,
@@ -160,4 +179,12 @@ __all__ = [
     "load_circuit", "generate_circuit", "available_circuits",
     "circuit_provenance", "ISCAS89_STATS", "TABLE1_CIRCUITS",
     "run_table1", "run_figure2", "PAPER_TABLE1",
+    # runtime options (session defaults for every engine toggle)
+    "RuntimeOptions", "session_defaults", "set_session_defaults",
+    "using",
+    # campaigns / distributed workers / artifact service
+    "CampaignSpec", "CampaignJob", "CampaignResult", "load_spec",
+    "run_campaign", "ResultCache",
+    "WorkQueue", "run_worker",
+    "ArtifactService", "ServiceServer", "run_server",
 ]

@@ -12,9 +12,14 @@ the experiment harnesses (:mod:`repro.experiments`):
 * :mod:`repro.campaign.manifest` — campaign specs, deterministic job
   expansion and the per-job status manifest;
 * :mod:`repro.campaign.runner` — the executor tying them together with
-  deterministic result ordering regardless of worker count.
+  deterministic result ordering regardless of worker count;
+* :mod:`repro.campaign.queue` — the filesystem-backed multi-host work
+  queue (claim-by-rename leases) behind ``repro worker``;
+* :mod:`repro.campaign.service` — the ``repro serve`` HTTP artifact
+  API answering experiment queries from the cache.
 
-See README "Campaigns" for the spec format and resume semantics.
+See README "Campaigns" and "Artifact service & distributed workers"
+for the spec format, resume semantics and the service endpoints.
 """
 
 from repro.campaign.cache import ResultCache
@@ -32,31 +37,57 @@ from repro.campaign.pool import (
     ensure_shared_pool,
     shutdown_shared_pool,
 )
+from repro.campaign.queue import (
+    ClaimedJob,
+    QueueDepth,
+    WorkerStats,
+    WorkQueue,
+    run_worker,
+)
 from repro.campaign.runner import (
     FIGURE2_ARTEFACT_KIND,
     FLOW_ARTEFACT_KIND,
     CampaignResult,
+    execute_job,
     figure2_from_artefact,
+    job_identity,
     run_campaign,
     run_flow_jobs,
+)
+from repro.campaign.service import (
+    ArtifactService,
+    ServiceMetrics,
+    ServiceServer,
+    run_server,
 )
 
 __all__ = [
     "FIGURE2_ARTEFACT_KIND",
     "FLOW_ARTEFACT_KIND",
+    "ArtifactService",
     "CampaignJob",
     "CampaignResult",
     "CampaignSpec",
-    "figure2_from_artefact",
+    "ClaimedJob",
     "JobRecord",
     "Manifest",
+    "QueueDepth",
     "ResultCache",
+    "ServiceMetrics",
+    "ServiceServer",
+    "WorkQueue",
     "WorkerPool",
     "WorkerPoolError",
+    "WorkerStats",
     "active_shared_pool",
     "ensure_shared_pool",
+    "execute_job",
+    "figure2_from_artefact",
+    "job_identity",
     "load_spec",
     "run_campaign",
     "run_flow_jobs",
+    "run_server",
+    "run_worker",
     "shutdown_shared_pool",
 ]

@@ -28,6 +28,7 @@ import dataclasses
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -157,6 +158,37 @@ class ResultCache:
                 continue
             evicted += 1
             freed += size
+        return evicted, freed
+
+    def gc_older_than(self, max_age_s: float,
+                      now: float | None = None) -> tuple[int, int]:
+        """Evict every entry whose mtime is older than ``max_age_s``.
+
+        The age-based companion to :meth:`gc`: instead of a size
+        budget, drop artefacts not written for ``max_age_s`` seconds
+        (``repro campaign gc --max-age-days``).  Same guarantees —
+        only well-formed key files are touched, vanished files are
+        skipped.  Returns ``(entries evicted, bytes freed)``.
+        """
+        if max_age_s < 0:
+            raise ValueError("max_age_s must be >= 0")
+        cutoff = (time.time() if now is None else now) - max_age_s
+        evicted = 0
+        freed = 0
+        for key in self.entries():
+            path = self.path(key)
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced eviction
+                continue
+            if stat.st_mtime >= cutoff:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced eviction
+                continue
+            evicted += 1
+            freed += stat.st_size
         return evicted, freed
 
     def entries(self) -> list[str]:

@@ -1,0 +1,630 @@
+"""Filesystem-backed multi-host work queue for campaign jobs.
+
+The campaign layer already had everything a distributed service needs
+except the transport: a content-addressed artefact cache (any worker's
+result lands under the same key — :mod:`repro.campaign.cache`), a
+per-job manifest and deterministic spec expansion.  This module adds
+the transport: a work queue that is nothing but a directory tree, so
+any number of ``repro worker`` processes — on one host or on many
+machines sharing the directory (NFS, a container volume) — can drain
+one campaign spec with no coordinator process.
+
+Layout (all JSON, all writes atomic via temp file + ``os.replace``)::
+
+    <root>/queue.json          queue metadata: spec, kind, lease TTL
+    <root>/pending/NNNNN-<job>.json   one file per unclaimed job
+    <root>/claimed/NNNNN-<job>.json   leased jobs (mtime = heartbeat)
+    <root>/done/NNNNN-<job>.json      completed JobRecords
+    <root>/failed/NNNNN-<job>.json    jobs whose execution raised
+
+Leases are **claim-by-rename**: a worker claims a job by renaming its
+file from ``pending/`` into ``claimed/`` — ``os.rename`` is atomic on
+POSIX, so exactly one of any number of racing workers wins (the losers
+get ``FileNotFoundError`` and move on).  The claimed file's mtime is
+the lease heartbeat: the owner touches it (``os.utime``) periodically;
+any worker finding a claimed file whose heartbeat is older than the
+queue's ``lease_ttl_s`` renames it back into ``pending/`` — so a
+SIGKILLed worker's job is re-leased and completed by whoever claims it
+next.  A worker whose heartbeat ``utime`` fails with ``ENOENT`` knows
+its lease was revoked.
+
+Duplicate execution is possible in one narrow race (a lease expiring
+while its owner is still alive, e.g. under extreme clock skew between
+hosts) and is **benign by construction**: artefacts are
+content-addressed, both executions produce bit-identical JSON, and the
+completion markers are idempotent renames/overwrites.  Correctness
+never depends on the lease — the lease only bounds wasted work.
+
+Results land in the same :class:`~repro.campaign.cache.ResultCache`
+and :class:`~repro.campaign.manifest.Manifest` records as an
+in-process ``repro campaign`` run, bit-identical to a serial ``--jobs
+1`` execution; the manifest is assembled from the ``done/`` records
+(:meth:`WorkQueue.write_manifest`), so concurrent workers never
+rewrite one shared manifest file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import socket
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.manifest import (
+    CampaignJob,
+    CampaignSpec,
+    JobRecord,
+    Manifest,
+)
+from repro.campaign.runner import (
+    FIGURE2_ARTEFACT_KIND,
+    FLOW_ARTEFACT_KIND,
+    execute_job,
+    job_identity,
+)
+from repro.errors import QueueError
+from repro.utils.hashing import package_fingerprint
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "ClaimedJob",
+    "QueueDepth",
+    "WorkerStats",
+    "WorkQueue",
+    "run_worker",
+]
+
+#: Default lease time-to-live: a claimed job whose heartbeat is older
+#: than this is considered abandoned and re-queued.
+DEFAULT_LEASE_TTL_S = 60.0
+
+_STATES = ("pending", "claimed", "done", "failed")
+
+
+def _atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already replaced/gone
+            pass
+        raise
+
+
+def _read_json(path: Path) -> dict[str, Any] | None:
+    try:
+        with path.open() as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _job_file_name(index: int, job_id: str) -> str:
+    """Deterministic, filesystem-safe file name for one job."""
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", job_id)
+    return f"{index:05d}-{slug}.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClaimedJob:
+    """One leased job: the payload plus where its lease file lives."""
+
+    name: str
+    job: CampaignJob
+    kind: str
+    path: Path
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueDepth:
+    """Entry counts per queue state."""
+
+    pending: int = 0
+    claimed: int = 0
+    done: int = 0
+    failed: int = 0
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs not yet terminally settled."""
+        return self.pending + self.claimed
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.claimed + self.done + self.failed
+
+
+@dataclasses.dataclass
+class WorkerStats:
+    """What one :func:`run_worker` drain accomplished."""
+
+    worker_id: str = ""
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    requeued: int = 0
+    wall_s: float = 0.0
+
+
+class WorkQueue:
+    """A campaign work queue rooted at a (possibly shared) directory."""
+
+    VERSION = 1
+
+    def __init__(self, root: str | Path, *,
+                 lease_ttl_s: float | None = None):
+        self.root = Path(root)
+        self._meta: dict[str, Any] | None = None
+        self._lease_ttl_override = lease_ttl_s
+        if lease_ttl_s is not None and lease_ttl_s <= 0:
+            raise QueueError("lease_ttl_s must be > 0")
+
+    # ------------------------------------------------------------------ #
+    # metadata
+    # ------------------------------------------------------------------ #
+
+    def _dir(self, state: str) -> Path:
+        return self.root / state
+
+    @property
+    def meta_path(self) -> Path:
+        return self.root / "queue.json"
+
+    def _metadata(self) -> dict[str, Any]:
+        if self._meta is None:
+            payload = _read_json(self.meta_path)
+            if payload is None or payload.get("version") != self.VERSION:
+                raise QueueError(
+                    f"{self.meta_path} is missing or not a v{self.VERSION} "
+                    f"work queue (create one with 'repro campaign "
+                    f"--enqueue DIR' or WorkQueue.enqueue)")
+            self._meta = payload
+        return self._meta
+
+    @property
+    def lease_ttl_s(self) -> float:
+        """Effective lease TTL (constructor override > queue.json)."""
+        if self._lease_ttl_override is not None:
+            return self._lease_ttl_override
+        return float(self._metadata().get(
+            "lease_ttl_s", DEFAULT_LEASE_TTL_S))
+
+    def spec(self) -> CampaignSpec:
+        """The campaign spec this queue was created from."""
+        return CampaignSpec.from_dict(self._metadata()["spec"])
+
+    def kind(self) -> str:
+        """Artefact kind every job in this queue computes."""
+        return self._metadata()["kind"]
+
+    # ------------------------------------------------------------------ #
+    # enqueue
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, root: str | Path, *, name: str = "adhoc",
+               lease_ttl_s: float = DEFAULT_LEASE_TTL_S) -> "WorkQueue":
+        """Initialise an empty, spec-less queue (ad-hoc submits only).
+
+        The artifact service uses this shape: jobs arrive one at a
+        time via :meth:`submit` as cache misses come in, instead of
+        from one up-front campaign spec.
+        """
+        if lease_ttl_s <= 0:
+            raise QueueError("lease_ttl_s must be > 0")
+        queue = cls(root)
+        existing = _read_json(queue.meta_path)
+        if existing is None:
+            for state in _STATES:
+                queue._dir(state).mkdir(parents=True, exist_ok=True)
+            _atomic_write_json(queue.meta_path, {
+                "version": cls.VERSION,
+                "name": name,
+                "kind": None,
+                "spec": None,
+                "spec_digest": None,
+                "lease_ttl_s": lease_ttl_s,
+            })
+        return queue
+
+    def submit(self, job: CampaignJob,
+               kind: str = FLOW_ARTEFACT_KIND) -> tuple[str, bool]:
+        """Enqueue one ad-hoc job; returns ``(entry name, enqueued)``.
+
+        The entry name is a digest of the job payload, so re-submitting
+        an identical request (e.g. many clients polling the same cold
+        artefact) deduplicates instead of queueing duplicate work;
+        ``enqueued`` is ``False`` when the job was already in flight or
+        settled.
+        """
+        self._metadata()  # fail fast on a missing queue
+        payload = {"job": dataclasses.asdict(job), "kind": kind}
+        from repro.utils.hashing import stable_digest
+        name = f"adhoc-{stable_digest(payload)[:20]}.json"
+        for state in _STATES:
+            if (self._dir(state) / name).exists():
+                return name, False
+        _atomic_write_json(self._dir("pending") / name, payload)
+        return name, True
+
+    def enqueue(self, spec: CampaignSpec, *,
+                lease_ttl_s: float = DEFAULT_LEASE_TTL_S) -> int:
+        """Expand ``spec`` into the queue; returns the jobs enqueued.
+
+        One queue belongs to one spec: re-enqueueing the *same* spec is
+        an idempotent top-up (jobs already pending, claimed, done or
+        failed are skipped, so a partially drained queue is never
+        duplicated); a different spec raises :class:`QueueError`.
+        """
+        if lease_ttl_s <= 0:
+            raise QueueError("lease_ttl_s must be > 0")
+        existing = _read_json(self.meta_path)
+        if existing is not None:
+            if existing.get("spec_digest") != spec.digest():
+                raise QueueError(
+                    f"queue {self.root} already holds campaign "
+                    f"{existing.get('name', '?')!r} with a different "
+                    f"spec; use a fresh directory per campaign")
+        for state in _STATES:
+            self._dir(state).mkdir(parents=True, exist_ok=True)
+        kind = FIGURE2_ARTEFACT_KIND if spec.kind == "figure2" \
+            else FLOW_ARTEFACT_KIND
+        if existing is None:
+            _atomic_write_json(self.meta_path, {
+                "version": self.VERSION,
+                "name": spec.name,
+                "kind": kind,
+                "spec": spec.to_dict(),
+                "spec_digest": spec.digest(),
+                "lease_ttl_s": lease_ttl_s,
+            })
+            self._meta = None
+        present = {
+            name for state in _STATES
+            for name in self._entry_names(state)
+        }
+        enqueued = 0
+        for index, job in enumerate(spec.expand()):
+            name = _job_file_name(index, job.job_id)
+            if name in present:
+                continue
+            _atomic_write_json(self._dir("pending") / name, {
+                "job": dataclasses.asdict(job),
+                "kind": kind,
+            })
+            enqueued += 1
+        return enqueued
+
+    # ------------------------------------------------------------------ #
+    # lease lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _entry_names(self, state: str) -> list[str]:
+        """Well-formed entry file names in one state dir, sorted."""
+        directory = self._dir(state)
+        if not directory.is_dir():
+            return []
+        return sorted(p.name for p in directory.iterdir()
+                      if p.suffix == ".json"
+                      and not p.name.startswith("."))
+
+    def claim(self, worker_id: str) -> ClaimedJob | None:
+        """Atomically claim the next pending job, or ``None``.
+
+        Claim-by-rename: exactly one racing worker wins each job.  A
+        pending entry that already has a ``done/`` marker (a re-queued
+        copy of a job another worker finished meanwhile) is discarded
+        instead of claimed.
+        """
+        for name in self._entry_names("pending"):
+            pending_path = self._dir("pending") / name
+            claimed_path = self._dir("claimed") / name
+            if (self._dir("done") / name).exists():
+                # Stale duplicate: the job was re-queued, then its
+                # original owner finished after all.
+                try:
+                    pending_path.unlink()
+                except OSError:  # pragma: no cover - raced cleanup
+                    pass
+                continue
+            try:
+                os.rename(pending_path, claimed_path)
+            except OSError:
+                continue  # another worker won this one; next
+            # The rename preserved the (possibly old) pending mtime —
+            # refresh it immediately so the fresh lease cannot look
+            # expired to a concurrent scavenger.
+            try:
+                os.utime(claimed_path)
+            except OSError:  # pragma: no cover - raced requeue
+                continue
+            payload = _read_json(claimed_path)
+            if payload is None or "job" not in payload:
+                # Corrupt entry: park it in failed/ so the queue drains.
+                try:
+                    os.rename(claimed_path,
+                              self._dir("failed") / name)
+                except OSError:  # pragma: no cover - raced
+                    pass
+                continue
+            lease = dict(payload)
+            lease["lease"] = {
+                "worker": worker_id,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "claimed_at": time.time(),
+            }
+            _atomic_write_json(claimed_path, lease)
+            return ClaimedJob(
+                name=name,
+                job=CampaignJob(**payload["job"]),
+                kind=payload.get("kind", FLOW_ARTEFACT_KIND),
+                path=claimed_path,
+            )
+        return None
+
+    def heartbeat(self, claim: ClaimedJob) -> bool:
+        """Refresh ``claim``'s lease; ``False`` when it was revoked."""
+        try:
+            os.utime(claim.path)
+        except OSError:
+            return False
+        return True
+
+    def requeue_expired(self, now: float | None = None) -> int:
+        """Re-queue claimed jobs whose heartbeat exceeded the TTL.
+
+        Any worker may scavenge; the rename back into ``pending/`` is
+        atomic, so concurrent scavengers re-queue each job once.
+        Returns the number of jobs re-queued.
+        """
+        now = time.time() if now is None else now
+        ttl = self.lease_ttl_s
+        requeued = 0
+        for name in self._entry_names("claimed"):
+            claimed_path = self._dir("claimed") / name
+            if (self._dir("done") / name).exists():
+                # Completed but its claimed file survived a crash
+                # between the done write and the claimed unlink.
+                try:
+                    claimed_path.unlink()
+                except OSError:  # pragma: no cover - raced
+                    pass
+                continue
+            try:
+                age = now - claimed_path.stat().st_mtime
+            except OSError:
+                continue  # completed or re-queued meanwhile
+            if age <= ttl:
+                continue
+            try:
+                os.rename(claimed_path, self._dir("pending") / name)
+            except OSError:  # pragma: no cover - raced scavenger
+                continue
+            requeued += 1
+        return requeued
+
+    def complete(self, claim: ClaimedJob, record: JobRecord) -> None:
+        """Mark ``claim`` done (idempotent; survives lost leases).
+
+        The done marker is written first, then the lease file is
+        removed — a crash in between leaves a state
+        :meth:`requeue_expired` cleans up, never a lost result.
+        """
+        payload = record.to_dict()
+        payload["completed_at"] = time.time()
+        _atomic_write_json(self._dir("done") / claim.name, payload)
+        try:
+            claim.path.unlink()
+        except OSError:
+            pass  # lease was revoked/re-queued; the marker wins
+
+    def fail(self, claim: ClaimedJob, error: str) -> None:
+        """Park ``claim`` in ``failed/`` with its error (no retry)."""
+        payload = _read_json(claim.path) or {
+            "job": dataclasses.asdict(claim.job), "kind": claim.kind}
+        payload["error"] = error
+        payload["failed_at"] = time.time()
+        _atomic_write_json(self._dir("failed") / claim.name, payload)
+        try:
+            claim.path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def depth(self) -> QueueDepth:
+        """Current entry counts per state (one directory scan each)."""
+        return QueueDepth(**{state: len(self._entry_names(state))
+                             for state in _STATES})
+
+    def records(self) -> list[JobRecord]:
+        """JobRecords of all settled jobs, in deterministic job order.
+
+        ``done/`` entries carry full records; ``failed/`` entries are
+        reconstructed as failed records.  Together with the spec they
+        re-create the manifest an in-process run would have written.
+        """
+        records: list[JobRecord] = []
+        for name in self._entry_names("done"):
+            payload = _read_json(self._dir("done") / name)
+            if payload is None:
+                continue
+            payload.pop("completed_at", None)
+            try:
+                records.append(JobRecord.from_dict(payload))
+            except TypeError:
+                continue
+        for name in self._entry_names("failed"):
+            payload = _read_json(self._dir("failed") / name)
+            if payload is None or "job" not in payload:
+                continue
+            job = payload["job"]
+            records.append(JobRecord(
+                job_id=job.get("job_id", name),
+                circuit=job.get("circuit", "?"),
+                seed=job.get("seed", 0),
+                config_hash="",
+                status="failed",
+                error=payload.get("error"),
+            ))
+        return records
+
+    def write_manifest(self, path: str | Path) -> Manifest:
+        """Assemble the campaign manifest from the queue's records.
+
+        Workers never rewrite a shared manifest concurrently — the
+        ``done/`` records *are* the journal, and this deterministic
+        assembly (sorted job ids, same shape as an in-process run's
+        manifest) can be re-run at any time, by any host.
+        """
+        digest = self._metadata().get("spec_digest") or "adhoc"
+        manifest = Manifest(path, digest)
+        for record in self.records():
+            manifest.record(record, save=False)
+        manifest.save()
+        return manifest
+
+
+# ---------------------------------------------------------------------- #
+# worker loop
+# ---------------------------------------------------------------------- #
+
+
+class _LeaseKeeper:
+    """Background thread refreshing one claim's heartbeat."""
+
+    def __init__(self, queue: WorkQueue, claim: ClaimedJob,
+                 interval_s: float):
+        self._queue = queue
+        self._claim = claim
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self.lost = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            if not self._queue.heartbeat(self._claim):
+                self.lost = True
+                return
+
+    def __enter__(self) -> "_LeaseKeeper":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def run_worker(queue_dir: str | Path, cache_dir: str | Path, *,
+               worker_id: str | None = None,
+               poll_s: float = 0.5,
+               wait: bool = False,
+               max_jobs: int | None = None,
+               lease_ttl_s: float | None = None,
+               verbose: bool = False,
+               on_idle: Callable[[], None] | None = None) -> WorkerStats:
+    """Drain ``queue_dir`` into ``cache_dir``; returns worker stats.
+
+    The worker loop: re-queue expired leases, claim one job, consult
+    the content-addressed cache (hits complete without executing),
+    execute misses in-process with a heartbeat thread keeping the
+    lease alive, checkpoint artefact + done record, repeat.  By
+    default the worker exits once the queue has no outstanding jobs;
+    ``wait=True`` keeps polling for new work instead (a long-lived
+    worker behind ``repro serve``'s enqueue-on-miss).  ``max_jobs``
+    bounds the number of jobs processed (tests, bounded drains).
+
+    Any number of concurrent workers — across processes and hosts —
+    produce a cache and manifest bit-identical to a serial
+    ``repro campaign --jobs 1`` run (modulo wall-clock timings).
+    """
+    queue = WorkQueue(queue_dir, lease_ttl_s=lease_ttl_s)
+    queue._metadata()  # fail fast on a missing/corrupt queue
+    cache = ResultCache(cache_dir)
+    stats = WorkerStats(worker_id=worker_id or (
+        f"{socket.gethostname()}-{os.getpid()}"))
+    watch = Stopwatch()
+    code_fp = package_fingerprint()
+    fingerprints: dict[tuple[str, int], str] = {}
+    heartbeat_s = max(queue.lease_ttl_s / 3.0, 0.02)
+
+    processed = 0
+    while max_jobs is None or processed < max_jobs:
+        stats.requeued += queue.requeue_expired()
+        claim = queue.claim(stats.worker_id)
+        if claim is None:
+            if queue.depth().outstanding == 0 and not wait:
+                break
+            if on_idle is not None:
+                on_idle()
+            time.sleep(poll_s)
+            continue
+        processed += 1
+        job_watch = Stopwatch()
+        try:
+            config_hash, key = job_identity(
+                claim.job, claim.kind, cache=cache,
+                code_fingerprint=code_fp, fingerprints=fingerprints)
+            record = JobRecord(
+                job_id=claim.job.job_id, circuit=claim.job.circuit,
+                seed=claim.job.seed, config_hash=config_hash,
+                cache_key=key)
+            artefact = cache.get(key) if key is not None else None
+            if artefact is not None:
+                record.status = "done"
+                record.source = "cache"
+                stats.cached += 1
+            else:
+                with _LeaseKeeper(queue, claim, heartbeat_s):
+                    artefact = execute_job(claim.job, claim.kind)
+                cache.put(key, artefact, meta={
+                    "job_id": claim.job.job_id,
+                    "circuit": claim.job.circuit,
+                    "config_hash": config_hash,
+                    "code": code_fp,
+                    "worker": stats.worker_id,
+                })
+                record.status = "done"
+                record.source = "run"
+                record.wall_s = artefact["elapsed_s"]
+                stats.executed += 1
+            queue.complete(claim, record)
+            if verbose:
+                print(f"[{stats.worker_id}] {claim.job.job_id}: "
+                      f"{record.source} ({job_watch.elapsed_s:.2f}s)",
+                      flush=True)
+        except KeyboardInterrupt:
+            # Return the claim promptly instead of waiting out the TTL.
+            try:
+                os.rename(claim.path,
+                          queue._dir("pending") / claim.name)
+            except OSError:  # pragma: no cover - lease already gone
+                pass
+            raise
+        except Exception as exc:  # noqa: BLE001 - worker must survive
+            queue.fail(claim, f"{type(exc).__name__}: {exc}")
+            stats.failed += 1
+            if verbose:
+                print(f"[{stats.worker_id}] {claim.job.job_id}: "
+                      f"FAILED ({exc})", flush=True)
+    stats.wall_s = watch.elapsed_s
+    return stats

@@ -42,7 +42,7 @@ from repro.utils.timing import Stopwatch
 __all__ = ["FLOW_ARTEFACT_KIND", "FIGURE2_ARTEFACT_KIND",
            "CampaignResult", "run_campaign", "run_flow_jobs",
            "flow_artefact", "row_from_artefact", "figure2_artefact",
-           "figure2_from_artefact"]
+           "figure2_from_artefact", "execute_job", "job_identity"]
 
 #: Cache kind tag; bump the suffix when the artefact schema changes.
 FLOW_ARTEFACT_KIND = "flow-artefact/v1"
@@ -163,6 +163,62 @@ _EXECUTORS = {
 }
 
 
+def execute_job(job: CampaignJob, kind: str = FLOW_ARTEFACT_KIND
+                ) -> dict[str, Any]:
+    """Execute one campaign job in-process and return its artefact.
+
+    The one entry point the in-process runner, the queue worker and
+    the service's compute-on-miss path share; ``kind`` selects the
+    executor (resolved by module attribute at call time, so tests can
+    monkeypatch the underlying worker functions).
+    """
+    if kind not in _EXECUTORS:
+        raise ValueError(f"unknown campaign job kind {kind!r}")
+    return globals()[_EXECUTORS[kind]](dataclasses.asdict(job))
+
+
+def job_identity(job: CampaignJob, kind: str = FLOW_ARTEFACT_KIND, *,
+                 cache: ResultCache | None = None,
+                 code_fingerprint: str | None = None,
+                 fingerprints: dict[tuple[str, int], str] | None = None
+                 ) -> tuple[str, str | None]:
+    """``(config_hash, cache_key)`` of one campaign job.
+
+    The canonical key derivation every consumer — the in-process
+    runner, the multi-host queue worker and the artifact service —
+    must share, so a job computed anywhere lands under the same
+    content address.  ``cache_key`` is ``None`` without a ``cache``.
+    ``fingerprints`` memoizes circuit fingerprints per
+    ``(circuit, circuit_seed)`` across calls (one netlist load each).
+    """
+    if kind == FIGURE2_ARTEFACT_KIND:
+        # run_figure2() ignores the flow config (and the seed), so
+        # hashing it would split byte-identical artefacts across keys;
+        # the code fingerprint covers the library.  Still build the
+        # config so typo'd spec fields error like any other campaign.
+        job.flow_config()
+        config_hash = "figure2"
+    else:
+        config_hash = job.flow_config().config_hash()
+    if cache is None:
+        return config_hash, None
+    if kind == FIGURE2_ARTEFACT_KIND:
+        fingerprint = _FIGURE2_FINGERPRINT
+    else:
+        loader_key = (job.circuit, job.circuit_seed)
+        fingerprint = None if fingerprints is None \
+            else fingerprints.get(loader_key)
+        if fingerprint is None:
+            fingerprint = load_circuit(
+                job.circuit, seed=job.circuit_seed).fingerprint()
+            if fingerprints is not None:
+                fingerprints[loader_key] = fingerprint
+    if code_fingerprint is None:
+        code_fingerprint = package_fingerprint()
+    return config_hash, cache.key(kind, fingerprint, config_hash,
+                                  code_fingerprint)
+
+
 def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
                   jobs: int = 1,
                   cache: ResultCache | None = None,
@@ -207,28 +263,9 @@ def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
     pending: list[int] = []
     fingerprints: dict[tuple[str, int], str] = {}  # one load per netlist
     for index, job in enumerate(jobs_list):
-        if kind == FIGURE2_ARTEFACT_KIND:
-            # run_figure2() ignores the flow config (and the seed), so
-            # hashing it would split byte-identical artefacts across
-            # keys; the code fingerprint covers the library.  Still
-            # build the config so typo'd spec fields error like any
-            # other campaign instead of being silently ignored.
-            job.flow_config()
-            config_hash = "figure2"
-        else:
-            config_hash = job.flow_config().config_hash()
-        key = None
-        if cache is not None:
-            if kind == FIGURE2_ARTEFACT_KIND:
-                fingerprint = _FIGURE2_FINGERPRINT
-            else:
-                loader_key = (job.circuit, job.circuit_seed)
-                fingerprint = fingerprints.get(loader_key)
-                if fingerprint is None:
-                    fingerprint = load_circuit(
-                        job.circuit, seed=job.circuit_seed).fingerprint()
-                    fingerprints[loader_key] = fingerprint
-            key = cache.key(kind, fingerprint, config_hash, code_fp)
+        config_hash, key = job_identity(
+            job, kind, cache=cache, code_fingerprint=code_fp or None,
+            fingerprints=fingerprints)
         keys.append(key)
         record = JobRecord(job_id=job.job_id, circuit=job.circuit,
                            seed=job.seed, config_hash=config_hash,

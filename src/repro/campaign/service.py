@@ -1,0 +1,511 @@
+"""``repro serve`` — the artifact API over the campaign cache.
+
+A lightweight asyncio HTTP server (stdlib only — ``asyncio`` streams
+plus a minimal hand-rolled request parser, no new runtime
+dependencies) that answers the paper's experiment queries straight
+from the content-addressed campaign cache, with the cache as its CDN:
+
+========================================  ===============================
+endpoint                                  answer
+========================================  ===============================
+``GET /table1/<circuit>?seed=&overrides``  the cached Table-I row
+``GET /flow/<circuit>?seed=&overrides=``   the full flow artefact
+``GET /figure2``                           the Figure-2 leakage artefact
+``GET /artifact/<cache-key>``              poll a pending computation
+``GET /healthz``                           liveness probe
+``GET /metrics``                           hit/miss/queue-depth/latency
+========================================  ===============================
+
+``overrides`` is a URL-encoded JSON object of
+:class:`~repro.core.config.FlowConfig` fields patched onto the
+service's base config; the cache key is derived through
+:func:`repro.campaign.runner.job_identity` — the *same* derivation the
+campaign runner and queue workers use, so anything any of them
+computed is a hit here.
+
+A cache **hit** returns the stored artefact JSON with its content hash
+as a strong ``ETag`` (``If-None-Match`` round-trips as ``304 Not
+Modified``, no body).  A **miss** either computes inline
+(``compute_on_miss=True``; the flow runs on a worker thread via
+``asyncio.to_thread`` behind a per-key lock, so concurrent requests
+for the same artefact compute once and ``/healthz`` stays responsive)
+or, when the service fronts a :class:`~repro.campaign.queue.WorkQueue`,
+enqueues the job (deduplicated) and answers ``202 Accepted`` with a
+poll URL — any ``repro worker`` draining that queue completes it and
+the next poll is a hit.  With neither, misses are ``404``.
+
+The server is deliberately minimal: ``GET`` only, one request per
+connection (``Connection: close``), JSON everywhere.  It is an
+artefact cache front, not a general web framework.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import json
+import threading
+import time
+import urllib.parse
+from typing import Any
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.manifest import CampaignJob
+from repro.campaign.queue import WorkQueue
+from repro.campaign.runner import (
+    FIGURE2_ARTEFACT_KIND,
+    FLOW_ARTEFACT_KIND,
+    execute_job,
+    job_identity,
+)
+from repro.errors import ConfigError, ReproError, ServiceError
+from repro.utils.hashing import package_fingerprint
+
+__all__ = [
+    "ArtifactService",
+    "ServiceMetrics",
+    "ServiceServer",
+    "run_server",
+]
+
+_MAX_REQUEST_BYTES = 16 * 1024
+
+_STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def content_etag(body: bytes) -> str:
+    """Strong ETag: the SHA-256 content hash of the response body."""
+    return f'"{hashlib.sha256(body).hexdigest()}"'
+
+
+@dataclasses.dataclass
+class ServiceMetrics:
+    """Counters the ``/metrics`` endpoint exposes."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    not_modified: int = 0
+    computed: int = 0
+    enqueued: int = 0
+    errors: int = 0
+    latency_total_ms: float = 0.0
+    latency_max_ms: float = 0.0
+
+    def observe(self, elapsed_ms: float) -> None:
+        self.requests += 1
+        self.latency_total_ms += elapsed_ms
+        self.latency_max_ms = max(self.latency_max_ms, elapsed_ms)
+
+    def snapshot(self) -> dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["latency_avg_ms"] = (
+            self.latency_total_ms / self.requests if self.requests
+            else 0.0)
+        return payload
+
+
+class _Response:
+    """One HTTP response about to be written."""
+
+    def __init__(self, status: int, payload: Any = None, *,
+                 headers: dict[str, str] | None = None,
+                 body: bytes | None = None):
+        self.status = status
+        if body is None:
+            body = b"" if payload is None else (
+                json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.body = body
+        self.headers = headers or {}
+
+    def encode(self) -> bytes:
+        phrase = _STATUS_PHRASES.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {phrase}"]
+        headers = {
+            "Content-Type": "application/json; charset=utf-8",
+            "Content-Length": str(len(self.body)),
+            "Connection": "close",
+            **self.headers,
+        }
+        if self.status == 304:
+            # A 304 carries no body (and therefore no length).
+            headers.pop("Content-Length", None)
+            headers.pop("Content-Type", None)
+            self.body = b""
+        lines.extend(f"{name}: {value}"
+                     for name, value in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+        return head + self.body
+
+
+class ArtifactService:
+    """Request handling + metrics; transport-independent core.
+
+    Parameters
+    ----------
+    cache:
+        The content-addressed artefact cache answering queries.
+    queue:
+        Optional work queue for enqueue-on-miss (202 + poll).
+    compute_on_miss:
+        Compute missing artefacts inline (wins over ``queue`` — the
+        queue is then only used for depth metrics).
+    base:
+        ``FlowConfig`` kwargs applied under every request's overrides
+        (the service-side campaign ``base``).
+    """
+
+    def __init__(self, cache: ResultCache, *,
+                 queue: WorkQueue | None = None,
+                 compute_on_miss: bool = False,
+                 base: dict[str, Any] | None = None):
+        self.cache = cache
+        self.queue = queue
+        self.compute_on_miss = compute_on_miss
+        self.base = dict(base or {})
+        self.metrics = ServiceMetrics()
+        self._code_fp = package_fingerprint()
+        self._fingerprints: dict[tuple[str, int], str] = {}
+        self._compute_locks: dict[str, asyncio.Lock] = {}
+
+    # ------------------------------------------------------------------ #
+    # request entry points
+    # ------------------------------------------------------------------ #
+
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """Serve one request on one connection, then close it."""
+        started = time.monotonic()
+        try:
+            response = await self._handle(reader)
+        except Exception as exc:  # noqa: BLE001 - server must survive
+            self.metrics.errors += 1
+            response = _Response(500, {"error": f"{type(exc).__name__}: "
+                                                f"{exc}"})
+        try:
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
+        finally:
+            self.metrics.observe((time.monotonic() - started) * 1000.0)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle(self, reader: asyncio.StreamReader) -> _Response:
+        try:
+            raw = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return _Response(400, {"error": "malformed request"})
+        if len(raw) > _MAX_REQUEST_BYTES:
+            return _Response(400, {"error": "request too large"})
+        request_line, *header_lines = raw.decode(
+            "latin-1").split("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3:
+            return _Response(400, {"error": "malformed request line"})
+        method, target, _version = parts
+        if method != "GET":
+            return _Response(405, {"error": "GET only"},
+                             headers={"Allow": "GET"})
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        return await self.dispatch(target, headers)
+
+    async def dispatch(self, target: str,
+                       headers: dict[str, str] | None = None
+                       ) -> _Response:
+        """Route one request target; the testable core."""
+        headers = headers or {}
+        parsed = urllib.parse.urlsplit(target)
+        path = urllib.parse.unquote(parsed.path).rstrip("/") or "/"
+        query = urllib.parse.parse_qs(parsed.query)
+        etag_in = headers.get("if-none-match")
+
+        if path == "/healthz":
+            return _Response(200, {"status": "ok"})
+        if path == "/metrics":
+            return self._metrics_response()
+
+        segments = [s for s in path.split("/") if s]
+        try:
+            if segments and segments[0] in ("table1", "flow"):
+                if len(segments) != 2:
+                    return _Response(
+                        400, {"error": f"/{segments[0]}/<circuit>"})
+                return await self._artefact_query(
+                    segments[0], segments[1], query, etag_in)
+            if path == "/figure2":
+                return await self._artefact_query(
+                    "figure2", "figure2", query, etag_in)
+            if segments and segments[0] == "artifact":
+                if len(segments) != 2:
+                    return _Response(400,
+                                     {"error": "/artifact/<cache-key>"})
+                return self._poll(segments[1], etag_in)
+        except ConfigError as exc:
+            return _Response(400, {"error": str(exc)})
+        except (ReproError, LookupError) as exc:
+            # LookupError: the circuit loader's "unknown circuit".
+            return _Response(404, {"error": str(exc)})
+        return _Response(404, {"error": f"unknown endpoint {path!r}"})
+
+    # ------------------------------------------------------------------ #
+    # endpoint implementations
+    # ------------------------------------------------------------------ #
+
+    def _metrics_response(self) -> _Response:
+        payload = {
+            "service": self.metrics.snapshot(),
+            "cache": dataclasses.asdict(self.cache.stats),
+        }
+        if self.queue is not None:
+            payload["queue"] = dataclasses.asdict(self.queue.depth())
+        return _Response(200, payload)
+
+    def _request_job(self, endpoint: str, circuit: str,
+                     query: dict[str, list[str]]
+                     ) -> tuple[CampaignJob, str]:
+        """Build the (job, kind) a request addresses."""
+        try:
+            seed = int(query.get("seed", ["1"])[0])
+        except ValueError:
+            raise ConfigError("seed must be an integer") from None
+        overrides: dict[str, Any] = {}
+        if "overrides" in query:
+            try:
+                overrides = json.loads(query["overrides"][0])
+            except ValueError:
+                raise ConfigError(
+                    "overrides must be a JSON object") from None
+            if not isinstance(overrides, dict):
+                raise ConfigError("overrides must be a JSON object")
+        if "seed" in overrides:
+            raise ConfigError(
+                "pass the seed as the 'seed' query parameter, not in "
+                "overrides")
+        if endpoint == "figure2":
+            if overrides:
+                raise ConfigError(
+                    "figure2 artefacts take no overrides (they depend "
+                    "only on the cell library)")
+            job = CampaignJob(job_id="figure2", circuit="figure2",
+                              seed=1, circuit_seed=1,
+                              config_kwargs=dict(self.base))
+            return job, FIGURE2_ARTEFACT_KIND
+        job = CampaignJob(
+            job_id=f"{circuit}/seed{seed}",
+            circuit=circuit,
+            seed=seed,
+            circuit_seed=seed or 1,
+            config_kwargs={**self.base, **overrides},
+        )
+        return job, FLOW_ARTEFACT_KIND
+
+    async def _artefact_query(self, endpoint: str, circuit: str,
+                              query: dict[str, list[str]],
+                              etag_in: str | None) -> _Response:
+        job, kind = self._request_job(endpoint, circuit, query)
+        # Key derivation loads/fingerprints the circuit on a cold
+        # (circuit, seed): keep the event loop free.
+        _config_hash, key = await asyncio.to_thread(
+            job_identity, job, kind, cache=self.cache,
+            code_fingerprint=self._code_fp,
+            fingerprints=self._fingerprints)
+        artefact = self.cache.get(key)
+        if artefact is not None:
+            self.metrics.hits += 1
+            return self._artefact_response(endpoint, key, artefact,
+                                           etag_in)
+        self.metrics.misses += 1
+        if self.compute_on_miss:
+            artefact = await self._compute(job, kind, key)
+            return self._artefact_response(endpoint, key, artefact,
+                                           etag_in)
+        if self.queue is not None:
+            _name, enqueued = await asyncio.to_thread(
+                self.queue.submit, job, kind)
+            if enqueued:
+                self.metrics.enqueued += 1
+            return _Response(202, {
+                "status": "pending",
+                "key": key,
+                "poll": f"/artifact/{key}",
+                "enqueued": enqueued,
+            }, headers={"Location": f"/artifact/{key}",
+                        "Retry-After": "1"})
+        return _Response(404, {
+            "error": f"artefact not cached: {job.job_id}",
+            "key": key,
+        })
+
+    async def _compute(self, job: CampaignJob, kind: str,
+                       key: str) -> dict[str, Any]:
+        """Compute one artefact inline (per-key single flight)."""
+        lock = self._compute_locks.setdefault(key, asyncio.Lock())
+        async with lock:
+            artefact = self.cache.get(key)
+            if artefact is not None:
+                return artefact  # someone else computed it meanwhile
+            artefact = await asyncio.to_thread(execute_job, job, kind)
+            self.cache.put(key, artefact, meta={
+                "job_id": job.job_id,
+                "circuit": job.circuit,
+                "code": self._code_fp,
+                "via": "serve:compute-on-miss",
+            })
+            self.metrics.computed += 1
+            return artefact
+
+    def _poll(self, key: str, etag_in: str | None) -> _Response:
+        artefact = self.cache.get(key)
+        if artefact is not None:
+            self.metrics.hits += 1
+            return self._artefact_response("artifact", key, artefact,
+                                           etag_in)
+        self.metrics.misses += 1
+        if self.queue is not None and self.queue.depth().outstanding:
+            return _Response(202, {"status": "pending",
+                                   "poll": f"/artifact/{key}"},
+                             headers={"Retry-After": "1"})
+        return _Response(404, {"error": "unknown artifact key",
+                               "key": key})
+
+    def _artefact_response(self, endpoint: str, key: str,
+                           artefact: dict[str, Any],
+                           etag_in: str | None) -> _Response:
+        if endpoint == "table1":
+            payload: dict[str, Any] = {
+                "circuit": artefact.get("circuit"),
+                "seed": artefact.get("seed"),
+                "row": artefact.get("row"),
+                "key": key,
+            }
+        else:
+            payload = artefact
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        etag = content_etag(body)
+        if etag_in is not None and etag_in.strip() in (etag, "*"):
+            self.metrics.not_modified += 1
+            return _Response(304, headers={"ETag": etag})
+        return _Response(200, body=body, headers={"ETag": etag})
+
+
+# ---------------------------------------------------------------------- #
+# transports
+# ---------------------------------------------------------------------- #
+
+
+async def start_service(service: ArtifactService, host: str,
+                        port: int) -> asyncio.base_events.Server:
+    """Start the asyncio server (caller owns the event loop)."""
+    return await asyncio.start_server(
+        service.handle_connection, host, port,
+        limit=_MAX_REQUEST_BYTES)
+
+
+def run_server(service: ArtifactService, host: str = "127.0.0.1",
+               port: int = 8350, *,
+               ready: threading.Event | None = None) -> None:
+    """Blocking server loop (the ``repro serve`` CLI entry point)."""
+
+    async def _main() -> None:
+        server = await start_service(service, host, port)
+        addr = ", ".join(
+            f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+            for sock in server.sockets)
+        print(f"repro serve: listening on {addr} "
+              f"(cache {service.cache.root})", flush=True)
+        if ready is not None:
+            ready.set()
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+
+
+class ServiceServer:
+    """A served :class:`ArtifactService` on a background thread.
+
+    Test/embedding helper: binds (port ``0`` = ephemeral), exposes the
+    bound port, and shuts the loop down cleanly::
+
+        server = ServiceServer(service)
+        port = server.start()
+        ... http.client against 127.0.0.1:port ...
+        server.stop()
+    """
+
+    def __init__(self, service: ArtifactService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                start_service(self.service, self.host, self.port))
+            self.port = self._server.sockets[0].getsockname()[1]
+        except BaseException as exc:  # pragma: no cover - bind failure
+            self._error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            loop.close()
+
+    def start(self, timeout: float = 10.0) -> int:
+        """Start serving; returns the bound port."""
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):  # pragma: no cover
+            raise ServiceError("server failed to start in time")
+        if self._error is not None:
+            raise ServiceError(
+                f"server failed to start: {self._error}")
+        return self.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

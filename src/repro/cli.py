@@ -7,7 +7,12 @@ Subcommands:
 * ``run``     — run the full flow on one circuit and print its summary;
 * ``ablation``— run one of the ablation studies (A1-A4);
 * ``campaign``— run a multi-circuit sweep on the campaign layer
-  (persistent worker pool + content-addressed result cache);
+  (persistent worker pool + content-addressed result cache), or
+  enqueue it onto a shared work queue (``--enqueue DIR``);
+* ``worker``  — drain a shared work queue directory (any number of
+  worker processes, on one or many hosts, share one queue);
+* ``serve``   — HTTP artifact API over the result cache (Table-I
+  rows, flow artefacts, Figure 2; ETag caching, enqueue-on-miss);
 * ``list``    — list the available benchmark circuits.
 
 ``table1`` and ``ablation`` accept ``--jobs N`` / ``--cache-dir DIR``
@@ -127,6 +132,21 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--max-mb", type=float, default=None, metavar="N",
                       help=("with 'gc': evict least-recently-modified "
                             "cache entries until the cache fits N MB"))
+    camp.add_argument("--max-age-days", type=float, default=None,
+                      metavar="N",
+                      help=("with 'gc': evict cache entries not "
+                            "written for N days (combinable with "
+                            "--max-mb; age runs first)"))
+    camp.add_argument("--enqueue", metavar="DIR", default=None,
+                      help=("enqueue the expanded spec onto the work "
+                            "queue at DIR instead of running it; "
+                            "drain with 'repro-power worker DIR'"))
+    camp.add_argument("--lease-ttl", type=float, default=None,
+                      metavar="S",
+                      help=("with --enqueue: lease time-to-live in "
+                            "seconds; a claimed job whose worker "
+                            "stops heartbeating for S seconds is "
+                            "re-queued (default: 60)"))
     camp.add_argument("--seeds", nargs="+", type=int, default=None,
                       metavar="SEED",
                       help="inline spec: seeds to sweep (default: --seed)")
@@ -145,6 +165,64 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-job progress output")
     add_campaign_args(camp)
+
+    worker = sub.add_parser(
+        "worker",
+        help="drain a campaign work queue (multi-host capable)")
+    worker.add_argument("queue_dir", metavar="QUEUE_DIR",
+                        help=("work queue directory (created by "
+                              "'campaign --enqueue' or 'serve "
+                              "--queue-dir'); share it between hosts "
+                              "to distribute the drain"))
+    worker.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help=("result cache directory (default: "
+                              ".repro-cache); share it with the other "
+                              "workers and the service"))
+    worker.add_argument("--worker-id", default=None, metavar="ID",
+                        help="worker name recorded in leases/manifest "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--wait", action="store_true",
+                        help=("keep polling for new jobs after the "
+                              "queue drains (long-lived worker behind "
+                              "'serve'; default: exit when empty)"))
+    worker.add_argument("--poll-s", type=float, default=0.5,
+                        metavar="S",
+                        help="idle poll interval in seconds")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        metavar="N",
+                        help="process at most N jobs, then exit")
+    worker.add_argument("--lease-ttl", type=float, default=None,
+                        metavar="S",
+                        help=("override the queue's lease TTL for "
+                              "this worker's scavenging"))
+    worker.add_argument("--manifest", metavar="PATH", default=None,
+                        help=("after draining, assemble the campaign "
+                              "manifest from the queue's records into "
+                              "PATH"))
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress output")
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP artifact API over the campaign result cache")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help=("result cache directory to serve from "
+                             "(default: .repro-cache)"))
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8350,
+                       help="TCP port (default: 8350)")
+    serve.add_argument("--queue-dir", metavar="DIR", default=None,
+                       help=("enqueue cache misses onto the work "
+                             "queue at DIR (202 + poll URL; created "
+                             "if missing) instead of answering 404"))
+    serve.add_argument("--compute-on-miss", action="store_true",
+                       help=("compute missing artefacts inline on a "
+                             "worker thread (wins over --queue-dir)"))
+    serve.add_argument("--base", metavar="JSON", default=None,
+                       help=("base FlowConfig kwargs (JSON object) "
+                             "applied under every request's "
+                             "overrides"))
 
     run_p = sub.add_parser("run", help="run the flow on one circuit")
     run_p.add_argument("circuit")
@@ -168,24 +246,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
 
-    from repro.errors import SimulationError
+    from repro.errors import ConfigError, SimulationError
+    from repro.runtime import RuntimeOptions, set_session_defaults
     from repro.simulation.backends import (
         resolve_backend,
         resolve_fault_backend,
-        set_default_backend,
     )
-    from repro.simulation.episode import (
-        episode_batching_enabled,
-        set_default_episode_batching,
-    )
-    from repro.simulation.fault_episode import (
-        fault_planning_enabled,
-        set_default_fault_planning,
-    )
-    from repro.simulation.streaming import (
-        resolve_stream_budget,
-        set_default_stream_budget,
-    )
+    from repro.simulation.episode import episode_batching_enabled
+    from repro.simulation.fault_episode import fault_planning_enabled
+    from repro.simulation.streaming import resolve_stream_budget
     episode_batch = {"on": True, "off": False, None: None}[
         args.episode_batch]
     fault_plan = {"on": True, "off": False, None: None}[args.fault_plan]
@@ -193,19 +262,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("repro-power: error: --stream-budget must be >= 0",
               file=sys.stderr)
         return 2
-    # Session defaults, like --backend: reach consumers that don't
-    # thread the knobs through their own config (e.g. the ablations).
-    set_default_episode_batching(episode_batch)
-    set_default_fault_planning(fault_plan)
-    set_default_stream_budget(args.stream_budget)
+    if args.shards is not None and args.shards < 1:
+        print("repro-power: error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.fault_backend not in (None, "sharded"):
+        print("repro-power: error: --shards only applies to the 'sharded' "
+              "fault backend", file=sys.stderr)
+        return 2
     try:
-        if args.backend is not None:
-            set_default_backend(args.backend)
-        else:
-            resolve_backend(None)  # fail fast on a bad $REPRO_SIM_BACKEND
-        # ... and on a bad $REPRO_FAULT_BACKEND (flag values are already
-        # argparse-validated).
-        engine = resolve_fault_backend(args.fault_backend)
+        # One unified session install for every runtime knob — all
+        # ``None`` fields defer to the environment/built-in defaults
+        # (and a flagless invocation resets a leaked session).
+        set_session_defaults(RuntimeOptions(
+            backend=args.backend,
+            fault_backend=args.fault_backend,
+            shards=args.shards,
+            episode_batch=episode_batch,
+            fault_plan=fault_plan,
+            stream_budget=args.stream_budget))
+        # Fail fast on malformed environment defaults behind any knob
+        # the flags left unset (flag values are argparse-validated).
+        resolve_backend(None)  # bad $REPRO_SIM_BACKEND
+        engine = resolve_fault_backend(None)  # bad $REPRO_FAULT_BACKEND
         from repro.simulation.backends import ShardedBackend
         if isinstance(engine, ShardedBackend) and args.shards is None:
             engine.effective_shards(0)  # and on a bad $REPRO_SIM_SHARDS
@@ -214,15 +292,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if fault_plan is None:
             fault_planning_enabled(None)  # bad $REPRO_FAULT_PLAN
         resolve_stream_budget(None)  # bad $REPRO_STREAM_BUDGET
-    except SimulationError as exc:
+    except (ConfigError, SimulationError) as exc:
         print(f"repro-power: error: {exc}", file=sys.stderr)
-        return 2
-    if args.shards is not None and args.shards < 1:
-        print("repro-power: error: --shards must be >= 1", file=sys.stderr)
-        return 2
-    if args.shards is not None and args.fault_backend not in (None, "sharded"):
-        print("repro-power: error: --shards only applies to the 'sharded' "
-              "fault backend", file=sys.stderr)
         return 2
     if getattr(args, "jobs", None) is not None and args.jobs < 1:
         print("repro-power: error: --jobs must be >= 1", file=sys.stderr)
@@ -244,6 +315,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "campaign":
         return _run_campaign_command(args, episode_batch, fault_plan)
+
+    if args.command == "worker":
+        return _run_worker_command(args)
+
+    if args.command == "serve":
+        return _run_serve_command(args)
 
     if args.command == "table1":
         config = FlowConfig(seed=args.seed, backend=args.backend,
@@ -308,13 +385,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 def _run_campaign_gc(args) -> int:
-    """``repro campaign gc --max-mb N``: LRU-by-mtime cache eviction."""
+    """``repro campaign gc``: cache eviction by size and/or age."""
     from repro.campaign.cache import ResultCache
 
     conflicting = [flag for flag, value in (
         ("--circuits", args.circuits), ("--seeds", args.seeds),
         ("--kind", args.kind), ("--name", args.name),
         ("--jobs", args.jobs), ("--manifest", args.manifest),
+        ("--enqueue", args.enqueue), ("--lease-ttl", args.lease_ttl),
         ("--no-cache", args.no_cache or None),
         ("--expect-all-cached", args.expect_all_cached or None),
     ) if value is not None]
@@ -322,20 +400,123 @@ def _run_campaign_gc(args) -> int:
         print(f"repro-power: error: campaign gc does not accept "
               f"{', '.join(conflicting)}", file=sys.stderr)
         return 2
-    if args.max_mb is None:
-        print("repro-power: error: campaign gc needs --max-mb N",
+    if args.max_mb is None and args.max_age_days is None:
+        print("repro-power: error: campaign gc needs --max-mb N "
+              "and/or --max-age-days N", file=sys.stderr)
+        return 2
+    if args.max_mb is not None and args.max_mb < 0:
+        print("repro-power: error: --max-mb must be >= 0",
               file=sys.stderr)
         return 2
-    if args.max_mb < 0:
-        print("repro-power: error: --max-mb must be >= 0",
+    if args.max_age_days is not None and args.max_age_days < 0:
+        print("repro-power: error: --max-age-days must be >= 0",
               file=sys.stderr)
         return 2
     cache_dir = args.cache_dir or ".repro-cache"
     cache = ResultCache(cache_dir)
-    evicted, freed = cache.gc(int(args.max_mb * 1024 * 1024))
+    evicted = 0
+    freed = 0
+    budget = []
+    if args.max_age_days is not None:
+        # Age first: size-based LRU then works on what's left.
+        n, b = cache.gc_older_than(args.max_age_days * 86400.0)
+        evicted += n
+        freed += b
+        budget.append(f"age {args.max_age_days:g} day(s)")
+    if args.max_mb is not None:
+        n, b = cache.gc(int(args.max_mb * 1024 * 1024))
+        evicted += n
+        freed += b
+        budget.append(f"budget {args.max_mb:g} MB")
     print(f"campaign gc: evicted {evicted} entry(ies), freed "
           f"{freed / (1024 * 1024):.2f} MB "
-          f"(cache {cache_dir}, budget {args.max_mb:g} MB)")
+          f"(cache {cache_dir}, {', '.join(budget)})")
+    return 0
+
+
+def _run_worker_command(args) -> int:
+    """The ``worker`` subcommand: drain one shared work queue."""
+    from repro.campaign.queue import WorkQueue, run_worker
+    from repro.errors import QueueError
+
+    if args.poll_s <= 0:
+        print("repro-power: error: --poll-s must be > 0",
+              file=sys.stderr)
+        return 2
+    if args.max_jobs is not None and args.max_jobs < 1:
+        print("repro-power: error: --max-jobs must be >= 1",
+              file=sys.stderr)
+        return 2
+    cache_dir = args.cache_dir or ".repro-cache"
+    try:
+        stats = run_worker(
+            args.queue_dir, cache_dir,
+            worker_id=args.worker_id,
+            poll_s=args.poll_s,
+            wait=args.wait,
+            max_jobs=args.max_jobs,
+            lease_ttl_s=args.lease_ttl,
+            verbose=not args.quiet)
+    except QueueError as exc:
+        print(f"repro-power: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("repro-power: worker interrupted (claim returned to "
+              "the queue)", file=sys.stderr)
+        return 130
+    queue = WorkQueue(args.queue_dir)
+    depth = queue.depth()
+    print(f"worker {stats.worker_id}: {stats.executed} executed, "
+          f"{stats.cached} from cache, {stats.failed} failed, "
+          f"{stats.requeued} re-queued in {stats.wall_s:.2f}s; "
+          f"queue now {depth.pending} pending / {depth.claimed} "
+          f"claimed / {depth.done} done / {depth.failed} failed")
+    if args.manifest is not None:
+        queue.write_manifest(args.manifest)
+        print(f"Manifest: {args.manifest}")
+    return 1 if stats.failed else 0
+
+
+def _run_serve_command(args) -> int:
+    """The ``serve`` subcommand: blocking HTTP artifact API."""
+    import json as _json
+
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.queue import WorkQueue
+    from repro.campaign.service import ArtifactService, run_server
+    from repro.errors import QueueError, ServiceError
+
+    base = {}
+    if args.base is not None:
+        try:
+            base = _json.loads(args.base)
+        except ValueError:
+            base = None
+        if not isinstance(base, dict):
+            print("repro-power: error: --base must be a JSON object",
+                  file=sys.stderr)
+            return 2
+    if not 1 <= args.port <= 65535:
+        print("repro-power: error: --port must be in 1..65535",
+              file=sys.stderr)
+        return 2
+    queue = None
+    if args.queue_dir is not None:
+        try:
+            queue = WorkQueue.create(args.queue_dir)
+        except QueueError as exc:
+            print(f"repro-power: error: {exc}", file=sys.stderr)
+            return 2
+    service = ArtifactService(
+        ResultCache(args.cache_dir or ".repro-cache"),
+        queue=queue,
+        compute_on_miss=args.compute_on_miss,
+        base=base)
+    try:
+        run_server(service, args.host, args.port)
+    except (ServiceError, OSError) as exc:
+        print(f"repro-power: error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -350,9 +531,13 @@ def _run_campaign_command(args, episode_batch: bool | None,
 
     if args.spec == "gc":
         return _run_campaign_gc(args)
-    if args.max_mb is not None:
-        print("repro-power: error: --max-mb only applies to "
-              "'campaign gc'", file=sys.stderr)
+    if args.max_mb is not None or args.max_age_days is not None:
+        print("repro-power: error: --max-mb/--max-age-days only "
+              "apply to 'campaign gc'", file=sys.stderr)
+        return 2
+    if args.lease_ttl is not None and args.enqueue is None:
+        print("repro-power: error: --lease-ttl only applies with "
+              "--enqueue", file=sys.stderr)
         return 2
 
     runtime_base = {}
@@ -401,6 +586,40 @@ def _run_campaign_command(args, episode_batch: bool | None,
     except ConfigError as exc:
         print(f"repro-power: error: {exc}", file=sys.stderr)
         return 2
+
+    if args.enqueue is not None:
+        from repro.campaign.queue import DEFAULT_LEASE_TTL_S, WorkQueue
+        from repro.errors import QueueError
+        rejected = [flag for flag, value in (
+            ("--jobs", args.jobs), ("--manifest", args.manifest),
+            ("--no-cache", args.no_cache or None),
+            ("--expect-all-cached", args.expect_all_cached or None),
+        ) if value is not None]
+        if rejected:
+            print(f"repro-power: error: --enqueue does not accept "
+                  f"{', '.join(rejected)} (workers own execution; "
+                  f"pass --cache-dir/--manifest to 'repro-power "
+                  f"worker')", file=sys.stderr)
+            return 2
+        if args.lease_ttl is not None and args.lease_ttl <= 0:
+            print("repro-power: error: --lease-ttl must be > 0",
+                  file=sys.stderr)
+            return 2
+        try:
+            queue = WorkQueue(args.enqueue)
+            enqueued = queue.enqueue(
+                spec,
+                lease_ttl_s=args.lease_ttl if args.lease_ttl is not None
+                else DEFAULT_LEASE_TTL_S)
+        except QueueError as exc:
+            print(f"repro-power: error: {exc}", file=sys.stderr)
+            return 2
+        depth = queue.depth()
+        print(f"campaign {spec.name!r}: enqueued {enqueued} job(s) "
+              f"onto {args.enqueue} ({depth.pending} pending, "
+              f"{depth.done} already done); drain with "
+              f"'repro-power worker {args.enqueue}'")
+        return 0
 
     cache_dir = None if args.no_cache else \
         (args.cache_dir or ".repro-cache")

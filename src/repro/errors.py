@@ -91,5 +91,17 @@ class ConfigError(ReproError):
     """Invalid configuration passed to a flow or experiment."""
 
 
+class CampaignError(ReproError):
+    """Campaign orchestration failed (queue, worker or artefact layer)."""
+
+
+class QueueError(CampaignError):
+    """The filesystem work queue is missing, corrupt or inconsistent."""
+
+
+class ServiceError(ReproError):
+    """The artifact service could not be configured or started."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness could not produce its artefact."""

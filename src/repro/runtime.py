@@ -1,0 +1,178 @@
+"""Unified runtime-options surface: one session-default store.
+
+Six PRs grew six runtime knobs — simulation backend, fault backend,
+shard count, episode batching, fault planning and the streaming
+budget — each with its own session setter
+(``set_default_backend``, ``set_default_episode_batching``,
+``set_default_fault_planning``, ``set_default_stream_budget``) plus an
+environment variable.  Every knob is *runtime-only*: it changes speed
+or peak memory, never results (all engines are bit-identical by
+contract), so none participates in
+:meth:`~repro.core.config.FlowConfig.config_hash`.
+
+This module consolidates them into a single frozen
+:class:`RuntimeOptions` record and three entry points:
+
+* :func:`set_session_defaults` — install session defaults (wholesale
+  via a :class:`RuntimeOptions`, or patch single fields via kwargs);
+* :func:`session_defaults` — the currently installed options;
+* :func:`using` — a context manager installing options temporarily.
+
+The per-knob resolvers keep their documented precedence — explicit
+per-call argument > session default > environment variable > built-in
+default (:func:`repro.simulation.toggles.resolve_toggle` semantics) —
+but all read the *session* level from the one store here, so a server
+resolving per-request options, the CLI and library callers share one
+surface.  The legacy per-knob setters remain as thin deprecated shims
+delegating to :func:`set_session_defaults`.
+
+Session defaults are process-global and do **not** cross process
+boundaries (pool/shard workers re-resolve from their own environment,
+exactly as before).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import warnings
+from collections.abc import Iterator
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "RuntimeOptions",
+    "session_defaults",
+    "set_session_defaults",
+    "using",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeOptions:
+    """Session-level runtime knobs (speed/memory only, never results).
+
+    Every field defaults to ``None`` — *defer to the environment /
+    built-in default* — so an all-``None`` record is the neutral
+    element and installing it resets the session.
+
+    Attributes
+    ----------
+    backend:
+        Packed-simulation backend name (``$REPRO_SIM_BACKEND``,
+        built-in ``bigint``).
+    fault_backend:
+        Backend for fault simulation specifically
+        (``$REPRO_FAULT_BACKEND``, else the ``backend`` chain).
+    shards:
+        Worker-process count for the ``sharded`` backend
+        (``$REPRO_SIM_SHARDS``, else CPU count).
+    episode_batch:
+        Batched whole-test-set episode engine
+        (``$REPRO_EPISODE_BATCH``, default on).
+    fault_plan:
+        Planned fault x pattern replay (``$REPRO_FAULT_PLAN``,
+        default on).
+    stream_budget:
+        Out-of-core streaming budget in ``uint64`` elements
+        (``$REPRO_STREAM_BUDGET``, default off; ``0`` pins off).
+    """
+
+    backend: str | None = None
+    fault_backend: str | None = None
+    shards: int | None = None
+    episode_batch: bool | None = None
+    fault_plan: bool | None = None
+    stream_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        # Validate eagerly, mirroring FlowConfig: a bad session default
+        # must fail at install time, not deep inside a flow.  (The
+        # backends import stays conditional so the neutral all-``None``
+        # record constructed at module import never recurses into the
+        # backend registry.)
+        if self.backend is not None or self.fault_backend is not None:
+            from repro.simulation.backends import available_backends
+            for which, name in (("simulation", self.backend),
+                                ("fault simulation", self.fault_backend)):
+                if name is not None and name not in available_backends():
+                    raise ConfigError(
+                        f"unknown {which} backend {name!r}; "
+                        f"available: {', '.join(available_backends())}")
+        if self.shards is not None:
+            if self.shards < 1:
+                raise ConfigError("shards must be >= 1")
+            if self.fault_backend not in (None, "sharded"):
+                raise ConfigError(
+                    "shards only applies to the 'sharded' fault "
+                    f"backend, not {self.fault_backend!r}")
+        if self.stream_budget is not None and self.stream_budget < 0:
+            raise ConfigError("stream_budget must be >= 0")
+
+    def replace(self, **changes) -> "RuntimeOptions":
+        """A copy with ``changes`` applied (validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_flow_kwargs(self) -> dict:
+        """The non-``None`` fields as :class:`FlowConfig` kwargs.
+
+        Every :class:`RuntimeOptions` field is also a runtime-only
+        ``FlowConfig`` field, so campaign/server code can fold the
+        session options into a per-job config in one call.
+        """
+        return {field.name: getattr(self, field.name)
+                for field in dataclasses.fields(self)
+                if getattr(self, field.name) is not None}
+
+
+#: The installed session defaults (all-``None`` = neutral).
+_session = RuntimeOptions()
+
+
+def session_defaults() -> RuntimeOptions:
+    """The currently installed session-default options."""
+    return _session
+
+
+def set_session_defaults(options: RuntimeOptions | None = None,
+                         **kwargs) -> RuntimeOptions:
+    """Install session-default runtime options; returns the result.
+
+    ``set_session_defaults(options)`` installs ``options`` wholesale
+    (an all-``None`` :class:`RuntimeOptions` — or plain
+    ``set_session_defaults()`` — resets the session).  Keyword form
+    ``set_session_defaults(episode_batch=False)`` patches only the
+    named fields of the current session.  Mixing both applies the
+    kwargs on top of ``options``.
+    """
+    global _session
+    base = options if options is not None else \
+        (_session if kwargs else RuntimeOptions())
+    _session = base.replace(**kwargs) if kwargs else base
+    return _session
+
+
+@contextlib.contextmanager
+def using(options: RuntimeOptions | None = None,
+          **kwargs) -> Iterator[RuntimeOptions]:
+    """Temporarily install session defaults (restored on exit).
+
+    ::
+
+        with using(backend="numpy", stream_budget=1 << 20):
+            run_table1(...)
+    """
+    previous = _session
+    try:
+        yield set_session_defaults(options, **kwargs)
+    finally:
+        set_session_defaults(previous)
+
+
+def _deprecated_setter(name: str, field: str, value) -> None:
+    """Shared body of the legacy per-knob session setters."""
+    warnings.warn(
+        f"{name}() is deprecated; use repro.runtime."
+        f"set_session_defaults({field}=...)",
+        DeprecationWarning, stacklevel=3)
+    set_session_defaults(**{field: value})

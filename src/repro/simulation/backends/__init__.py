@@ -73,7 +73,6 @@ DEFAULT_BACKEND_ENV = "REPRO_SIM_BACKEND"
 DEFAULT_FAULT_BACKEND_ENV = "REPRO_FAULT_BACKEND"
 
 _REGISTRY: dict[str, Backend] = {}
-_default_override: str | None = None
 
 
 def register_backend(backend: Backend, overwrite: bool = False) -> Backend:
@@ -109,17 +108,24 @@ def get_backend(name: str) -> Backend:
 
 def set_default_backend(name: str | None) -> None:
     """Install the session-default backend (``None`` resets to the env/
-    built-in default).  The name is validated immediately."""
-    global _default_override
+    built-in default).  The name is validated immediately.
+
+    Equivalent to ``repro.runtime.set_session_defaults(backend=name)``
+    — the session level lives in the unified
+    :class:`repro.runtime.RuntimeOptions` store.
+    """
     if name is not None:
         get_backend(name)
-    _default_override = name
+    from repro.runtime import set_session_defaults
+    set_session_defaults(backend=name)
 
 
 def default_backend_name() -> str:
     """The session default: override, else environment, else ``bigint``."""
-    if _default_override is not None:
-        return _default_override
+    from repro.runtime import session_defaults
+    override = session_defaults().backend
+    if override is not None:
+        return override
     return os.environ.get(DEFAULT_BACKEND_ENV, "") or "bigint"
 
 
@@ -135,11 +141,17 @@ def resolve_backend(backend: str | Backend | None) -> Backend:
 def default_fault_backend_name() -> str:
     """Default engine for fault simulation.
 
-    ``$REPRO_FAULT_BACKEND`` when set (a targeted override that
-    deliberately outranks the session default — see the module
-    docstring), else the session default chain.  Results are
-    bit-identical either way; only speed changes.
+    The session-level *fault* backend
+    (:attr:`repro.runtime.RuntimeOptions.fault_backend`) when
+    installed, else ``$REPRO_FAULT_BACKEND`` (a targeted override that
+    deliberately outranks the session *simulation* backend — see the
+    module docstring), else the plain session default chain.  Results
+    are bit-identical either way; only speed changes.
     """
+    from repro.runtime import session_defaults
+    override = session_defaults().fault_backend
+    if override is not None:
+        return override
     return os.environ.get(DEFAULT_FAULT_BACKEND_ENV, "") or \
         default_backend_name()
 

@@ -540,8 +540,12 @@ class ShardedBackend(Backend):
     # ------------------------------------------------------------------ #
 
     def configured_shards(self) -> int:
-        """The configured worker count (flag, env, pool or CPU count)."""
+        """The configured worker count (flag, session, env, pool or
+        CPU count)."""
         shards = self.shards
+        if shards is None:
+            from repro.runtime import session_defaults
+            shards = session_defaults().shards
         if shards is None:
             env = os.environ.get(DEFAULT_SHARDS_ENV, "")
             if env:

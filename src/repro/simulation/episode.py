@@ -65,33 +65,32 @@ __all__ = [
 #: ``0`` off; unset = on).
 DEFAULT_EPISODE_BATCH_ENV = "REPRO_EPISODE_BATCH"
 
-_default_override: bool | None = None
-
 
 def set_default_episode_batching(flag: bool | None) -> None:
-    """Install the session-default episode-batching switch.
+    """Deprecated: install the session-default episode-batching switch.
 
-    Mirrors :func:`repro.simulation.backends.set_default_backend`: the
-    CLI's ``--episode-batch`` flag installs the session default here so
-    every consumer — including ones that never thread the knob through
-    their own configuration (the ablation grids, examples) — honours
-    it.  ``None`` resets to the environment/built-in default.
+    Thin shim over the unified runtime-options surface — use
+    ``repro.runtime.set_session_defaults(episode_batch=flag)`` (or the
+    :func:`repro.runtime.using` context manager) instead.  ``None``
+    resets to the environment/built-in default.
     """
-    global _default_override
-    _default_override = flag
+    from repro.runtime import _deprecated_setter
+    _deprecated_setter("set_default_episode_batching", "episode_batch",
+                       flag)
 
 
 def episode_batching_enabled(flag: bool | None = None) -> bool:
     """Resolve the episode-batching switch.
 
-    An explicit ``flag`` wins, then a session default installed via
-    :func:`set_default_episode_batching`, then
+    An explicit ``flag`` wins, then the session default
+    (:attr:`repro.runtime.RuntimeOptions.episode_batch`), then
     ``$REPRO_EPISODE_BATCH``, defaulting to **on** (the batched path is
     bit-identical to the legacy loop, so only speed changes).
     """
+    from repro.runtime import session_defaults
     from repro.simulation.toggles import resolve_toggle
     return resolve_toggle(DEFAULT_EPISODE_BATCH_ENV, flag,
-                          _default_override)
+                          session_defaults().episode_batch)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -68,31 +68,30 @@ __all__ = [
 #: (``1`` on, ``0`` off; unset = on).
 DEFAULT_FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
-_default_override: bool | None = None
-
 
 def set_default_fault_planning(flag: bool | None) -> None:
-    """Install the session-default fault-planning switch.
+    """Deprecated: install the session-default fault-planning switch.
 
-    Mirrors :func:`repro.simulation.episode.set_default_episode_batching`:
-    the CLI's ``--fault-plan`` flag installs the session default here so
-    every consumer honours it.  ``None`` resets to the environment/
-    built-in default.
+    Thin shim over the unified runtime-options surface — use
+    ``repro.runtime.set_session_defaults(fault_plan=flag)`` (or the
+    :func:`repro.runtime.using` context manager) instead.  ``None``
+    resets to the environment/built-in default.
     """
-    global _default_override
-    _default_override = flag
+    from repro.runtime import _deprecated_setter
+    _deprecated_setter("set_default_fault_planning", "fault_plan", flag)
 
 
 def fault_planning_enabled(flag: bool | None = None) -> bool:
     """Resolve the fault-planning switch.
 
-    An explicit ``flag`` wins, then a session default installed via
-    :func:`set_default_fault_planning`, then ``$REPRO_FAULT_PLAN``,
-    defaulting to **on** (the planned path is bit-identical to the
-    per-batch loop, so only speed changes).
+    An explicit ``flag`` wins, then the session default
+    (:attr:`repro.runtime.RuntimeOptions.fault_plan`), then
+    ``$REPRO_FAULT_PLAN``, defaulting to **on** (the planned path is
+    bit-identical to the per-batch loop, so only speed changes).
     """
+    from repro.runtime import session_defaults
     return resolve_toggle(DEFAULT_FAULT_PLAN_ENV, flag,
-                          _default_override)
+                          session_defaults().fault_plan)
 
 
 class FaultEpisodePlan:

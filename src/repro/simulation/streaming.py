@@ -89,23 +89,20 @@ DEFAULT_STREAM_BUDGET_ENV = "REPRO_STREAM_BUDGET"
 #: file instead of staying resident (see :class:`PlanByteStore`).
 _SPILL_THRESHOLD_BYTES = 256 * 1024 * 1024
 
-_default_budget: int | None = None
-
-
 def set_default_stream_budget(budget: int | None) -> None:
-    """Install the session-default stream budget.
+    """Deprecated: install the session-default stream budget.
 
-    Mirrors :func:`repro.simulation.backends.set_default_backend`: the
-    CLI's ``--stream-budget`` flag installs the session default here so
-    every consumer — including ones that never thread the knob through
-    their own configuration — honours it.  ``None`` resets to the
-    environment/built-in default; ``0`` forces streaming off for the
-    session.
+    Thin shim over the unified runtime-options surface — use
+    ``repro.runtime.set_session_defaults(stream_budget=budget)`` (or
+    the :func:`repro.runtime.using` context manager) instead.  ``None``
+    resets to the environment/built-in default; ``0`` forces streaming
+    off for the session.
     """
-    global _default_budget
     if budget is not None and budget < 0:
         raise SimulationError("stream budget must be >= 0")
-    _default_budget = budget
+    from repro.runtime import _deprecated_setter
+    _deprecated_setter("set_default_stream_budget", "stream_budget",
+                       budget)
 
 
 def resolve_stream_budget(budget: int | None = None) -> int | None:
@@ -116,7 +113,8 @@ def resolve_stream_budget(budget: int | None = None) -> int | None:
     any source) means explicitly off.
     """
     if budget is None:
-        budget = _default_budget
+        from repro.runtime import session_defaults
+        budget = session_defaults().stream_budget
     if budget is None:
         env = os.environ.get(DEFAULT_STREAM_BUDGET_ENV, "")
         if env:

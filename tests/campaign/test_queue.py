@@ -1,0 +1,401 @@
+"""Work queue: lease atomicity, crash recovery, multi-worker identity."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.manifest import CampaignJob, CampaignSpec
+from repro.campaign.queue import (
+    WorkQueue,
+    run_worker,
+)
+from repro.campaign.runner import run_campaign
+from repro.errors import QueueError
+
+#: Keeps every real flow in the tens-of-milliseconds range (s27 only).
+SMALL = {"observability_samples": 16, "ivc_trials": 2,
+         "ivc_noise_samples": 2}
+
+
+def small_spec(circuits=("s27",), seeds=(1,), name="t", **base):
+    return CampaignSpec(circuits=circuits, seeds=seeds,
+                        base={**SMALL, **base}, name=name)
+
+
+def stub_executor(monkeypatch, calls=None, delay_s=0.0):
+    """Replace the flow executor with a fast fake artefact builder."""
+    import repro.campaign.runner as runner
+
+    def fake(payload):
+        if calls is not None:
+            calls.append(payload["job_id"])
+        if delay_s:
+            time.sleep(delay_s)
+        return {"kind": runner.FLOW_ARTEFACT_KIND,
+                "job_id": payload["job_id"],
+                "circuit": payload["circuit"], "seed": payload["seed"],
+                "row": {"circuit": payload["circuit"]},
+                "summary": f"stub {payload['job_id']}", "elapsed_s": 0.0}
+
+    monkeypatch.setattr(runner, "_execute_flow_job", fake)
+
+
+class TestEnqueue:
+    def test_layout_and_metadata(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        n = queue.enqueue(small_spec(seeds=(1, 2)))
+        assert n == 2
+        for state in ("pending", "claimed", "done", "failed"):
+            assert (tmp_path / "q" / state).is_dir()
+        meta = json.loads((tmp_path / "q" / "queue.json").read_text())
+        assert meta["spec_digest"] == small_spec(seeds=(1, 2)).digest()
+        assert queue.depth().pending == 2
+
+    def test_reenqueue_is_idempotent_topup(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        assert queue.enqueue(small_spec(seeds=(1, 2))) == 2
+        assert queue.enqueue(small_spec(seeds=(1, 2))) == 0
+        assert queue.depth().pending == 2
+
+    def test_different_spec_rejected(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec(seeds=(1,)))
+        with pytest.raises(QueueError, match="different"):
+            queue.enqueue(small_spec(seeds=(3,)))
+
+    def test_missing_queue_fails_fast(self, tmp_path):
+        with pytest.raises(QueueError, match="work queue"):
+            WorkQueue(tmp_path / "nothere").kind()
+        with pytest.raises(QueueError, match="work queue"):
+            run_worker(tmp_path / "nothere", tmp_path / "cache")
+
+    def test_bad_lease_ttl_rejected(self, tmp_path):
+        with pytest.raises(QueueError, match="lease_ttl_s"):
+            WorkQueue(tmp_path / "q", lease_ttl_s=0.0)
+        with pytest.raises(QueueError, match="lease_ttl_s"):
+            WorkQueue(tmp_path / "q").enqueue(small_spec(),
+                                              lease_ttl_s=-1.0)
+
+    def test_adhoc_submit_deduplicates(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q")
+        job = CampaignJob(job_id="s27/seed1", circuit="s27", seed=1,
+                          circuit_seed=1, config_kwargs=dict(SMALL))
+        name, enqueued = queue.submit(job)
+        assert enqueued is True
+        name2, enqueued2 = queue.submit(job)
+        assert (name2, enqueued2) == (name, False)
+        assert queue.depth().pending == 1
+
+
+class TestLeases:
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec(seeds=(1,)))
+        claim = queue.claim("w1")
+        assert claim is not None and claim.job.circuit == "s27"
+        assert queue.claim("w2") is None
+        assert queue.depth().claimed == 1
+
+    def test_racing_claims_each_job_claimed_once(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec(seeds=tuple(range(1, 9))))
+        claimed = []
+        lock = threading.Lock()
+
+        def grab():
+            local = WorkQueue(tmp_path / "q")
+            while True:
+                claim = local.claim("racer")
+                if claim is None:
+                    return
+                with lock:
+                    claimed.append(claim.name)
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == sorted(set(claimed))
+        assert len(claimed) == 8
+
+    def test_heartbeat_reports_revoked_lease(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        claim = queue.claim("w1")
+        assert queue.heartbeat(claim) is True
+        claim.path.unlink()
+        assert queue.heartbeat(claim) is False
+
+    def test_fresh_claim_not_scavenged(self, tmp_path):
+        """The claim rename refreshes the (stale) pending mtime."""
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=30.0)
+        queue.enqueue(small_spec(), lease_ttl_s=30.0)
+        pending = next((tmp_path / "q" / "pending").glob("*.json"))
+        old = time.time() - 3600.0
+        os.utime(pending, (old, old))
+        assert queue.claim("w1") is not None
+        assert queue.requeue_expired() == 0
+
+    def test_expired_lease_requeued(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.05)
+        queue.enqueue(small_spec(), lease_ttl_s=0.05)
+        claim = queue.claim("w1")
+        assert claim is not None
+        assert queue.requeue_expired() == 0  # lease still fresh
+        time.sleep(0.08)
+        assert queue.requeue_expired() == 1  # abandoned -> pending
+        assert queue.depth().pending == 1
+        reclaim = queue.claim("w2")
+        assert reclaim is not None and reclaim.name == claim.name
+
+    def test_corrupt_pending_entry_parked_in_failed(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        pending = next((tmp_path / "q" / "pending").glob("*.json"))
+        pending.write_text("not json")
+        assert queue.claim("w1") is None
+        assert queue.depth().failed == 1
+
+    def test_requeued_duplicate_of_done_job_discarded(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        claim = queue.claim("w1")
+        # Simulate the narrow race: the job got re-queued while its
+        # original owner completed it anyway.
+        (tmp_path / "q" / "done" / claim.name).write_text(
+            json.dumps({"job_id": claim.job.job_id}))
+        (tmp_path / "q" / "pending" / claim.name).write_text(
+            claim.path.read_text())
+        assert queue.claim("w2") is None  # discarded, not re-run
+        assert queue.depth().pending == 0
+
+
+class TestWorker:
+    def test_drains_queue_and_fills_cache(self, tmp_path, monkeypatch):
+        calls = []
+        stub_executor(monkeypatch, calls)
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec(seeds=(1, 2, 3)))
+        stats = run_worker(tmp_path / "q", tmp_path / "cache",
+                           worker_id="w1", poll_s=0.01)
+        assert stats.executed == 3 and stats.failed == 0
+        assert sorted(calls) == ["s27/seed1", "s27/seed2", "s27/seed3"]
+        assert queue.depth().done == 3
+        assert len(ResultCache(tmp_path / "cache").entries()) == 3
+
+    def test_second_worker_hits_cache(self, tmp_path, monkeypatch):
+        stub_executor(monkeypatch)
+        WorkQueue(tmp_path / "q1").enqueue(small_spec(seeds=(1,)))
+        run_worker(tmp_path / "q1", tmp_path / "cache", poll_s=0.01)
+        # Same spec into a fresh queue: the artefact is already cached.
+        WorkQueue(tmp_path / "q2").enqueue(small_spec(seeds=(1,)))
+        stats = run_worker(tmp_path / "q2", tmp_path / "cache",
+                           poll_s=0.01)
+        assert stats.executed == 0 and stats.cached == 1
+
+    def test_failing_job_parked_not_retried(self, tmp_path,
+                                            monkeypatch):
+        import repro.campaign.runner as runner
+
+        def boom(payload):
+            raise RuntimeError("exploded")
+
+        monkeypatch.setattr(runner, "_execute_flow_job", boom)
+        WorkQueue(tmp_path / "q").enqueue(small_spec())
+        stats = run_worker(tmp_path / "q", tmp_path / "cache",
+                           poll_s=0.01)
+        assert stats.failed == 1
+        queue = WorkQueue(tmp_path / "q")
+        assert queue.depth().failed == 1
+        records = queue.records()
+        assert records[0].status == "failed"
+        assert "exploded" in records[0].error
+
+    def test_max_jobs_bounds_the_drain(self, tmp_path, monkeypatch):
+        stub_executor(monkeypatch)
+        WorkQueue(tmp_path / "q").enqueue(small_spec(seeds=(1, 2, 3)))
+        stats = run_worker(tmp_path / "q", tmp_path / "cache",
+                           poll_s=0.01, max_jobs=2)
+        assert stats.executed == 2
+        assert WorkQueue(tmp_path / "q").depth().pending == 1
+
+
+class TestCrashRecovery:
+    def test_sigkilled_workers_job_is_releases_and_completed(
+            self, tmp_path, monkeypatch):
+        """A SIGKILLed worker's lease expires; another worker finishes
+        the job."""
+        queue_dir = tmp_path / "q"
+        WorkQueue(queue_dir).enqueue(small_spec(), lease_ttl_s=0.3)
+        # A real worker process that claims the job, then hangs
+        # without heartbeating (as if wedged before being killed).
+        script = (
+            "import sys, time\n"
+            "from repro.campaign.queue import WorkQueue\n"
+            f"claim = WorkQueue({str(queue_dir)!r}).claim('victim')\n"
+            "assert claim is not None\n"
+            "print('claimed', flush=True)\n"
+            "time.sleep(600)\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        victim = subprocess.Popen(
+            [sys.executable, "-c", script], env=env,
+            stdout=subprocess.PIPE, text=True)
+        try:
+            assert victim.stdout.readline().strip() == "claimed"
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10)
+            queue = WorkQueue(queue_dir)
+            assert queue.depth().claimed == 1
+            time.sleep(0.35)  # let the dead worker's lease expire
+            stub_executor(monkeypatch)
+            stats = run_worker(queue_dir, tmp_path / "cache",
+                               worker_id="rescuer", poll_s=0.01)
+            assert stats.requeued == 1
+            assert stats.executed == 1
+            assert queue.depth().done == 1
+            assert queue.depth().outstanding == 0
+        finally:
+            if victim.poll() is None:  # pragma: no cover - cleanup
+                victim.kill()
+
+    def test_crash_between_done_write_and_unlink_heals(self, tmp_path,
+                                                       monkeypatch):
+        stub_executor(monkeypatch)
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.05)
+        queue.enqueue(small_spec(), lease_ttl_s=0.05)
+        claim = queue.claim("w1")
+        # Crash simulation: done marker written, claimed file left.
+        (tmp_path / "q" / "done" / claim.name).write_text(
+            json.dumps({"job_id": claim.job.job_id, "circuit": "s27",
+                        "seed": 1, "config_hash": "x",
+                        "status": "done"}))
+        time.sleep(0.08)
+        assert queue.requeue_expired() == 0  # cleaned, not re-queued
+        assert queue.depth().claimed == 0
+        assert queue.depth().done == 1
+
+
+class TestBitIdentity:
+    """Two concurrent workers == one serial ``--jobs 1`` campaign."""
+
+    @pytest.fixture(scope="class")
+    def drained(self, tmp_path_factory):
+        spec = small_spec(seeds=(1, 2, 3), name="ident")
+        root = tmp_path_factory.mktemp("ident")
+        serial_cache = str(root / "serial-cache")
+        serial_manifest = str(root / "serial-manifest.json")
+        result = run_campaign(spec, jobs=1, cache_dir=serial_cache,
+                              manifest_path=serial_manifest)
+        queue_dir = root / "queue"
+        WorkQueue(queue_dir).enqueue(spec)
+        worker_cache = str(root / "worker-cache")
+        threads = [
+            threading.Thread(
+                target=run_worker, args=(queue_dir, worker_cache),
+                kwargs={"worker_id": f"w{i}", "poll_s": 0.01})
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        queue_manifest = str(root / "queue-manifest.json")
+        WorkQueue(queue_dir).write_manifest(queue_manifest)
+        return (result, serial_cache, serial_manifest,
+                queue_dir, worker_cache, queue_manifest)
+
+    def test_queue_fully_drained(self, drained):
+        depth = WorkQueue(drained[3]).depth()
+        assert depth.done == 3
+        assert depth.outstanding == 0 and depth.failed == 0
+
+    def test_cache_keys_identical(self, drained):
+        _, serial_cache, _, _, worker_cache, _ = drained
+        serial = ResultCache(serial_cache).entries()
+        workers = ResultCache(worker_cache).entries()
+        assert serial == workers and len(serial) == 3
+
+    def test_artefacts_bit_identical_modulo_timing(self, drained):
+        _, serial_cache, _, _, worker_cache, _ = drained
+        a, b = ResultCache(serial_cache), ResultCache(worker_cache)
+        for key in a.entries():
+            art_a, art_b = a.get(key), b.get(key)
+            art_a.pop("elapsed_s")
+            art_b.pop("elapsed_s")
+            assert art_a == art_b
+
+    def test_manifest_identical_modulo_timing(self, drained):
+        _, _, serial_manifest, _, _, queue_manifest = drained
+        ma = json.loads(Path(serial_manifest).read_text())
+        mb = json.loads(Path(queue_manifest).read_text())
+        assert ma["spec_digest"] == mb["spec_digest"]
+        assert len(ma["jobs"]) == len(mb["jobs"]) == 3
+        for ja, jb in zip(ma["jobs"], mb["jobs"]):
+            ja.pop("wall_s")
+            jb.pop("wall_s")
+            assert ja == jb
+
+    def test_workers_recorded_in_cache_meta(self, drained):
+        _, _, _, _, worker_cache, _ = drained
+        cache = ResultCache(worker_cache)
+        workers = set()
+        for key in cache.entries():
+            entry = json.loads(cache.path(key).read_text())
+            workers.add(entry["meta"]["worker"])
+        assert workers <= {"w0", "w1"} and workers
+
+
+class TestManifestAssembly:
+    def test_records_survive_round_trip(self, tmp_path, monkeypatch):
+        stub_executor(monkeypatch)
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec(seeds=(1, 2)))
+        run_worker(tmp_path / "q", tmp_path / "cache", poll_s=0.01)
+        records = queue.records()
+        assert [r.status for r in records] == ["done", "done"]
+        assert all(r.cache_key for r in records)
+        manifest = queue.write_manifest(tmp_path / "m.json")
+        assert sorted(manifest.records) == [r.job_id for r in records]
+
+    def test_adhoc_manifest_digest(self, tmp_path, monkeypatch):
+        stub_executor(monkeypatch)
+        queue = WorkQueue.create(tmp_path / "q")
+        job = CampaignJob(job_id="s27/seed1", circuit="s27", seed=1,
+                          circuit_seed=1, config_kwargs=dict(SMALL))
+        queue.submit(job)
+        run_worker(tmp_path / "q", tmp_path / "cache", poll_s=0.01)
+        payload = json.loads(
+            queue.write_manifest(tmp_path / "m.json").path.read_text())
+        assert payload["spec_digest"] == "adhoc"
+        assert payload["jobs"][0]["status"] == "done"
+
+
+class TestRealFlowThroughQueue:
+    def test_real_flow_artefact_lands_in_cache(self, tmp_path):
+        """End to end with the genuine s27 flow (no stubs)."""
+        spec = small_spec()
+        WorkQueue(tmp_path / "q").enqueue(spec)
+        stats = run_worker(tmp_path / "q", tmp_path / "cache",
+                           poll_s=0.01)
+        assert stats.executed == 1
+        cache = ResultCache(tmp_path / "cache")
+        [key] = cache.entries()
+        artefact = cache.get(key)
+        assert artefact["circuit"] == "s27"
+        assert artefact["row"]["circuit"] == "s27"
+        # And the campaign runner sees it as a hit.
+        result = run_campaign(spec, jobs=1,
+                              cache_dir=str(tmp_path / "cache"))
+        assert result.n_cached == 1 and result.n_executed == 0

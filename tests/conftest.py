@@ -19,19 +19,17 @@ from repro.utils.rng import make_rng
 
 
 @pytest.fixture(autouse=True)
-def _reset_session_episode_batching():
-    """Clear the episode-batching session default after every test.
+def _reset_session_runtime_options():
+    """Clear the session-default runtime options after every test.
 
-    ``repro.cli.main`` installs a process-global default (like
-    ``set_default_backend``); without this reset a CLI test running
-    ``--episode-batch off`` would leak the override into later tests
-    and make the suite order-dependent.
+    ``repro.cli.main`` installs process-global session defaults (one
+    :class:`repro.runtime.RuntimeOptions`); without this reset a CLI
+    test running e.g. ``--episode-batch off`` would leak the override
+    into later tests and make the suite order-dependent.
     """
     yield
-    from repro.simulation.episode import set_default_episode_batching
-    from repro.simulation.fault_episode import set_default_fault_planning
-    set_default_episode_batching(None)
-    set_default_fault_planning(None)
+    from repro.runtime import RuntimeOptions, set_session_defaults
+    set_session_defaults(RuntimeOptions())
 
 
 @pytest.fixture

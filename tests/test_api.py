@@ -34,3 +34,38 @@ class TestLazyExports:
         from repro import _api
         for name in _api.__all__:
             assert getattr(repro, name) is not None, name
+
+
+class TestCampaignServiceFacade:
+    """PR-7 public surface: campaigns, queue, service, runtime."""
+
+    def test_campaign_symbols_accessible(self):
+        for name in ("CampaignSpec", "CampaignJob", "CampaignResult",
+                     "ResultCache", "load_spec", "run_campaign",
+                     "WorkQueue", "run_worker", "ArtifactService",
+                     "ServiceServer", "run_server"):
+            assert getattr(repro, name) is not None, name
+
+    def test_runtime_symbols_accessible(self):
+        for name in ("RuntimeOptions", "session_defaults",
+                     "set_session_defaults", "using"):
+            assert getattr(repro, name) is not None, name
+
+    def test_facade_quickstart_works_together(self):
+        """The README service quickstart, in miniature (no sockets)."""
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            spec = repro.CampaignSpec(
+                circuits=("s27",), name="facade",
+                base={"observability_samples": 16, "ivc_trials": 2,
+                      "ivc_noise_samples": 2})
+            result = repro.run_campaign(spec, cache_dir=tmp)
+            assert result.n_executed == 1
+            service = repro.ArtifactService(repro.ResultCache(tmp))
+            assert service.cache.get(
+                result.records[0].cache_key) is not None
+
+    def test_using_scopes_runtime_options(self):
+        with repro.using(stream_budget=42):
+            assert repro.session_defaults().stream_budget == 42
+        assert repro.session_defaults().stream_budget is None

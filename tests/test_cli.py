@@ -356,3 +356,110 @@ class TestCampaignFigure2Kind:
         assert episode_batching_enabled(None) is False  # session default
         assert main(["list"]) == 0  # no flag: main resets the default
         assert episode_batching_enabled(None) is True
+
+
+class TestCampaignGcAge:
+    def _age_cache(self, cache_dir):
+        import os
+        import time
+
+        from repro.campaign.cache import ResultCache
+        cache = ResultCache(cache_dir)
+        old_key = cache.key("k", "old", "h", "f")
+        cache.put(old_key, {"blob": "x"})
+        stale = time.time() - 10 * 86400.0
+        os.utime(cache.path(old_key), (stale, stale))
+        cache.put(cache.key("k", "new", "h", "f"), {"blob": "y"})
+        return cache
+
+    def test_age_evicts_only_stale_entries(self, tmp_path, capsys):
+        cache = self._age_cache(str(tmp_path))
+        assert main(["campaign", "gc", "--max-age-days", "5",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert len(cache.entries()) == 1
+
+    def test_age_and_size_combine(self, tmp_path, capsys):
+        cache = self._age_cache(str(tmp_path))
+        assert main(["campaign", "gc", "--max-age-days", "5",
+                     "--max-mb", "0", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert "evicted 2" in capsys.readouterr().out
+        assert cache.entries() == []
+
+    def test_negative_age_rejected(self, capsys):
+        assert main(["campaign", "gc", "--max-age-days", "-1"]) == 2
+        assert "--max-age-days" in capsys.readouterr().err
+
+    def test_age_outside_gc_rejected(self, capsys):
+        assert main(["campaign", "--circuits", "s27",
+                     "--max-age-days", "5"]) == 2
+        assert "campaign gc" in capsys.readouterr().err
+
+
+class TestEnqueueAndWorker:
+    def test_enqueue_then_worker_drains(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "q")
+        cache_dir = str(tmp_path / "cache")
+        assert main(["campaign", "--circuits", "s27",
+                     "--enqueue", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "enqueued 1 job(s)" in out
+        manifest = str(tmp_path / "m.json")
+        assert main(["worker", queue_dir, "--cache-dir", cache_dir,
+                     "--quiet", "--manifest", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out
+        assert "1 done" in out
+        import json
+        payload = json.loads(open(manifest).read())
+        assert payload["jobs"][0]["status"] == "done"
+
+    def test_enqueue_is_idempotent(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "q")
+        assert main(["campaign", "--circuits", "s27",
+                     "--enqueue", queue_dir]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--circuits", "s27",
+                     "--enqueue", queue_dir]) == 0
+        assert "enqueued 0 job(s)" in capsys.readouterr().out
+
+    def test_enqueue_rejects_execution_flags(self, tmp_path, capsys):
+        assert main(["campaign", "--circuits", "s27",
+                     "--enqueue", str(tmp_path / "q"),
+                     "--jobs", "2"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_lease_ttl_requires_enqueue(self, capsys):
+        assert main(["campaign", "--circuits", "s27",
+                     "--lease-ttl", "5"]) == 2
+        assert "--lease-ttl" in capsys.readouterr().err
+
+    def test_bad_lease_ttl_rejected(self, tmp_path, capsys):
+        assert main(["campaign", "--circuits", "s27",
+                     "--enqueue", str(tmp_path / "q"),
+                     "--lease-ttl", "0"]) == 2
+        assert "--lease-ttl" in capsys.readouterr().err
+
+    def test_worker_on_missing_queue_is_clean_error(self, tmp_path,
+                                                    capsys):
+        assert main(["worker", str(tmp_path / "nothere")]) == 2
+        assert "work queue" in capsys.readouterr().err
+
+    def test_worker_validates_flags(self, tmp_path, capsys):
+        assert main(["worker", str(tmp_path), "--poll-s", "0"]) == 2
+        assert "--poll-s" in capsys.readouterr().err
+        assert main(["worker", str(tmp_path), "--max-jobs", "0"]) == 2
+        assert "--max-jobs" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_validates_base_json(self, capsys):
+        assert main(["serve", "--base", "notjson"]) == 2
+        assert "--base" in capsys.readouterr().err
+        assert main(["serve", "--base", "[1]"]) == 2
+        assert "--base" in capsys.readouterr().err
+
+    def test_serve_validates_port(self, capsys):
+        assert main(["serve", "--port", "0"]) == 2
+        assert "--port" in capsys.readouterr().err
