@@ -212,6 +212,105 @@ def test_perf_episode_batch_speedup(benchmark, s1423_mapped):
         f"vs {batch_s * 1e3:.2f} ms batched)")
 
 
+#: Enforced disabled-tracing efficiency floor: the instrumented episode
+#: path with the recorder off must stay within ~2% of the same path
+#: with the spans compiled out entirely.
+TRACE_EFFICIENCY_FLOOR = float(
+    os.environ.get("REPRO_BENCH_TRACE_EFFICIENCY_FLOOR", "0.98"))
+
+
+def test_perf_tracing_disabled_overhead(benchmark, s1423_mapped,
+                                        monkeypatch):
+    """Disabled tracing on the episode-batch workload: near-zero cost.
+
+    ``repro.obs`` instruments the hot paths unconditionally; the
+    contract is that a span with the recorder off is two
+    ``time.monotonic()`` calls and nothing else.  A direct A/B timing
+    of the ~10 ms workload cannot resolve the microsecond-scale cost
+    against shared-runner noise, so the overhead is computed from its
+    factors: (spans entered per run, counted exactly) x (per-span
+    disabled cost, microbenched tight) / (workload time).  The derived
+    efficiency is enforced >= 0.98 — it trips if disabled spans ever
+    grow real work *or* if instrumentation creeps into an inner loop
+    and the span count explodes
+    (``$REPRO_BENCH_TRACE_EFFICIENCY_FLOOR`` overrides; the regression
+    gate diffs the ``tracing_off_efficiency`` trajectory).
+    """
+    import sys as _sys
+
+    from repro.obs import trace as obs_trace
+    from repro.power.scanpower import evaluate_scan_power
+    from repro.scan.testview import ScanDesign, TestVector
+
+    design = ScanDesign.full_scan(s1423_mapped)
+    gen = make_rng(7)
+    vectors = [
+        TestVector(
+            pi_values={pi: int(gen.integers(2))
+                       for pi in design.circuit.inputs},
+            scan_state=tuple(int(gen.integers(2))
+                             for _ in range(design.chain.length)))
+        for _ in range(32)
+    ]
+
+    def run():
+        return evaluate_scan_power(design, vectors, backend="numpy",
+                                   episode_batch=True)
+
+    assert not obs_trace.tracing_enabled()
+    reference = run()  # warms the schedule cache
+    workload_s = best_of(5, run)
+
+    # Exact span count on this workload: swap every module-level
+    # ``span`` reference (plus the one the ``traced`` wrappers resolve
+    # inside repro.obs.trace) for a counting subclass.
+    real_span = obs_trace.span
+    entered = [0]
+
+    class _CountingSpan(real_span):
+        def __init__(self, name, **attrs):
+            entered[0] += 1
+            super().__init__(name, **attrs)
+
+    for name, module in list(_sys.modules.items()):
+        if name.startswith("repro") and \
+                getattr(module, "span", None) is real_span:
+            monkeypatch.setattr(module, "span", _CountingSpan)
+    monkeypatch.setattr(obs_trace, "span", _CountingSpan)
+    assert run() == reference  # spans never touch results
+    monkeypatch.undo()
+    spans_per_run = entered[0]
+    assert spans_per_run > 0  # the path IS instrumented
+
+    # Per-span disabled cost, microbenched in a tight loop with
+    # representative attrs.
+    def span_loop():
+        for _ in range(1000):
+            with real_span("bench.overhead", backend="numpy",
+                           cycles=75):
+                pass
+
+    span_loop()  # warm
+    per_span_s = best_of(5, span_loop) / 1000
+
+    overhead = spans_per_run * per_span_s / workload_s
+    efficiency = 1.0 - overhead
+    result = benchmark.pedantic(run, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    assert result == reference
+    benchmark.extra_info["n_vectors"] = len(vectors)
+    benchmark.extra_info["spans_per_run"] = spans_per_run
+    benchmark.extra_info["span_cost_us"] = round(per_span_s * 1e6, 3)
+    benchmark.extra_info["workload_ms"] = round(workload_s * 1e3, 3)
+    benchmark.extra_info["tracing_off_efficiency"] = round(
+        efficiency, 4)
+    assert efficiency >= TRACE_EFFICIENCY_FLOOR, (
+        f"disabled tracing costs {overhead * 100:.2f}% of the "
+        f"episode-batch workload ({spans_per_run} spans x "
+        f"{per_span_s * 1e6:.2f} us over {workload_s * 1e3:.2f} ms); "
+        f"floor {TRACE_EFFICIENCY_FLOOR}")
+
+
 #: Enforced one-plan-vs-per-batch fault replay floor on the numpy engine.
 FAULT_EPISODE_SPEEDUP_FLOOR = float(
     os.environ.get("REPRO_BENCH_FAULT_EPISODE_FLOOR", "3.0"))

@@ -32,9 +32,18 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.utils.hashing import package_fingerprint, stable_digest
 
 __all__ = ["ResultCache", "CacheStats"]
+
+
+def _cache_counter(outcome: str):
+    return get_registry().counter(
+        "repro_cache_ops_total",
+        "Result-cache operations by outcome (hit/miss/store).",
+        labels={"outcome": outcome})
 
 
 @dataclasses.dataclass
@@ -86,15 +95,20 @@ class ResultCache:
         never be able to wedge a campaign.
         """
         path = self.path(key)
-        try:
-            with path.open() as handle:
-                entry = json.load(handle)
-            artefact = entry["artefact"]
-        except (OSError, ValueError, KeyError, TypeError):
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return artefact
+        with span("cache.get", key=key[:12]) as sp:
+            try:
+                with path.open() as handle:
+                    entry = json.load(handle)
+                artefact = entry["artefact"]
+            except (OSError, ValueError, KeyError, TypeError):
+                self.stats.misses += 1
+                _cache_counter("miss").inc()
+                sp.attrs["outcome"] = "miss"
+                return None
+            self.stats.hits += 1
+            _cache_counter("hit").inc()
+            sp.attrs["outcome"] = "hit"
+            return artefact
 
     def put(self, key: str, artefact: dict[str, Any],
             meta: dict[str, Any] | None = None) -> Path:
@@ -105,21 +119,23 @@ class ResultCache:
         path.
         """
         path = self.path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"key": key, "meta": meta or {}, "artefact": artefact}
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with span("cache.put", key=key[:12]):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            entry = {"key": key, "meta": meta or {}, "artefact": artefact}
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json")
             try:
-                os.unlink(tmp_name)
-            except OSError:  # pragma: no cover - already replaced/gone
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:  # pragma: no cover - replaced/gone
+                    pass
+                raise
         self.stats.stores += 1
+        _cache_counter("store").inc()
         return path
 
     def gc(self, max_bytes: int) -> tuple[int, int]:

@@ -251,6 +251,10 @@ class JobRecord:
     #: jobs are findable from the manifest even in parallel runs.
     wall_s: float = 0.0
     error: str | None = None
+    #: Per-phase compute seconds (``repro.obs`` span names -> total
+    #: duration) collected while the job executed; ``None`` for cache
+    #: hits and records written before the observability layer.
+    phases: dict[str, float] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)

@@ -35,6 +35,8 @@ from collections.abc import Callable, Iterable
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.obs.trace import flush as _trace_flush
+from repro.obs.trace import propagation_context, span, using_context
 
 __all__ = [
     "WorkerPool",
@@ -79,14 +81,17 @@ def _worker_main(task_queue, result_queue,
         job = task_queue.get()
         if job is None:
             break
-        idx, fn, arg = pickle.loads(job)
+        idx, fn, arg, ctx = pickle.loads(job)
         try:
-            payload = pickle.dumps((idx, True, fn(arg)))
+            with using_context(ctx), span("pool.task", task=idx):
+                result = fn(arg)
+            payload = pickle.dumps((idx, True, result))
         except BaseException as exc:  # noqa: BLE001 - relayed to parent
             payload = pickle.dumps((idx, False,
                                     f"{type(exc).__name__}: {exc}\n"
                                     f"{traceback.format_exc()}"))
         result_queue.put(payload)
+    _trace_flush()
 
 
 #: Every started pool, so the atexit hook can join stray non-daemon
@@ -256,45 +261,50 @@ class WorkerPool:
         items = list(items)
         if not items:
             return []
-        for idx, item in enumerate(items):
-            # pre-pickled: raises synchronously on an unpicklable task
-            # instead of hanging (see _worker_main)
-            self._task_queue.put(pickle.dumps((idx, fn, item)))
-        results: list[Any] = [None] * len(items)
-        errors: list[tuple[int, str]] = []
-        callback_error: BaseException | None = None
-        received = 0
-        while received < len(items):
-            try:
-                idx, ok, payload = pickle.loads(
-                    self._result_queue.get(timeout=1.0))
-            except queue_mod.Empty:
-                dead = [w for w in self._workers if not w.is_alive()]
-                if dead:
-                    names = ", ".join(
-                        f"{w.name} (exitcode {w.exitcode})" for w in dead)
-                    self.close()
-                    raise WorkerPoolError(
-                        f"worker died mid-task: {names}") from None
-                continue
-            received += 1
-            if ok:
-                results[idx] = payload
-                if on_result is not None and callback_error is None:
-                    try:
-                        on_result(idx, payload)
-                    except BaseException as exc:  # noqa: BLE001
-                        callback_error = exc  # keep draining first
-            else:
-                errors.append((idx, payload))
-        if callback_error is not None:
-            raise callback_error
-        if errors:
-            errors.sort()
-            idx, remote = errors[0]
-            raise WorkerPoolError(
-                f"{len(errors)}/{len(items)} pool task(s) failed; "
-                f"first (task {idx}):\n{remote}")
+        with span("pool.map", tasks=len(items),
+                  processes=self.processes):
+            # captured inside the span so worker tasks parent under it
+            ctx = propagation_context()
+            for idx, item in enumerate(items):
+                # pre-pickled: raises synchronously on an unpicklable
+                # task instead of hanging (see _worker_main)
+                self._task_queue.put(pickle.dumps((idx, fn, item, ctx)))
+            results: list[Any] = [None] * len(items)
+            errors: list[tuple[int, str]] = []
+            callback_error: BaseException | None = None
+            received = 0
+            while received < len(items):
+                try:
+                    idx, ok, payload = pickle.loads(
+                        self._result_queue.get(timeout=1.0))
+                except queue_mod.Empty:
+                    dead = [w for w in self._workers if not w.is_alive()]
+                    if dead:
+                        names = ", ".join(
+                            f"{w.name} (exitcode {w.exitcode})"
+                            for w in dead)
+                        self.close()
+                        raise WorkerPoolError(
+                            f"worker died mid-task: {names}") from None
+                    continue
+                received += 1
+                if ok:
+                    results[idx] = payload
+                    if on_result is not None and callback_error is None:
+                        try:
+                            on_result(idx, payload)
+                        except BaseException as exc:  # noqa: BLE001
+                            callback_error = exc  # keep draining first
+                else:
+                    errors.append((idx, payload))
+            if callback_error is not None:
+                raise callback_error
+            if errors:
+                errors.sort()
+                idx, remote = errors[0]
+                raise WorkerPoolError(
+                    f"{len(errors)}/{len(items)} pool task(s) failed; "
+                    f"first (task {idx}):\n{remote}")
         return results
 
 

@@ -70,6 +70,9 @@ from repro.campaign.runner import (
     job_identity,
 )
 from repro.errors import QueueError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import flush as trace_flush
+from repro.obs.trace import propagation_context, span, using_context
 from repro.utils.hashing import package_fingerprint
 from repro.utils.timing import Stopwatch
 
@@ -86,6 +89,13 @@ __all__ = [
 DEFAULT_LEASE_TTL_S = 60.0
 
 _STATES = ("pending", "claimed", "done", "failed")
+
+
+def _requeued_counter():
+    """Get-or-create survives registry resets between tests."""
+    return get_registry().counter(
+        "repro_queue_requeued_total",
+        "Claimed jobs whose expired lease was returned to pending.")
 
 
 def _atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
@@ -127,6 +137,9 @@ class ClaimedJob:
     job: CampaignJob
     kind: str
     path: Path
+    #: Submitter's trace context (``propagation_context`` shape) —
+    #: the executing worker adopts it so its spans join that trace.
+    trace: dict[str, Any] | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -254,11 +267,19 @@ class WorkQueue:
         self._metadata()  # fail fast on a missing queue
         payload = {"job": dataclasses.asdict(job), "kind": kind}
         from repro.utils.hashing import stable_digest
+        # Name digested before the trace context is attached: the same
+        # job submitted from different traces must still deduplicate.
         name = f"adhoc-{stable_digest(payload)[:20]}.json"
-        for state in _STATES:
-            if (self._dir(state) / name).exists():
-                return name, False
-        _atomic_write_json(self._dir("pending") / name, payload)
+        with span("queue.submit", job=job.job_id) as sp:
+            ctx = propagation_context()
+            if ctx is not None:
+                payload["trace"] = ctx
+            for state in _STATES:
+                if (self._dir(state) / name).exists():
+                    sp.attrs["enqueued"] = False
+                    return name, False
+            _atomic_write_json(self._dir("pending") / name, payload)
+            sp.attrs["enqueued"] = True
         return name, True
 
     def enqueue(self, spec: CampaignSpec, *,
@@ -298,15 +319,21 @@ class WorkQueue:
             for name in self._entry_names(state)
         }
         enqueued = 0
-        for index, job in enumerate(spec.expand()):
-            name = _job_file_name(index, job.job_id)
-            if name in present:
-                continue
-            _atomic_write_json(self._dir("pending") / name, {
-                "job": dataclasses.asdict(job),
-                "kind": kind,
-            })
-            enqueued += 1
+        with span("queue.enqueue", campaign=spec.name) as sp:
+            ctx = propagation_context()
+            for index, job in enumerate(spec.expand()):
+                name = _job_file_name(index, job.job_id)
+                if name in present:
+                    continue
+                payload = {
+                    "job": dataclasses.asdict(job),
+                    "kind": kind,
+                }
+                if ctx is not None:
+                    payload["trace"] = ctx
+                _atomic_write_json(self._dir("pending") / name, payload)
+                enqueued += 1
+            sp.attrs["jobs"] = enqueued
         return enqueued
 
     # ------------------------------------------------------------------ #
@@ -368,22 +395,26 @@ class WorkQueue:
                 "pid": os.getpid(),
                 "claimed_at": time.time(),
             }
-            _atomic_write_json(claimed_path, lease)
-            return ClaimedJob(
-                name=name,
-                job=CampaignJob(**payload["job"]),
-                kind=payload.get("kind", FLOW_ARTEFACT_KIND),
-                path=claimed_path,
-            )
+            with span("queue.claim", job=name):
+                _atomic_write_json(claimed_path, lease)
+                return ClaimedJob(
+                    name=name,
+                    job=CampaignJob(**payload["job"]),
+                    kind=payload.get("kind", FLOW_ARTEFACT_KIND),
+                    path=claimed_path,
+                    trace=payload.get("trace"),
+                )
         return None
 
     def heartbeat(self, claim: ClaimedJob) -> bool:
         """Refresh ``claim``'s lease; ``False`` when it was revoked."""
-        try:
-            os.utime(claim.path)
-        except OSError:
-            return False
-        return True
+        with span("queue.heartbeat", job=claim.name) as sp:
+            try:
+                os.utime(claim.path)
+            except OSError:
+                sp.attrs["lost"] = True
+                return False
+            return True
 
     def requeue_expired(self, now: float | None = None) -> int:
         """Re-queue claimed jobs whose heartbeat exceeded the TTL.
@@ -395,27 +426,31 @@ class WorkQueue:
         now = time.time() if now is None else now
         ttl = self.lease_ttl_s
         requeued = 0
-        for name in self._entry_names("claimed"):
-            claimed_path = self._dir("claimed") / name
-            if (self._dir("done") / name).exists():
-                # Completed but its claimed file survived a crash
-                # between the done write and the claimed unlink.
+        with span("queue.requeue") as sp:
+            for name in self._entry_names("claimed"):
+                claimed_path = self._dir("claimed") / name
+                if (self._dir("done") / name).exists():
+                    # Completed but its claimed file survived a crash
+                    # between the done write and the claimed unlink.
+                    try:
+                        claimed_path.unlink()
+                    except OSError:  # pragma: no cover - raced
+                        pass
+                    continue
                 try:
-                    claimed_path.unlink()
-                except OSError:  # pragma: no cover - raced
-                    pass
-                continue
-            try:
-                age = now - claimed_path.stat().st_mtime
-            except OSError:
-                continue  # completed or re-queued meanwhile
-            if age <= ttl:
-                continue
-            try:
-                os.rename(claimed_path, self._dir("pending") / name)
-            except OSError:  # pragma: no cover - raced scavenger
-                continue
-            requeued += 1
+                    age = now - claimed_path.stat().st_mtime
+                except OSError:
+                    continue  # completed or re-queued meanwhile
+                if age <= ttl:
+                    continue
+                try:
+                    os.rename(claimed_path, self._dir("pending") / name)
+                except OSError:  # pragma: no cover - raced scavenger
+                    continue
+                requeued += 1
+            sp.attrs["requeued"] = requeued
+        if requeued:
+            _requeued_counter().inc(requeued)
         return requeued
 
     def complete(self, claim: ClaimedJob, record: JobRecord) -> None:
@@ -581,33 +616,39 @@ def run_worker(queue_dir: str | Path, cache_dir: str | Path, *,
         processed += 1
         job_watch = Stopwatch()
         try:
-            config_hash, key = job_identity(
-                claim.job, claim.kind, cache=cache,
-                code_fingerprint=code_fp, fingerprints=fingerprints)
-            record = JobRecord(
-                job_id=claim.job.job_id, circuit=claim.job.circuit,
-                seed=claim.job.seed, config_hash=config_hash,
-                cache_key=key)
-            artefact = cache.get(key) if key is not None else None
-            if artefact is not None:
-                record.status = "done"
-                record.source = "cache"
-                stats.cached += 1
-            else:
-                with _LeaseKeeper(queue, claim, heartbeat_s):
-                    artefact = execute_job(claim.job, claim.kind)
-                cache.put(key, artefact, meta={
-                    "job_id": claim.job.job_id,
-                    "circuit": claim.job.circuit,
-                    "config_hash": config_hash,
-                    "code": code_fp,
-                    "worker": stats.worker_id,
-                })
-                record.status = "done"
-                record.source = "run"
-                record.wall_s = artefact["elapsed_s"]
-                stats.executed += 1
+            with using_context(claim.trace), \
+                    span("worker.job", job=claim.job.job_id,
+                         worker=stats.worker_id) as job_span:
+                config_hash, key = job_identity(
+                    claim.job, claim.kind, cache=cache,
+                    code_fingerprint=code_fp, fingerprints=fingerprints)
+                record = JobRecord(
+                    job_id=claim.job.job_id, circuit=claim.job.circuit,
+                    seed=claim.job.seed, config_hash=config_hash,
+                    cache_key=key)
+                artefact = cache.get(key) if key is not None else None
+                if artefact is not None:
+                    record.status = "done"
+                    record.source = "cache"
+                    stats.cached += 1
+                else:
+                    with _LeaseKeeper(queue, claim, heartbeat_s):
+                        artefact = execute_job(claim.job, claim.kind)
+                    record.phases = artefact.pop("_phases", None)
+                    cache.put(key, artefact, meta={
+                        "job_id": claim.job.job_id,
+                        "circuit": claim.job.circuit,
+                        "config_hash": config_hash,
+                        "code": code_fp,
+                        "worker": stats.worker_id,
+                    })
+                    record.status = "done"
+                    record.source = "run"
+                    record.wall_s = artefact["elapsed_s"]
+                    stats.executed += 1
+                job_span.attrs["source"] = record.source
             queue.complete(claim, record)
+            trace_flush()
             if verbose:
                 print(f"[{stats.worker_id}] {claim.job.job_id}: "
                       f"{record.source} ({job_watch.elapsed_s:.2f}s)",
@@ -627,4 +668,5 @@ def run_worker(queue_dir: str | Path, cache_dir: str | Path, *,
                 print(f"[{stats.worker_id}] {claim.job.job_id}: "
                       f"FAILED ({exc})", flush=True)
     stats.wall_s = watch.elapsed_s
+    trace_flush()
     return stats

@@ -35,9 +35,9 @@ from repro.campaign.manifest import (
 )
 from repro.campaign.pool import WorkerPool
 from repro.experiments.results import Table1Row
+from repro.obs.trace import collect_phases, span
 from repro.utils.hashing import package_fingerprint
 from repro.utils.tables import format_table
-from repro.utils.timing import Stopwatch
 
 __all__ = ["FLOW_ARTEFACT_KIND", "FIGURE2_ARTEFACT_KIND",
            "CampaignResult", "run_campaign", "run_flow_jobs",
@@ -94,14 +94,24 @@ def row_from_artefact(artefact: dict[str, Any]) -> Table1Row:
 
 
 def _execute_flow_job(payload: dict[str, Any]) -> dict[str, Any]:
-    """Worker entry point: run the full flow for one job (picklable)."""
+    """Worker entry point: run the full flow for one job (picklable).
+
+    The job's elapsed time is the ``job.execute`` span's own duration
+    (one ``time.monotonic()`` pair — the manifest and the trace can
+    never disagree); the phase totals its nested spans accumulated
+    ride back in the transient ``_phases`` key, popped by every
+    consumer before the artefact is cached.
+    """
     from repro.core.flow import ProposedFlow
     job = CampaignJob(**payload)
-    watch = Stopwatch()
-    circuit = load_circuit(job.circuit, seed=job.circuit_seed)
-    result = ProposedFlow(job.flow_config()).run(circuit)
-    return flow_artefact(job, circuit_provenance(job.circuit), result,
-                         watch.elapsed_s)
+    with collect_phases() as phases:
+        with span("job.execute", job=job.job_id, kind="flow") as sp:
+            circuit = load_circuit(job.circuit, seed=job.circuit_seed)
+            result = ProposedFlow(job.flow_config()).run(circuit)
+    artefact = flow_artefact(job, circuit_provenance(job.circuit),
+                             result, sp.dur_s)
+    artefact["_phases"] = phases
+    return artefact
 
 
 def _pattern_table_to_json(table: dict) -> dict[str, float]:
@@ -150,9 +160,12 @@ def _execute_figure2_job(payload: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point: one Figure-2 leakage evaluation (picklable)."""
     from repro.experiments.figure2 import run_figure2
     job = CampaignJob(**payload)
-    watch = Stopwatch()
-    run = run_figure2()
-    return figure2_artefact(job, run, watch.elapsed_s)
+    with collect_phases() as phases:
+        with span("job.execute", job=job.job_id, kind="figure2") as sp:
+            run = run_figure2()
+    artefact = figure2_artefact(job, run, sp.dur_s)
+    artefact["_phases"] = phases
+    return artefact
 
 
 #: Executor per artefact kind, resolved by module attribute at call
@@ -254,7 +267,6 @@ def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
     if kind not in _EXECUTORS:
         raise ValueError(f"unknown campaign job kind {kind!r}")
     execute = globals()[_EXECUTORS[kind]]
-    watch = Stopwatch()
     code_fp = package_fingerprint() if cache is not None else ""
 
     records: list[JobRecord] = []
@@ -262,81 +274,94 @@ def run_flow_jobs(jobs_list: Sequence[CampaignJob], *,
     artefacts: list[dict[str, Any] | None] = [None] * len(jobs_list)
     pending: list[int] = []
     fingerprints: dict[tuple[str, int], str] = {}  # one load per netlist
-    for index, job in enumerate(jobs_list):
-        config_hash, key = job_identity(
-            job, kind, cache=cache, code_fingerprint=code_fp or None,
-            fingerprints=fingerprints)
-        keys.append(key)
-        record = JobRecord(job_id=job.job_id, circuit=job.circuit,
-                           seed=job.seed, config_hash=config_hash,
-                           cache_key=key)
-        records.append(record)
-        hit = cache.get(key) if key is not None else None
-        if hit is not None:
-            artefacts[index] = hit
+    # The campaign.run span doubles as the wall clock: wall_s below is
+    # its own duration, so the manifest and a --trace capture of the
+    # same run can never disagree about the campaign's wall time.
+    with span("campaign.run", jobs=len(jobs_list),
+              kind=kind) as run_span:
+        with span("campaign.scan", jobs=len(jobs_list)):
+            for index, job in enumerate(jobs_list):
+                config_hash, key = job_identity(
+                    job, kind, cache=cache,
+                    code_fingerprint=code_fp or None,
+                    fingerprints=fingerprints)
+                keys.append(key)
+                record = JobRecord(job_id=job.job_id,
+                                   circuit=job.circuit,
+                                   seed=job.seed,
+                                   config_hash=config_hash,
+                                   cache_key=key)
+                records.append(record)
+                hit = cache.get(key) if key is not None else None
+                if hit is not None:
+                    artefacts[index] = hit
+                    record.status = "done"
+                    record.source = "cache"
+                    if verbose:
+                        print(f"[cache] {job.job_id}", flush=True)
+                else:
+                    pending.append(index)
+                if manifest is not None:
+                    manifest.record(record, save=False)
+            if manifest is not None:
+                manifest.save()
+
+        worker_s = 0.0
+
+        def finish(index: int, artefact: dict[str, Any]) -> None:
+            nonlocal worker_s
+            phases = artefact.pop("_phases", None)  # before caching
+            artefacts[index] = artefact
+            worker_s += artefact["elapsed_s"]
+            record = records[index]
             record.status = "done"
-            record.source = "cache"
+            record.source = "run"
+            record.wall_s = artefact["elapsed_s"]
+            record.phases = phases
+            if cache is not None:
+                job = jobs_list[index]
+                cache.put(keys[index], artefact, meta={
+                    "job_id": job.job_id,
+                    "circuit": job.circuit,
+                    "config_hash": record.config_hash,
+                    "code": code_fp,
+                })
+            if manifest is not None:
+                manifest.record(record)
             if verbose:
-                print(f"[cache] {job.job_id}", flush=True)
-        else:
-            pending.append(index)
-        if manifest is not None:
-            manifest.record(record, save=False)
-    if manifest is not None:
-        manifest.save()
+                print(artefact["summary"], flush=True)
+                print(f"  [{artefact['elapsed_s']:.1f}s]", flush=True)
 
-    worker_s = 0.0
+        try:
+            if pending and jobs > 1 and len(pending) > 1:
+                payloads = [dataclasses.asdict(jobs_list[i])
+                            for i in pending]
+                owned = pool is None
+                active = pool if pool is not None else WorkerPool(
+                    processes=min(jobs, len(pending)))
+                try:
+                    active.map(
+                        execute, payloads,
+                        on_result=lambda pos, artefact: finish(
+                            pending[pos], artefact))
+                finally:
+                    if owned:
+                        active.close()
+            else:
+                for index in pending:
+                    artefact = execute(
+                        dataclasses.asdict(jobs_list[index]))
+                    finish(index, artefact)
+        except BaseException as exc:
+            for record in records:
+                if record.status == "pending":
+                    record.status = "failed"
+                    record.error = str(exc)
+            if manifest is not None:
+                manifest.save()
+            raise
 
-    def finish(index: int, artefact: dict[str, Any]) -> None:
-        nonlocal worker_s
-        artefacts[index] = artefact
-        worker_s += artefact["elapsed_s"]
-        record = records[index]
-        record.status = "done"
-        record.source = "run"
-        record.wall_s = artefact["elapsed_s"]
-        if cache is not None:
-            job = jobs_list[index]
-            cache.put(keys[index], artefact, meta={
-                "job_id": job.job_id,
-                "circuit": job.circuit,
-                "config_hash": record.config_hash,
-                "code": code_fp,
-            })
-        if manifest is not None:
-            manifest.record(record)
-        if verbose:
-            print(artefact["summary"], flush=True)
-            print(f"  [{artefact['elapsed_s']:.1f}s]", flush=True)
-
-    try:
-        if pending and jobs > 1 and len(pending) > 1:
-            payloads = [dataclasses.asdict(jobs_list[i]) for i in pending]
-            owned = pool is None
-            active = pool if pool is not None else WorkerPool(
-                processes=min(jobs, len(pending)))
-            try:
-                active.map(
-                    execute, payloads,
-                    on_result=lambda pos, artefact: finish(
-                        pending[pos], artefact))
-            finally:
-                if owned:
-                    active.close()
-        else:
-            for index in pending:
-                artefact = execute(dataclasses.asdict(jobs_list[index]))
-                finish(index, artefact)
-    except BaseException as exc:
-        for record in records:
-            if record.status == "pending":
-                record.status = "failed"
-                record.error = str(exc)
-        if manifest is not None:
-            manifest.save()
-        raise
-
-    return artefacts, records, watch.elapsed_s, worker_s  # type: ignore
+    return artefacts, records, run_span.dur_s, worker_s  # type: ignore
 
 
 @dataclasses.dataclass

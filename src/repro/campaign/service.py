@@ -60,6 +60,8 @@ from repro.campaign.runner import (
     job_identity,
 )
 from repro.errors import ConfigError, ReproError, ServiceError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import record_event
 from repro.utils.hashing import package_fingerprint
 
 __all__ = [
@@ -230,7 +232,23 @@ class ArtifactService:
     async def dispatch(self, target: str,
                        headers: dict[str, str] | None = None
                        ) -> _Response:
-        """Route one request target; the testable core."""
+        """Route one request target; the testable core.
+
+        Each request is recorded as a ``service.request`` trace event
+        (asyncio handlers interleave on one thread, so the timing is
+        measured here and recorded stack-free via
+        :func:`repro.obs.trace.record_event`).
+        """
+        started = time.monotonic()
+        response = await self._dispatch(target, headers)
+        record_event("service.request",
+                     time.monotonic() - started,
+                     target=target, status=response.status)
+        return response
+
+    async def _dispatch(self, target: str,
+                        headers: dict[str, str] | None = None
+                        ) -> _Response:
         headers = headers or {}
         parsed = urllib.parse.urlsplit(target)
         path = urllib.parse.unquote(parsed.path).rstrip("/") or "/"
@@ -240,7 +258,7 @@ class ArtifactService:
         if path == "/healthz":
             return _Response(200, {"status": "ok"})
         if path == "/metrics":
-            return self._metrics_response()
+            return self._metrics_response(query, headers)
 
         segments = [s for s in path.split("/") if s]
         try:
@@ -269,7 +287,25 @@ class ArtifactService:
     # endpoint implementations
     # ------------------------------------------------------------------ #
 
-    def _metrics_response(self) -> _Response:
+    def _metrics_response(self, query: dict[str, list[str]],
+                          headers: dict[str, str]) -> _Response:
+        """``/metrics``: JSON by default, Prometheus on request.
+
+        ``?format=prometheus`` — or an ``Accept`` header asking for
+        ``text/plain`` without an explicit format — selects the text
+        exposition format; the JSON payload is unchanged either way.
+        """
+        fmt = (query.get("format", [""])[0] or "").lower()
+        accept = headers.get("accept", "")
+        if fmt == "prometheus" or (not fmt and "text/plain" in accept):
+            body = self._render_prometheus().encode()
+            return _Response(200, body=body, headers={
+                "Content-Type":
+                    "text/plain; version=0.0.4; charset=utf-8"})
+        if fmt and fmt != "json":
+            return _Response(400, {
+                "error": f"unknown metrics format {fmt!r} "
+                         f"(json or prometheus)"})
         payload = {
             "service": self.metrics.snapshot(),
             "cache": dataclasses.asdict(self.cache.stats),
@@ -277,6 +313,35 @@ class ArtifactService:
         if self.queue is not None:
             payload["queue"] = dataclasses.asdict(self.queue.depth())
         return _Response(200, payload)
+
+    def _render_prometheus(self) -> str:
+        """Mirror the service state into the process registry and
+        render it (the registry also carries the cross-cutting cache
+        and queue counters the rest of the stack increments)."""
+        reg = get_registry()
+        snapshot = self.metrics.snapshot()
+        for field in ("requests", "hits", "misses", "not_modified",
+                      "computed", "enqueued", "errors"):
+            reg.gauge(f"repro_service_{field}",
+                      f"Service {field.replace('_', ' ')} "
+                      f"since start.").set(snapshot[field])
+        reg.gauge("repro_service_latency_avg_ms",
+                  "Mean request latency in ms.").set(
+            snapshot["latency_avg_ms"])
+        reg.gauge("repro_service_latency_max_ms",
+                  "Max request latency in ms.").set(
+            snapshot["latency_max_ms"])
+        for field, value in dataclasses.asdict(
+                self.cache.stats).items():
+            reg.gauge(f"repro_service_cache_{field}",
+                      f"Service-side result-cache {field}.").set(value)
+        if self.queue is not None:
+            depth = dataclasses.asdict(self.queue.depth())
+            for state, count in depth.items():
+                reg.gauge("repro_queue_depth",
+                          "Queue entries per state.",
+                          labels={"state": state}).set(count)
+        return reg.render_prometheus()
 
     def _request_job(self, endpoint: str, circuit: str,
                      query: dict[str, list[str]]
@@ -363,6 +428,7 @@ class ArtifactService:
             if artefact is not None:
                 return artefact  # someone else computed it meanwhile
             artefact = await asyncio.to_thread(execute_job, job, kind)
+            artefact.pop("_phases", None)  # keep artefacts bit-stable
             self.cache.put(key, artefact, meta={
                 "job_id": job.job_id,
                 "circuit": job.circuit,

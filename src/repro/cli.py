@@ -91,6 +91,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "bounded-memory windows, bit-identical "
                               "to the resident path (0 = off; "
                               "default: $REPRO_STREAM_BUDGET or off)"))
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help=("record span traces of this invocation "
+                              "as JSONL files under DIR; worker "
+                              "processes join the same trace "
+                              "(default: $REPRO_TRACE or off; "
+                              "'' pins off)"))
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_campaign_args(p) -> None:
@@ -237,6 +243,17 @@ def _build_parser() -> argparse.ArgumentParser:
     ab.add_argument("circuits", nargs="*", default=None)
     add_campaign_args(ab)
 
+    trace_p = sub.add_parser(
+        "trace", help="inspect recorded span traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_command",
+                                       required=True)
+    tsum = trace_sub.add_parser(
+        "summarize",
+        help=("aggregate a --trace directory: per-phase totals, "
+              "processes, critical path"))
+    tsum.add_argument("trace_dir", metavar="DIR",
+                      help="directory previously passed to --trace")
+
     sub.add_parser("list", help="list available circuits")
     sub.add_parser("library", help="describe the cell library")
     return parser
@@ -279,7 +296,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             shards=args.shards,
             episode_batch=episode_batch,
             fault_plan=fault_plan,
-            stream_budget=args.stream_budget))
+            stream_budget=args.stream_budget,
+            trace=args.trace))
         # Fail fast on malformed environment defaults behind any knob
         # the flags left unset (flag values are argparse-validated).
         resolve_backend(None)  # bad $REPRO_SIM_BACKEND
@@ -292,12 +310,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         if fault_plan is None:
             fault_planning_enabled(None)  # bad $REPRO_FAULT_PLAN
         resolve_stream_budget(None)  # bad $REPRO_STREAM_BUDGET
-    except (ConfigError, SimulationError) as exc:
+    except (ConfigError, SimulationError, OSError) as exc:
+        # OSError: an unwritable/invalid --trace directory.
         print(f"repro-power: error: {exc}", file=sys.stderr)
         return 2
     if getattr(args, "jobs", None) is not None and args.jobs < 1:
         print("repro-power: error: --jobs must be >= 1", file=sys.stderr)
         return 2
+
+    if args.command == "trace":
+        from repro.obs.trace import summarize_trace
+        summary = summarize_trace(args.trace_dir)
+        if not summary.spans:
+            print(f"repro-power: no spans found under "
+                  f"{args.trace_dir}", file=sys.stderr)
+            return 1
+        print(summary.render())
+        return 0
 
     if args.command == "list":
         for name in available_circuits():

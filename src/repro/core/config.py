@@ -76,6 +76,12 @@ class FlowConfig:
         off, ``None`` defers to ``$REPRO_STREAM_BUDGET`` (default
         off).  Streamed and resident paths are bit-identical; only
         peak memory changes.
+    trace:
+        Span-trace output directory for the flow's instrumented
+        phases (``None`` = session default / ``$REPRO_TRACE``, ``""``
+        pins off).  Purely observational — spans record timings, never
+        results — so like the other runtime fields it is excluded from
+        :meth:`config_hash`.
     """
 
     #: Fields that only affect execution speed, never results (every
@@ -83,7 +89,7 @@ class FlowConfig:
     #: :meth:`config_hash` so cache keys are engine-independent.
     RUNTIME_FIELDS: ClassVar[tuple[str, ...]] = (
         "backend", "fault_backend", "shards", "episode_batch",
-        "fault_plan", "stream_budget")
+        "fault_plan", "stream_budget", "trace")
 
     seed: int = 0
     observability_samples: int = 512
@@ -101,6 +107,7 @@ class FlowConfig:
     episode_batch: bool | None = None
     fault_plan: bool | None = None
     stream_budget: int | None = None
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         from repro.simulation.backends import available_backends

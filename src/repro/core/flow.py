@@ -36,6 +36,7 @@ from repro.leakage.ivc import IvcResult, random_fill_search
 from repro.leakage.observability import monte_carlo_observability
 from repro.leakage.reorder import ReorderResult, reorder_for_leakage
 from repro.netlist.circuit import Circuit
+from repro.obs.trace import traced
 from repro.power.scanpower import (
     ScanPowerReport,
     ShiftPolicy,
@@ -115,6 +116,7 @@ class ProposedFlow:
     def __init__(self, config: FlowConfig | None = None):
         self.config = config or FlowConfig()
 
+    @traced("flow.run")
     def run(self, circuit: Circuit) -> FlowResult:
         """Execute the full flow; see the module docstring for the steps."""
         config = self.config

@@ -31,8 +31,8 @@ from repro.benchgen.loader import circuit_provenance, load_circuit
 from repro.core.config import FlowConfig
 from repro.core.flow import FlowResult, ProposedFlow
 from repro.experiments.results import PAPER_TABLE1, Table1Row
+from repro.obs.trace import span
 from repro.utils.tables import format_table
-from repro.utils.timing import Stopwatch
 
 __all__ = ["Table1Run", "run_table1", "DEFAULT_CIRCUITS",
            "default_table1_circuits"]
@@ -163,27 +163,30 @@ def run_table1(circuits: Sequence[str] | None = None,
     results: dict[str, FlowResult] = {}
     provenance: dict[str, str] = {}
     runtime: dict[str, float] = {}
-    wall = Stopwatch()
-    for name in circuits:
-        watch = Stopwatch()
-        circuit = load_circuit(name, seed=config.seed or 1)
-        result = flow.run(circuit)
-        elapsed = watch.elapsed_s
-        rows.append(Table1Row.from_reports(
-            name,
-            result.reports["traditional"],
-            result.reports["input_control"],
-            result.reports["proposed"],
-        ))
-        results[name] = result
-        provenance[name] = circuit_provenance(name)
-        runtime[name] = elapsed
-        if verbose:
-            print(result.summary())
-            print(f"  [{elapsed:.1f}s]", flush=True)
+    # Timing is the spans' own measurement (one time.monotonic() pair
+    # each): the reported runtime_s/wall_s and a --trace capture of
+    # the same run come from the same clock reads.
+    with span("table1.run", circuits=len(circuits)) as wall_span:
+        for name in circuits:
+            with span("table1.circuit", circuit=name) as sp:
+                circuit = load_circuit(name, seed=config.seed or 1)
+                result = flow.run(circuit)
+            elapsed = sp.dur_s
+            rows.append(Table1Row.from_reports(
+                name,
+                result.reports["traditional"],
+                result.reports["input_control"],
+                result.reports["proposed"],
+            ))
+            results[name] = result
+            provenance[name] = circuit_provenance(name)
+            runtime[name] = elapsed
+            if verbose:
+                print(result.summary())
+                print(f"  [{elapsed:.1f}s]", flush=True)
     return Table1Run(rows=rows, flow_results=results,
                      provenance=provenance, runtime_s=runtime,
-                     backends=backends, wall_s=wall.elapsed_s,
+                     backends=backends, wall_s=wall_span.dur_s,
                      worker_s=sum(runtime.values()))
 
 

@@ -76,6 +76,11 @@ class RuntimeOptions:
     stream_budget:
         Out-of-core streaming budget in ``uint64`` elements
         (``$REPRO_STREAM_BUDGET``, default off; ``0`` pins off).
+    trace:
+        Span-trace output directory (``$REPRO_TRACE``, default off;
+        ``""`` pins off).  When set, :mod:`repro.obs.trace` records
+        every instrumented phase as JSONL span files under the
+        directory; like every other knob it never changes results.
     """
 
     backend: str | None = None
@@ -84,6 +89,7 @@ class RuntimeOptions:
     episode_batch: bool | None = None
     fault_plan: bool | None = None
     stream_budget: int | None = None
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         # Validate eagerly, mirroring FlowConfig: a bad session default
@@ -149,6 +155,11 @@ def set_session_defaults(options: RuntimeOptions | None = None,
     base = options if options is not None else \
         (_session if kwargs else RuntimeOptions())
     _session = base.replace(**kwargs) if kwargs else base
+    # The trace knob drives a process-wide recorder, not a per-call
+    # resolver — align it with the new session state immediately so
+    # ``using(trace=...)`` scopes recording like any other knob.
+    from repro.obs import trace as obs_trace
+    obs_trace.sync_from_session()
     return _session
 
 

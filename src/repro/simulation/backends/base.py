@@ -27,6 +27,7 @@ from repro.cells.library import CellLibrary
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import GateType
+from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.atpg.faults import Fault
@@ -203,16 +204,18 @@ class Backend(abc.ABC):
                                         collect_leakage, keep_waveforms,
                                         budget)
         library = library or default_library()
-        state = self.run(plan.circuit, plan.waveforms, plan.n_cycles)
-        return EpisodeBatchResult(
-            n_cycles=plan.n_cycles,
-            transitions=state.transitions(),
-            leakage_sum_na=state.leakage_sum(library)
-            if collect_leakage else {},
-            offsets=plan.offsets,
-            lengths=plan.lengths,
-            waveforms=state.words() if keep_waveforms else None,
-        )
+        with span("sim.episode_batch", backend=self.name,
+                  cycles=plan.n_cycles):
+            state = self.run(plan.circuit, plan.waveforms, plan.n_cycles)
+            return EpisodeBatchResult(
+                n_cycles=plan.n_cycles,
+                transitions=state.transitions(),
+                leakage_sum_na=state.leakage_sum(library)
+                if collect_leakage else {},
+                offsets=plan.offsets,
+                lengths=plan.lengths,
+                waveforms=state.words() if keep_waveforms else None,
+            )
 
     def fault_simulate_batch(self, circuit: Circuit,
                              faults: "Sequence[Fault]",
@@ -271,9 +274,11 @@ class Backend(abc.ABC):
         budget = resolve_stream_budget(stream_budget)
         if budget is not None and plan.state_elements() > budget:
             return stream_fault_plan(self, plan, budget)
-        return scalar_replay(plan.circuit, plan.faults,
-                             plan.good_words(self), plan.n,
-                             cone_cache=plan.cone_cache)
+        with span("sim.fault_plan", backend=self.name,
+                  faults=plan.n_faults, patterns=plan.n):
+            return scalar_replay(plan.circuit, plan.faults,
+                                 plan.good_words(self), plan.n,
+                                 cone_cache=plan.cone_cache)
 
     def fault_window_result(self, circuit: Circuit,
                             faults: "Sequence[Fault]",

@@ -28,6 +28,7 @@ from repro.cells.library import CellLibrary
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import GateType
+from repro.obs.trace import span
 from repro.simulation.backends.base import (
     Backend,
     SimState,
@@ -346,7 +347,9 @@ class NumpyBackend(Backend):
             return stream_fault_plan(self, plan, budget)
         state = plan.good_state(self)
         assert isinstance(state, NumpyState)
-        return fault_simulate_matrix(state, plan.faults, drop=drop)
+        with span("sim.fault_plan", backend=self.name,
+                  faults=plan.n_faults, patterns=plan.n):
+            return fault_simulate_matrix(state, plan.faults, drop=drop)
 
     def fault_window_result(self, circuit: Circuit,
                             faults: Sequence[Fault],

@@ -60,6 +60,7 @@ from repro.cells.library import CellLibrary
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import GateType
+from repro.obs.trace import span, traced_task
 from repro.simulation.backends.base import Backend, SimState
 from repro.simulation.streaming import (
     PlanByteStore,
@@ -445,48 +446,54 @@ class ShardedBackend(Backend):
         bounds = shard_bounds(plan.n_cycles, n_chunks)
         processes = min(len(bounds), self.configured_shards())
         pool = self._resolve_pool()
-        if pool is not None or \
-                multiprocessing.get_start_method(allow_none=False) \
-                != "fork":
-            # Pool/spawn paths ship pre-sliced chunk stimuli; one
-            # O(plan) byte conversion, then each window is O(window).
-            # Workers intern the circuit by content fingerprint.
-            fingerprint = plan.circuit.fingerprint()
-            byte_map = _plan_byte_map(plan.waveforms, plan.n_cycles)
-            payloads: list[Any] = [
-                (self.inner_name, plan.circuit, fingerprint,
-                 {line: _window_word(raw, start, stop)
-                  for line, raw in byte_map.items()},
-                 stop - start, collect_leakage, keep_waveforms, budget)
-                for start, stop in bounds
-            ]
-            if pool is not None:
-                parts = pool.map(_simulate_episode_chunk, payloads)
-            else:  # pragma: no cover - non-fork platforms
-                ctx = multiprocessing.get_context("spawn")
-                with ctx.Pool(processes=processes) as mp_pool:
-                    parts = mp_pool.map(_simulate_episode_chunk,
-                                        payloads)
-        else:
-            # Fork path: the circuit, its warmed schedule cache and the
-            # stimulus byte map inherit copy-on-write; workers slice
-            # their own cycle windows (nothing pickled per chunk).
-            if self.inner_name == "numpy":
-                from repro.simulation.schedule import cached_schedule
-                cached_schedule(plan.circuit)
-            ctx = multiprocessing.get_context("fork")
-            global _FORK_JOB
-            _FORK_JOB = (self.inner_name, plan.circuit,
-                         _plan_byte_map(plan.waveforms, plan.n_cycles),
-                         collect_leakage, keep_waveforms, budget)
-            try:
-                with ctx.Pool(processes=processes) as mp_pool:
-                    parts = mp_pool.map(_simulate_episode_chunk_fork,
-                                        bounds)
-            finally:
-                _FORK_JOB = None
-        return self._merge_episode(plan, bounds, parts, library,
-                                   collect_leakage, keep_waveforms)
+        with span("shard.scatter", axis="cycle", chunks=len(bounds),
+                  processes=processes):
+            if pool is not None or \
+                    multiprocessing.get_start_method(allow_none=False) \
+                    != "fork":
+                # Pool/spawn paths ship pre-sliced chunk stimuli; one
+                # O(plan) byte conversion, then each window is O(window).
+                # Workers intern the circuit by content fingerprint.
+                fingerprint = plan.circuit.fingerprint()
+                byte_map = _plan_byte_map(plan.waveforms, plan.n_cycles)
+                payloads: list[Any] = [
+                    (self.inner_name, plan.circuit, fingerprint,
+                     {line: _window_word(raw, start, stop)
+                      for line, raw in byte_map.items()},
+                     stop - start, collect_leakage, keep_waveforms, budget)
+                    for start, stop in bounds
+                ]
+                if pool is not None:
+                    parts = pool.map(_simulate_episode_chunk, payloads)
+                else:  # pragma: no cover - non-fork platforms
+                    ctx = multiprocessing.get_context("spawn")
+                    with ctx.Pool(processes=processes) as mp_pool:
+                        parts = mp_pool.map(
+                            traced_task(_simulate_episode_chunk),
+                            payloads)
+            else:
+                # Fork path: the circuit, its warmed schedule cache and
+                # the stimulus byte map inherit copy-on-write; workers
+                # slice their own cycle windows (nothing pickled per
+                # chunk).
+                if self.inner_name == "numpy":
+                    from repro.simulation.schedule import cached_schedule
+                    cached_schedule(plan.circuit)
+                ctx = multiprocessing.get_context("fork")
+                global _FORK_JOB
+                _FORK_JOB = (self.inner_name, plan.circuit,
+                             _plan_byte_map(plan.waveforms, plan.n_cycles),
+                             collect_leakage, keep_waveforms, budget)
+                try:
+                    with ctx.Pool(processes=processes) as mp_pool:
+                        parts = mp_pool.map(
+                            traced_task(_simulate_episode_chunk_fork),
+                            bounds)
+                finally:
+                    _FORK_JOB = None
+        with span("shard.merge", axis="cycle", chunks=len(bounds)):
+            return self._merge_episode(plan, bounds, parts, library,
+                                       collect_leakage, keep_waveforms)
 
     @staticmethod
     def _merge_episode(plan: "EpisodePlan",
@@ -656,54 +663,58 @@ class ShardedBackend(Backend):
                                                  stream_budget)
         bounds = shard_bounds(len(faults), n_shards)
         pool = self._resolve_pool()
-        if pool is not None:
-            # Persistent-pool path: no per-call fork.  Ship each shard
-            # as a payload; workers intern the circuit by content
-            # fingerprint so their plan caches survive across calls.
-            fingerprint = circuit.fingerprint()
-            parts = pool.map(_simulate_shard_pooled, [
-                (self.inner_name, circuit, fingerprint,
-                 faults[start:stop], words, n, drop)
-                for start, stop in bounds
-            ])
+        with span("shard.scatter", axis="fault", shards=len(bounds)):
+            if pool is not None:
+                # Persistent-pool path: no per-call fork.  Ship each
+                # shard as a payload; workers intern the circuit by
+                # content fingerprint so their plan caches survive
+                # across calls.
+                fingerprint = circuit.fingerprint()
+                parts = pool.map(_simulate_shard_pooled, [
+                    (self.inner_name, circuit, fingerprint,
+                     faults[start:stop], words, n, drop)
+                    for start, stop in bounds
+                ])
+            # Fork only where it is the platform default (Linux): merely
+            # *available* fork (e.g. macOS, where spawn is the default
+            # because fork-without-exec is unsafe under Accelerate/ObjC)
+            # is not enough.
+            elif multiprocessing.get_start_method(allow_none=False) == \
+                    "fork":
+                # Fork path: children inherit the parent's warmed caches
+                # copy-on-write, so pay the expensive shared work
+                # (fanout cones, levelized schedule, the fault-free
+                # simulation for the numpy engine) once here instead of
+                # once per worker per call.
+                self._warm_parent_caches(circuit, faults)
+                ctx = multiprocessing.get_context("fork")
+                global _FORK_JOB
+                if self.inner_name == "numpy":
+                    state = good_state() if good_state is not None \
+                        else self._inner().run(circuit, words, n)
+                    _FORK_JOB = (state, faults, drop)
+                    worker = _simulate_shard_fork_state
+                else:
+                    _FORK_JOB = (self.inner_name, circuit, faults, words,
+                                 n, drop)
+                    worker = _simulate_shard_fork
+                try:
+                    with ctx.Pool(processes=len(bounds)) as pool:
+                        parts = pool.map(traced_task(worker), bounds)
+                finally:
+                    _FORK_JOB = None
+            else:  # pragma: no cover - non-fork platforms
+                payloads: list[Any] = [
+                    (self.inner_name, circuit, faults[start:stop], words,
+                     n, drop)
+                    for start, stop in bounds
+                ]
+                ctx = multiprocessing.get_context("spawn")
+                with ctx.Pool(processes=len(payloads)) as mp_pool:
+                    parts = mp_pool.map(traced_task(_simulate_shard),
+                                        payloads)
+        with span("shard.merge", axis="fault", shards=len(bounds)):
             return self._merge(parts)
-        # Fork only where it is the platform default (Linux): merely
-        # *available* fork (e.g. macOS, where spawn is the default
-        # because fork-without-exec is unsafe under Accelerate/ObjC)
-        # is not enough.
-        if multiprocessing.get_start_method(allow_none=False) == "fork":
-            # Fork path: children inherit the parent's warmed caches
-            # copy-on-write, so pay the expensive shared work (fanout
-            # cones, levelized schedule, the fault-free simulation for
-            # the numpy engine) once here instead of once per worker
-            # per call.
-            self._warm_parent_caches(circuit, faults)
-            ctx = multiprocessing.get_context("fork")
-            global _FORK_JOB
-            if self.inner_name == "numpy":
-                state = good_state() if good_state is not None \
-                    else self._inner().run(circuit, words, n)
-                _FORK_JOB = (state, faults, drop)
-                worker = _simulate_shard_fork_state
-            else:
-                _FORK_JOB = (self.inner_name, circuit, faults, words, n,
-                             drop)
-                worker = _simulate_shard_fork
-            try:
-                with ctx.Pool(processes=len(bounds)) as pool:
-                    parts = pool.map(worker, bounds)
-            finally:
-                _FORK_JOB = None
-        else:  # pragma: no cover - non-fork platforms (Windows/macOS)
-            payloads: list[Any] = [
-                (self.inner_name, circuit, faults[start:stop], words, n,
-                 drop)
-                for start, stop in bounds
-            ]
-            ctx = multiprocessing.get_context("spawn")
-            with ctx.Pool(processes=len(payloads)) as mp_pool:
-                parts = mp_pool.map(_simulate_shard, payloads)
-        return self._merge(parts)
 
     def _shard_fault_axis_stream(self, circuit: Circuit,
                                  faults: "list[Fault]",
@@ -722,37 +733,44 @@ class ShardedBackend(Backend):
         bounds = shard_bounds(len(faults), n_shards)
         byte_map = _plan_byte_map(words, n)
         pool = self._resolve_pool()
-        if pool is not None or \
-                multiprocessing.get_start_method(allow_none=False) \
-                != "fork":
-            fingerprint = circuit.fingerprint()
-            payloads: list[Any] = [
-                (self.inner_name, circuit, fingerprint,
-                 faults[start:stop], byte_map, n, budget)
-                for start, stop in bounds
-            ]
-            if pool is not None:
-                parts = pool.map(_simulate_shard_pooled_stream, payloads)
-            else:  # pragma: no cover - non-fork platforms
-                ctx = multiprocessing.get_context("spawn")
-                with ctx.Pool(processes=len(payloads)) as mp_pool:
-                    parts = mp_pool.map(_simulate_shard_pooled_stream,
-                                        payloads)
-        else:
-            # Fork path: circuit, fault list and stimulus byte map
-            # inherit copy-on-write; each worker streams its own slice.
-            self._warm_parent_caches(circuit, faults)
-            ctx = multiprocessing.get_context("fork")
-            global _FORK_JOB
-            _FORK_JOB = (self.inner_name, circuit, faults, byte_map, n,
-                         budget)
-            try:
-                with ctx.Pool(processes=len(bounds)) as mp_pool:
-                    parts = mp_pool.map(_simulate_shard_fork_stream,
-                                        bounds)
-            finally:
-                _FORK_JOB = None
-        return self._merge(parts)
+        with span("shard.scatter", axis="fault-stream",
+                  shards=len(bounds)):
+            if pool is not None or \
+                    multiprocessing.get_start_method(allow_none=False) \
+                    != "fork":
+                fingerprint = circuit.fingerprint()
+                payloads: list[Any] = [
+                    (self.inner_name, circuit, fingerprint,
+                     faults[start:stop], byte_map, n, budget)
+                    for start, stop in bounds
+                ]
+                if pool is not None:
+                    parts = pool.map(_simulate_shard_pooled_stream,
+                                     payloads)
+                else:  # pragma: no cover - non-fork platforms
+                    ctx = multiprocessing.get_context("spawn")
+                    with ctx.Pool(processes=len(payloads)) as mp_pool:
+                        parts = mp_pool.map(
+                            traced_task(_simulate_shard_pooled_stream),
+                            payloads)
+            else:
+                # Fork path: circuit, fault list and stimulus byte map
+                # inherit copy-on-write; each worker streams its own
+                # slice.
+                self._warm_parent_caches(circuit, faults)
+                ctx = multiprocessing.get_context("fork")
+                global _FORK_JOB
+                _FORK_JOB = (self.inner_name, circuit, faults, byte_map,
+                             n, budget)
+                try:
+                    with ctx.Pool(processes=len(bounds)) as mp_pool:
+                        parts = mp_pool.map(
+                            traced_task(_simulate_shard_fork_stream),
+                            bounds)
+                finally:
+                    _FORK_JOB = None
+        with span("shard.merge", axis="fault-stream", shards=len(bounds)):
+            return self._merge(parts)
 
     def _shard_pattern_axis(self, plan: "FaultEpisodePlan", drop: bool,
                             n_shards: int) -> FaultSimResult:
@@ -774,44 +792,51 @@ class ShardedBackend(Backend):
         processes = min(len(bounds), self.configured_shards())
         byte_map = _plan_byte_map(plan.input_words, plan.n)
         pool = self._resolve_pool()
-        if pool is not None or \
-                multiprocessing.get_start_method(allow_none=False) \
-                != "fork":
-            # Pool/spawn paths ship pre-sliced window stimuli (one
-            # O(plan) byte conversion, each window O(window)); the
-            # payload shape matches the fault-axis shard workers, so
-            # the same interning entry points serve both axes.
-            fingerprint = circuit.fingerprint()
-            payloads: list[Any] = [
-                (self.inner_name, circuit, fingerprint, faults,
-                 {line: _window_word(raw, start, stop)
-                  for line, raw in byte_map.items()},
-                 stop - start, drop)
-                for start, stop in bounds
-            ]
-            if pool is not None:
-                parts = pool.map(_simulate_shard_pooled, payloads)
-            else:  # pragma: no cover - non-fork platforms
-                spawn_payloads = [payload[:2] + payload[3:]
-                                  for payload in payloads]
-                ctx = multiprocessing.get_context("spawn")
-                with ctx.Pool(processes=processes) as mp_pool:
-                    parts = mp_pool.map(_simulate_shard, spawn_payloads)
-        else:
-            # Fork path: circuit, fault list and stimulus byte map
-            # inherit copy-on-write; workers slice their own windows.
-            self._warm_parent_caches(circuit, faults)
-            ctx = multiprocessing.get_context("fork")
-            global _FORK_JOB
-            _FORK_JOB = (self.inner_name, circuit, faults, byte_map,
-                         drop)
-            try:
-                with ctx.Pool(processes=processes) as mp_pool:
-                    parts = mp_pool.map(_simulate_fault_window_fork,
-                                        bounds)
-            finally:
-                _FORK_JOB = None
-        return self._merge_pattern_axis(faults, bounds, parts)
+        with span("shard.scatter", axis="pattern", windows=len(bounds),
+                  processes=processes):
+            if pool is not None or \
+                    multiprocessing.get_start_method(allow_none=False) \
+                    != "fork":
+                # Pool/spawn paths ship pre-sliced window stimuli (one
+                # O(plan) byte conversion, each window O(window)); the
+                # payload shape matches the fault-axis shard workers, so
+                # the same interning entry points serve both axes.
+                fingerprint = circuit.fingerprint()
+                payloads: list[Any] = [
+                    (self.inner_name, circuit, fingerprint, faults,
+                     {line: _window_word(raw, start, stop)
+                      for line, raw in byte_map.items()},
+                     stop - start, drop)
+                    for start, stop in bounds
+                ]
+                if pool is not None:
+                    parts = pool.map(_simulate_shard_pooled, payloads)
+                else:  # pragma: no cover - non-fork platforms
+                    spawn_payloads = [payload[:2] + payload[3:]
+                                      for payload in payloads]
+                    ctx = multiprocessing.get_context("spawn")
+                    with ctx.Pool(processes=processes) as mp_pool:
+                        parts = mp_pool.map(
+                            traced_task(_simulate_shard),
+                            spawn_payloads)
+            else:
+                # Fork path: circuit, fault list and stimulus byte map
+                # inherit copy-on-write; workers slice their own
+                # windows.
+                self._warm_parent_caches(circuit, faults)
+                ctx = multiprocessing.get_context("fork")
+                global _FORK_JOB
+                _FORK_JOB = (self.inner_name, circuit, faults, byte_map,
+                             drop)
+                try:
+                    with ctx.Pool(processes=processes) as mp_pool:
+                        parts = mp_pool.map(
+                            traced_task(_simulate_fault_window_fork),
+                            bounds)
+                finally:
+                    _FORK_JOB = None
+        with span("shard.merge", axis="pattern", windows=len(bounds)):
+            return self._merge_pattern_axis(faults, bounds, parts)
 
     @staticmethod
     def _merge_pattern_axis(faults: "Sequence[Fault]",

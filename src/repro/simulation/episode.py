@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.errors import ScanError
 from repro.netlist.circuit import Circuit
+from repro.obs.trace import traced
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.scan.testview import ScanDesign, TestVector
@@ -186,6 +187,7 @@ def _bit_column(values: Sequence[int]) -> np.ndarray:
     return np.asarray(values, dtype=np.uint8)
 
 
+@traced("plan.compile_episode")
 def compile_episode_plan(design: "ScanDesign",
                          vectors: "Sequence[TestVector]", *,
                          pi_values: Mapping[str, int] | None = None,

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
+from repro.obs.trace import span
 from repro.simulation.toggles import resolve_toggle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -161,7 +162,9 @@ class FaultEpisodePlan:
         """
         state = self._states.get(backend.name)
         if state is None:
-            state = backend.run(self.circuit, self.input_words, self.n)
+            with span("plan.fault_good_state", backend=backend.name,
+                      patterns=self.n):
+                state = backend.run(self.circuit, self.input_words, self.n)
             self._states[backend.name] = state
         return state
 

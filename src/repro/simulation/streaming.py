@@ -52,6 +52,7 @@ from typing import TYPE_CHECKING
 from repro.cells.library import CellLibrary
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
+from repro.obs.trace import span
 from repro.simulation.values import mask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -457,12 +458,16 @@ def stream_episode_batch(backend: "Backend", plan: "EpisodePlan",
     library = library or default_library()
     store = PlanByteStore(plan.waveforms, plan.n_cycles)
     acc = EpisodeAccumulator()
-    for start, stop in episode_stream_windows(plan, budget):
-        words = store.window(start, stop)
-        acc.fold(start,
-                 episode_window_ingredients(backend, plan.circuit, words,
-                                            stop - start, collect_leakage,
-                                            keep_waveforms))
+    bounds = episode_stream_windows(plan, budget)
+    with span("stream.episode", backend=backend.name,
+              windows=len(bounds), cycles=plan.n_cycles):
+        for start, stop in bounds:
+            words = store.window(start, stop)
+            with span("stream.window", start=start, stop=stop):
+                acc.fold(start,
+                         episode_window_ingredients(
+                             backend, plan.circuit, words, stop - start,
+                             collect_leakage, keep_waveforms))
     return acc.finish(plan, library, collect_leakage)
 
 
@@ -484,13 +489,16 @@ def stream_fault_words(backend: "Backend", circuit: Circuit,
     bounds = fault_stream_windows(n, budget, circuit=circuit,
                                   n_stimulus_lines=n_stimulus)
     merged: dict[Fault, int] = {}
-    for start, stop in bounds:
-        words = store.window(start, stop)
-        part = backend.fault_window_result(circuit, faults, words,
-                                           stop - start,
-                                           element_budget=budget)
-        for fault, word in part.detected.items():
-            merged[fault] = merged.get(fault, 0) | (word << start)
+    with span("stream.fault", backend=backend.name,
+              windows=len(bounds), patterns=n):
+        for start, stop in bounds:
+            words = store.window(start, stop)
+            with span("stream.window", start=start, stop=stop):
+                part = backend.fault_window_result(circuit, faults, words,
+                                                   stop - start,
+                                                   element_budget=budget)
+            for fault, word in part.detected.items():
+                merged[fault] = merged.get(fault, 0) | (word << start)
     detected: dict[Fault, int] = {}
     remaining: list[Fault] = []
     for fault in faults:

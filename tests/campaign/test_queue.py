@@ -345,6 +345,8 @@ class TestBitIdentity:
         for ja, jb in zip(ma["jobs"], mb["jobs"]):
             ja.pop("wall_s")
             jb.pop("wall_s")
+            # phases are wall-clock measurements, timing like wall_s
+            assert set(ja.pop("phases")) == set(jb.pop("phases"))
             assert ja == jb
 
     def test_workers_recorded_in_cache_meta(self, drained):

@@ -179,6 +179,54 @@ class TestDispatch:
         assert payload["cache"]["misses"] >= 1
 
 
+class TestPrometheusMetrics:
+    """``/metrics`` content negotiation: JSON default, text on ask."""
+
+    def service_with_queue(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q")
+        return ArtifactService(ResultCache(tmp_path / "c"),
+                               queue=queue)
+
+    def test_format_param_selects_text_exposition(self, tmp_path):
+        service = self.service_with_queue(tmp_path)
+        dispatch(service, "/flow/s27?seed=1")  # one enqueued miss
+        response = dispatch(service, "/metrics?format=prometheus")
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith(
+            "text/plain")
+        text = response.body.decode()
+        assert "# HELP repro_service_requests" in text
+        assert "# TYPE repro_service_requests gauge" in text
+        assert "repro_service_misses 1" in text
+        assert 'repro_queue_depth{state="pending"} 1' in text
+        assert 'repro_queue_depth{state="done"} 0' in text
+
+    def test_accept_header_negotiates_text(self, tmp_path):
+        service = self.service_with_queue(tmp_path)
+        response = dispatch(service, "/metrics",
+                            {"accept": "text/plain"})
+        assert response.headers["Content-Type"].startswith(
+            "text/plain")
+        assert b"# TYPE" in response.body
+        # An explicit format always beats the Accept header.
+        json_anyway = dispatch(service, "/metrics?format=json",
+                               {"accept": "text/plain"})
+        assert "service" in json.loads(json_anyway.body)
+
+    def test_unknown_format_400(self, tmp_path):
+        service = self.service_with_queue(tmp_path)
+        response = dispatch(service, "/metrics?format=bogus")
+        assert response.status == 400
+        assert "prometheus" in json.loads(response.body)["error"]
+
+    def test_json_shape_unchanged_by_default(self, tmp_path):
+        service = self.service_with_queue(tmp_path)
+        payload = json.loads(dispatch(service, "/metrics").body)
+        assert set(payload) == {"service", "cache", "queue"}
+        assert set(payload["queue"]) == {"pending", "claimed", "done",
+                                         "failed"}
+
+
 class TestServiceSharesCampaignKeys:
     def test_warm_table1_query_never_executes_a_flow(
             self, tmp_path, monkeypatch):
@@ -308,6 +356,15 @@ class TestLiveServer:
         assert payload["service"]["enqueued"] == 1
         assert payload["queue"]["pending"] == 1
         assert payload["service"]["latency_max_ms"] > 0
+
+    def test_prometheus_over_http(self, served):
+        _, port, _ = served
+        status, headers, body = self.get(
+            port, "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert b"# TYPE repro_service_requests gauge" in body
+        assert b'repro_queue_depth{state="pending"}' in body
 
     def test_malformed_request_400(self, served):
         import socket

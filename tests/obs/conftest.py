@@ -1,0 +1,20 @@
+"""Shared state hygiene for the observability tests.
+
+The trace recorder and the metrics registry are process-global by
+design; every test here starts from (and leaves behind) a clean slate
+so ordering never matters.
+"""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.metrics import get_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    trace._reset_for_tests()
+    get_registry().reset()
+    yield
+    trace._reset_for_tests()
+    get_registry().reset()

@@ -1,0 +1,155 @@
+"""Metrics registry: instrument semantics and both renderings."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_monotonic(self, reg):
+        counter = reg.counter("jobs_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self, reg):
+        a = reg.counter("jobs_total")
+        b = reg.counter("jobs_total")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_labels_distinguish_instruments(self, reg):
+        hit = reg.counter("cache_ops_total", labels={"outcome": "hit"})
+        miss = reg.counter("cache_ops_total",
+                           labels={"outcome": "miss"})
+        assert hit is not miss
+        hit.inc(3)
+        assert (hit.value, miss.value) == (3, 0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        gauge = reg.gauge("depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+
+class TestHistogram:
+    def test_observe_and_cumulative(self, reg):
+        hist = reg.histogram("latency_s", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 100.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(101.05)
+        assert hist.cumulative() == [
+            (0.1, 1), (1.0, 3), (10.0, 3), (math.inf, 4)]
+
+    def test_default_buckets_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+    def test_empty_buckets_rejected(self, reg):
+        with pytest.raises(ValueError, match="bucket"):
+            reg.histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self, reg):
+        reg.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("thing")
+
+    def test_invalid_names_rejected(self, reg):
+        with pytest.raises(ValueError, match="metric name"):
+            reg.counter("bad-name")
+        with pytest.raises(ValueError, match="label name"):
+            reg.counter("ok", labels={"bad-label": "x"})
+
+    def test_snapshot_folds_labels_and_is_json_able(self, reg):
+        reg.counter("ops_total", labels={"outcome": "hit"}).inc(2)
+        reg.gauge("depth", labels={"state": "pending"}).set(7)
+        reg.histogram("lat_s", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap['ops_total{outcome="hit"}'] == 2
+        assert snap['depth{state="pending"}'] == 7
+        assert snap["lat_s"] == {
+            "count": 1, "sum": 0.5, "buckets": {"1": 1, "+Inf": 1}}
+        json.dumps(snap)  # must round-trip
+
+    def test_reset_drops_everything(self, reg):
+        reg.counter("gone").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+        reg.gauge("gone")  # no stale kind conflict after reset
+
+    def test_module_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+    def test_thread_safety_no_lost_updates(self, reg):
+        counter = reg.counter("contended")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_families(self, reg):
+        reg.counter("repro_ops_total", "Operations.",
+                    labels={"outcome": "hit"}).inc(4)
+        reg.counter("repro_ops_total",
+                    labels={"outcome": "miss"}).inc()
+        reg.gauge("repro_depth", "Queue depth.").set(3)
+        text = reg.render_prometheus()
+        assert "# HELP repro_ops_total Operations." in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert 'repro_ops_total{outcome="hit"} 4' in text
+        assert 'repro_ops_total{outcome="miss"} 1' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 3" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self, reg):
+        hist = reg.histogram("repro_lat_s", "Latency.",
+                             buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(50.0)
+        text = reg.render_prometheus()
+        assert 'repro_lat_s_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_s_bucket{le="1"} 2' in text
+        assert 'repro_lat_s_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_s_sum 50.55" in text
+        assert "repro_lat_s_count 3" in text
+
+    def test_label_values_escaped(self, reg):
+        reg.counter("c_total", labels={"path": 'a"b\\c\nd'}).inc()
+        text = reg.render_prometheus()
+        assert 'c_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self, reg):
+        assert reg.render_prometheus() == ""

@@ -1,0 +1,310 @@
+"""Span tracing: recording, knob resolution, reading, summarizing."""
+
+import json
+import re
+import uuid
+
+import pytest
+
+from repro import runtime
+from repro.obs import trace
+from repro.obs.trace import (
+    Span,
+    collect_phases,
+    current_trace_id,
+    disable,
+    enable,
+    flush,
+    read_spans,
+    record_event,
+    resolve_trace,
+    span,
+    summarize_trace,
+    trace_dir,
+    traced,
+    tracing_enabled,
+)
+from repro.runtime import RuntimeOptions
+
+
+class TestSpanBasics:
+    def test_disabled_span_still_measures(self, tmp_path):
+        assert not tracing_enabled()
+        with span("phase", a=1) as sp:
+            pass
+        assert isinstance(sp, Span)
+        assert sp.dur_s >= 0.0
+        assert sp.span_id is None  # never recorded
+        assert list(tmp_path.glob("trace-*.jsonl")) == []
+
+    def test_enabled_records_schema_and_nesting(self, tmp_path):
+        enable(tmp_path)
+        with span("outer", circuit="s27") as outer:
+            with span("inner") as inner:
+                pass
+        records = read_spans(tmp_path)
+        assert [r["name"] for r in records] == ["outer", "inner"]
+        rec_outer, rec_inner = records
+        assert re.fullmatch(r"[0-9a-f]{32}", rec_outer["trace"])
+        assert re.fullmatch(r"[0-9a-f]{16}", rec_outer["span"])
+        assert rec_outer["trace"] == rec_inner["trace"]
+        assert rec_outer["parent"] is None
+        assert rec_inner["parent"] == rec_outer["span"]
+        assert rec_outer["attrs"] == {"circuit": "s27"}
+        assert rec_outer["dur_s"] == outer.dur_s
+        assert rec_inner["dur_s"] == inner.dur_s
+        assert rec_outer["t0"] <= rec_inner["t0"]
+        assert isinstance(rec_outer["pid"], int)
+        assert isinstance(rec_outer["thread"], str)
+
+    def test_root_close_flushes_without_explicit_flush(self, tmp_path):
+        enable(tmp_path)
+        with span("root"):
+            pass
+        assert len(read_spans(tmp_path)) == 1  # no flush() needed
+
+    def test_exception_annotates_record_and_pops_stack(self, tmp_path):
+        enable(tmp_path)
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("nope")
+        [record] = read_spans(tmp_path)
+        assert record["error"] == "ValueError"
+        with span("after"):
+            pass
+        after = [r for r in read_spans(tmp_path) if r["name"] == "after"]
+        assert after[0]["parent"] is None  # stack did not leak
+
+    def test_enable_same_dir_keeps_trace_id(self, tmp_path):
+        enable(tmp_path)
+        first = current_trace_id()
+        enable(tmp_path)  # e.g. repeated set_session_defaults
+        assert current_trace_id() == first
+        enable(tmp_path, trace_id="ab" * 16)
+        assert current_trace_id() == "ab" * 16
+
+    def test_disable_flushes_and_stops(self, tmp_path):
+        enable(tmp_path)
+        assert trace_dir() == tmp_path
+        with span("parent"):
+            with span("kept"):
+                pass
+            disable()
+        assert not tracing_enabled()
+        assert trace_dir() is None and current_trace_id() is None
+        names = {r["name"] for r in read_spans(tmp_path)}
+        assert names == {"kept"}  # buffered span flushed, parent lost
+
+    def test_traced_decorator(self, tmp_path):
+        enable(tmp_path)
+
+        @traced("fn.phase", tag="x")
+        def work(value):
+            return value * 2
+
+        assert work(21) == 42
+        [record] = read_spans(tmp_path)
+        assert record["name"] == "fn.phase"
+        assert record["attrs"] == {"tag": "x"}
+
+
+class TestRecordEvent:
+    def test_noop_when_disabled(self, tmp_path):
+        record_event("service.request", 0.25, target="/healthz")
+        assert list(tmp_path.glob("trace-*.jsonl")) == []
+
+    def test_parents_under_open_span(self, tmp_path):
+        enable(tmp_path)
+        with span("outer"):
+            record_event("service.request", 0.5, status=200)
+        records = {r["name"]: r for r in read_spans(tmp_path)}
+        event = records["service.request"]
+        assert event["parent"] == records["outer"]["span"]
+        assert event["dur_s"] == 0.5
+        assert event["attrs"] == {"status": 200}
+        # t0 back-dated so t0 + dur_s is "now" at record time.
+        assert event["t0"] < records["outer"]["t0"] + records[
+            "outer"]["dur_s"]
+
+    def test_root_event_flushes(self, tmp_path):
+        enable(tmp_path)
+        record_event("lonely", 0.01)
+        [record] = read_spans(tmp_path)
+        assert record["parent"] is None
+
+
+class TestResolveTrace:
+    def test_argument_wins(self, monkeypatch, tmp_path):
+        env, session = str(tmp_path / "env"), str(tmp_path / "sess")
+        monkeypatch.setenv("REPRO_TRACE", env)
+        with runtime.using(trace=session):
+            assert resolve_trace(str(tmp_path / "arg")) == str(
+                tmp_path / "arg")
+            assert resolve_trace("") is None  # "" pins off
+        monkeypatch.delenv("REPRO_TRACE")
+
+    def test_session_beats_env(self, monkeypatch, tmp_path):
+        env, session = str(tmp_path / "env"), str(tmp_path / "sess")
+        monkeypatch.setenv("REPRO_TRACE", env)
+        with runtime.using(trace=session):
+            assert resolve_trace() == session
+        with runtime.using(trace=""):
+            assert resolve_trace() is None  # "" pins off
+        monkeypatch.delenv("REPRO_TRACE")
+
+    def test_env_is_the_fallback(self, monkeypatch, tmp_path):
+        env = str(tmp_path / "env")
+        monkeypatch.setenv("REPRO_TRACE", env)
+        assert resolve_trace() == env
+        monkeypatch.delenv("REPRO_TRACE")
+        assert resolve_trace() is None
+
+    def test_session_knob_drives_recorder(self, tmp_path):
+        with runtime.using(trace=str(tmp_path / "t")):
+            assert tracing_enabled()
+            with span("scoped"):
+                pass
+        assert not tracing_enabled()  # restored by the using() exit
+        assert [r["name"] for r in read_spans(tmp_path / "t")] == [
+            "scoped"]
+
+    def test_session_reset_spares_explicit_enable(self, tmp_path):
+        enable(tmp_path)  # e.g. a worker adopting a shipped context
+        runtime.set_session_defaults(RuntimeOptions())
+        assert tracing_enabled()
+
+
+class TestCollectPhases:
+    def test_accumulates_with_tracing_off(self):
+        with collect_phases() as phases:
+            with span("a"):
+                with span("b"):
+                    pass
+            with span("a"):
+                pass
+        assert set(phases) == {"a", "b"}
+        assert phases["a"] >= phases["b"]  # two a's, nested b
+
+    def test_sink_detached_after_exit(self):
+        with collect_phases() as phases:
+            pass
+        with span("later"):
+            pass
+        assert "later" not in phases
+
+    def test_nested_collectors_both_fed(self):
+        with collect_phases() as outer:
+            with collect_phases() as inner:
+                with span("x"):
+                    pass
+        assert outer["x"] == inner["x"]
+
+
+class TestReadSpans:
+    def test_skips_corrupt_lines_and_foreign_files(self, tmp_path):
+        good = {"trace": "t" * 32, "span": "s" * 16, "parent": None,
+                "name": "ok", "t0": 1.0, "dur_s": 0.5, "pid": 1,
+                "thread": "main", "attrs": {}}
+        (tmp_path / "trace-1-aa.jsonl").write_text(
+            json.dumps(good) + "\n" + "{truncated\n" + "[1, 2]\n")
+        (tmp_path / "notes.txt").write_text("not a trace file")
+        records = read_spans(tmp_path)
+        assert [r["name"] for r in records] == ["ok"]
+
+    def test_sorted_by_start_across_files(self, tmp_path):
+        def rec(name, t0):
+            return {"trace": "t" * 32, "span": uuid.uuid4().hex[:16],
+                    "parent": None, "name": name, "t0": t0,
+                    "dur_s": 0.1, "pid": 1, "thread": "m", "attrs": {}}
+
+        (tmp_path / "trace-1-aa.jsonl").write_text(
+            json.dumps(rec("late", 5.0)) + "\n")
+        (tmp_path / "trace-2-bb.jsonl").write_text(
+            json.dumps(rec("early", 1.0)) + "\n")
+        assert [r["name"] for r in read_spans(tmp_path)] == [
+            "early", "late"]
+
+
+def _write_trace(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+class TestSummarize:
+    def synthetic(self, tmp_path):
+        trace_id = "f" * 32
+        root = {"trace": trace_id, "span": "a" * 16, "parent": None,
+                "name": "campaign.run", "t0": 0.0, "dur_s": 4.0,
+                "pid": 10, "thread": "m", "attrs": {}}
+        child = {"trace": trace_id, "span": "b" * 16,
+                 "parent": "a" * 16, "name": "job.execute", "t0": 0.5,
+                 "dur_s": 3.0, "pid": 11, "thread": "m", "attrs": {}}
+        quick = {"trace": trace_id, "span": "c" * 16,
+                 "parent": "a" * 16, "name": "job.execute", "t0": 0.6,
+                 "dur_s": 1.0, "pid": 12, "thread": "m", "attrs": {}}
+        _write_trace(tmp_path / "trace-10-aa.jsonl", [root])
+        _write_trace(tmp_path / "trace-11-bb.jsonl", [child, quick])
+        return root, child, quick
+
+    def test_aggregates(self, tmp_path):
+        self.synthetic(tmp_path)
+        summary = summarize_trace(tmp_path)
+        assert summary.spans == 3
+        assert summary.traces == ["f" * 32]
+        assert summary.processes == [10, 11, 12]
+        assert summary.wall_s == 4.0  # roots only
+        count, total, peak = summary.phases["job.execute"]
+        assert (count, total, peak) == (2, 4.0, 3.0)
+        assert summary.orphans == []
+
+    def test_critical_path_walks_longest_children(self, tmp_path):
+        self.synthetic(tmp_path)
+        summary = summarize_trace(tmp_path)
+        assert [(name, dur) for name, dur, _ in summary.critical_path
+                ] == [("campaign.run", 4.0), ("job.execute", 3.0)]
+        assert summary.critical_path[1][2] == 11  # the pid travels
+
+    def test_orphans_flagged(self, tmp_path):
+        root, child, _ = self.synthetic(tmp_path)
+        child["parent"] = "0" * 16  # parent recorded nowhere
+        _write_trace(tmp_path / "trace-11-bb.jsonl", [child])
+        summary = summarize_trace(tmp_path)
+        assert summary.orphans == [child["span"]]
+        assert "ORPHAN" in summary.render()
+
+    def test_render_layout(self, tmp_path):
+        self.synthetic(tmp_path)
+        text = summarize_trace(tmp_path).render()
+        assert "spans: 3" in text and "processes: 3" in text
+        assert "wall: 4.000s" in text
+        assert re.search(r"phase\s+count\s+total_s\s+mean_s\s+max_s",
+                         text)
+        assert "critical path:" in text
+        assert "ORPHAN" not in text
+
+    def test_empty_directory(self, tmp_path):
+        summary = summarize_trace(tmp_path)
+        assert summary.spans == 0
+        assert summary.critical_path == []
+        assert "spans: 0" in summary.render()
+
+
+class TestCliSummarize:
+    def test_trace_summarize_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        enable(tmp_path)
+        with span("campaign.run"):
+            with span("job.execute"):
+                pass
+        flush()
+        disable()
+        assert main(["trace", "summarize", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign.run" in out and "job.execute" in out
+        assert "critical path:" in out
+
+    def test_trace_summarize_empty_dir_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "summarize", str(tmp_path)]) == 1
+        assert "no spans" in capsys.readouterr().err
