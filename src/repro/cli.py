@@ -97,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "processes join the same trace "
                               "(default: $REPRO_TRACE or off; "
                               "'' pins off)"))
+    parser.add_argument("--array-namespace", metavar="MODULE",
+                        default=None,
+                        help=("array namespace for the array_api "
+                              "backend's shared kernels, e.g. cupy "
+                              "(bit-identical; default: "
+                              "$REPRO_ARRAY_NAMESPACE or numpy)"))
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_campaign_args(p) -> None:
@@ -297,7 +303,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             episode_batch=episode_batch,
             fault_plan=fault_plan,
             stream_budget=args.stream_budget,
-            trace=args.trace))
+            trace=args.trace,
+            array_namespace=args.array_namespace))
         # Fail fast on malformed environment defaults behind any knob
         # the flags left unset (flag values are argparse-validated).
         resolve_backend(None)  # bad $REPRO_SIM_BACKEND
@@ -310,6 +317,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if fault_plan is None:
             fault_planning_enabled(None)  # bad $REPRO_FAULT_PLAN
         resolve_stream_budget(None)  # bad $REPRO_STREAM_BUDGET
+        if args.array_namespace is None:
+            from repro.simulation.backends.array_api import (
+                resolve_array_namespace,
+            )
+            resolve_array_namespace(None)  # bad $REPRO_ARRAY_NAMESPACE
     except (ConfigError, SimulationError, OSError) as exc:
         # OSError: an unwritable/invalid --trace directory.
         print(f"repro-power: error: {exc}", file=sys.stderr)
@@ -357,7 +369,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                             shards=args.shards,
                             episode_batch=episode_batch,
                             fault_plan=fault_plan,
-                            stream_budget=args.stream_budget)
+                            stream_budget=args.stream_budget,
+                            array_namespace=args.array_namespace)
         circuits = args.circuits or None
         run = run_table1(circuits, config, verbose=not args.quiet,
                          jobs=args.jobs, cache_dir=args.cache_dir)
@@ -383,6 +396,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             episode_batch=episode_batch,
             fault_plan=fault_plan,
             stream_budget=args.stream_budget,
+            array_namespace=args.array_namespace,
             reorder_inputs=not args.no_reorder,
             use_observability_directive=not args.no_directive)
         result = ProposedFlow(config).run(load_circuit(args.circuit,
@@ -582,6 +596,8 @@ def _run_campaign_command(args, episode_batch: bool | None,
         runtime_base["fault_plan"] = fault_plan
     if args.stream_budget is not None:
         runtime_base["stream_budget"] = args.stream_budget
+    if args.array_namespace is not None:
+        runtime_base["array_namespace"] = args.array_namespace
 
     try:
         if args.spec is not None:

@@ -82,6 +82,13 @@ class FlowConfig:
         pins off).  Purely observational — spans record timings, never
         results — so like the other runtime fields it is excluded from
         :meth:`config_hash`.
+    array_namespace:
+        Array namespace (importable module name) for the ``array_api``
+        backend's shared kernels (``None`` = session default /
+        ``$REPRO_ARRAY_NAMESPACE``, built-in ``numpy``).  The flow
+        installs it as a scoped session default for the duration of a
+        run; bit-identical by contract, so it is excluded from
+        :meth:`config_hash`.
     """
 
     #: Fields that only affect execution speed, never results (every
@@ -89,7 +96,7 @@ class FlowConfig:
     #: :meth:`config_hash` so cache keys are engine-independent.
     RUNTIME_FIELDS: ClassVar[tuple[str, ...]] = (
         "backend", "fault_backend", "shards", "episode_batch",
-        "fault_plan", "stream_budget", "trace")
+        "fault_plan", "stream_budget", "trace", "array_namespace")
 
     seed: int = 0
     observability_samples: int = 512
@@ -108,6 +115,7 @@ class FlowConfig:
     fault_plan: bool | None = None
     stream_budget: int | None = None
     trace: str | None = None
+    array_namespace: str | None = None
 
     def __post_init__(self) -> None:
         from repro.simulation.backends import available_backends
@@ -126,6 +134,19 @@ class FlowConfig:
                     f"not {self.fault_backend!r}")
         if self.stream_budget is not None and self.stream_budget < 0:
             raise ConfigError("stream_budget must be >= 0")
+        if self.array_namespace is not None:
+            if not self.array_namespace:
+                raise ConfigError("array_namespace must be a non-empty "
+                                  "module name")
+            import importlib.util
+            try:
+                spec = importlib.util.find_spec(self.array_namespace)
+            except (ImportError, ValueError):
+                spec = None
+            if spec is None:
+                raise ConfigError(
+                    f"array namespace {self.array_namespace!r} is not "
+                    f"importable")
         if self.observability_samples < 2:
             raise ConfigError("observability_samples must be >= 2")
         if self.ivc_trials < 1:

@@ -81,6 +81,12 @@ class RuntimeOptions:
         ``""`` pins off).  When set, :mod:`repro.obs.trace` records
         every instrumented phase as JSONL span files under the
         directory; like every other knob it never changes results.
+    array_namespace:
+        Array namespace (importable module name) for the ``array_api``
+        backend's shared kernels (``$REPRO_ARRAY_NAMESPACE``, built-in
+        ``numpy``; e.g. ``cupy`` for the GPU path).  Bit-identical by
+        contract — like every other knob it only changes where the
+        arithmetic runs.
     """
 
     backend: str | None = None
@@ -90,6 +96,7 @@ class RuntimeOptions:
     fault_plan: bool | None = None
     stream_budget: int | None = None
     trace: str | None = None
+    array_namespace: str | None = None
 
     def __post_init__(self) -> None:
         # Validate eagerly, mirroring FlowConfig: a bad session default
@@ -114,6 +121,19 @@ class RuntimeOptions:
                     f"backend, not {self.fault_backend!r}")
         if self.stream_budget is not None and self.stream_budget < 0:
             raise ConfigError("stream_budget must be >= 0")
+        if self.array_namespace is not None:
+            if not self.array_namespace:
+                raise ConfigError("array_namespace must be a non-empty "
+                                  "module name")
+            import importlib.util
+            try:
+                spec = importlib.util.find_spec(self.array_namespace)
+            except (ImportError, ValueError):
+                spec = None
+            if spec is None:
+                raise ConfigError(
+                    f"array namespace {self.array_namespace!r} is not "
+                    f"importable")
 
     def replace(self, **changes) -> "RuntimeOptions":
         """A copy with ``changes`` applied (validated)."""

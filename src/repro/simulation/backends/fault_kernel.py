@@ -30,6 +30,12 @@ exact: detection words are bit-identical to the scalar reference.
 Fault dropping happens per batch exactly as in the reference: every
 pattern of the call is simulated at once, so the detection word always
 records all detecting patterns and ``drop`` cannot change the result.
+
+The per-tile replay itself lives in the namespace-parameterized kernels
+(:func:`repro.simulation.kernels.detect_tile`): this module owns the
+host-side plan (index arrays, cone cache, tile geometry, fault
+ordering) and drives the shared kernel with ``xp = numpy`` by default
+or with whatever namespace the ``array_api`` backend passes in.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ import numpy as np
 
 from repro.atpg.faults import observable_lines
 from repro.netlist.circuit import Circuit
+from repro.simulation.kernels import TileScratch, detect_tile, to_host
 from repro.simulation.schedule import (
     AND_FAMILY,
     GateBatch,
@@ -115,6 +122,7 @@ class FaultSimPlan:
             [schedule.line_index[line] for line in observable_lines(circuit)],
             dtype=np.intp)
         self._cone_rows: dict[str, np.ndarray] = {}
+        self._tile_cache: dict[tuple[int, int | None], tuple[int, int]] = {}
 
     def cone_rows(self, line: str) -> np.ndarray:
         """Gate-output rows in ``line``'s fanout cone, ascending (= topo).
@@ -163,120 +171,37 @@ def tile_geometry(plan: FaultSimPlan, n_words: int,
     are invisible in the results — every (fault, pattern) cell is
     computed independently — so the geometry is purely a memory/speed
     knob.
+
+    Memoized on the plan per ``(n_words, budget)``: repeated dispatches
+    of the same plan (campaign sweeps re-evaluating one circuit over
+    many vectors) skip re-deriving the tiling.
     """
+    key = (n_words, element_budget)
+    cached = plan._tile_cache.get(key)
+    if cached is not None:
+        return cached
     budget = _BATCH_ELEMENT_BUDGET if element_budget is None \
         else element_budget
     n_words = max(1, n_words)
     per_fault = max(1, plan.n_rows * n_words)
     size = budget // per_fault
     if size >= _MIN_BATCH_FAULTS:
-        return (min(_MAX_BATCH_FAULTS, size), n_words)
-    words = budget // max(1, plan.n_rows * _MIN_BATCH_FAULTS)
-    return (_MIN_BATCH_FAULTS, max(1, min(n_words, words)))
-
-
-def _detect_batch(plan: FaultSimPlan, matrix: np.ndarray,
-                  full_row: np.ndarray,
-                  batch: "Sequence[Fault]") -> np.ndarray:
-    """Detection rows ``(n_faults, n_words)`` for one batch of faults.
-
-    ``matrix``/``full_row`` may be column slices of the full waveform
-    matrix: every operation here is word-wise, so a pattern-axis tile
-    computes exactly the corresponding columns of the full detection
-    matrix.
-    """
-    index = plan.schedule.line_index
-    n_words = matrix.shape[1]
-    n_faults = len(batch)
-    fault_rows = np.array([index[f.line] for f in batch], dtype=np.intp)
-    stuck = np.array([bool(f.stuck_at) for f in batch], dtype=bool)
-
-    cones = [plan.cone_rows(f.line) for f in batch]
-    nonempty = [c for c in cones if c.size]
-    gate_rows = np.unique(np.concatenate(nonempty)) if nonempty else \
-        np.empty(0, dtype=np.intp)
-
-    # Rows the replay touches: union cone gates, their (padded) inputs,
-    # the fault lines themselves and the constant-ones padding row.
-    parts = [gate_rows, fault_rows,
-             np.array([plan.ones_index], dtype=np.intp)]
-    and_rows_all = gate_rows[plan.is_and[gate_rows]]
-    if and_rows_all.size:
-        parts.append(plan.and_inputs[and_rows_all].ravel())
-    other_sel: list[tuple[GateBatch, np.ndarray]] = []
-    if gate_rows.size > and_rows_all.size:
-        for gbatch in plan.other_batches:
-            member = np.isin(gbatch.outputs, gate_rows)
-            if member.any():
-                other_sel.append((gbatch, member))
-                parts.append(gbatch.inputs[:, member].ravel())
-    needed = np.unique(np.concatenate(parts))
-
-    local_of = np.full(plan.n_rows, -1, dtype=np.intp)
-    local_of[needed] = np.arange(needed.size)
-    good_local = matrix[needed]                       # (L, W)
-    # Lane-minor layout (L, F, W): a gathered gate row is one
-    # contiguous (F, W) slab, so the per-level fancy indexing streams
-    # instead of striding n_local_lines * n_words apart per lane.
-    faulty = np.repeat(good_local[:, None], n_faults, axis=1)
-
-    lanes = np.arange(n_faults)
-    fault_loc = local_of[fault_rows]
-    stuck_rows = np.where(stuck[:, None], full_row[None, :],
-                          np.zeros(n_words, dtype=_U64)[None, :])
-    faulty[fault_loc, lanes] = stuck_rows
-
-    levels = plan.level[gate_rows]
-    for lv in np.unique(levels):
-        rows_lv = gate_rows[levels == lv]
-        and_rows = rows_lv[plan.is_and[rows_lv]]
-        if and_rows.size:
-            in_loc = local_of[plan.and_inputs[and_rows]]      # (k, A)
-            inv_in = plan.and_inv_in[and_rows]                # (k, A)
-            # Accumulate pin by pin instead of materializing the full
-            # (A, k, F, W) gather: each fancy index already copies, so
-            # the xor/and run in place on (k, F, W) slabs — about half
-            # the memory traffic of gather + reduce.
-            acc = faulty[in_loc[:, 0]]                        # (k, F, W)
-            acc ^= inv_in[:, 0][:, None, None]
-            for pin in range(1, in_loc.shape[1]):
-                term = faulty[in_loc[:, pin]]
-                term ^= inv_in[:, pin][:, None, None]
-                acc &= term
-            acc ^= plan.and_inv_out[and_rows][:, None, None]
-            acc &= full_row
-            faulty[local_of[and_rows]] = acc
-        if rows_lv.size > and_rows.size:
-            from repro.simulation.backends.numpy_backend import _eval_rows
-            for gbatch, member in other_sel:
-                if gbatch.level != lv:
-                    continue
-                in_loc = local_of[gbatch.inputs[:, member]]   # (A, k)
-                k = in_loc.shape[1]
-                rows = faulty[in_loc]                         # (A, k, F, W)
-                out = _eval_rows(gbatch.gtype, rows, full_row,
-                                 (k, n_faults, n_words))
-                faulty[local_of[gbatch.outputs[member]]] = out
-        # A gate may drive another fault's stuck line: re-force every
-        # lane's own fault row before the next level reads it.
-        faulty[fault_loc, lanes] = stuck_rows
-
-    obs_loc = local_of[plan.obs_rows]
-    present = obs_loc[obs_loc >= 0]
-    if present.size:
-        diff = faulty[present] ^ good_local[present][:, None]
-        det = np.bitwise_or.reduce(diff, axis=0)              # (F, W)
+        geometry = (min(_MAX_BATCH_FAULTS, size), n_words)
     else:
-        det = np.zeros((n_faults, n_words), dtype=_U64)
-    return det
+        words = budget // max(1, plan.n_rows * _MIN_BATCH_FAULTS)
+        geometry = (_MIN_BATCH_FAULTS, max(1, min(n_words, words)))
+    plan._tile_cache[key] = geometry
+    return geometry
 
 
 def fault_simulate_matrix(state: "NumpyState",
                           faults: "Sequence[Fault]",
                           drop: bool = True,
-                          element_budget: int | None = None
+                          element_budget: int | None = None,
+                          xp: object | None = None,
+                          matrix: object | None = None
                           ) -> "FaultSimResult":
-    """Batched fault simulation over a settled numpy state, 2-D tiled.
+    """Batched fault simulation over a settled packed state, 2-D tiled.
 
     ``state`` is the fault-free simulation of the target patterns
     (:meth:`NumpyBackend.run`); the result is bit-identical to
@@ -287,35 +212,47 @@ def fault_simulate_matrix(state: "NumpyState",
     minimum fault chunk, the pattern axis is additionally tiled into
     word blocks — each block replays the same union-of-cones kernel on
     a column slice of the waveform matrix, reusing the settled good
-    state and the levelized schedule across all tiles.
+    state, the levelized schedule and one scratch ``faulty`` buffer
+    across all tiles.
 
     ``element_budget`` overrides the batch budget (tests force tiny
     budgets to pin multi-tile geometries; production uses the default).
+    ``xp``/``matrix`` retarget the tile replay at another array
+    namespace and its device-resident waveform matrix (the ``array_api``
+    backend passes both); the default is numpy on ``state.matrix``.
+    Detection words transfer to the host once per tile — the merge
+    boundary.
     """
     from repro.atpg.faultsim import FaultSimResult
 
+    if xp is None:
+        xp = np
     plan = cached_fault_plan(state.circuit)
-    matrix = state.matrix
+    if matrix is None:
+        matrix = state.matrix
     n_words = matrix.shape[1]
-    full_row = np.broadcast_to(matrix[plan.ones_index], (n_words,))
+    full_row = matrix[plan.ones_index]
 
     index = plan.schedule.line_index
     unique = list(dict.fromkeys(faults))
     # Topological grouping: neighbouring fault lines share their cones.
     unique.sort(key=lambda f: (index[f.line], f.stuck_at))
     f_tile, w_tile = tile_geometry(plan, n_words, element_budget)
+    scratch = TileScratch(xp)
 
     words: dict[Fault, int] = {}
     for start in range(0, len(unique), f_tile):
         batch = unique[start:start + f_tile]
         if w_tile >= n_words:
-            det = _detect_batch(plan, matrix, full_row, batch)
+            det = to_host(detect_tile(xp, plan, matrix, full_row, batch,
+                                      scratch))
         else:
             det = np.empty((len(batch), n_words), dtype=_U64)
             for w0 in range(0, n_words, w_tile):
                 w1 = min(n_words, w0 + w_tile)
-                det[:, w0:w1] = _detect_batch(
-                    plan, matrix[:, w0:w1], full_row[w0:w1], batch)
+                det[:, w0:w1] = to_host(detect_tile(
+                    xp, plan, matrix[:, w0:w1], full_row[w0:w1], batch,
+                    scratch))
         det = np.ascontiguousarray(det)
         for i, fault in enumerate(batch):
             words[fault] = int.from_bytes(det[i].tobytes(), "little")

@@ -15,6 +15,11 @@ big ints:
 * leakage sums — per (type, arity) group, one masked-AND popcount per
   leakage-table pattern, accumulated in the table's iteration order so
   the per-gate floats match the reference backend bit-for-bit.
+
+The schedule evaluation itself lives in the namespace-parameterized
+kernels (:mod:`repro.simulation.kernels`) shared with the ``array_api``
+backend; this engine calls them with ``xp = numpy``, so there is one
+kernel implementation, not two.
 """
 
 from __future__ import annotations
@@ -25,20 +30,18 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.cells.library import CellLibrary
-from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import GateType
 from repro.obs.trace import span
-from repro.simulation.backends.base import (
-    Backend,
-    SimState,
-    require_input_word,
+from repro.simulation.backends.base import Backend, SimState
+from repro.simulation.kernels import (
+    eval_gate_rows,
+    eval_schedule,
+    initial_state,
+    int_to_row,
+    row_to_int,
 )
-from repro.simulation.schedule import (
-    FusedAndBatch,
-    LevelizedSchedule,
-    cached_schedule,
-)
+from repro.simulation.schedule import LevelizedSchedule, cached_schedule
 from repro.simulation.values import mask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -79,50 +82,16 @@ else:  # pragma: no cover - exercised only on NumPy 1.x installs
     _popcount_sum = _popcount_sum_fallback
 
 
-def _int_to_row(word: int, n_words: int) -> np.ndarray:
-    """Pack a big-int word into a little-endian ``uint64`` row."""
-    return np.frombuffer(word.to_bytes(n_words * 8, "little"), dtype=_U64)
-
-
-def _row_to_int(row: np.ndarray) -> int:
-    """Unpack one ``uint64`` row back into a big-int word."""
-    return int.from_bytes(np.ascontiguousarray(row, dtype=_U64).tobytes(),
-                          "little")
+# Legacy private aliases — the implementations moved to the shared
+# namespace-parameterized kernels; numpy is just one namespace now.
+_int_to_row = int_to_row
+_row_to_int = row_to_int
 
 
 def _eval_rows(gtype: GateType, rows: np.ndarray, full: np.ndarray,
                out_shape: tuple[int, ...]) -> np.ndarray:
-    """Evaluate one gate type over stacked waveform rows.
-
-    ``rows`` has shape ``(arity, *out_shape)``; ``full`` broadcasts to
-    ``out_shape`` and has every bit above pattern ``n - 1`` clear, which
-    keeps the zero-padding of the tail word intact through inversions.
-    """
-    k = len(rows)
-    if gtype is GateType.AND or gtype is GateType.NAND:
-        acc = np.bitwise_and.reduce(rows, axis=0) if k else \
-            np.broadcast_to(full, out_shape)
-        return acc ^ full if gtype is GateType.NAND else acc
-    if gtype is GateType.OR or gtype is GateType.NOR:
-        acc = np.bitwise_or.reduce(rows, axis=0) if k else \
-            np.zeros(out_shape, dtype=_U64)
-        return acc ^ full if gtype is GateType.NOR else acc
-    if gtype is GateType.NOT:
-        return rows[0] ^ full
-    if gtype is GateType.BUFF or gtype is GateType.DFF:
-        return rows[0]
-    if gtype is GateType.XOR or gtype is GateType.XNOR:
-        acc = np.bitwise_xor.reduce(rows, axis=0) if k else \
-            np.zeros(out_shape, dtype=_U64)
-        return acc ^ full if gtype is GateType.XNOR else acc
-    if gtype is GateType.MUX2:
-        sel, d0, d1 = rows
-        return ((sel ^ full) & d0) | (sel & d1)
-    if gtype is GateType.CONST0:
-        return np.zeros(out_shape, dtype=_U64)
-    if gtype is GateType.CONST1:
-        return np.broadcast_to(full, out_shape)
-    raise SimulationError(f"cannot evaluate {gtype} in packed mode")
+    """Shared gate kernel specialized to the numpy namespace."""
+    return eval_gate_rows(np, gtype, rows, full, out_shape)
 
 
 class NumpyState(SimState):
@@ -268,38 +237,22 @@ class NumpyBackend(Backend):
         schedule = cached_schedule(circuit)
         n_words = (n + 63) // 64
         full = mask(n)
-        full_row = _int_to_row(full, n_words)
-        # One extra row beyond the named lines: the constant-ones word the
-        # fused AND kernels pad short gates with.
-        state = np.zeros((schedule.n_lines + 1, n_words), dtype=_U64)
-        state[schedule.ones_index] = full_row
-        for i, line in enumerate(schedule.input_lines):
-            word = require_input_word(input_words, line, full, n)
-            state[i] = _int_to_row(word, n_words)
-        for batch in schedule.fused_program:
-            if isinstance(batch, FusedAndBatch):
-                rows = state[batch.inputs]  # (arity, n_gates, n_words)
-                rows ^= batch.invert_in
-                acc = np.bitwise_and.reduce(rows, axis=0)
-                acc ^= batch.invert_out
-                acc &= full_row
-                state[batch.outputs] = acc
-            else:
-                rows = state[batch.inputs]
-                state[batch.outputs] = _eval_rows(
-                    batch.gtype, rows, full_row, rows.shape[1:])
+        full_row = int_to_row(full, n_words)
+        state = initial_state(schedule, input_words, n, n_words, full,
+                              full_row)
+        eval_schedule(np, schedule, state, full_row)
         return NumpyState(circuit, n, schedule, state, full_row)
 
     def eval_gate_packed(self, gtype: GateType, words: Sequence[int],
                          n: int) -> int:
         n_words = (n + 63) // 64
-        full_row = _int_to_row(mask(n), n_words)
+        full_row = int_to_row(mask(n), n_words)
         if words:
-            rows = np.stack([_int_to_row(w, n_words) for w in words])
+            rows = np.stack([int_to_row(w, n_words) for w in words])
         else:
             rows = np.zeros((0, n_words), dtype=_U64)
-        return _row_to_int(
-            _eval_rows(gtype, rows, full_row, (n_words,)))
+        return row_to_int(
+            eval_gate_rows(np, gtype, rows, full_row, (n_words,)))
 
     def fault_simulate_batch(self, circuit: Circuit,
                              faults: Sequence[Fault],

@@ -1,0 +1,338 @@
+"""Namespace-parameterized compute kernels (Python array-API style).
+
+The two hot loops of the packed ``uint64`` substrate — the levelized
+fused-AND schedule evaluation and the lane-minor 2-D tiled fault
+kernel — written against a pluggable array namespace ``xp`` instead of
+a hard numpy dependency.  The ``numpy`` backend calls these kernels
+with ``xp = numpy``; :class:`repro.simulation.backends.array_api.
+ArrayApiBackend` calls them with whatever conforming namespace is
+configured (``cupy``, a mock device double, ...), so there is exactly
+one kernel implementation shared by every engine.
+
+Division of labour:
+
+* **Host side (always numpy / Python ints):** plan and schedule index
+  arrays, big-int <-> packed-row conversion, cone unions, tile
+  bookkeeping.  These are tiny ``intp``/``uint64`` metadata arrays; the
+  array-API contract is only about the *waveform data*.
+* **Device side (``xp``):** every operation that touches waveform
+  slabs — gathers, XOR/AND/OR combining, scatter-assignments.  Host
+  index arrays cross over via :func:`to_device` (``xp.asarray``, a
+  no-op for numpy) and results come back only at merge boundaries via
+  :func:`to_host`.
+
+Required ``xp`` surface (the "bring your own accelerator" contract):
+``asarray``, ``zeros``, ``empty``, ``where``, ``broadcast_to``,
+``reshape`` and a ``uint64`` dtype, plus arrays supporting the bitwise
+operators
+(``& | ^``, in-place or not), integer-array/slice/``None`` indexing for
+``__getitem__``/``__setitem__`` (with broadcasting) and ``.shape``.
+Arrays that are not numpy must expose ``get()`` (the cupy idiom) or be
+``numpy.asarray``-coercible for the host transfer at merge boundaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.gates import GateType
+from repro.simulation.schedule import FusedAndBatch, LevelizedSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import would be cyclic
+    from repro.atpg.faults import Fault
+    from repro.simulation.backends.fault_kernel import FaultSimPlan
+
+__all__ = ["to_device", "to_host", "int_to_row", "row_to_int",
+           "initial_state", "eval_gate_rows", "eval_schedule",
+           "detect_tile", "TileScratch"]
+
+_U64 = np.dtype("<u8")
+
+
+# ---------------------------------------------------------------------------
+# Host <-> device boundary helpers
+
+
+def to_device(xp: Any, array: np.ndarray) -> Any:
+    """Move a host array into the ``xp`` namespace (no-op for numpy)."""
+    return xp.asarray(array)
+
+
+def to_host(array: Any) -> np.ndarray:
+    """Bring a device array back to host numpy (no-op for numpy).
+
+    Non-numpy arrays transfer via ``get()`` (the cupy idiom, also the
+    contract of the mocked device double in the test suite) and fall
+    back to ``numpy.asarray`` for namespaces without it.
+    """
+    if isinstance(array, np.ndarray):
+        return array
+    get = getattr(array, "get", None)
+    if get is not None:
+        return np.asarray(get())
+    return np.asarray(array)
+
+
+def int_to_row(word: int, n_words: int) -> np.ndarray:
+    """Pack a big-int word into a little-endian host ``uint64`` row."""
+    return np.frombuffer(word.to_bytes(n_words * 8, "little"), dtype=_U64)
+
+
+def row_to_int(row: np.ndarray) -> int:
+    """Unpack one host ``uint64`` row back into a big-int word."""
+    return int.from_bytes(np.ascontiguousarray(row, dtype=_U64).tobytes(),
+                          "little")
+
+
+def initial_state(schedule: LevelizedSchedule,
+                  input_words: Mapping[str, int], n: int, n_words: int,
+                  full: int, full_row: np.ndarray) -> np.ndarray:
+    """Host-side initial waveform matrix for a schedule evaluation.
+
+    Big-int input words are unpacked into the first rows; one extra row
+    beyond the named lines holds the constant-ones word the fused AND
+    kernels pad short gates with.  Packing big Python ints is host work
+    by nature — device backends upload the result once, before the
+    levelized sweep.
+    """
+    from repro.simulation.backends.base import require_input_word
+
+    state = np.zeros((schedule.n_lines + 1, n_words), dtype=_U64)
+    state[schedule.ones_index] = full_row
+    for i, line in enumerate(schedule.input_lines):
+        word = require_input_word(input_words, line, full, n)
+        state[i] = int_to_row(word, n_words)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Levelized schedule evaluation
+
+
+def eval_gate_rows(xp: Any, gtype: GateType, rows: Any, full: Any,
+                   out_shape: tuple[int, ...]) -> Any:
+    """Evaluate one gate type over stacked waveform rows.
+
+    ``rows`` has shape ``(arity, *out_shape)``; ``full`` broadcasts to
+    ``out_shape`` and has every bit above pattern ``n - 1`` clear, which
+    keeps the zero-padding of the tail word intact through inversions.
+    Reductions run as explicit pin-by-pin folds (the array-API standard
+    has no ``ufunc.reduce``); the fold order matches numpy's, so the
+    results are bit-identical.
+    """
+    k = rows.shape[0]
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        if k:
+            acc = rows[0]
+            for pin in range(1, k):
+                acc = acc & rows[pin]
+        else:
+            acc = xp.broadcast_to(full, out_shape)
+        return acc ^ full if gtype is GateType.NAND else acc
+    if gtype is GateType.OR or gtype is GateType.NOR:
+        if k:
+            acc = rows[0]
+            for pin in range(1, k):
+                acc = acc | rows[pin]
+        else:
+            acc = xp.zeros(out_shape, dtype=xp.uint64)
+        return acc ^ full if gtype is GateType.NOR else acc
+    if gtype is GateType.NOT:
+        return rows[0] ^ full
+    if gtype is GateType.BUFF or gtype is GateType.DFF:
+        return rows[0]
+    if gtype is GateType.XOR or gtype is GateType.XNOR:
+        if k:
+            acc = rows[0]
+            for pin in range(1, k):
+                acc = acc ^ rows[pin]
+        else:
+            acc = xp.zeros(out_shape, dtype=xp.uint64)
+        return acc ^ full if gtype is GateType.XNOR else acc
+    if gtype is GateType.MUX2:
+        sel = rows[0]
+        d0 = rows[1]
+        d1 = rows[2]
+        return ((sel ^ full) & d0) | (sel & d1)
+    if gtype is GateType.CONST0:
+        return xp.zeros(out_shape, dtype=xp.uint64)
+    if gtype is GateType.CONST1:
+        return xp.broadcast_to(full, out_shape)
+    raise SimulationError(f"cannot evaluate {gtype} in packed mode")
+
+
+def eval_schedule(xp: Any, schedule: LevelizedSchedule, state: Any,
+                  full_row: Any) -> Any:
+    """Run the fused levelized program in place on ``state``.
+
+    ``state`` is the ``(n_lines + 1, n_words)`` waveform matrix living
+    in the ``xp`` namespace, with input rows and the constant-ones
+    padding row already settled (:func:`initial_state`); ``full_row``
+    is the device copy of the pattern mask.  Fused AND-family batches
+    accumulate pin by pin — the first literal seeds the accumulator, so
+    no intermediate ``(arity, gates, words)`` gather is materialized —
+    and every other batch dispatches through :func:`eval_gate_rows`.
+    The fold order equals numpy's ``bitwise_and.reduce``, keeping the
+    matrix bit-identical across namespaces.
+    """
+    for batch in schedule.fused_program:
+        if isinstance(batch, FusedAndBatch):
+            outputs = to_device(xp, batch.outputs)
+            if batch.arity:
+                inputs = to_device(xp, batch.inputs)      # (A, G)
+                inv_in = to_device(xp, batch.invert_in)   # (A, G, 1)
+                acc = state[inputs[0]] ^ inv_in[0]        # (G, W), owned
+                for pin in range(1, batch.arity):
+                    acc &= state[inputs[pin]] ^ inv_in[pin]
+            else:
+                # Empty AND is the identity: every gate reads all-ones.
+                acc = xp.broadcast_to(full_row,
+                                      (len(batch),) + full_row.shape)
+            acc = acc ^ to_device(xp, batch.invert_out)   # (G, 1) mask
+            acc &= full_row
+            state[outputs] = acc
+        else:
+            rows = state[to_device(xp, batch.inputs)]
+            state[to_device(xp, batch.outputs)] = eval_gate_rows(
+                xp, batch.gtype, rows, full_row, rows.shape[1:])
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Lane-minor tiled fault kernel
+
+
+class TileScratch:
+    """Reusable device scratch for the tiled fault kernel.
+
+    The lane-minor ``faulty`` matrix is by far the largest allocation
+    of a tile replay; under a fixed element budget every tile fits the
+    same capacity, so one flat buffer serves the whole fault sweep —
+    each tile takes a reshaped view of its own element count instead of
+    allocating afresh (allocation churn shows up in traces on big
+    tiles).  The buffer only ever grows, so peak memory equals the
+    single largest tile, exactly as with per-tile allocation.  Reuse is
+    bit-transparent: :func:`detect_tile` overwrites every element of
+    its view before reading it.
+    """
+
+    def __init__(self, xp: Any):
+        self._xp = xp
+        self._flat: Any = None
+
+    def faulty(self, shape: tuple[int, int, int]) -> Any:
+        size = shape[0] * shape[1] * shape[2]
+        if self._flat is None or self._flat.shape[0] < size:
+            self._flat = self._xp.empty((size,), dtype=self._xp.uint64)
+        return self._xp.reshape(self._flat[:size], shape)
+
+
+def detect_tile(xp: Any, plan: "FaultSimPlan", matrix: Any, full_row: Any,
+                batch: "Sequence[Fault]",
+                scratch: TileScratch | None = None) -> Any:
+    """Detection rows ``(n_faults, n_words)`` for one tile of faults.
+
+    ``matrix``/``full_row`` live in the ``xp`` namespace and may be
+    column slices of the full waveform matrix: every operation here is
+    word-wise, so a pattern-axis tile computes exactly the
+    corresponding columns of the full detection matrix.  The returned
+    array is a device array — callers transfer it at the merge
+    boundary.  Cone unions and row bookkeeping stay on the host (tiny
+    ``intp`` plan metadata); only waveform slabs run on ``xp``.
+    """
+    index = plan.schedule.line_index
+    n_words = matrix.shape[1]
+    n_faults = len(batch)
+    fault_rows = np.array([index[f.line] for f in batch], dtype=np.intp)
+    stuck = np.array([bool(f.stuck_at) for f in batch], dtype=bool)
+
+    cones = [plan.cone_rows(f.line) for f in batch]
+    nonempty = [c for c in cones if c.size]
+    gate_rows = np.unique(np.concatenate(nonempty)) if nonempty else \
+        np.empty(0, dtype=np.intp)
+
+    # Rows the replay touches: union cone gates, their (padded) inputs,
+    # the fault lines themselves and the constant-ones padding row.
+    parts = [gate_rows, fault_rows,
+             np.array([plan.ones_index], dtype=np.intp)]
+    and_rows_all = gate_rows[plan.is_and[gate_rows]]
+    if and_rows_all.size:
+        parts.append(plan.and_inputs[and_rows_all].ravel())
+    other_sel = []
+    if gate_rows.size > and_rows_all.size:
+        for gbatch in plan.other_batches:
+            member = np.isin(gbatch.outputs, gate_rows)
+            if member.any():
+                other_sel.append((gbatch, member))
+                parts.append(gbatch.inputs[:, member].ravel())
+    needed = np.unique(np.concatenate(parts))
+
+    local_of = np.full(plan.n_rows, -1, dtype=np.intp)
+    local_of[needed] = np.arange(needed.size)
+    good_local = matrix[to_device(xp, needed)]            # (L, W)
+    # Lane-minor layout (L, F, W): a gathered gate row is one
+    # contiguous (F, W) slab, so the per-level fancy indexing streams
+    # instead of striding n_local_lines * n_words apart per lane.
+    shape = (needed.size, n_faults, n_words)
+    if scratch is not None:
+        faulty = scratch.faulty(shape)
+    else:
+        faulty = xp.empty(shape, dtype=xp.uint64)
+    faulty[...] = good_local[:, None, :]
+
+    lanes = to_device(xp, np.arange(n_faults))
+    fault_loc = to_device(xp, local_of[fault_rows])
+    stuck_rows = xp.where(to_device(xp, stuck)[:, None],
+                          full_row[None, :],
+                          xp.zeros((1, n_words), dtype=xp.uint64))
+    faulty[fault_loc, lanes] = stuck_rows
+
+    levels = plan.level[gate_rows]
+    for lv in np.unique(levels):
+        rows_lv = gate_rows[levels == lv]
+        and_rows = rows_lv[plan.is_and[rows_lv]]
+        if and_rows.size:
+            in_loc = local_of[plan.and_inputs[and_rows]]      # (k, A)
+            inv_in = plan.and_inv_in[and_rows]                # (k, A)
+            # Accumulate pin by pin instead of materializing the full
+            # (A, k, F, W) gather: each fancy index already copies, so
+            # the xor/and run in place on (k, F, W) slabs — about half
+            # the memory traffic of gather + reduce.
+            acc = faulty[to_device(xp, in_loc[:, 0])]         # (k, F, W)
+            acc ^= to_device(xp, inv_in[:, 0])[:, None, None]
+            for pin in range(1, in_loc.shape[1]):
+                term = faulty[to_device(xp, in_loc[:, pin])]
+                term ^= to_device(xp, inv_in[:, pin])[:, None, None]
+                acc &= term
+            acc ^= to_device(xp, plan.and_inv_out[and_rows])[:, None, None]
+            acc &= full_row
+            faulty[to_device(xp, local_of[and_rows])] = acc
+        if rows_lv.size > and_rows.size:
+            for gbatch, member in other_sel:
+                if gbatch.level != lv:
+                    continue
+                in_loc = local_of[gbatch.inputs[:, member]]   # (A, k)
+                k = in_loc.shape[1]
+                rows = faulty[to_device(xp, in_loc)]          # (A, k, F, W)
+                out = eval_gate_rows(xp, gbatch.gtype, rows, full_row,
+                                     (k, n_faults, n_words))
+                faulty[to_device(xp, local_of[gbatch.outputs[member]])] = out
+        # A gate may drive another fault's stuck line: re-force every
+        # lane's own fault row before the next level reads it.
+        faulty[fault_loc, lanes] = stuck_rows
+
+    obs_loc = local_of[plan.obs_rows]
+    present = obs_loc[obs_loc >= 0]
+    if present.size:
+        obs_faulty = faulty[to_device(xp, present)]           # (P, F, W)
+        obs_good = good_local[to_device(xp, present)]         # (P, W)
+        det = obs_faulty[0] ^ obs_good[0]                     # (F, W)
+        for i in range(1, present.size):
+            det |= obs_faulty[i] ^ obs_good[i]
+    else:
+        det = xp.zeros((n_faults, n_words), dtype=xp.uint64)
+    return det
