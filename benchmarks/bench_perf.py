@@ -623,3 +623,87 @@ def test_perf_fault_sim_sharded(benchmark, s5378_mapped):
     benchmark.extra_info["numpy_ms"] = round(numpy_s * 1e3, 3)
     benchmark.extra_info["sharded_ms"] = round(sharded_s * 1e3, 3)
     benchmark.extra_info["shard_speedup"] = round(numpy_s / sharded_s, 2)
+
+
+#: Enforced disabled-chaos efficiency floor: the fault-injection probes
+#: threaded through the queue/cache/service hot paths must be free when
+#: no policy is installed — within ~2% of the same workload's cost.
+CHAOS_EFFICIENCY_FLOOR = float(
+    os.environ.get("REPRO_BENCH_CHAOS_EFFICIENCY_FLOOR", "0.98"))
+
+
+def test_perf_chaos_disabled_overhead(benchmark, tmp_path):
+    """Disabled chaos probes on the cache hot path: near-zero cost.
+
+    ``repro.chaos`` guards every probe with one module-global ``None``
+    check, exactly like disabled tracing.  A direct A/B timing cannot
+    resolve the nanosecond-scale check against filesystem noise, so
+    the overhead is computed from its factors: (probes entered per
+    workload, counted exactly) x (per-probe disabled cost, microbenched
+    tight) / (workload time).  The derived efficiency is enforced
+    >= 0.98 — it trips if a disabled probe ever grows real work (e.g.
+    resolving a policy per call) or if probes creep into an inner loop
+    (``$REPRO_BENCH_CHAOS_EFFICIENCY_FLOOR`` overrides; the regression
+    gate auto-diffs the ``*_efficiency`` trajectory).
+    """
+    import repro.chaos as chaos
+    from repro.campaign.cache import ResultCache
+
+    assert not chaos.chaos_enabled()
+    cache = ResultCache(tmp_path / "bench-cache")
+    artefact = {"rows": list(range(64)), "summary": "bench"}
+    keys = [cache.key("flow", f"c{i}", "cfg", "code")
+            for i in range(64)]
+
+    def workload():
+        for key in keys:
+            cache.put(key, artefact)
+            cache.get(key)
+
+    # Count the probes the workload actually enters.
+    counts = {"n": 0}
+    real_mangle, real_point = chaos.mangle, chaos.point
+
+    def counting_mangle(site, data):
+        counts["n"] += 1
+        return real_mangle(site, data)
+
+    def counting_point(site):
+        counts["n"] += 1
+        real_point(site)
+
+    chaos.mangle, chaos.point = counting_mangle, counting_point
+    try:
+        workload()
+    finally:
+        chaos.mangle, chaos.point = real_mangle, real_point
+    probes_per_run = counts["n"]
+    assert probes_per_run >= len(keys) * 2  # write + read mangles
+
+    workload_s = best_of(5, workload)
+
+    payload = b"x" * 256
+
+    def probe_loop():
+        for _ in range(1000):
+            chaos.mangle("cache.read", payload)
+            chaos.point("cache.write")
+            chaos.fires("service.reset")
+
+    probe_loop()  # warm
+    per_probe_s = best_of(5, probe_loop) / 3000
+
+    overhead = probes_per_run * per_probe_s / workload_s
+    efficiency = 1.0 - overhead
+    result = benchmark.pedantic(workload, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    assert result is None
+    benchmark.extra_info["probes_per_run"] = probes_per_run
+    benchmark.extra_info["probe_cost_us"] = round(per_probe_s * 1e6, 4)
+    benchmark.extra_info["workload_ms"] = round(workload_s * 1e3, 3)
+    benchmark.extra_info["chaos_off_efficiency"] = round(efficiency, 4)
+    assert efficiency >= CHAOS_EFFICIENCY_FLOOR, (
+        f"disabled chaos costs {overhead * 100:.2f}% of the cache "
+        f"workload ({probes_per_run} probes x {per_probe_s * 1e6:.3f} "
+        f"us over {workload_s * 1e3:.2f} ms); "
+        f"floor {CHAOS_EFFICIENCY_FLOOR}")

@@ -44,6 +44,11 @@ from repro.cells import (
     default_library,
     describe_library,
 )
+from repro.chaos import (
+    ChaosPolicy,
+    RetryPolicy,
+    retry_call,
+)
 from repro.core import (
     AddMuxResult,
     FlowConfig,
@@ -187,4 +192,6 @@ __all__ = [
     "run_campaign", "ResultCache",
     "WorkQueue", "run_worker",
     "ArtifactService", "ServiceServer", "run_server",
+    # chaos engineering (fault injection + retry policies)
+    "ChaosPolicy", "RetryPolicy", "retry_call",
 ]

@@ -18,8 +18,15 @@ the result can depend on:
 
 Layout: ``<root>/<key[:2]>/<key>.json`` (two-level fan-out keeps
 directory listings fast on large sweeps).  Writes are atomic
-(temp file + ``os.replace``), so a killed campaign never leaves a
-half-written entry; unreadable or corrupt entries degrade to misses.
+(temp file + ``os.replace``) and verified: each entry carries a
+``digest`` of its artefact, the freshly written temp file is read
+back before the replace (a torn write is caught *before* it can
+shadow the key), and transient write failures are retried through
+:func:`repro.chaos.retry_call`.  A corrupt entry found on read — bad
+JSON, missing keys, digest mismatch — degrades to a miss and is
+**quarantined**: renamed to ``<key>.corrupt`` (kept for forensics,
+invisible to :meth:`~ResultCache.entries`/GC) so subsequent lookups
+recompute instead of re-parsing the same wreck forever.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ import time
 from pathlib import Path
 from typing import Any
 
+import repro.chaos as chaos
+from repro.chaos import retry_call
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.utils.hashing import package_fingerprint, stable_digest
@@ -42,7 +51,8 @@ __all__ = ["ResultCache", "CacheStats"]
 def _cache_counter(outcome: str):
     return get_registry().counter(
         "repro_cache_ops_total",
-        "Result-cache operations by outcome (hit/miss/store).",
+        "Result-cache operations by outcome "
+        "(hit/miss/store/corrupt).",
         labels={"outcome": outcome})
 
 
@@ -53,6 +63,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
 
 class ResultCache:
@@ -91,52 +102,92 @@ class ResultCache:
     def get(self, key: str) -> dict[str, Any] | None:
         """The artefact stored under ``key``, or ``None`` on a miss.
 
-        Corrupt or unreadable entries count as misses — a cache must
-        never be able to wedge a campaign.
+        Corrupt entries count as misses — a cache must never be able
+        to wedge a campaign — but are additionally **quarantined**
+        (renamed to ``<key>.corrupt``) so the next lookup goes
+        straight to recomputation instead of re-parsing the wreck.
+        An unreadable file (gone, permissions) is a plain miss and is
+        left alone.
         """
         path = self.path(key)
         with span("cache.get", key=key[:12]) as sp:
             try:
-                with path.open() as handle:
-                    entry = json.load(handle)
-                artefact = entry["artefact"]
-            except (OSError, ValueError, KeyError, TypeError):
+                data = path.read_bytes()
+            except OSError:
                 self.stats.misses += 1
                 _cache_counter("miss").inc()
                 sp.attrs["outcome"] = "miss"
+                return None
+            data = chaos.mangle("cache.read", data)
+            try:
+                entry = json.loads(data)
+                artefact = entry["artefact"]
+                digest = entry.get("digest")
+                # Entries written before the digest field are trusted
+                # as-is; a present digest must match the artefact.
+                if digest is not None \
+                        and stable_digest(artefact) != digest:
+                    raise ValueError("artefact digest mismatch")
+            except (ValueError, KeyError, TypeError):
+                self._quarantine(path)
+                self.stats.misses += 1
+                self.stats.corrupt += 1
+                _cache_counter("corrupt").inc()
+                sp.attrs["outcome"] = "corrupt"
                 return None
             self.stats.hits += 1
             _cache_counter("hit").inc()
             sp.attrs["outcome"] = "hit"
             return artefact
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the key's way (best effort)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:  # pragma: no cover - raced removal
+            pass
+
     def put(self, key: str, artefact: dict[str, Any],
             meta: dict[str, Any] | None = None) -> Path:
-        """Atomically store ``artefact`` under ``key``.
+        """Atomically store ``artefact`` under ``key`` (verified).
 
         ``meta`` (e.g. the human-readable key ingredients) is kept
         alongside for debuggability but never read back on the hot
-        path.
+        path.  The entry carries a content ``digest`` of the artefact;
+        the temp file is read back and compared before the atomic
+        replace, so a torn or corrupted write never shadows the key —
+        it is retried (:func:`repro.chaos.retry_call`) instead.
         """
         path = self.path(key)
         with span("cache.put", key=key[:12]):
             path.parent.mkdir(parents=True, exist_ok=True)
-            entry = {"key": key, "meta": meta or {}, "artefact": artefact}
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".json")
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(entry, handle, sort_keys=True)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:  # pragma: no cover - replaced/gone
-                    pass
-                raise
+            entry = {"key": key, "meta": meta or {},
+                     "artefact": artefact,
+                     "digest": stable_digest(artefact)}
+            data = json.dumps(entry, sort_keys=True).encode()
+            retry_call(lambda: self._write_verified(path, data),
+                       site="cache.write")
         self.stats.stores += 1
         _cache_counter("store").inc()
         return path
+
+    @staticmethod
+    def _write_verified(path: Path, data: bytes) -> None:
+        """One write attempt: temp file, read-back check, replace."""
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(chaos.mangle("cache.write", data))
+            if Path(tmp_name).read_bytes() != data:
+                raise OSError("torn cache write detected on read-back")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - replaced/gone
+                pass
+            raise
 
     def gc(self, max_bytes: int) -> tuple[int, int]:
         """Evict LRU-by-mtime entries until the cache fits ``max_bytes``.

@@ -26,6 +26,8 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+import repro.chaos as chaos
+from repro.chaos import retry_call
 from repro.core.config import FlowConfig
 from repro.errors import ConfigError
 from repro.utils.hashing import stable_digest
@@ -319,7 +321,9 @@ class Manifest:
         return stats
 
     def save(self) -> None:
-        """Atomically rewrite the manifest file."""
+        """Atomically rewrite the manifest file (retried on transient
+        I/O failure — the manifest checkpoints after every job, so one
+        flaky write must not kill a campaign)."""
         payload = {
             "version": self.VERSION,
             "spec_digest": self.spec_digest,
@@ -327,6 +331,11 @@ class Manifest:
                      for job_id in sorted(self.records)],
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        retry_call(lambda: self._save_once(payload),
+                   site="manifest.write")
+
+    def _save_once(self, payload: dict[str, Any]) -> None:
+        chaos.point("manifest.write")
         fd, tmp_name = tempfile.mkstemp(
             dir=self.path.parent, prefix=".tmp-manifest-", suffix=".json")
         try:

@@ -53,9 +53,11 @@ import socket
 import tempfile
 import threading
 import time
+import traceback
 from pathlib import Path
 from typing import Any, Callable
 
+import repro.chaos as chaos
 from repro.campaign.cache import ResultCache
 from repro.campaign.manifest import (
     CampaignJob,
@@ -69,6 +71,7 @@ from repro.campaign.runner import (
     execute_job,
     job_identity,
 )
+from repro.chaos import RetryPolicy, retry_call
 from repro.errors import QueueError
 from repro.obs.metrics import get_registry
 from repro.obs.trace import flush as trace_flush
@@ -88,6 +91,11 @@ __all__ = [
 #: than this is considered abandoned and re-queued.
 DEFAULT_LEASE_TTL_S = 60.0
 
+#: Default execution-failure budget per job: a job whose execution
+#: raised this many times is quarantined in ``failed/`` (poisoned)
+#: instead of being re-queued again.
+DEFAULT_MAX_ATTEMPTS = 3
+
 _STATES = ("pending", "claimed", "done", "failed")
 
 
@@ -98,8 +106,29 @@ def _requeued_counter():
         "Claimed jobs whose expired lease was returned to pending.")
 
 
+def _quarantined_counter():
+    return get_registry().counter(
+        "repro_queue_quarantined_total",
+        "Jobs parked in failed/ after exhausting their attempt "
+        "budget.")
+
+
+def _job_retry_counter():
+    return get_registry().counter(
+        "repro_retries_total",
+        "Transient failures retried, by site.",
+        labels={"site": "queue.job"})
+
+
 def _atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
+    """Write ``payload`` atomically, retrying transient I/O failures."""
     path.parent.mkdir(parents=True, exist_ok=True)
+    retry_call(lambda: _write_json_once(path, payload),
+               site="queue.write")
+
+
+def _write_json_once(path: Path, payload: dict[str, Any]) -> None:
+    chaos.point("queue.write")
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=".tmp-", suffix=".json")
     try:
@@ -140,6 +169,9 @@ class ClaimedJob:
     #: Submitter's trace context (``propagation_context`` shape) —
     #: the executing worker adopts it so its spans join that trace.
     trace: dict[str, Any] | None = None
+    #: Failed executions so far (rides in the job payload across
+    #: re-queues; drives the poison-job quarantine budget).
+    attempts: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -170,6 +202,9 @@ class WorkerStats:
     cached: int = 0
     failed: int = 0
     requeued: int = 0
+    #: Jobs re-queued for another attempt after their execution raised
+    #: (distinct from ``failed``, which counts quarantines).
+    retried: int = 0
     wall_s: float = 0.0
 
 
@@ -216,6 +251,15 @@ class WorkQueue:
         return float(self._metadata().get(
             "lease_ttl_s", DEFAULT_LEASE_TTL_S))
 
+    @property
+    def max_attempts(self) -> int:
+        """Per-job execution-failure budget before quarantine
+        (``queue.json``; queues created before the field use the
+        default)."""
+        return int(self._metadata().get(
+            "max_attempts", DEFAULT_MAX_ATTEMPTS) or
+            DEFAULT_MAX_ATTEMPTS)
+
     def spec(self) -> CampaignSpec:
         """The campaign spec this queue was created from."""
         return CampaignSpec.from_dict(self._metadata()["spec"])
@@ -251,6 +295,7 @@ class WorkQueue:
                 "spec": None,
                 "spec_digest": None,
                 "lease_ttl_s": lease_ttl_s,
+                "max_attempts": DEFAULT_MAX_ATTEMPTS,
             })
         return queue
 
@@ -312,6 +357,7 @@ class WorkQueue:
                 "spec": spec.to_dict(),
                 "spec_digest": spec.digest(),
                 "lease_ttl_s": lease_ttl_s,
+                "max_attempts": DEFAULT_MAX_ATTEMPTS,
             })
             self._meta = None
         present = {
@@ -369,9 +415,11 @@ class WorkQueue:
                     pass
                 continue
             try:
+                chaos.point("queue.rename")
                 os.rename(pending_path, claimed_path)
             except OSError:
-                continue  # another worker won this one; next
+                continue  # another worker won this one (or chaos
+                # struck); the job stays pending for the next pass
             # The rename preserved the (possibly old) pending mtime —
             # refresh it immediately so the fresh lease cannot look
             # expired to a concurrent scavenger.
@@ -403,18 +451,33 @@ class WorkQueue:
                     kind=payload.get("kind", FLOW_ARTEFACT_KIND),
                     path=claimed_path,
                     trace=payload.get("trace"),
+                    attempts=int(payload.get("attempts", 0) or 0),
                 )
         return None
+
+    #: Heartbeats retry transient utime failures but give up straight
+    #: away on ``FileNotFoundError`` — a vanished lease file means the
+    #: lease was revoked, not that the filesystem hiccuped.
+    _HEARTBEAT_RETRY = RetryPolicy(attempts=4, base_s=0.005,
+                                   cap_s=0.05,
+                                   giveup_on=(FileNotFoundError,))
 
     def heartbeat(self, claim: ClaimedJob) -> bool:
         """Refresh ``claim``'s lease; ``False`` when it was revoked."""
         with span("queue.heartbeat", job=claim.name) as sp:
             try:
-                os.utime(claim.path)
+                retry_call(lambda: self._touch(claim),
+                           site="queue.heartbeat",
+                           policy=self._HEARTBEAT_RETRY)
             except OSError:
                 sp.attrs["lost"] = True
                 return False
             return True
+
+    @staticmethod
+    def _touch(claim: ClaimedJob) -> None:
+        chaos.point("queue.heartbeat")
+        os.utime(claim.path)
 
     def requeue_expired(self, now: float | None = None) -> int:
         """Re-queue claimed jobs whose heartbeat exceeded the TTL.
@@ -444,8 +507,11 @@ class WorkQueue:
                 if age <= ttl:
                     continue
                 try:
+                    chaos.point("queue.requeue")
                     os.rename(claimed_path, self._dir("pending") / name)
-                except OSError:  # pragma: no cover - raced scavenger
+                except OSError:
+                    # Raced scavenger, or chaos struck — the lease is
+                    # still expired, so the next pass retries.
                     continue
                 requeued += 1
             sp.attrs["requeued"] = requeued
@@ -468,17 +534,84 @@ class WorkQueue:
         except OSError:
             pass  # lease was revoked/re-queued; the marker wins
 
-    def fail(self, claim: ClaimedJob, error: str) -> None:
-        """Park ``claim`` in ``failed/`` with its error (no retry)."""
+    def release(self, claim: ClaimedJob, *, attempts: int) -> None:
+        """Return ``claim`` to ``pending/`` for another attempt.
+
+        ``attempts`` (the number of failed executions so far) rides in
+        the job payload, so whichever worker claims the job next knows
+        how much budget is left.
+        """
         payload = _read_json(claim.path) or {
             "job": dataclasses.asdict(claim.job), "kind": claim.kind}
+        payload.pop("lease", None)
+        payload["attempts"] = attempts
+        _atomic_write_json(self._dir("pending") / claim.name, payload)
+        try:
+            claim.path.unlink()
+        except OSError:
+            pass
+        _job_retry_counter().inc()
+
+    def fail(self, claim: ClaimedJob, error: str, *,
+             traceback_text: str | None = None,
+             attempts: int | None = None,
+             worker_id: str | None = None) -> None:
+        """Quarantine ``claim`` in ``failed/`` with a triage record.
+
+        Besides the human-readable ``error``, the entry carries a
+        machine-readable ``failure`` object — ``{error, traceback,
+        attempts, worker_id}`` — so ``repro-power campaign
+        retry-failed`` and humans can tell a poison job from an
+        infrastructure casualty.
+        """
+        payload = _read_json(claim.path) or {
+            "job": dataclasses.asdict(claim.job), "kind": claim.kind}
+        payload.pop("lease", None)
         payload["error"] = error
+        payload["failure"] = {
+            "error": error,
+            "traceback": traceback_text,
+            "attempts": attempts,
+            "worker_id": worker_id,
+        }
         payload["failed_at"] = time.time()
         _atomic_write_json(self._dir("failed") / claim.name, payload)
         try:
             claim.path.unlink()
         except OSError:
             pass
+        _quarantined_counter().inc()
+
+    def retry_failed(self) -> int:
+        """Move every quarantined job back to ``pending/`` with a
+        fresh attempt budget; returns the number re-queued
+        (``repro-power campaign retry-failed DIR``)."""
+        moved = 0
+        with span("queue.retry_failed") as sp:
+            for name in self._entry_names("failed"):
+                failed_path = self._dir("failed") / name
+                payload = _read_json(failed_path)
+                if payload is None or "job" not in payload:
+                    continue  # corrupt entry: nothing to re-run
+                if (self._dir("done") / name).exists():
+                    # Finished after all (e.g. re-run via another
+                    # queue entry); drop the stale quarantine.
+                    try:
+                        failed_path.unlink()
+                    except OSError:  # pragma: no cover - raced
+                        pass
+                    continue
+                for stale in ("error", "failure", "failed_at",
+                              "attempts", "lease"):
+                    payload.pop(stale, None)
+                _atomic_write_json(self._dir("pending") / name, payload)
+                try:
+                    failed_path.unlink()
+                except OSError:  # pragma: no cover - raced retry
+                    pass
+                moved += 1
+            sp.attrs["requeued"] = moved
+        return moved
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -575,8 +708,11 @@ def run_worker(queue_dir: str | Path, cache_dir: str | Path, *,
                wait: bool = False,
                max_jobs: int | None = None,
                lease_ttl_s: float | None = None,
+               max_attempts: int | None = None,
                verbose: bool = False,
-               on_idle: Callable[[], None] | None = None) -> WorkerStats:
+               on_idle: Callable[[], None] | None = None,
+               should_stop: Callable[[], bool] | None = None
+               ) -> WorkerStats:
     """Drain ``queue_dir`` into ``cache_dir``; returns worker stats.
 
     The worker loop: re-queue expired leases, claim one job, consult
@@ -588,6 +724,15 @@ def run_worker(queue_dir: str | Path, cache_dir: str | Path, *,
     worker behind ``repro serve``'s enqueue-on-miss).  ``max_jobs``
     bounds the number of jobs processed (tests, bounded drains).
 
+    A job whose execution raises is **re-queued** with its attempt
+    count until the budget (``max_attempts`` argument >
+    ``queue.json`` > 3) is exhausted, then quarantined in
+    ``failed/`` with the captured traceback — a poison job can never
+    wedge the queue, and a transiently failed one heals without
+    operator action.  ``should_stop`` is polled between jobs: when it
+    turns true the worker finishes its current job and exits cleanly
+    (the CLI wires SIGTERM to it).
+
     Any number of concurrent workers — across processes and hosts —
     produce a cache and manifest bit-identical to a serial
     ``repro campaign --jobs 1`` run (modulo wall-clock timings).
@@ -597,13 +742,23 @@ def run_worker(queue_dir: str | Path, cache_dir: str | Path, *,
     cache = ResultCache(cache_dir)
     stats = WorkerStats(worker_id=worker_id or (
         f"{socket.gethostname()}-{os.getpid()}"))
+    # Decorrelate this worker's injection streams from its siblings
+    # (deterministic per worker_id): co-located workers would otherwise
+    # share every draw and die/fail in lockstep.
+    chaos.rescope(stats.worker_id)
     watch = Stopwatch()
     code_fp = package_fingerprint()
     fingerprints: dict[tuple[str, int], str] = {}
     heartbeat_s = max(queue.lease_ttl_s / 3.0, 0.02)
+    budget = max_attempts if max_attempts is not None \
+        else queue.max_attempts
+    if budget < 1:
+        raise QueueError("max_attempts must be >= 1")
 
     processed = 0
     while max_jobs is None or processed < max_jobs:
+        if should_stop is not None and should_stop():
+            break
         stats.requeued += queue.requeue_expired()
         claim = queue.claim(stats.worker_id)
         if claim is None:
@@ -633,6 +788,10 @@ def run_worker(queue_dir: str | Path, cache_dir: str | Path, *,
                     stats.cached += 1
                 else:
                     with _LeaseKeeper(queue, claim, heartbeat_s):
+                        # A killed worker (here or in execute_job)
+                        # stops heartbeating; the lease expires and
+                        # another worker re-claims the job.
+                        chaos.point("worker.kill")
                         artefact = execute_job(claim.job, claim.kind)
                     record.phases = artefact.pop("_phases", None)
                     cache.put(key, artefact, meta={
@@ -662,11 +821,24 @@ def run_worker(queue_dir: str | Path, cache_dir: str | Path, *,
                 pass
             raise
         except Exception as exc:  # noqa: BLE001 - worker must survive
-            queue.fail(claim, f"{type(exc).__name__}: {exc}")
-            stats.failed += 1
-            if verbose:
-                print(f"[{stats.worker_id}] {claim.job.job_id}: "
-                      f"FAILED ({exc})", flush=True)
+            attempts = claim.attempts + 1
+            if attempts < budget:
+                queue.release(claim, attempts=attempts)
+                stats.retried += 1
+                if verbose:
+                    print(f"[{stats.worker_id}] {claim.job.job_id}: "
+                          f"retrying (attempt {attempts}/{budget}: "
+                          f"{exc})", flush=True)
+            else:
+                queue.fail(
+                    claim, f"{type(exc).__name__}: {exc}",
+                    traceback_text=traceback.format_exc(),
+                    attempts=attempts, worker_id=stats.worker_id)
+                stats.failed += 1
+                if verbose:
+                    print(f"[{stats.worker_id}] {claim.job.job_id}: "
+                          f"FAILED after {attempts} attempt(s) "
+                          f"({exc})", flush=True)
     stats.wall_s = watch.elapsed_s
     trace_flush()
     return stats

@@ -45,11 +45,13 @@ import asyncio
 import dataclasses
 import hashlib
 import json
+import os
 import threading
 import time
 import urllib.parse
 from typing import Any
 
+import repro.chaos as chaos
 from repro.campaign.cache import ResultCache
 from repro.campaign.manifest import CampaignJob
 from repro.campaign.queue import WorkQueue
@@ -81,6 +83,8 @@ _STATUS_PHRASES = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -100,6 +104,10 @@ class ServiceMetrics:
     computed: int = 0
     enqueued: int = 0
     errors: int = 0
+    #: Connections refused with 503 at the ``max_connections`` cap.
+    shed: int = 0
+    #: Requests cut off with 504 at the ``request_timeout_s`` budget.
+    timeouts: int = 0
     latency_total_ms: float = 0.0
     latency_max_ms: float = 0.0
 
@@ -164,16 +172,33 @@ class ArtifactService:
     base:
         ``FlowConfig`` kwargs applied under every request's overrides
         (the service-side campaign ``base``).
+    max_connections:
+        Concurrent-connection cap; connections beyond it are **shed**
+        with ``503`` + ``Retry-After`` *before* their request is read,
+        so an overloaded server stays responsive instead of queueing
+        unboundedly (``None`` = uncapped).
+    request_timeout_s:
+        Per-request handling budget; a request not answered within it
+        gets ``504`` (``None`` = unbounded).
     """
 
     def __init__(self, cache: ResultCache, *,
                  queue: WorkQueue | None = None,
                  compute_on_miss: bool = False,
-                 base: dict[str, Any] | None = None):
+                 base: dict[str, Any] | None = None,
+                 max_connections: int | None = None,
+                 request_timeout_s: float | None = None):
+        if max_connections is not None and max_connections < 1:
+            raise ServiceError("max_connections must be >= 1")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ServiceError("request_timeout_s must be > 0")
         self.cache = cache
         self.queue = queue
         self.compute_on_miss = compute_on_miss
         self.base = dict(base or {})
+        self.max_connections = max_connections
+        self.request_timeout_s = request_timeout_s
+        self._active = 0
         self.metrics = ServiceMetrics()
         self._code_fp = package_fingerprint()
         self._fingerprints: dict[tuple[str, int], str] = {}
@@ -185,26 +210,70 @@ class ArtifactService:
 
     async def handle_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
-        """Serve one request on one connection, then close it."""
+        """Serve one request on one connection, then close it.
+
+        Overload and fault behaviour: at the ``max_connections`` cap
+        the connection is shed (``503`` + ``Retry-After``) without
+        reading the request; a request exceeding
+        ``request_timeout_s`` is answered ``504``; a fired
+        ``service.reset`` chaos draw drops the connection with no
+        response at all (clients must survive network blips).
+        """
         started = time.monotonic()
+        if chaos.fires("service.reset"):
+            await self._close(writer)
+            return
+        if self.max_connections is not None \
+                and self._active >= self.max_connections:
+            self.metrics.shed += 1
+            response = _Response(
+                503, {"error": "server at connection capacity"},
+                headers={"Retry-After": "1"})
+            await self._write(writer, response)
+            self.metrics.observe((time.monotonic() - started) * 1000.0)
+            return
+        self._active += 1
         try:
-            response = await self._handle(reader)
-        except Exception as exc:  # noqa: BLE001 - server must survive
-            self.metrics.errors += 1
-            response = _Response(500, {"error": f"{type(exc).__name__}: "
-                                                f"{exc}"})
+            slow_s = chaos.delay("service.slow")
+            if slow_s:
+                await asyncio.sleep(slow_s)
+            try:
+                if self.request_timeout_s is not None:
+                    response = await asyncio.wait_for(
+                        self._handle(reader), self.request_timeout_s)
+                else:
+                    response = await self._handle(reader)
+            except (asyncio.TimeoutError, TimeoutError):
+                self.metrics.timeouts += 1
+                response = _Response(504, {
+                    "error": f"request exceeded the "
+                             f"{self.request_timeout_s}s budget"})
+            except Exception as exc:  # noqa: BLE001 - must survive
+                self.metrics.errors += 1
+                response = _Response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"})
+            await self._write(writer, response)
+        finally:
+            self._active -= 1
+            self.metrics.observe((time.monotonic() - started) * 1000.0)
+
+    async def _write(self, writer: asyncio.StreamWriter,
+                     response: _Response) -> None:
+        """Write one response and close (client-gone tolerant)."""
         try:
             writer.write(response.encode())
             await writer.drain()
-        except (ConnectionError, OSError):  # pragma: no cover - client gone
+        except (ConnectionError, OSError):  # pragma: no cover - gone
             pass
-        finally:
-            self.metrics.observe((time.monotonic() - started) * 1000.0)
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
+        await self._close(writer)
+
+    @staticmethod
+    async def _close(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
 
     async def _handle(self, reader: asyncio.StreamReader) -> _Response:
         try:
@@ -256,7 +325,7 @@ class ArtifactService:
         etag_in = headers.get("if-none-match")
 
         if path == "/healthz":
-            return _Response(200, {"status": "ok"})
+            return await self._healthz()
         if path == "/metrics":
             return self._metrics_response(query, headers)
 
@@ -286,6 +355,44 @@ class ArtifactService:
     # ------------------------------------------------------------------ #
     # endpoint implementations
     # ------------------------------------------------------------------ #
+
+    async def _healthz(self) -> _Response:
+        """Active health: probe the stores the service depends on.
+
+        A health endpoint that always says ok is a liveness bit, not a
+        health check: this one round-trips a probe file through the
+        cache root (and the queue's ``pending/`` when one is
+        attached).  Any failed probe degrades the service to ``503``,
+        so a load balancer stops routing to a replica whose volume
+        went read-only or vanished.
+        """
+        checks = await asyncio.to_thread(self._probe_stores)
+        degraded = any(state != "ok" for state in checks.values())
+        return _Response(
+            503 if degraded else 200,
+            {"status": "degraded" if degraded else "ok",
+             "checks": checks},
+            headers={"Retry-After": "1"} if degraded else None)
+
+    def _probe_stores(self) -> dict[str, str]:
+        """Write/read/delete one probe file per dependent store."""
+        targets = {"cache": self.cache.root}
+        if self.queue is not None:
+            targets["queue"] = self.queue.root / "pending"
+        checks: dict[str, str] = {}
+        for name, root in targets.items():
+            probe = root / f".healthz-probe-{os.getpid()}"
+            try:
+                root.mkdir(parents=True, exist_ok=True)
+                probe.write_bytes(b"ok")
+                data = probe.read_bytes()
+                probe.unlink()
+                if data != b"ok":
+                    raise OSError("probe read-back mismatch")
+                checks[name] = "ok"
+            except OSError as exc:
+                checks[name] = f"failed: {exc}"
+        return checks
 
     def _metrics_response(self, query: dict[str, list[str]],
                           headers: dict[str, str]) -> _Response:
@@ -321,7 +428,8 @@ class ArtifactService:
         reg = get_registry()
         snapshot = self.metrics.snapshot()
         for field in ("requests", "hits", "misses", "not_modified",
-                      "computed", "enqueued", "errors"):
+                      "computed", "enqueued", "errors", "shed",
+                      "timeouts"):
             reg.gauge(f"repro_service_{field}",
                       f"Service {field.replace('_', ' ')} "
                       f"since start.").set(snapshot[field])

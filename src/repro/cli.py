@@ -103,6 +103,14 @@ def _build_parser() -> argparse.ArgumentParser:
                               "backend's shared kernels, e.g. cupy "
                               "(bit-identical; default: "
                               "$REPRO_ARRAY_NAMESPACE or numpy)"))
+    parser.add_argument("--chaos", metavar="SPEC", default=None,
+                        help=("seeded fault injection, e.g. "
+                              "'seed=7,queue.*=0.2,cache.write=0.5' "
+                              "(site patterns -> firing rates; see "
+                              "README 'Failure semantics'; injected "
+                              "faults are survived — results stay "
+                              "bit-identical; default: $REPRO_CHAOS "
+                              "or off; '' pins off)"))
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_campaign_args(p) -> None:
@@ -133,7 +141,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="JSON campaign spec file (see README "
                            "'Campaigns'); omit to use --circuits; the "
                            "literal word 'gc' instead runs cache "
-                           "eviction (with --max-mb)")
+                           "eviction (with --max-mb); the literal "
+                           "word 'retry-failed' re-queues a work "
+                           "queue's quarantined jobs (pass the queue "
+                           "directory after it)")
+    camp.add_argument("queue_dir", nargs="?", default=None,
+                      metavar="QUEUE_DIR",
+                      help=("with 'retry-failed': the work queue "
+                            "directory whose failed/ jobs to re-queue"))
     camp.add_argument("--circuits", nargs="+", default=None,
                       metavar="NAME",
                       help="inline spec: circuits to sweep")
@@ -207,6 +222,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="S",
                         help=("override the queue's lease TTL for "
                               "this worker's scavenging"))
+    worker.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help=("re-queue a job whose execution raised "
+                              "up to N attempts before quarantining "
+                              "it in failed/ (default: the queue's "
+                              "max_attempts, normally 3)"))
     worker.add_argument("--manifest", metavar="PATH", default=None,
                         help=("after draining, assemble the campaign "
                               "manifest from the queue's records into "
@@ -235,6 +256,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help=("base FlowConfig kwargs (JSON object) "
                              "applied under every request's "
                              "overrides"))
+    serve.add_argument("--max-connections", type=int, default=None,
+                       metavar="N",
+                       help=("shed connections beyond N concurrent "
+                             "with 503 + Retry-After (default: "
+                             "uncapped)"))
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       metavar="S",
+                       help=("answer 504 to requests not handled "
+                             "within S seconds (default: unbounded)"))
 
     run_p = sub.add_parser("run", help="run the flow on one circuit")
     run_p.add_argument("circuit")
@@ -304,7 +334,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             fault_plan=fault_plan,
             stream_budget=args.stream_budget,
             trace=args.trace,
-            array_namespace=args.array_namespace))
+            array_namespace=args.array_namespace,
+            chaos=args.chaos))
         # Fail fast on malformed environment defaults behind any knob
         # the flags left unset (flag values are argparse-validated).
         resolve_backend(None)  # bad $REPRO_SIM_BACKEND
@@ -427,6 +458,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _run_campaign_retry_failed(args) -> int:
+    """``repro campaign retry-failed DIR``: re-queue quarantined jobs.
+
+    Every job parked in ``failed/`` (attempt budget exhausted) is
+    moved back to ``pending/`` with its attempt count and failure
+    record cleared, so the next worker drain retries it from scratch
+    — the operator's lever after fixing whatever poisoned the jobs.
+    """
+    from repro.campaign.queue import WorkQueue
+    from repro.errors import QueueError
+
+    if args.queue_dir is None:
+        print("repro-power: error: campaign retry-failed needs the "
+              "work queue directory", file=sys.stderr)
+        return 2
+    try:
+        queue = WorkQueue(args.queue_dir)
+        queue._metadata()  # fail fast on a missing/corrupt queue
+        requeued = queue.retry_failed()
+    except QueueError as exc:
+        print(f"repro-power: error: {exc}", file=sys.stderr)
+        return 2
+    depth = queue.depth()
+    print(f"campaign retry-failed: re-queued {requeued} job(s); "
+          f"queue now {depth.pending} pending / {depth.claimed} "
+          f"claimed / {depth.done} done / {depth.failed} failed")
+    return 0
+
+
 def _run_campaign_gc(args) -> int:
     """``repro campaign gc``: cache eviction by size and/or age."""
     from repro.campaign.cache import ResultCache
@@ -478,7 +538,15 @@ def _run_campaign_gc(args) -> int:
 
 
 def _run_worker_command(args) -> int:
-    """The ``worker`` subcommand: drain one shared work queue."""
+    """The ``worker`` subcommand: drain one shared work queue.
+
+    SIGTERM is graceful: the worker finishes (or re-queues) the job it
+    holds, then exits 0 — an orchestrator scaling workers down never
+    loses work (SIGKILL is also safe, via lease expiry, just slower).
+    """
+    import signal
+    import threading
+
     from repro.campaign.queue import WorkQueue, run_worker
     from repro.errors import QueueError
 
@@ -490,6 +558,13 @@ def _run_worker_command(args) -> int:
         print("repro-power: error: --max-jobs must be >= 1",
               file=sys.stderr)
         return 2
+    if args.max_attempts is not None and args.max_attempts < 1:
+        print("repro-power: error: --max-attempts must be >= 1",
+              file=sys.stderr)
+        return 2
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM,
+                             lambda _signum, _frame: stop.set())
     cache_dir = args.cache_dir or ".repro-cache"
     try:
         stats = run_worker(
@@ -499,7 +574,9 @@ def _run_worker_command(args) -> int:
             wait=args.wait,
             max_jobs=args.max_jobs,
             lease_ttl_s=args.lease_ttl,
-            verbose=not args.quiet)
+            max_attempts=args.max_attempts,
+            verbose=not args.quiet,
+            should_stop=stop.is_set)
     except QueueError as exc:
         print(f"repro-power: error: {exc}", file=sys.stderr)
         return 2
@@ -507,11 +584,17 @@ def _run_worker_command(args) -> int:
         print("repro-power: worker interrupted (claim returned to "
               "the queue)", file=sys.stderr)
         return 130
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    if stop.is_set() and not args.quiet:
+        print("repro-power: worker stopping on SIGTERM (current job "
+              "settled)", file=sys.stderr)
     queue = WorkQueue(args.queue_dir)
     depth = queue.depth()
     print(f"worker {stats.worker_id}: {stats.executed} executed, "
           f"{stats.cached} from cache, {stats.failed} failed, "
-          f"{stats.requeued} re-queued in {stats.wall_s:.2f}s; "
+          f"{stats.requeued} re-queued, {stats.retried} retried in "
+          f"{stats.wall_s:.2f}s; "
           f"queue now {depth.pending} pending / {depth.claimed} "
           f"claimed / {depth.done} done / {depth.failed} failed")
     if args.manifest is not None:
@@ -550,11 +633,17 @@ def _run_serve_command(args) -> int:
         except QueueError as exc:
             print(f"repro-power: error: {exc}", file=sys.stderr)
             return 2
-    service = ArtifactService(
-        ResultCache(args.cache_dir or ".repro-cache"),
-        queue=queue,
-        compute_on_miss=args.compute_on_miss,
-        base=base)
+    try:
+        service = ArtifactService(
+            ResultCache(args.cache_dir or ".repro-cache"),
+            queue=queue,
+            compute_on_miss=args.compute_on_miss,
+            base=base,
+            max_connections=args.max_connections,
+            request_timeout_s=args.request_timeout)
+    except ServiceError as exc:
+        print(f"repro-power: error: {exc}", file=sys.stderr)
+        return 2
     try:
         run_server(service, args.host, args.port)
     except (ServiceError, OSError) as exc:
@@ -574,6 +663,13 @@ def _run_campaign_command(args, episode_batch: bool | None,
 
     if args.spec == "gc":
         return _run_campaign_gc(args)
+    if args.spec == "retry-failed":
+        return _run_campaign_retry_failed(args)
+    if args.queue_dir is not None:
+        print("repro-power: error: a second positional argument only "
+              "applies to 'campaign retry-failed QUEUE_DIR'",
+              file=sys.stderr)
+        return 2
     if args.max_mb is not None or args.max_age_days is not None:
         print("repro-power: error: --max-mb/--max-age-days only "
               "apply to 'campaign gc'", file=sys.stderr)

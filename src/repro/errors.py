@@ -91,6 +91,14 @@ class ConfigError(ReproError):
     """Invalid configuration passed to a flow or experiment."""
 
 
+class ChaosError(ConfigError):
+    """Invalid chaos spec, unknown injection site or bad retry policy.
+
+    A :class:`ConfigError`: a bad ``--chaos`` spec should fail fast at
+    option-resolution time exactly like any other invalid knob.
+    """
+
+
 class CampaignError(ReproError):
     """Campaign orchestration failed (queue, worker or artefact layer)."""
 

@@ -87,6 +87,15 @@ class RuntimeOptions:
         ``numpy``; e.g. ``cupy`` for the GPU path).  Bit-identical by
         contract — like every other knob it only changes where the
         arithmetic runs.
+    chaos:
+        Fault-injection spec (``$REPRO_CHAOS``, default off; ``""``
+        pins off).  When set, :mod:`repro.chaos` fires seeded faults
+        at the named injection sites (see the spec grammar there).
+        Failures are injected *and survived* — retries, respawns and
+        re-queues converge on results bit-identical to a clean run —
+        so like every other knob it never changes results; unlike the
+        others it deliberately changes how often the recovery paths
+        run.
     """
 
     backend: str | None = None
@@ -97,6 +106,7 @@ class RuntimeOptions:
     stream_budget: int | None = None
     trace: str | None = None
     array_namespace: str | None = None
+    chaos: str | None = None
 
     def __post_init__(self) -> None:
         # Validate eagerly, mirroring FlowConfig: a bad session default
@@ -134,6 +144,11 @@ class RuntimeOptions:
                 raise ConfigError(
                     f"array namespace {self.array_namespace!r} is not "
                     f"importable")
+        if self.chaos:
+            # Parse eagerly: a bad --chaos spec must fail at install
+            # time, not at the first injection site deep in a worker.
+            from repro.chaos import ChaosPolicy
+            ChaosPolicy.parse(self.chaos)
 
     def replace(self, **changes) -> "RuntimeOptions":
         """A copy with ``changes`` applied (validated)."""
@@ -142,13 +157,17 @@ class RuntimeOptions:
     def to_flow_kwargs(self) -> dict:
         """The non-``None`` fields as :class:`FlowConfig` kwargs.
 
-        Every :class:`RuntimeOptions` field is also a runtime-only
-        ``FlowConfig`` field, so campaign/server code can fold the
-        session options into a per-job config in one call.
+        Campaign/server code folds the session options into a per-job
+        config in one call.  Fields that are session-scoped only
+        (``chaos`` — injection is ambient process state, not a per-job
+        knob) are filtered out by introspecting ``FlowConfig``.
         """
+        from repro.core.config import FlowConfig
+        known = {field.name for field in dataclasses.fields(FlowConfig)}
         return {field.name: getattr(self, field.name)
                 for field in dataclasses.fields(self)
-                if getattr(self, field.name) is not None}
+                if field.name in known
+                and getattr(self, field.name) is not None}
 
 
 #: The installed session defaults (all-``None`` = neutral).
@@ -175,11 +194,14 @@ def set_session_defaults(options: RuntimeOptions | None = None,
     base = options if options is not None else \
         (_session if kwargs else RuntimeOptions())
     _session = base.replace(**kwargs) if kwargs else base
-    # The trace knob drives a process-wide recorder, not a per-call
-    # resolver — align it with the new session state immediately so
-    # ``using(trace=...)`` scopes recording like any other knob.
+    # The trace and chaos knobs drive process-wide state, not a
+    # per-call resolver — align them with the new session immediately
+    # so ``using(trace=...)`` / ``using(chaos=...)`` scope like any
+    # other knob.
     from repro.obs import trace as obs_trace
     obs_trace.sync_from_session()
+    import repro.chaos as chaos
+    chaos.sync_from_session()
     return _session
 
 

@@ -59,7 +59,9 @@ class TestDispatch:
         service = ArtifactService(ResultCache(tmp_path))
         response = dispatch(service, "/healthz")
         assert response.status == 200
-        assert json.loads(response.body) == {"status": "ok"}
+        payload = json.loads(response.body)
+        assert payload["status"] == "ok"
+        assert payload["checks"]["cache"] == "ok"
 
     def test_unknown_endpoint_404(self, tmp_path):
         service = ArtifactService(ResultCache(tmp_path))
@@ -275,7 +277,9 @@ class TestLiveServer:
         _, port, _ = served
         status, _, body = self.get(port, "/healthz")
         assert status == 200
-        assert json.loads(body) == {"status": "ok"}
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["checks"] == {"cache": "ok", "queue": "ok"}
 
     def test_post_is_405(self, served):
         _, port, _ = served

@@ -1,0 +1,20 @@
+"""State hygiene for the chaos tests.
+
+The chaos policy and the metrics registry are process-global by
+design; every test here starts from (and leaves behind) a clean
+slate so ordering never matters.
+"""
+
+import pytest
+
+import repro.chaos as chaos
+from repro.obs.metrics import get_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos_state():
+    chaos.disable()
+    get_registry().reset()
+    yield
+    chaos.disable()
+    get_registry().reset()

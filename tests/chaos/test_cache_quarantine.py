@@ -1,0 +1,137 @@
+"""Cache corruption handling: quarantine, digest checks, torn writes."""
+
+import json
+
+import pytest
+
+import repro.chaos as chaos
+from repro.campaign.cache import ResultCache
+from repro.chaos import RetryPolicy, retry_call
+from repro.obs.metrics import get_registry
+
+
+def make_key(cache, tag="t"):
+    return cache.key("flow", f"circuit-{tag}", f"config-{tag}", "code")
+
+
+class TestQuarantine:
+    def test_garbage_entry_is_a_miss_and_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key(cache)
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        metric = get_registry().counter(
+            "repro_cache_ops_total",
+            "Result-cache operations by outcome "
+            "(hit/miss/store/corrupt).",
+            labels={"outcome": "corrupt"})
+        assert metric.value == 1
+
+    def test_digest_mismatch_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key(cache)
+        cache.put(key, {"rows": [1, 2, 3]})
+        path = cache.path(key)
+        entry = json.loads(path.read_text())
+        entry["artefact"]["rows"] = [1, 2, 4]  # silent bit-flip
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert path.with_suffix(".corrupt").exists()
+        assert cache.stats.corrupt == 1
+
+    def test_legacy_entry_without_digest_still_trusted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key(cache)
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(
+            {"key": key, "meta": {}, "artefact": {"rows": [1]}}))
+        assert cache.get(key) == {"rows": [1]}
+        assert cache.stats.hits == 1
+
+    def test_quarantined_key_recomputes_then_heals(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key(cache)
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("junk")
+        assert cache.get(key) is None  # quarantined
+        cache.put(key, {"rows": [7]})  # recomputed by the caller
+        assert cache.get(key) == {"rows": [7]}
+        assert path.with_suffix(".corrupt").exists()  # forensics kept
+
+    def test_corrupt_files_invisible_to_entries_and_gc(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key(cache)
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("junk")
+        cache.get(key)
+        assert cache.entries() == []
+        cache.gc(0)  # must not touch the .corrupt file
+        assert path.with_suffix(".corrupt").exists()
+
+
+class TestInjectedCacheFaults:
+    def test_read_mangling_degrades_to_quarantined_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key(cache)
+        cache.put(key, {"rows": list(range(32))})
+        chaos.enable("seed=1,cache.read=1")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.path(key).with_suffix(".corrupt").exists()
+
+    def test_torn_write_detected_on_read_back(self, tmp_path):
+        """cache.write=1: every attempt is mangled; the read-back
+        check catches it each time and the budget finally raises —
+        a torn write NEVER lands under the key."""
+        cache = ResultCache(tmp_path)
+        key = make_key(cache)
+        chaos.enable("seed=1,cache.write=1")
+        with pytest.raises(OSError, match="torn cache write"):
+            cache.put(key, {"rows": [1]})
+        assert cache.get(key) is None
+        assert cache.entries() == []
+
+    def test_moderate_write_fault_rate_converges(self, tmp_path):
+        """Seeded 30% mangle rate: the retry budget absorbs it and the
+        stored entries are byte-perfect."""
+        chaos.enable("seed=7,cache.write=0.3")
+        cache = ResultCache(tmp_path)
+        artefacts = {make_key(cache, f"t{i}"): {"rows": [i] * 8}
+                     for i in range(16)}
+        for key, artefact in artefacts.items():
+            cache.put(key, artefact)
+        # the injections really happened (log dies with the policy)
+        assert any(site == "cache.write"
+                   for site, _action in chaos.injection_log())
+        chaos.disable()
+        for key, artefact in artefacts.items():
+            assert cache.get(key) == artefact
+        assert cache.stats.corrupt == 0
+
+    def test_flaky_filesystem_reads_retryable_by_caller(self, tmp_path):
+        """A caller wrapping get() in retry_call rides out EIO-style
+        flakiness without special-casing."""
+        cache = ResultCache(tmp_path)
+        key = make_key(cache)
+        cache.put(key, {"rows": [5]})
+        calls = {"n": 0}
+
+        def flaky_get():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("injected EIO")
+            return cache.get(key)
+
+        result = retry_call(flaky_get, site="cache.read",
+                            policy=RetryPolicy(attempts=4, base_s=0),
+                            sleep=lambda _s: None)
+        assert result == {"rows": [5]}

@@ -1,0 +1,234 @@
+"""The chaos differential: an injected campaign converges to the
+exact artefacts of an uninjected one.
+
+Real worker subprocesses drain a real queue while a seeded chaos
+policy (``$REPRO_CHAOS``) kills workers mid-job, injects EIO into
+queue transactions, corrupts cache bytes and slows service clients.
+An external supervisor re-queues expired leases and respawns dead
+workers — after which the cache and manifest must be **bit-identical**
+(modulo wall-clock timings) to a serial, fault-free campaign.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.chaos as chaos
+from repro.campaign.cache import ResultCache
+from repro.campaign.manifest import CampaignSpec
+from repro.campaign.queue import WorkQueue
+from repro.campaign.runner import run_campaign
+from repro.campaign.service import ArtifactService, ServiceServer
+
+SMALL = {"observability_samples": 16, "ivc_trials": 2,
+         "ivc_noise_samples": 2}
+
+#: The pinned storm: worker kills, queue EIO, cache corruption, slow
+#: service clients — all from one seed.  Changing any chaos-stream
+#: derivation invalidates this pin on purpose.
+CHAOS_SPEC = ("seed=13,worker.kill=0.4,queue.write=0.2,"
+              "queue.heartbeat=0.2,queue.requeue=0.2,"
+              "cache.write=0.2,cache.read=0.1,"
+              "service.slow=1,slow_s=0.05")
+
+SEEDS = (1, 2, 3)
+
+
+def small_spec():
+    return CampaignSpec(circuits=("s27",), seeds=SEEDS,
+                        base=dict(SMALL), name="diff")
+
+
+def spawn_worker(queue_dir, cache_dir, worker_id, chaos_spec):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CHAOS"] = chaos_spec
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", str(queue_dir),
+         "--cache-dir", str(cache_dir), "--worker-id", worker_id,
+         "--poll-s", "0.05", "--lease-ttl", "0.5", "--quiet"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def drain_under_chaos(queue_dir, cache_dir, chaos_spec,
+                      workers=2, timeout_s=180):
+    """Supervise ``workers`` chaos-injected processes to completion.
+
+    Returns ``(exit codes seen, respawns)``.  The supervisor is the
+    resilience story from the operator's side: re-queue expired
+    leases, replace dead workers, repeat until the queue drains.
+    """
+    queue = WorkQueue(queue_dir)
+    alive = {}
+    exit_codes = []
+    respawns = 0
+    serial = 0
+    deadline = time.monotonic() + timeout_s
+    try:
+        while time.monotonic() < deadline:
+            for worker_id, proc in list(alive.items()):
+                if proc.poll() is not None:
+                    exit_codes.append(proc.returncode)
+                    del alive[worker_id]
+            depth = queue.depth()
+            if depth.outstanding == 0 and not alive:
+                break
+            queue.requeue_expired()
+            while len(alive) < workers and depth.outstanding > 0:
+                worker_id = f"cw{serial}"
+                serial += 1
+                if serial > workers:
+                    respawns += 1
+                alive[worker_id] = spawn_worker(
+                    queue_dir, cache_dir, worker_id, chaos_spec)
+            time.sleep(0.05)
+    finally:
+        for proc in alive.values():  # pragma: no cover - timeout path
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return exit_codes, respawns
+
+
+@pytest.fixture(scope="module")
+def differential(tmp_path_factory):
+    root = tmp_path_factory.mktemp("diff")
+    # The ground truth: serial, fault-free.
+    clean_cache = root / "clean-cache"
+    clean_manifest = root / "clean-manifest.json"
+    run_campaign(small_spec(), jobs=1, cache_dir=str(clean_cache),
+                 manifest_path=str(clean_manifest))
+    # The storm: concurrent subprocess workers under $REPRO_CHAOS.
+    queue_dir = root / "queue"
+    chaos_cache = root / "chaos-cache"
+    WorkQueue(queue_dir).enqueue(small_spec(), lease_ttl_s=0.5)
+    exit_codes, respawns = drain_under_chaos(
+        queue_dir, chaos_cache, CHAOS_SPEC)
+    chaos_manifest = root / "chaos-manifest.json"
+    WorkQueue(queue_dir).write_manifest(str(chaos_manifest))
+    return {"root": root, "queue_dir": queue_dir,
+            "clean_cache": clean_cache, "chaos_cache": chaos_cache,
+            "clean_manifest": clean_manifest,
+            "chaos_manifest": chaos_manifest,
+            "exit_codes": exit_codes, "respawns": respawns}
+
+
+class TestConvergence:
+    def test_zero_lost_jobs(self, differential):
+        depth = WorkQueue(differential["queue_dir"]).depth()
+        assert depth.done == len(SEEDS)
+        assert depth.outstanding == 0
+        assert depth.failed == 0
+
+    def test_the_faults_were_real(self, differential):
+        """The run actually weathered kills: at least one worker died
+        (exit 137) and was replaced by the supervisor."""
+        killed = [code for code in differential["exit_codes"]
+                  if code == chaos.KILL_EXIT_CODE]
+        assert killed, differential["exit_codes"]
+        assert differential["respawns"] >= len(killed)
+
+    def test_cache_keys_identical_to_clean_run(self, differential):
+        clean = ResultCache(differential["clean_cache"]).entries()
+        chaotic = ResultCache(differential["chaos_cache"]).entries()
+        assert clean == chaotic
+        assert len(clean) == len(SEEDS)
+
+    def test_artefacts_bit_identical_modulo_timing(self, differential):
+        a = ResultCache(differential["clean_cache"])
+        b = ResultCache(differential["chaos_cache"])
+        for key in a.entries():
+            art_a, art_b = a.get(key), b.get(key)
+            assert art_b is not None  # survived injected corruption
+            art_a.pop("elapsed_s")
+            art_b.pop("elapsed_s")
+            assert art_a == art_b
+
+    def test_manifest_identical_modulo_timing(self, differential):
+        ma = json.loads(differential["clean_manifest"].read_text())
+        mb = json.loads(differential["chaos_manifest"].read_text())
+        assert ma["spec_digest"] == mb["spec_digest"]
+        assert len(ma["jobs"]) == len(mb["jobs"]) == len(SEEDS)
+        for ja, jb in zip(ma["jobs"], mb["jobs"]):
+            for timing in ("wall_s", "phases"):
+                ja.pop(timing, None)
+                jb.pop(timing, None)
+            # a job re-claimed after a kill-after-store completes from
+            # cache; provenance may differ, the artefact cannot
+            ja.pop("source", None)
+            jb.pop("source", None)
+            assert ja == jb
+
+    def test_slow_service_clients_get_correct_artefacts(
+            self, differential):
+        """A service over the chaos-built cache, itself under the
+        service.slow injection, still serves the exact artefact."""
+        # Same base config as the campaign spec, so the service
+        # derives the same cache keys the workers stored under.
+        service = ArtifactService(
+            ResultCache(differential["chaos_cache"]),
+            base=dict(SMALL))
+        chaos.enable(CHAOS_SPEC)
+        with ServiceServer(service) as server:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=30)
+            try:
+                conn.request("GET", "/flow/s27?seed=1")
+                response = conn.getresponse()
+                status, body = response.status, response.read()
+            finally:
+                conn.close()
+        assert status == 200
+        clean = ResultCache(differential["clean_cache"])
+        [key] = [k for k in clean.entries()
+                 if clean.get(k)["seed"] == 1]
+        expected = clean.get(key)
+        served = json.loads(body)
+        served.pop("elapsed_s")
+        expected.pop("elapsed_s")
+        assert served == expected
+
+
+class TestInjectionPin:
+    """Same seed -> byte-for-byte the same injection sequence, even
+    across processes."""
+
+    DRIVER = (
+        "import repro.chaos as chaos\n"
+        f"chaos.enable({CHAOS_SPEC!r})\n"
+        "chaos.rescope('pinned-worker')\n"
+        "for _ in range(100):\n"
+        "    try:\n"
+        "        chaos.point('queue.write')\n"
+        "    except OSError:\n"
+        "        pass\n"
+        "    chaos.mangle('cache.read', b'payload')\n"
+        "    chaos.fires('worker.kill')\n"
+        "print(repr(chaos.injection_log()))\n"
+    )
+
+    def run_driver(self):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", self.DRIVER],
+                              env=env, capture_output=True, text=True,
+                              timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def test_cross_process_injection_sequence_is_pinned(self):
+        first = self.run_driver()
+        second = self.run_driver()
+        assert first == second
+        assert "queue.write" in first  # the pin is not vacuous

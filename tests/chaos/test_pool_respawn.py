@@ -1,0 +1,59 @@
+"""Worker pool under chaos kills: supervised respawn + re-dispatch."""
+
+import pytest
+
+import repro.chaos as chaos
+from repro.campaign.pool import WorkerPool, WorkerPoolError
+
+
+def square(x):
+    return x * x
+
+
+class TestRespawn:
+    def test_map_survives_worker_kills(self):
+        chaos.enable("seed=5,pool.task.kill=0.3")
+        with WorkerPool(processes=3, initializer=None,
+                        max_restarts=200) as pool:
+            results = pool.map(square, range(24))
+        assert results == [x * x for x in range(24)]
+        assert pool._restarts > 0
+
+    def test_results_stay_ordered_across_maps(self):
+        chaos.enable("seed=5,pool.task.kill=0.25")
+        with WorkerPool(processes=2, initializer=None,
+                        max_restarts=200) as pool:
+            first = pool.map(square, range(10))
+            second = pool.map(square, range(10, 20))
+        assert first == [x * x for x in range(10)]
+        assert second == [x * x for x in range(10, 20)]
+
+    def test_no_chaos_means_no_respawns(self):
+        with WorkerPool(processes=2, initializer=None) as pool:
+            assert pool.map(square, range(8)) == \
+                [x * x for x in range(8)]
+            assert pool._restarts == 0
+
+    def test_exhausted_respawn_budget_raises(self):
+        chaos.enable("seed=5,pool.task.kill=1")
+        with WorkerPool(processes=2, initializer=None,
+                        max_restarts=3) as pool:
+            with pytest.raises(WorkerPoolError,
+                               match="respawn budget"):
+                pool.map(square, range(4))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(WorkerPoolError, match="max_restarts"):
+            WorkerPool(processes=1, max_restarts=-1)
+
+    def test_task_exceptions_are_not_respawns(self):
+        """An ordinary raising task is a relayed error, not a death."""
+
+        with WorkerPool(processes=2, initializer=None) as pool:
+            with pytest.raises(WorkerPoolError, match="ZeroDivision"):
+                pool.map(_divide_by, [1, 0, 2])
+            assert pool._restarts == 0
+
+
+def _divide_by(x):
+    return 1 // x

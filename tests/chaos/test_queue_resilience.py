@@ -1,0 +1,194 @@
+"""Queue self-healing: retries, quarantine records, retry-failed."""
+
+import json
+import time
+
+import pytest
+
+import repro.chaos as chaos
+from repro.campaign.cache import ResultCache
+from repro.campaign.manifest import CampaignSpec
+from repro.campaign.queue import (
+    DEFAULT_MAX_ATTEMPTS,
+    WorkQueue,
+    run_worker,
+)
+from repro.errors import QueueError
+
+SMALL = {"observability_samples": 16, "ivc_trials": 2,
+         "ivc_noise_samples": 2}
+
+
+def small_spec(circuits=("s27",), seeds=(1,), name="t", **base):
+    return CampaignSpec(circuits=circuits, seeds=seeds,
+                        base={**SMALL, **base}, name=name)
+
+
+def failing_executor(monkeypatch, fail_first_n):
+    """Stub executor raising on each job's first ``fail_first_n`` runs."""
+    import repro.campaign.runner as runner
+
+    runs: dict[str, int] = {}
+
+    def fake(payload):
+        runs[payload["job_id"]] = runs.get(payload["job_id"], 0) + 1
+        if runs[payload["job_id"]] <= fail_first_n:
+            raise RuntimeError(
+                f"transient wreck #{runs[payload['job_id']]}")
+        return {"kind": runner.FLOW_ARTEFACT_KIND,
+                "job_id": payload["job_id"],
+                "circuit": payload["circuit"], "seed": payload["seed"],
+                "row": {"circuit": payload["circuit"]},
+                "summary": "stub", "elapsed_s": 0.0}
+
+    monkeypatch.setattr(runner, "_execute_flow_job", fake)
+    return runs
+
+
+class TestAttemptBudget:
+    def test_transient_failure_heals_without_operator(
+            self, tmp_path, monkeypatch):
+        failing_executor(monkeypatch, fail_first_n=2)
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        stats = run_worker(tmp_path / "q", tmp_path / "cache",
+                           poll_s=0.01)
+        assert stats.retried == 2
+        assert stats.executed == 1
+        assert stats.failed == 0
+        assert queue.depth().done == 1
+        assert queue.depth().outstanding == 0
+
+    def test_poison_job_is_quarantined_with_failure_record(
+            self, tmp_path, monkeypatch):
+        """Satellite: failed jobs carry a machine-readable record."""
+        failing_executor(monkeypatch, fail_first_n=99)
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        stats = run_worker(tmp_path / "q", tmp_path / "cache",
+                           worker_id="w-test", poll_s=0.01)
+        assert stats.failed == 1
+        assert stats.retried == DEFAULT_MAX_ATTEMPTS - 1
+        depth = queue.depth()
+        assert depth.failed == 1 and depth.outstanding == 0
+        [failed_file] = (tmp_path / "q" / "failed").glob("*.json")
+        payload = json.loads(failed_file.read_text())
+        failure = payload["failure"]
+        assert failure["error"].startswith("RuntimeError")
+        assert "transient wreck" in failure["traceback"]
+        assert failure["attempts"] == DEFAULT_MAX_ATTEMPTS
+        assert failure["worker_id"] == "w-test"
+
+    def test_max_attempts_argument_overrides_queue_default(
+            self, tmp_path, monkeypatch):
+        runs = failing_executor(monkeypatch, fail_first_n=99)
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        run_worker(tmp_path / "q", tmp_path / "cache", poll_s=0.01,
+                   max_attempts=1)
+        assert queue.depth().failed == 1
+        assert sum(runs.values()) == 1  # no retry at budget 1
+
+    def test_attempt_count_rides_across_workers(self, tmp_path,
+                                                monkeypatch):
+        """A re-queued job keeps its attempt count: a different worker
+        claiming it continues the budget instead of restarting it."""
+        failing_executor(monkeypatch, fail_first_n=99)
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        for expected_attempts in (1, 2):
+            claim = queue.claim(f"w{expected_attempts}")
+            queue.release(claim, attempts=expected_attempts)
+        claim = queue.claim("w3")
+        assert claim.attempts == 2
+
+    def test_zero_max_attempts_rejected(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        with pytest.raises(QueueError, match="max_attempts"):
+            run_worker(tmp_path / "q", tmp_path / "cache",
+                       max_attempts=0)
+
+    def test_queue_meta_carries_default_budget(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        meta = json.loads((tmp_path / "q" / "queue.json").read_text())
+        assert meta["max_attempts"] == DEFAULT_MAX_ATTEMPTS
+        assert queue.max_attempts == DEFAULT_MAX_ATTEMPTS
+
+
+class TestRetryFailed:
+    def quarantine_all(self, tmp_path, monkeypatch):
+        failing_executor(monkeypatch, fail_first_n=99)
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec(seeds=(1, 2)))
+        run_worker(tmp_path / "q", tmp_path / "cache", poll_s=0.01)
+        assert queue.depth().failed == 2
+        return queue
+
+    def test_requeues_and_clears_failure_state(self, tmp_path,
+                                               monkeypatch):
+        queue = self.quarantine_all(tmp_path, monkeypatch)
+        assert queue.retry_failed() == 2
+        depth = queue.depth()
+        assert depth.pending == 2 and depth.failed == 0
+        for path in (tmp_path / "q" / "pending").glob("*.json"):
+            payload = json.loads(path.read_text())
+            assert "failure" not in payload
+            assert "attempts" not in payload
+            assert "error" not in payload
+
+    def test_requeued_jobs_complete_once_fixed(self, tmp_path,
+                                               monkeypatch):
+        queue = self.quarantine_all(tmp_path, monkeypatch)
+        queue.retry_failed()
+        # "fix the bug": executor now succeeds
+        failing_executor(monkeypatch, fail_first_n=0)
+        stats = run_worker(tmp_path / "q", tmp_path / "cache2",
+                           poll_s=0.01)
+        assert stats.executed == 2
+        assert queue.depth().done == 2 and queue.depth().failed == 0
+
+    def test_empty_failed_dir_is_a_noop(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        assert queue.retry_failed() == 0
+
+
+class TestInjectedQueueFaults:
+    def test_enqueue_survives_seeded_write_faults(self, tmp_path):
+        """queue.write EIO at a moderate rate: retry_call absorbs it."""
+        chaos.enable("seed=3,queue.write=0.3")
+        queue = WorkQueue(tmp_path / "q")
+        n = queue.enqueue(small_spec(seeds=(1, 2, 3)))
+        assert n == 3
+        assert queue.depth().pending == 3
+        # the injected faults really fired (the retries were real)
+        assert any(site == "queue.write"
+                   for site, _action in chaos.injection_log())
+
+    def test_expired_lease_requeue_survives_faults(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl_s=0.05)
+        queue.enqueue(small_spec(), lease_ttl_s=0.05)
+        claim = queue.claim("w1")
+        assert claim is not None
+        time.sleep(0.08)
+        chaos.enable("seed=1,queue.requeue=0.5")
+        # scavenging tolerates injected faults across polls: a failed
+        # rename leaves the claim for the next sweep
+        for _ in range(20):
+            if queue.requeue_expired():
+                break
+            time.sleep(0.01)
+        assert queue.depth().pending == 1
+
+    def test_heartbeat_gives_up_on_revoked_lease(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        claim = queue.claim("w1")
+        claim.path.unlink()  # lease revoked under the worker
+        started = time.monotonic()
+        assert queue.heartbeat(claim) is False
+        # giveup_on=(FileNotFoundError,): reported lost immediately,
+        # without burning the transient-retry backoff budget
+        assert time.monotonic() - started < 0.05

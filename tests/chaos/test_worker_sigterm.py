@@ -1,0 +1,138 @@
+"""Graceful worker shutdown: SIGTERM settles the claimed job, exit 0."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign.manifest import CampaignSpec
+from repro.campaign.queue import WorkQueue, run_worker
+
+SMALL = {"observability_samples": 16, "ivc_trials": 2,
+         "ivc_noise_samples": 2}
+
+
+def small_spec(seeds=(1,)):
+    return CampaignSpec(circuits=("s27",), seeds=seeds,
+                        base=dict(SMALL), name="t")
+
+
+def stub_executor(monkeypatch, on_execute=None):
+    import repro.campaign.runner as runner
+
+    def fake(payload):
+        if on_execute is not None:
+            on_execute(payload)
+        return {"kind": runner.FLOW_ARTEFACT_KIND,
+                "job_id": payload["job_id"],
+                "circuit": payload["circuit"], "seed": payload["seed"],
+                "row": {"circuit": payload["circuit"]},
+                "summary": "stub", "elapsed_s": 0.0}
+
+    monkeypatch.setattr(runner, "_execute_flow_job", fake)
+
+
+class TestShouldStop:
+    """In-process ``run_worker(should_stop=...)`` semantics."""
+
+    def test_stop_during_a_job_settles_it_first(self, tmp_path,
+                                                monkeypatch):
+        """should_stop flipping mid-execution: the claimed job is
+        completed, then the worker exits without claiming the next."""
+        flag = {"stop": False}
+        stub_executor(monkeypatch,
+                      on_execute=lambda _p: flag.update(stop=True))
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec(seeds=(1, 2)))
+        stats = run_worker(tmp_path / "q", tmp_path / "cache",
+                           poll_s=0.01,
+                           should_stop=lambda: flag["stop"])
+        assert stats.executed == 1  # first job settled, second left
+        depth = queue.depth()
+        assert depth.done == 1
+        assert depth.claimed == 0  # nothing abandoned mid-claim
+        assert depth.pending == 1
+
+    def test_stop_before_any_claim_exits_immediately(self, tmp_path,
+                                                     monkeypatch):
+        stub_executor(monkeypatch)
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec())
+        stats = run_worker(tmp_path / "q", tmp_path / "cache",
+                           poll_s=0.01, should_stop=lambda: True)
+        assert stats.executed == 0
+        assert queue.depth().pending == 1
+
+
+class TestCliSigterm:
+    """Real ``repro-power worker`` process receiving SIGTERM."""
+
+    def spawn_worker(self, queue_dir, cache_dir, *extra):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_CHAOS", None)
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             str(queue_dir), "--cache-dir", str(cache_dir),
+             "--poll-s", "0.05", *extra],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+
+    def test_sigterm_while_waiting_exits_zero(self, tmp_path):
+        """--wait worker: drain the queue, SIGTERM while idle-polling
+        -> graceful exit 0 with every job done and none claimed."""
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec(seeds=(1, 2)))
+        worker = self.spawn_worker(tmp_path / "q", tmp_path / "cache",
+                                   "--wait")
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if queue.depth().done == 2:
+                    break
+                assert worker.poll() is None, worker.stderr.read()
+                time.sleep(0.05)
+            assert queue.depth().done == 2
+            worker.send_signal(signal.SIGTERM)
+            stdout, stderr = worker.communicate(timeout=30)
+        finally:
+            if worker.poll() is None:  # pragma: no cover - cleanup
+                worker.kill()
+                worker.communicate()
+        assert worker.returncode == 0, stderr
+        assert "stopping on SIGTERM" in stderr
+        depth = queue.depth()
+        assert depth.done == 2
+        assert depth.claimed == 0
+        assert depth.outstanding == 0
+
+    def test_sigterm_storm_loses_no_jobs(self, tmp_path):
+        """Kill a draining worker mid-run; a successor finishes the
+        queue — the SIGTERM'd worker left no wedged claim behind."""
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(small_spec(seeds=(1, 2, 3, 4)))
+        worker = self.spawn_worker(tmp_path / "q", tmp_path / "cache")
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if queue.depth().done >= 1 or worker.poll() is not None:
+                    break
+                time.sleep(0.01)
+            worker.send_signal(signal.SIGTERM)
+            _stdout, stderr = worker.communicate(timeout=30)
+        finally:
+            if worker.poll() is None:  # pragma: no cover - cleanup
+                worker.kill()
+                worker.communicate()
+        assert worker.returncode == 0, stderr
+        assert queue.depth().claimed == 0  # settled, not abandoned
+        # A successor (same cache) drains whatever is left.
+        second = self.spawn_worker(tmp_path / "q", tmp_path / "cache")
+        _stdout, stderr = second.communicate(timeout=120)
+        assert second.returncode == 0, stderr
+        depth = queue.depth()
+        assert depth.done == 4
+        assert depth.outstanding == 0
